@@ -1,0 +1,28 @@
+//! Ablation: the paper's i.i.d. failure assumption versus clustered spot
+//! defects with the same expected failure count, on a DTMB(2,6) array.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmfb_core::prelude::*;
+use std::hint::black_box;
+
+fn bench_clustered(c: &mut Criterion) {
+    let est = MonteCarloYield::new(
+        DtmbKind::Dtmb26A.with_primary_count(120),
+        ReconfigPolicy::AllPrimaries,
+    );
+    // Matched expectations: Bernoulli q=0.05 on ~168 cells ≈ 8.4 failures;
+    // clustered model tuned to the same mean.
+    let clustered = ClusteredSpot::new(2.0, 1, 0.6);
+    let mut group = c.benchmark_group("ablation_injection_models");
+    group.sample_size(10);
+    group.bench_function("iid_bernoulli_200trials", |b| {
+        b.iter(|| black_box(est.estimate_survival(0.95, 200, 3)));
+    });
+    group.bench_function("clustered_spot_200trials", |b| {
+        b.iter(|| black_box(est.estimate_with(&clustered, 200, 3)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_clustered);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Times a reduced Figure 10 sweep: effective-yield curves for all four
+//! designs plus crossover detection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmfb_core::prelude::*;
+use std::hint::black_box;
+
+fn bench_fig10(c: &mut Criterion) {
+    let estimators: Vec<MonteCarloYield> = DtmbKind::TABLE1
+        .iter()
+        .map(|&k| MonteCarloYield::new(k.with_primary_count(100), ReconfigPolicy::AllPrimaries))
+        .collect();
+    let grid = [0.85, 0.90, 0.95, 1.00];
+    let mut group = c.benchmark_group("fig10_effective");
+    group.sample_size(10);
+    group.bench_function("4designs_4points_100trials", |b| {
+        b.iter(|| {
+            let mut curves = Vec::new();
+            for est in &estimators {
+                let pts: Vec<YieldPoint> = grid
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &p)| {
+                        let e = est.estimate_survival(p, 100, i as u64);
+                        let scale = est.array().primary_count() as f64
+                            / est.array().total_cells() as f64;
+                        YieldPoint {
+                            x: p,
+                            y: e.point() * scale,
+                            ci95: e.wilson95(),
+                            trials: e.trials(),
+                        }
+                    })
+                    .collect();
+                curves.push(YieldCurve::new("c", pts));
+            }
+            let crossings = curves[0].crossover_with(&curves[3]);
+            black_box((curves, crossings))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Times the Figure 13 case-study estimator: exact-m injection on the
+//! 252+91 DTMB(2,6) chip with the used-cells policy, at the paper's
+//! critical point m = 35.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmfb_core::prelude::*;
+use std::hint::black_box;
+
+fn bench_fig13(c: &mut Criterion) {
+    let chip = ivd_dtmb26_chip();
+    let policy = used_cells_policy(&chip);
+    let biochip = Biochip::from_array(chip.array).with_policy(policy);
+    let mut group = c.benchmark_group("fig13_casestudy");
+    group.sample_size(10);
+    group.bench_function("m35_200trials", |b| {
+        b.iter(|| black_box(biochip.exact_fault_yield(35, 200, 11)));
+    });
+    group.bench_function("m10_200trials", |b| {
+        b.iter(|| black_box(biochip.exact_fault_yield(10, 200, 11)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig13);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Times the Figure 2 baseline comparison: spare-row shifted replacement
+//! vs interstitial local reconfiguration for the same fault.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmfb_core::prelude::*;
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    let spare_row = SpareRowArray::figure2_example();
+    let dtmb = DtmbKind::Dtmb26A.with_primary_count(48);
+    let fault_cell: HexCoord = dtmb.primaries().nth(20).expect("cell");
+    let defects = DefectMap::from_cells([fault_cell]);
+
+    let mut group = c.benchmark_group("fig2_reconfiguration");
+    group.bench_function("shifted_replacement_1fault", |b| {
+        b.iter(|| black_box(spare_row.shifted_replacement(&[SquareCoord::new(0, 1)])));
+    });
+    group.bench_function("local_reconfiguration_1fault", |b| {
+        b.iter(|| {
+            black_box(attempt_reconfiguration(
+                &dtmb,
+                &defects,
+                &ReconfigPolicy::AllPrimaries,
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Times the Figure 7 computation: the DTMB(1,6) analytical model and the
+//! no-redundancy baseline over the survival grid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmfb_bench::{FIG7_9_ARRAY_SIZES, FIG7_9_SURVIVAL_GRID};
+use dmfb_core::prelude::*;
+use std::hint::black_box;
+
+fn bench_fig7(c: &mut Criterion) {
+    c.bench_function("fig7_analytical_grid", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &n in &FIG7_9_ARRAY_SIZES {
+                for &p in &FIG7_9_SURVIVAL_GRID {
+                    acc += dtmb16_yield(black_box(p), n);
+                    acc += no_redundancy_yield(black_box(p), n);
+                }
+            }
+            black_box(acc)
+        });
+    });
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

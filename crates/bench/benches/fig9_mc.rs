@@ -1,0 +1,23 @@
+//! Times one Figure 9 Monte-Carlo data point (reduced trials) per design:
+//! Bernoulli injection + Hopcroft–Karp reconfigurability per trial.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmfb_core::prelude::*;
+use std::hint::black_box;
+
+const DESIGNS: [DtmbKind; 3] = [DtmbKind::Dtmb26A, DtmbKind::Dtmb36, DtmbKind::Dtmb44];
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_mc_point");
+    group.sample_size(10);
+    for kind in DESIGNS {
+        let est = MonteCarloYield::new(kind.with_primary_count(120), ReconfigPolicy::AllPrimaries);
+        group.bench_with_input(BenchmarkId::new("n120_p0.95_200trials", kind), &est, |b, est| {
+            b.iter(|| black_box(est.estimate_survival(0.95, 200, 7)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

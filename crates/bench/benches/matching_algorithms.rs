@@ -1,0 +1,38 @@
+//! Ablation: Hopcroft–Karp versus the simple augmenting-path matcher on
+//! reconfiguration-shaped bipartite graphs of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmfb_core::graph::{augmenting_path_matching, hopcroft_karp, BipartiteGraph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+/// Builds a sparse bipartite graph shaped like a reconfiguration instance:
+/// each left node (faulty primary) sees ~2 of the right nodes (spares).
+fn reconfiguration_graph(faults: usize, spares: usize, seed: u64) -> BipartiteGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = BipartiteGraph::new(faults, spares);
+    for a in 0..faults {
+        for _ in 0..2 {
+            g.add_edge(a, rng.gen_range(0..spares));
+        }
+    }
+    g
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching_algorithms");
+    for &size in &[32usize, 128, 512] {
+        let g = reconfiguration_graph(size, size / 2 + 8, 42);
+        group.bench_with_input(BenchmarkId::new("hopcroft_karp", size), &g, |b, g| {
+            b.iter(|| black_box(hopcroft_karp(g)));
+        });
+        group.bench_with_input(BenchmarkId::new("augmenting_path", size), &g, |b, g| {
+            b.iter(|| black_box(augmenting_path_matching(g)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

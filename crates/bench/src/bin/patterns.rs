@@ -1,0 +1,26 @@
+//! Renders the DTMB spare patterns of **Figures 3–6** and audits their
+//! `(s, p)` degree guarantees.
+
+use dmfb_core::grid::render;
+use dmfb_core::prelude::*;
+
+fn main() {
+    for kind in DtmbKind::ALL {
+        let region = Region::parallelogram(12, 8);
+        let array = kind.instantiate(&region);
+        let audit = array.audit().expect("audit");
+        let (s, p) = kind.spec();
+        println!(
+            "{kind}  —  s={s}, p={p}, RR→{:.4}   (audit: {} interior primaries, \
+             spare-degree {:?}, primary-degree {:?}, matches spec: {})",
+            kind.redundancy_ratio_limit(),
+            audit.interior_primaries,
+            audit.spares_per_interior_primary,
+            audit.primaries_per_interior_spare,
+            audit.matches(s, p)
+        );
+        let art = render::hex(&region, |c| if array.is_spare(c) { 'o' } else { '.' });
+        println!("{art}");
+    }
+    println!("legend: o spare cell, . primary cell (rows sheared like the hex lattice)");
+}

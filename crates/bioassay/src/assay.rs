@@ -1,0 +1,253 @@
+//! The clinical assay library and the multiplexed in-vitro diagnostics
+//! protocol (paper Section 7).
+
+use crate::kinetics::TrinderKinetics;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The metabolites measured by the paper's multiplexed diagnostics
+/// platform.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Analyte {
+    /// Blood glucose (Trinder's reaction with glucose oxidase).
+    Glucose,
+    /// Lactate (lactate oxidase).
+    Lactate,
+    /// Glutamate (glutamate oxidase).
+    Glutamate,
+    /// Pyruvate (pyruvate oxidase).
+    Pyruvate,
+}
+
+impl fmt::Display for Analyte {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Analyte::Glucose => write!(f, "glucose"),
+            Analyte::Lactate => write!(f, "lactate"),
+            Analyte::Glutamate => write!(f, "glutamate"),
+            Analyte::Pyruvate => write!(f, "pyruvate"),
+        }
+    }
+}
+
+impl Analyte {
+    /// All four analytes.
+    pub const ALL: [Analyte; 4] = [
+        Analyte::Glucose,
+        Analyte::Lactate,
+        Analyte::Glutamate,
+        Analyte::Pyruvate,
+    ];
+
+    /// The species name used in droplet [`Mixture`]s.
+    ///
+    /// [`Mixture`]: crate::droplet::Mixture
+    #[must_use]
+    pub fn species(&self) -> &'static str {
+        match self {
+            Analyte::Glucose => "glucose",
+            Analyte::Lactate => "lactate",
+            Analyte::Glutamate => "glutamate",
+            Analyte::Pyruvate => "pyruvate",
+        }
+    }
+
+    /// Default oxidase/peroxidase cascade parameters for the analyte.
+    /// Values are representative of clinical enzyme preparations; the
+    /// absolute numbers only shape the timing, not the yield analysis.
+    #[must_use]
+    pub fn kinetics(&self) -> TrinderKinetics {
+        match self {
+            Analyte::Glucose => TrinderKinetics::new(0.08, 6.0, 0.30, 1.0),
+            Analyte::Lactate => TrinderKinetics::new(0.06, 4.0, 0.30, 1.0),
+            Analyte::Glutamate => TrinderKinetics::new(0.04, 3.0, 0.25, 1.0),
+            Analyte::Pyruvate => TrinderKinetics::new(0.05, 2.5, 0.25, 1.0),
+        }
+    }
+
+    /// A typical physiological concentration range (mM) in human plasma,
+    /// used to generate realistic synthetic patients.
+    #[must_use]
+    pub fn physiological_range_mm(&self) -> (f64, f64) {
+        match self {
+            Analyte::Glucose => (3.9, 7.1),
+            Analyte::Lactate => (0.5, 2.2),
+            Analyte::Glutamate => (0.02, 0.25),
+            Analyte::Pyruvate => (0.03, 0.16),
+        }
+    }
+
+    /// Calibration standards (mM) covering the clinical range.
+    #[must_use]
+    pub fn calibration_standards_mm(&self) -> Vec<f64> {
+        let (_, hi) = self.physiological_range_mm();
+        vec![0.0, hi * 0.25, hi * 0.5, hi, hi * 2.0, hi * 4.0]
+    }
+}
+
+/// One requested measurement: which sample is assayed for which analyte,
+/// and which chip resources carry it out.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct AssayRequest {
+    /// Sample port label, e.g. `"SAMPLE1"`.
+    pub sample_port: String,
+    /// Reagent port label, e.g. `"REAGENT1"`.
+    pub reagent_port: String,
+    /// The analyte this reagent detects.
+    pub analyte: Analyte,
+    /// Mixer name.
+    pub mixer: String,
+    /// Index into the chip's detector list.
+    pub detector: usize,
+}
+
+/// A batch of concurrent assay requests — the multiplexed in-vitro
+/// diagnostics workload.
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct MultiplexedIvd {
+    /// The requested measurements.
+    pub requests: Vec<AssayRequest>,
+}
+
+impl MultiplexedIvd {
+    /// The paper's configuration: two physiological samples, two reagents
+    /// (Figure 11: SAMPLE1/SAMPLE2 and REAGENT1/REAGENT2), assayed
+    /// pairwise — four concurrent measurements on one chip.
+    #[must_use]
+    pub fn standard_panel() -> Self {
+        MultiplexedIvd {
+            requests: vec![
+                AssayRequest {
+                    sample_port: "SAMPLE1".into(),
+                    reagent_port: "REAGENT1".into(),
+                    analyte: Analyte::Glucose,
+                    mixer: "mixer1".into(),
+                    detector: 0,
+                },
+                AssayRequest {
+                    sample_port: "SAMPLE1".into(),
+                    reagent_port: "REAGENT2".into(),
+                    analyte: Analyte::Lactate,
+                    mixer: "mixer2".into(),
+                    detector: 1,
+                },
+                AssayRequest {
+                    sample_port: "SAMPLE2".into(),
+                    reagent_port: "REAGENT1".into(),
+                    analyte: Analyte::Glucose,
+                    mixer: "mixer1".into(),
+                    detector: 0,
+                },
+                AssayRequest {
+                    sample_port: "SAMPLE2".into(),
+                    reagent_port: "REAGENT2".into(),
+                    analyte: Analyte::Lactate,
+                    mixer: "mixer2".into(),
+                    detector: 1,
+                },
+            ],
+        }
+    }
+
+    /// An extended panel covering all four metabolites on both samples
+    /// (eight measurements), exercising heavier concurrency.
+    #[must_use]
+    pub fn full_metabolic_panel() -> Self {
+        let mut requests = Vec::new();
+        for (si, sample) in ["SAMPLE1", "SAMPLE2"].iter().enumerate() {
+            for (ai, analyte) in Analyte::ALL.iter().enumerate() {
+                requests.push(AssayRequest {
+                    sample_port: (*sample).into(),
+                    reagent_port: format!("REAGENT{}", ai % 2 + 1),
+                    analyte: *analyte,
+                    mixer: format!("mixer{}", (si + ai) % 2 + 1),
+                    detector: (si + ai) % 2,
+                });
+            }
+        }
+        MultiplexedIvd { requests }
+    }
+}
+
+/// The result of one completed assay.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct AssayOutcome {
+    /// Which measurement this is.
+    pub request: AssayRequest,
+    /// The sample's true concentration (mM) — known in simulation.
+    pub true_concentration_mm: f64,
+    /// The instrument's estimate (mM) from the calibration curve.
+    pub measured_concentration_mm: f64,
+    /// Raw (noisy) absorbance reading at 545 nm.
+    pub absorbance: f64,
+    /// Droplet moves spent on transport.
+    pub transport_moves: usize,
+    /// Wall-clock completion time of this assay within the protocol, s.
+    pub completion_time_s: f64,
+}
+
+impl AssayOutcome {
+    /// Relative measurement error |est − true| / true (0 when truth is 0).
+    #[must_use]
+    pub fn relative_error(&self) -> f64 {
+        if self.true_concentration_mm == 0.0 {
+            return 0.0;
+        }
+        (self.measured_concentration_mm - self.true_concentration_mm).abs()
+            / self.true_concentration_mm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analyte_metadata() {
+        for a in Analyte::ALL {
+            assert!(!a.species().is_empty());
+            assert!(!a.to_string().is_empty());
+            let (lo, hi) = a.physiological_range_mm();
+            assert!(0.0 < lo && lo < hi);
+            let standards = a.calibration_standards_mm();
+            assert!(standards.len() >= 4);
+            assert_eq!(standards[0], 0.0);
+            assert!(standards.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn standard_panel_matches_paper_figure11() {
+        let panel = MultiplexedIvd::standard_panel();
+        assert_eq!(panel.requests.len(), 4);
+        // Two samples x two reagents.
+        let samples: std::collections::BTreeSet<_> =
+            panel.requests.iter().map(|r| &r.sample_port).collect();
+        let reagents: std::collections::BTreeSet<_> =
+            panel.requests.iter().map(|r| &r.reagent_port).collect();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(reagents.len(), 2);
+    }
+
+    #[test]
+    fn full_panel_covers_all_analytes() {
+        let panel = MultiplexedIvd::full_metabolic_panel();
+        assert_eq!(panel.requests.len(), 8);
+        for a in Analyte::ALL {
+            assert!(panel.requests.iter().any(|r| r.analyte == a));
+        }
+    }
+
+    #[test]
+    fn relative_error() {
+        let outcome = AssayOutcome {
+            request: MultiplexedIvd::standard_panel().requests[0].clone(),
+            true_concentration_mm: 5.0,
+            measured_concentration_mm: 5.5,
+            absorbance: 0.2,
+            transport_moves: 10,
+            completion_time_s: 30.0,
+        };
+        assert!((outcome.relative_error() - 0.1).abs() < 1e-12);
+    }
+}

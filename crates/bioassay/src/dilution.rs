@@ -1,0 +1,190 @@
+//! On-chip serial dilution.
+//!
+//! Clinical samples often exceed an assay's linear range; digital
+//! microfluidics handles this with binary serial dilution: merge the
+//! sample droplet 1:1 with buffer, mix, split — each stage halves the
+//! concentration. The paper's platform performs exactly these merge/split
+//! primitives; this module plans and simulates the ladder and integrates
+//! with the Trinder kinetics so a diluted sample can be measured back.
+
+use crate::droplet::{Droplet, DropletId, Mixture};
+use serde::{Deserialize, Serialize};
+
+/// A planned binary dilution ladder.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DilutionPlan {
+    /// Number of 1:1 merge-mix-split stages.
+    pub stages: u32,
+}
+
+impl DilutionPlan {
+    /// Plans the smallest binary ladder achieving at least
+    /// `target_dilution` (e.g. 8.0 → 3 stages for a 1:8 dilution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_dilution < 1` or non-finite.
+    #[must_use]
+    pub fn for_target(target_dilution: f64) -> Self {
+        assert!(
+            target_dilution.is_finite() && target_dilution >= 1.0,
+            "dilution factor must be >= 1"
+        );
+        DilutionPlan {
+            stages: target_dilution.log2().ceil().max(0.0) as u32,
+        }
+    }
+
+    /// The exact dilution factor the ladder achieves (`2^stages`).
+    #[must_use]
+    pub fn achieved_dilution(&self) -> f64 {
+        2f64.powi(self.stages as i32)
+    }
+
+    /// Buffer droplets consumed (one per stage).
+    #[must_use]
+    pub fn buffer_droplets(&self) -> u32 {
+        self.stages
+    }
+
+    /// Executes the ladder on `sample`, consuming one buffer droplet of
+    /// equal volume per stage. Returns the diluted droplet (same volume as
+    /// the input) and the waste droplets produced by the splits.
+    ///
+    /// `next_id` supplies identities for the waste halves.
+    #[must_use]
+    pub fn execute(
+        &self,
+        mut sample: Droplet,
+        buffer: &Mixture,
+        mut next_id: impl FnMut() -> DropletId,
+    ) -> (Droplet, Vec<Droplet>) {
+        let mut waste = Vec::with_capacity(self.stages as usize);
+        for _ in 0..self.stages {
+            let buffer_droplet = Droplet::new(
+                next_id(),
+                // Rendezvous bookkeeping only; geometry is the router's job.
+                sample.position,
+                sample.volume_nl,
+                buffer.clone(),
+            );
+            sample.merge(buffer_droplet);
+            let off = sample.position.step(dmfb_grid::HexDir::East);
+            let half = sample.split(next_id(), off);
+            waste.push(half);
+        }
+        (sample, waste)
+    }
+}
+
+/// Convenience: dilute a raw concentration by a ladder and report the
+/// concentration the assay will actually see.
+#[must_use]
+pub fn diluted_concentration(raw_mm: f64, plan: &DilutionPlan) -> f64 {
+    raw_mm / plan.achieved_dilution()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmfb_grid::HexCoord;
+
+    fn sample(conc: f64) -> Droplet {
+        Droplet::new(
+            DropletId(0),
+            HexCoord::new(0, 0),
+            50.0,
+            Mixture::single("glucose", conc),
+        )
+    }
+
+    #[test]
+    fn plans_smallest_sufficient_ladder() {
+        assert_eq!(DilutionPlan::for_target(1.0).stages, 0);
+        assert_eq!(DilutionPlan::for_target(2.0).stages, 1);
+        assert_eq!(DilutionPlan::for_target(5.0).stages, 3);
+        assert_eq!(DilutionPlan::for_target(8.0).stages, 3);
+        assert_eq!(DilutionPlan::for_target(9.0).stages, 4);
+        assert_eq!(DilutionPlan::for_target(8.0).achieved_dilution(), 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 1")]
+    fn rejects_sub_unity_targets() {
+        let _ = DilutionPlan::for_target(0.5);
+    }
+
+    #[test]
+    fn execution_halves_per_stage_and_conserves_volume() {
+        let plan = DilutionPlan { stages: 3 };
+        let mut ids = 100u32;
+        let (out, waste) = plan.execute(sample(16.0), &Mixture::new(), || {
+            ids += 1;
+            DropletId(ids)
+        });
+        assert!((out.contents.concentration("glucose") - 2.0).abs() < 1e-12);
+        assert!((out.volume_nl - 50.0).abs() < 1e-9);
+        assert_eq!(waste.len(), 3);
+        // Waste concentrations descend the ladder: 8, 4, 2.
+        let wc: Vec<f64> = waste
+            .iter()
+            .map(|d| d.contents.concentration("glucose"))
+            .collect();
+        assert!((wc[0] - 8.0).abs() < 1e-12);
+        assert!((wc[1] - 4.0).abs() < 1e-12);
+        assert!((wc[2] - 2.0).abs() < 1e-12);
+        // Solute conservation: output + waste = input.
+        let total: f64 = out.contents.concentration("glucose") * out.volume_nl
+            + waste
+                .iter()
+                .map(|d| d.contents.concentration("glucose") * d.volume_nl)
+                .sum::<f64>();
+        assert!((total - 16.0 * 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_stage_ladder_is_identity() {
+        let plan = DilutionPlan { stages: 0 };
+        let (out, waste) = plan.execute(sample(5.0), &Mixture::new(), || DropletId(9));
+        assert_eq!(out.contents.concentration("glucose"), 5.0);
+        assert!(waste.is_empty());
+        assert_eq!(plan.buffer_droplets(), 0);
+    }
+
+    #[test]
+    fn diluted_concentration_helper() {
+        let plan = DilutionPlan::for_target(4.0);
+        assert!((diluted_concentration(20.0, &plan) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dilution_brings_sample_into_assay_range() {
+        use crate::assay::Analyte;
+        // A grossly hyperglycaemic sample (40 mM) is outside the glucose
+        // calibration range (max standard 28.4 mM); a 1:4 dilution brings
+        // it inside, and the measurement round-trips after multiplying
+        // back.
+        let analyte = Analyte::Glucose;
+        let standards = analyte.calibration_standards_mm();
+        let max_standard = standards.last().copied().unwrap();
+        let raw = 40.0;
+        assert!(raw > max_standard);
+        let plan = DilutionPlan::for_target(raw / max_standard * 2.0);
+        let seen = diluted_concentration(raw, &plan);
+        assert!(seen <= max_standard);
+        let kinetics = analyte.kinetics();
+        let curve =
+            crate::kinetics::CalibrationCurve::build(&kinetics, &standards, 60.0);
+        let state = kinetics.integrate(seen, 60.0, 0.05);
+        let a = crate::kinetics::absorbance_545nm(
+            state.quinoneimine_mm,
+            crate::kinetics::DROPLET_PATH_CM,
+            crate::kinetics::QUINONEIMINE_EPSILON,
+        );
+        let measured = curve.concentration(a) * plan.achieved_dilution();
+        assert!(
+            (measured - raw).abs() / raw < 0.2,
+            "measured {measured} vs raw {raw}"
+        );
+    }
+}

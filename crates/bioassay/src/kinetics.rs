@@ -1,0 +1,300 @@
+//! Trinder-reaction kinetics and colorimetric detection.
+//!
+//! The glucose assay is based on Trinder's reaction (paper Section 7):
+//!
+//! ```text
+//! glucose + O2 + H2O --glucose oxidase--> gluconic acid + H2O2
+//! 2 H2O2 + 4-AAP + TOPS --peroxidase--> quinoneimine + 4 H2O
+//! ```
+//!
+//! The violet quinoneimine absorbs at 545 nm; absorbance read by a green
+//! LED + photodiode tracks its concentration (Beer–Lambert), from which the
+//! analyte concentration is estimated. Lactate, glutamate and pyruvate
+//! assays follow the same oxidase/peroxidase scheme with different enzyme
+//! parameters.
+//!
+//! We model the cascade with two Michaelis–Menten stages integrated by an
+//! explicit Euler scheme, which is plenty for the millimolar ranges and
+//! second-scale horizons of clinical assays.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Two-stage Michaelis–Menten cascade parameters.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct TrinderKinetics {
+    /// Stage-1 (oxidase) max rate, mM/s.
+    pub vmax1_mm_s: f64,
+    /// Stage-1 Michaelis constant, mM.
+    pub km1_mm: f64,
+    /// Stage-2 (peroxidase) max rate, mM/s.
+    pub vmax2_mm_s: f64,
+    /// Stage-2 Michaelis constant, mM.
+    pub km2_mm: f64,
+}
+
+impl TrinderKinetics {
+    /// Creates a kinetics parameter set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is non-positive or non-finite.
+    #[must_use]
+    pub fn new(vmax1_mm_s: f64, km1_mm: f64, vmax2_mm_s: f64, km2_mm: f64) -> Self {
+        for v in [vmax1_mm_s, km1_mm, vmax2_mm_s, km2_mm] {
+            assert!(v.is_finite() && v > 0.0, "kinetic parameters must be positive");
+        }
+        TrinderKinetics {
+            vmax1_mm_s,
+            km1_mm,
+            vmax2_mm_s,
+            km2_mm,
+        }
+    }
+
+    /// Integrates the cascade from an initial analyte concentration (mM)
+    /// over `duration_s` seconds with step `dt_s`, returning the final
+    /// state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt_s <= 0` or `duration_s < 0` or the concentration is
+    /// negative.
+    #[must_use]
+    pub fn integrate(&self, analyte_mm: f64, duration_s: f64, dt_s: f64) -> CascadeState {
+        assert!(dt_s > 0.0, "time step must be positive");
+        assert!(duration_s >= 0.0, "duration must be non-negative");
+        assert!(analyte_mm >= 0.0, "concentration must be non-negative");
+        let mut state = CascadeState {
+            analyte_mm,
+            peroxide_mm: 0.0,
+            quinoneimine_mm: 0.0,
+            time_s: 0.0,
+        };
+        let steps = (duration_s / dt_s).ceil() as u64;
+        for _ in 0..steps {
+            let dt = dt_s.min(duration_s - state.time_s);
+            if dt <= 0.0 {
+                break;
+            }
+            let v1 = self.vmax1_mm_s * state.analyte_mm / (self.km1_mm + state.analyte_mm);
+            let v2 = self.vmax2_mm_s * state.peroxide_mm / (self.km2_mm + state.peroxide_mm);
+            let d_analyte = -v1 * dt;
+            let d_quinone = v2 * dt;
+            state.analyte_mm = (state.analyte_mm + d_analyte).max(0.0);
+            state.peroxide_mm = (state.peroxide_mm + (v1 - v2) * dt).max(0.0);
+            state.quinoneimine_mm += d_quinone;
+            state.time_s += dt;
+        }
+        state
+    }
+}
+
+/// The state of the enzymatic cascade at a point in time.
+#[derive(Clone, Copy, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct CascadeState {
+    /// Remaining analyte (glucose etc.), mM.
+    pub analyte_mm: f64,
+    /// Intermediate hydrogen peroxide, mM.
+    pub peroxide_mm: f64,
+    /// Coloured quinoneimine product, mM.
+    pub quinoneimine_mm: f64,
+    /// Elapsed reaction time, s.
+    pub time_s: f64,
+}
+
+/// Beer–Lambert absorbance of quinoneimine at 545 nm.
+///
+/// `A = ε · c · l` with `ε` in 1/(mM·cm), `c` in mM, `l` in cm.
+#[must_use]
+pub fn absorbance_545nm(quinoneimine_mm: f64, path_length_cm: f64, epsilon: f64) -> f64 {
+    quinoneimine_mm * path_length_cm * epsilon
+}
+
+/// Molar absorptivity of quinoneimine at 545 nm, 1/(mM·cm) (literature
+/// value for Trinder chromogens is ~ 13–36 /mM/cm; we use a mid value).
+pub const QUINONEIMINE_EPSILON: f64 = 26.0;
+
+/// Optical path length through the sandwiched droplet (the plate gap),
+/// ~300 µm.
+pub const DROPLET_PATH_CM: f64 = 0.03;
+
+/// LED + photodiode measurement with additive Gaussian noise on the
+/// absorbance reading.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Photodiode {
+    /// Standard deviation of the absorbance reading noise.
+    pub noise_sd: f64,
+}
+
+impl Default for Photodiode {
+    fn default() -> Self {
+        Photodiode { noise_sd: 0.002 }
+    }
+}
+
+impl Photodiode {
+    /// One noisy absorbance measurement.
+    pub fn measure(&self, absorbance: f64, rng: &mut impl Rng) -> f64 {
+        // Box–Muller standard normal.
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (absorbance + self.noise_sd * z).max(0.0)
+    }
+}
+
+/// A calibration curve mapping measured absorbance to analyte
+/// concentration, built from known standards — how a clinical instrument
+/// actually reports concentrations.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct CalibrationCurve {
+    /// `(absorbance, concentration)` pairs sorted by absorbance.
+    points: Vec<(f64, f64)>,
+}
+
+impl CalibrationCurve {
+    /// Builds the curve by simulating the assay protocol on standard
+    /// concentrations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two standards are supplied.
+    #[must_use]
+    pub fn build(
+        kinetics: &TrinderKinetics,
+        standards_mm: &[f64],
+        reaction_time_s: f64,
+    ) -> Self {
+        assert!(standards_mm.len() >= 2, "need at least two standards");
+        let mut points: Vec<(f64, f64)> = standards_mm
+            .iter()
+            .map(|&c| {
+                let state = kinetics.integrate(c, reaction_time_s, 0.05);
+                let a = absorbance_545nm(
+                    state.quinoneimine_mm,
+                    DROPLET_PATH_CM,
+                    QUINONEIMINE_EPSILON,
+                );
+                (a, c)
+            })
+            .collect();
+        points.sort_by(|x, y| x.0.total_cmp(&y.0));
+        CalibrationCurve { points }
+    }
+
+    /// Estimates concentration from a measured absorbance by piecewise
+    /// linear interpolation (clamped to the calibrated range).
+    #[must_use]
+    pub fn concentration(&self, absorbance: f64) -> f64 {
+        let first = self.points.first().expect("non-empty by construction");
+        let last = self.points.last().expect("non-empty by construction");
+        if absorbance <= first.0 {
+            return first.1;
+        }
+        if absorbance >= last.0 {
+            return last.1;
+        }
+        for w in self.points.windows(2) {
+            if w[0].0 <= absorbance && absorbance <= w[1].0 {
+                let span = w[1].0 - w[0].0;
+                if span <= 0.0 {
+                    return w[0].1;
+                }
+                let t = (absorbance - w[0].0) / span;
+                return w[0].1 + t * (w[1].1 - w[0].1);
+            }
+        }
+        last.1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn glucose_kinetics() -> TrinderKinetics {
+        TrinderKinetics::new(0.08, 6.0, 0.3, 1.0)
+    }
+
+    #[test]
+    fn cascade_converts_analyte_to_product() {
+        let k = glucose_kinetics();
+        let s = k.integrate(5.0, 60.0, 0.01);
+        assert!(s.analyte_mm < 5.0);
+        assert!(s.quinoneimine_mm > 0.0);
+        // Mass-ish balance: product + intermediate <= consumed analyte (1:1
+        // stoichiometry in this reduced model), allowing Euler error.
+        let consumed = 5.0 - s.analyte_mm;
+        assert!(s.quinoneimine_mm + s.peroxide_mm <= consumed + 1e-6);
+        assert!((s.time_s - 60.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn zero_analyte_produces_no_colour() {
+        let s = glucose_kinetics().integrate(0.0, 30.0, 0.01);
+        assert_eq!(s.quinoneimine_mm, 0.0);
+    }
+
+    #[test]
+    fn more_analyte_more_colour() {
+        let k = glucose_kinetics();
+        let lo = k.integrate(2.0, 30.0, 0.01).quinoneimine_mm;
+        let hi = k.integrate(10.0, 30.0, 0.01).quinoneimine_mm;
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn absorbance_is_linear_in_product() {
+        let a1 = absorbance_545nm(1.0, DROPLET_PATH_CM, QUINONEIMINE_EPSILON);
+        let a2 = absorbance_545nm(2.0, DROPLET_PATH_CM, QUINONEIMINE_EPSILON);
+        assert!((a2 - 2.0 * a1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn photodiode_noise_is_centred() {
+        let pd = Photodiode { noise_sd: 0.01 };
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 5_000;
+        let mean: f64 = (0..n).map(|_| pd.measure(0.5, &mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.001, "mean {mean}");
+        // Never negative.
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert!(pd.measure(0.0, &mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn calibration_roundtrip() {
+        let k = glucose_kinetics();
+        let curve = CalibrationCurve::build(&k, &[0.0, 2.0, 5.0, 10.0, 20.0], 45.0);
+        // A fresh "patient" concentration inside the range round-trips.
+        for truth in [1.0, 4.0, 8.0, 15.0] {
+            let state = k.integrate(truth, 45.0, 0.05);
+            let a = absorbance_545nm(state.quinoneimine_mm, DROPLET_PATH_CM, QUINONEIMINE_EPSILON);
+            let est = curve.concentration(a);
+            assert!(
+                (est - truth).abs() / truth < 0.15,
+                "truth {truth} vs est {est}"
+            );
+        }
+        // Clamping outside the calibrated range.
+        assert_eq!(curve.concentration(-1.0), 0.0);
+        assert_eq!(curve.concentration(1e9), 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two standards")]
+    fn calibration_needs_standards() {
+        let _ = CalibrationCurve::build(&glucose_kinetics(), &[1.0], 30.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn kinetics_rejects_nonpositive() {
+        let _ = TrinderKinetics::new(0.0, 1.0, 1.0, 1.0);
+    }
+}

@@ -1,0 +1,254 @@
+//! Droplet routing around faulty cells with fluidic constraints.
+//!
+//! Droplets move only between adjacent electrodes (microfluidic locality),
+//! cannot enter catastrophically faulty cells, and independent droplets
+//! must keep one empty cell between each other or they merge accidentally —
+//! the *static fluidic constraint*. The router plans shortest paths under
+//! these rules with breadth-first search.
+
+use dmfb_defects::{DefectCause, DefectMap};
+use dmfb_grid::{HexCoord, Region};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A path router over one chip's region and fault state.
+///
+/// # Example
+///
+/// ```
+/// use dmfb_bioassay::router::Router;
+/// use dmfb_defects::DefectMap;
+/// use dmfb_grid::{HexCoord, Region};
+///
+/// let region = Region::parallelogram(5, 5);
+/// let router = Router::new(&region, &DefectMap::new());
+/// let path = router
+///     .route(HexCoord::new(0, 0), HexCoord::new(4, 4), &[])
+///     .unwrap();
+/// assert_eq!(path.first(), Some(&HexCoord::new(0, 0)));
+/// assert_eq!(path.last(), Some(&HexCoord::new(4, 4)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Router {
+    region: Region,
+    blocked: BTreeSet<HexCoord>,
+}
+
+impl Router {
+    /// Creates a router that avoids the catastrophically faulty cells of
+    /// `defects`. Parametric faults do not block transport (droplets still
+    /// move over them; detection is the test subsystem's business).
+    #[must_use]
+    pub fn new(region: &Region, defects: &DefectMap) -> Self {
+        let blocked = defects
+            .iter()
+            .filter(|(_, cause)| matches!(cause, DefectCause::Catastrophic(_)))
+            .map(|(c, _)| c)
+            .collect();
+        Router {
+            region: region.clone(),
+            blocked,
+        }
+    }
+
+    /// Whether `cell` is routable (inside the region and not blocked).
+    #[must_use]
+    pub fn is_routable(&self, cell: HexCoord) -> bool {
+        self.region.contains(cell) && !self.blocked.contains(&cell)
+    }
+
+    /// Shortest path from `from` to `to` avoiding blocked cells and keeping
+    /// fluidic spacing from `other_droplets` (no cell of the path may be
+    /// adjacent to or on top of another droplet, except the endpoints when
+    /// they coincide with a merge target).
+    ///
+    /// Returns `None` when no route exists.
+    #[must_use]
+    pub fn route(
+        &self,
+        from: HexCoord,
+        to: HexCoord,
+        other_droplets: &[HexCoord],
+    ) -> Option<Vec<HexCoord>> {
+        if !self.is_routable(from) || !self.is_routable(to) {
+            return None;
+        }
+        let forbidden: BTreeSet<HexCoord> = other_droplets
+            .iter()
+            .flat_map(|&d| std::iter::once(d).chain(d.neighbors()))
+            .filter(|c| *c != to && *c != from)
+            .collect();
+        if from == to {
+            return Some(vec![from]);
+        }
+        let mut prev: BTreeMap<HexCoord, HexCoord> = BTreeMap::new();
+        let mut queue = VecDeque::new();
+        prev.insert(from, from);
+        queue.push_back(from);
+        while let Some(c) = queue.pop_front() {
+            for n in c.neighbors() {
+                if !self.is_routable(n) || forbidden.contains(&n) || prev.contains_key(&n) {
+                    continue;
+                }
+                prev.insert(n, c);
+                if n == to {
+                    let mut path = vec![to];
+                    let mut cur = to;
+                    while cur != from {
+                        cur = prev[&cur];
+                        path.push(cur);
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(n);
+            }
+        }
+        None
+    }
+
+    /// Number of droplet moves along the route between two cells, if
+    /// routable. Convenience for timing models.
+    #[must_use]
+    pub fn route_length(&self, from: HexCoord, to: HexCoord) -> Option<usize> {
+        self.route(from, to, &[]).map(|p| p.len() - 1)
+    }
+}
+
+/// Checks the static fluidic constraint over a set of parked droplets: no
+/// two may be on the same or adjacent cells. Returns the first offending
+/// pair.
+#[must_use]
+pub fn spacing_violation(droplets: &[HexCoord]) -> Option<(HexCoord, HexCoord)> {
+    for (i, &a) in droplets.iter().enumerate() {
+        for &b in &droplets[i + 1..] {
+            if a == b || a.is_adjacent(b) {
+                return Some((a, b));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmfb_defects::{CatastrophicDefect, DefectCause, ParametricDefect};
+
+    fn breakdown() -> DefectCause {
+        DefectCause::Catastrophic(CatastrophicDefect::DielectricBreakdown)
+    }
+
+    #[test]
+    fn shortest_path_on_clean_chip() {
+        let region = Region::parallelogram(6, 6);
+        let router = Router::new(&region, &DefectMap::new());
+        let from = HexCoord::new(0, 0);
+        let to = HexCoord::new(5, 0);
+        let path = router.route(from, to, &[]).unwrap();
+        assert_eq!(path.len() as u32, from.distance(to) + 1);
+        for w in path.windows(2) {
+            assert!(w[0].is_adjacent(w[1]));
+        }
+        assert_eq!(router.route_length(from, to), Some(5));
+    }
+
+    #[test]
+    fn routes_detour_around_faults() {
+        let region = Region::parallelogram(5, 3);
+        // Wall of faults across the middle column except the top row.
+        let mut defects = DefectMap::new();
+        defects.mark(HexCoord::new(2, 1), breakdown());
+        defects.mark(HexCoord::new(2, 2), breakdown());
+        let router = Router::new(&region, &defects);
+        let from = HexCoord::new(0, 1);
+        let to = HexCoord::new(4, 1);
+        let path = router.route(from, to, &[]).unwrap();
+        assert!(path.len() as u32 > from.distance(to) + 1, "must detour");
+        for c in &path {
+            assert!(!defects.is_faulty(*c));
+        }
+    }
+
+    #[test]
+    fn parametric_faults_do_not_block() {
+        let region = Region::parallelogram(3, 1);
+        let mut defects = DefectMap::new();
+        defects.mark(
+            HexCoord::new(1, 0),
+            DefectCause::Parametric(ParametricDefect::PlateGap, 0.5),
+        );
+        let router = Router::new(&region, &defects);
+        assert!(router
+            .route(HexCoord::new(0, 0), HexCoord::new(2, 0), &[])
+            .is_some());
+    }
+
+    #[test]
+    fn blocked_endpoints_unroutable() {
+        let region = Region::parallelogram(3, 3);
+        let mut defects = DefectMap::new();
+        defects.mark(HexCoord::new(0, 0), breakdown());
+        let router = Router::new(&region, &defects);
+        assert!(router
+            .route(HexCoord::new(0, 0), HexCoord::new(2, 2), &[])
+            .is_none());
+        assert!(router
+            .route(HexCoord::new(2, 2), HexCoord::new(0, 0), &[])
+            .is_none());
+        assert!(!router.is_routable(HexCoord::new(0, 0)));
+        assert!(!router.is_routable(HexCoord::new(9, 9)));
+    }
+
+    #[test]
+    fn fully_walled_target_unroutable() {
+        let region = Region::hexagon(HexCoord::ORIGIN, 2);
+        let mut defects = DefectMap::new();
+        for c in HexCoord::ORIGIN.ring(1) {
+            defects.mark(c, breakdown());
+        }
+        let router = Router::new(&region, &defects);
+        assert!(router
+            .route(HexCoord::new(2, 0), HexCoord::ORIGIN, &[])
+            .is_none());
+    }
+
+    #[test]
+    fn routes_respect_droplet_spacing() {
+        let region = Region::parallelogram(7, 5);
+        let router = Router::new(&region, &DefectMap::new());
+        let parked = HexCoord::new(3, 2);
+        let path = router
+            .route(HexCoord::new(0, 2), HexCoord::new(6, 2), &[parked])
+            .unwrap();
+        for c in &path {
+            assert!(*c != parked && !c.is_adjacent(parked), "cell {c} too close");
+        }
+    }
+
+    #[test]
+    fn spacing_halo_can_sever_small_arrays() {
+        // On a narrow array the halo of a parked droplet cuts the region:
+        // there must be NO route rather than a constraint-violating one.
+        let region = Region::parallelogram(5, 3);
+        let router = Router::new(&region, &DefectMap::new());
+        assert!(router
+            .route(HexCoord::new(0, 1), HexCoord::new(4, 1), &[HexCoord::new(2, 1)])
+            .is_none());
+    }
+
+    #[test]
+    fn spacing_violation_detection() {
+        assert!(spacing_violation(&[HexCoord::new(0, 0), HexCoord::new(1, 0)]).is_some());
+        assert!(spacing_violation(&[HexCoord::new(0, 0), HexCoord::new(0, 0)]).is_some());
+        assert!(spacing_violation(&[HexCoord::new(0, 0), HexCoord::new(3, 0)]).is_none());
+        assert!(spacing_violation(&[]).is_none());
+    }
+
+    #[test]
+    fn same_cell_route_is_trivial() {
+        let region = Region::parallelogram(2, 2);
+        let router = Router::new(&region, &DefectMap::new());
+        let c = HexCoord::new(1, 1);
+        assert_eq!(router.route(c, c, &[]), Some(vec![c]));
+    }
+}

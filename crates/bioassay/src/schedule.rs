@@ -1,0 +1,421 @@
+//! Protocol execution: dispensing, transport, mixing, detection.
+//!
+//! The executor runs a [`MultiplexedIvd`] batch on a chip with a given
+//! fault state and (optionally) a local reconfiguration plan. Logical
+//! resource cells are remapped through the plan — a mixer or detector whose
+//! cell was replaced by a spare physically operates on that spare — and
+//! droplet transport routes around catastrophic faults. Timing follows the
+//! electrowetting actuation model plus mixer and detector dwell times, with
+//! per-resource reservation for concurrency.
+
+use crate::assay::{AssayOutcome, MultiplexedIvd};
+use crate::chip::ChipDescription;
+use crate::droplet::ElectrowettingModel;
+use crate::kinetics::{
+    absorbance_545nm, CalibrationCurve, Photodiode, DROPLET_PATH_CM, QUINONEIMINE_EPSILON,
+};
+use crate::router::Router;
+use dmfb_defects::DefectMap;
+use dmfb_grid::HexCoord;
+use dmfb_reconfig::ReconfigPlan;
+use rand::Rng;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Why a protocol could not be executed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum ExecError {
+    /// A request referenced an unknown dispenser label.
+    UnknownPort(String),
+    /// A request referenced an unknown mixer name.
+    UnknownMixer(String),
+    /// A request referenced a detector index that does not exist.
+    UnknownDetector(usize),
+    /// A required cell is faulty and not covered by the reconfiguration
+    /// plan.
+    FaultyResource {
+        /// Description of the resource ("mixer mixer1", "detector 0", ...).
+        resource: String,
+        /// The faulty physical cell.
+        cell: HexCoord,
+    },
+    /// No droplet route exists between two required cells.
+    Unroutable {
+        /// Source cell.
+        from: HexCoord,
+        /// Destination cell.
+        to: HexCoord,
+    },
+    /// The actuation voltage is below the electrowetting threshold.
+    VoltageTooLow,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::UnknownPort(l) => write!(f, "unknown dispenser port '{l}'"),
+            ExecError::UnknownMixer(m) => write!(f, "unknown mixer '{m}'"),
+            ExecError::UnknownDetector(i) => write!(f, "unknown detector index {i}"),
+            ExecError::FaultyResource { resource, cell } => {
+                write!(f, "{resource} sits on faulty cell {cell} with no replacement")
+            }
+            ExecError::Unroutable { from, to } => {
+                write!(f, "no droplet route from {from} to {to}")
+            }
+            ExecError::VoltageTooLow => write!(f, "control voltage below actuation threshold"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Executes assay protocols on one chip instance.
+#[derive(Clone, Debug)]
+pub struct Executor {
+    chip: ChipDescription,
+    defects: DefectMap,
+    plan: Option<ReconfigPlan>,
+    actuation: ElectrowettingModel,
+    photodiode: Photodiode,
+}
+
+impl Executor {
+    /// Creates an executor for `chip` with the given true fault state and
+    /// optional reconfiguration plan.
+    #[must_use]
+    pub fn new(chip: ChipDescription, defects: DefectMap, plan: Option<ReconfigPlan>) -> Self {
+        Executor {
+            chip,
+            defects,
+            plan,
+            actuation: ElectrowettingModel::default(),
+            photodiode: Photodiode::default(),
+        }
+    }
+
+    /// Overrides the electrowetting actuation model.
+    #[must_use]
+    pub fn with_actuation(mut self, actuation: ElectrowettingModel) -> Self {
+        self.actuation = actuation;
+        self
+    }
+
+    /// Overrides the photodiode noise model.
+    #[must_use]
+    pub fn with_photodiode(mut self, photodiode: Photodiode) -> Self {
+        self.photodiode = photodiode;
+        self
+    }
+
+    /// The physical cell implementing a logical cell under the plan.
+    fn physical(&self, logical: HexCoord) -> HexCoord {
+        match &self.plan {
+            Some(plan) => plan.remap(logical),
+            None => logical,
+        }
+    }
+
+    /// Ensures a resource's physical cell is usable; errors otherwise.
+    fn require_usable(&self, resource: &str, logical: HexCoord) -> Result<HexCoord, ExecError> {
+        let physical = self.physical(logical);
+        if self.defects.is_faulty(physical) {
+            return Err(ExecError::FaultyResource {
+                resource: resource.to_string(),
+                cell: physical,
+            });
+        }
+        Ok(physical)
+    }
+
+    /// Runs the batch, drawing per-patient analyte concentrations uniformly
+    /// from the physiological range and measuring them through the full
+    /// droplet protocol. Returns per-assay outcomes in request order.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ExecError`] aborts the whole batch — a chip that cannot run
+    /// its protocol is a dead chip, which is exactly what the yield
+    /// analysis counts.
+    pub fn run(
+        &self,
+        batch: &MultiplexedIvd,
+        rng: &mut impl Rng,
+    ) -> Result<Vec<AssayOutcome>, ExecError> {
+        let step_ms = self
+            .actuation
+            .step_time_ms()
+            .ok_or(ExecError::VoltageTooLow)?;
+        let router = Router::new(self.chip.array.region(), &self.defects);
+        // Resource reservation clocks, seconds.
+        let mut free_at: BTreeMap<String, f64> = BTreeMap::new();
+        let mut outcomes = Vec::with_capacity(batch.requests.len());
+
+        for req in &batch.requests {
+            let sample = self
+                .chip
+                .dispenser(&req.sample_port)
+                .ok_or_else(|| ExecError::UnknownPort(req.sample_port.clone()))?;
+            let reagent = self
+                .chip
+                .dispenser(&req.reagent_port)
+                .ok_or_else(|| ExecError::UnknownPort(req.reagent_port.clone()))?;
+            let mixer = self
+                .chip
+                .mixer(&req.mixer)
+                .ok_or_else(|| ExecError::UnknownMixer(req.mixer.clone()))?;
+            let detector = self
+                .chip
+                .detectors
+                .get(req.detector)
+                .ok_or(ExecError::UnknownDetector(req.detector))?;
+
+            // Resolve physical cells through the reconfiguration plan.
+            let sample_cell = self.require_usable("dispenser", sample.cell)?;
+            let reagent_cell = self.require_usable("dispenser", reagent.cell)?;
+            let rendezvous =
+                self.require_usable(&format!("mixer {}", mixer.name), mixer.rendezvous())?;
+            for &c in &mixer.cells {
+                self.require_usable(&format!("mixer {}", mixer.name), c)?;
+            }
+            let detector_cell =
+                self.require_usable(&format!("detector {}", req.detector), detector.cell)?;
+
+            // Plan the three transports.
+            let route = |from: HexCoord, to: HexCoord| {
+                router
+                    .route(from, to, &[])
+                    .ok_or(ExecError::Unroutable { from, to })
+            };
+            let sample_route = route(sample_cell, rendezvous)?;
+            let reagent_route = route(reagent_cell, rendezvous)?;
+            let detect_route = route(rendezvous, detector_cell)?;
+            let moves =
+                (sample_route.len() - 1) + (reagent_route.len() - 1) + (detect_route.len() - 1);
+
+            // Timing: start when all three resources are free.
+            let ready = [
+                req.sample_port.clone(),
+                req.reagent_port.clone(),
+                req.mixer.clone(),
+                format!("detector{}", req.detector),
+            ]
+            .iter()
+            .map(|k| free_at.get(k).copied().unwrap_or(0.0))
+            .fold(0.0f64, f64::max);
+            let transport_s = moves as f64 * step_ms / 1e3;
+            let detect_s = f64::from(detector.integration_ms) / 1e3;
+            let reaction_s = mixer.mix_time_s() + (detect_route.len() - 1) as f64 * step_ms / 1e3
+                + detect_s;
+            let completion = ready + transport_s + mixer.mix_time_s() + detect_s;
+            for k in [
+                req.sample_port.clone(),
+                req.reagent_port.clone(),
+                req.mixer.clone(),
+                format!("detector{}", req.detector),
+            ] {
+                free_at.insert(k, completion);
+            }
+
+            // Chemistry: draw the patient's true concentration, run the
+            // cascade for the actual reaction window, read absorbance.
+            let (lo, hi) = req.analyte.physiological_range_mm();
+            let truth = rng.gen_range(lo..=hi);
+            let sample_conc = sample.contents.concentration(req.analyte.species());
+            let true_in_droplet = if sample_conc > 0.0 { sample_conc } else { truth };
+            // Merging sample and reagent droplets halves the concentration.
+            let diluted = true_in_droplet * sample.droplet_volume_nl
+                / (sample.droplet_volume_nl + reagent.droplet_volume_nl);
+            let kinetics = req.analyte.kinetics();
+            let state = kinetics.integrate(diluted, reaction_s, 0.05);
+            let clean_absorbance =
+                absorbance_545nm(state.quinoneimine_mm, DROPLET_PATH_CM, QUINONEIMINE_EPSILON);
+            let absorbance = self.photodiode.measure(clean_absorbance, rng);
+            // The instrument calibrates against diluted standards with the
+            // same reaction window, then corrects for dilution.
+            let dilution = sample.droplet_volume_nl
+                / (sample.droplet_volume_nl + reagent.droplet_volume_nl);
+            let standards: Vec<f64> = req
+                .analyte
+                .calibration_standards_mm()
+                .iter()
+                .map(|c| c * dilution)
+                .collect();
+            let curve = CalibrationCurve::build(&kinetics, &standards, reaction_s);
+            let measured = curve.concentration(absorbance) / dilution;
+
+            outcomes.push(AssayOutcome {
+                request: req.clone(),
+                true_concentration_mm: true_in_droplet,
+                measured_concentration_mm: measured,
+                absorbance,
+                transport_moves: moves,
+                completion_time_s: completion,
+            });
+        }
+        Ok(outcomes)
+    }
+
+    /// Convenience: whether the batch can run at all on this chip instance
+    /// (resources live, routes exist), without doing the chemistry.
+    #[must_use]
+    pub fn is_executable(&self, batch: &MultiplexedIvd) -> bool {
+        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        self.run(batch, &mut rng).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout;
+    use dmfb_defects::{CatastrophicDefect, DefectCause};
+    use dmfb_reconfig::{attempt_reconfiguration, ReconfigPolicy};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1234)
+    }
+
+    #[test]
+    fn clean_chip_runs_standard_panel() {
+        let chip = layout::fabricated_ivd_chip();
+        let exec = Executor::new(chip, DefectMap::new(), None);
+        let outcomes = exec.run(&MultiplexedIvd::standard_panel(), &mut rng()).unwrap();
+        assert_eq!(outcomes.len(), 4);
+        for o in &outcomes {
+            assert!(o.transport_moves > 0);
+            assert!(o.completion_time_s > 0.0);
+            assert!(o.absorbance >= 0.0);
+            assert!(
+                o.relative_error() < 0.25,
+                "assay {:?} err {}",
+                o.request.analyte,
+                o.relative_error()
+            );
+        }
+        // Shared resources serialise: completion times strictly increase
+        // for assays sharing a mixer.
+        assert!(outcomes[2].completion_time_s > outcomes[0].completion_time_s);
+    }
+
+    #[test]
+    fn fault_on_mixer_kills_unprotected_chip() {
+        let chip = layout::fabricated_ivd_chip();
+        let mixer_cell = chip.mixers[0].rendezvous();
+        let defects = DefectMap::from_cells([mixer_cell]);
+        let exec = Executor::new(chip, defects, None);
+        let err = exec
+            .run(&MultiplexedIvd::standard_panel(), &mut rng())
+            .unwrap_err();
+        assert!(matches!(err, ExecError::FaultyResource { .. }));
+    }
+
+    #[test]
+    fn reconfiguration_rescues_faulty_mixer() {
+        let chip = layout::ivd_dtmb26_chip();
+        let mixer_cell = chip.mixers[0].rendezvous();
+        let mut defects = DefectMap::from_cells([mixer_cell]);
+        defects.close_shorts();
+        let plan = attempt_reconfiguration(
+            &chip.array,
+            &defects,
+            &ReconfigPolicy::UsedCells(chip.assay_cells.iter().collect()),
+        )
+        .expect("single fault is tolerable on DTMB(2,6)");
+        let exec = Executor::new(chip, defects, Some(plan));
+        let outcomes = exec.run(&MultiplexedIvd::standard_panel(), &mut rng()).unwrap();
+        assert_eq!(outcomes.len(), 4);
+    }
+
+    #[test]
+    fn detour_increases_transport_cost() {
+        let chip = layout::fabricated_ivd_chip();
+        let clean = Executor::new(chip.clone(), DefectMap::new(), None);
+        let base: usize = clean
+            .run(&MultiplexedIvd::standard_panel(), &mut rng())
+            .unwrap()
+            .iter()
+            .map(|o| o.transport_moves)
+            .sum();
+        // Block a cell on the likely straight route between SAMPLE1 and
+        // mixer1 (not a resource cell) and re-run.
+        let s = chip.dispenser("SAMPLE1").unwrap().cell;
+        let m = chip.mixers[0].rendezvous();
+        let line = s.line_to(m);
+        let obstacle = line[line.len() / 2];
+        let mut defects = DefectMap::new();
+        defects.mark(
+            obstacle,
+            DefectCause::Catastrophic(CatastrophicDefect::OpenConnection),
+        );
+        let detoured = Executor::new(chip, defects, None);
+        if let Ok(outcomes) = detoured.run(&MultiplexedIvd::standard_panel(), &mut rng()) {
+            let with_detour: usize = outcomes.iter().map(|o| o.transport_moves).sum();
+            assert!(with_detour >= base);
+        }
+    }
+
+    #[test]
+    fn unknown_resources_are_reported() {
+        let chip = layout::fabricated_ivd_chip();
+        let exec = Executor::new(chip, DefectMap::new(), None);
+        let mut batch = MultiplexedIvd::standard_panel();
+        batch.requests[0].sample_port = "NOPE".into();
+        assert!(matches!(
+            exec.run(&batch, &mut rng()).unwrap_err(),
+            ExecError::UnknownPort(_)
+        ));
+        let mut batch = MultiplexedIvd::standard_panel();
+        batch.requests[0].mixer = "NOPE".into();
+        assert!(matches!(
+            exec.run(&batch, &mut rng()).unwrap_err(),
+            ExecError::UnknownMixer(_)
+        ));
+        let mut batch = MultiplexedIvd::standard_panel();
+        batch.requests[0].detector = 99;
+        assert!(matches!(
+            exec.run(&batch, &mut rng()).unwrap_err(),
+            ExecError::UnknownDetector(99)
+        ));
+    }
+
+    #[test]
+    fn low_voltage_cannot_execute() {
+        let chip = layout::fabricated_ivd_chip();
+        let exec = Executor::new(chip, DefectMap::new(), None)
+            .with_actuation(ElectrowettingModel::with_voltage(5.0, 1_000.0));
+        assert!(matches!(
+            exec.run(&MultiplexedIvd::standard_panel(), &mut rng()),
+            Err(ExecError::VoltageTooLow)
+        ));
+    }
+
+    #[test]
+    fn is_executable_smoke() {
+        let chip = layout::fabricated_ivd_chip();
+        let exec = Executor::new(chip, DefectMap::new(), None);
+        assert!(exec.is_executable(&MultiplexedIvd::standard_panel()));
+    }
+
+    #[test]
+    fn full_panel_runs_on_dtmb26_chip() {
+        let chip = layout::ivd_dtmb26_chip();
+        let exec = Executor::new(chip, DefectMap::new(), None);
+        let outcomes = exec
+            .run(&MultiplexedIvd::full_metabolic_panel(), &mut rng())
+            .unwrap();
+        assert_eq!(outcomes.len(), 8);
+    }
+
+    #[test]
+    fn error_messages_display() {
+        let e = ExecError::Unroutable {
+            from: HexCoord::new(0, 0),
+            to: HexCoord::new(1, 1),
+        };
+        assert!(e.to_string().contains("no droplet route"));
+        assert!(ExecError::VoltageTooLow.to_string().contains("voltage"));
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for routing, mixing and kinetics.
+
+use dmfb_bioassay::droplet::Mixture;
+use dmfb_bioassay::kinetics::{absorbance_545nm, TrinderKinetics};
+use dmfb_bioassay::router::{spacing_violation, Router};
+use dmfb_bioassay::Analyte;
+use dmfb_defects::DefectMap;
+use dmfb_grid::{HexCoord, Region};
+use proptest::prelude::*;
+
+fn arb_region() -> impl Strategy<Value = Region> {
+    (3u32..9, 3u32..9).prop_map(|(w, h)| Region::parallelogram(w, h))
+}
+
+proptest! {
+    /// Routes, when they exist, are valid droplet paths: in-region,
+    /// fault-free, adjacent steps, correct endpoints — and optimal on a
+    /// fault-free chip.
+    #[test]
+    fn routes_are_valid(
+        region in arb_region(),
+        faults in prop::collection::vec((0i32..9, 0i32..9), 0..8),
+    ) {
+        let defects = DefectMap::from_cells(
+            faults.iter().map(|&(q, r)| HexCoord::new(q, r)).filter(|c| region.contains(*c)),
+        );
+        let router = Router::new(&region, &defects);
+        let cells: Vec<HexCoord> = region.iter().collect();
+        let from = cells[0];
+        let to = cells[cells.len() - 1];
+        if let Some(path) = router.route(from, to, &[]) {
+            prop_assert_eq!(*path.first().unwrap(), from);
+            prop_assert_eq!(*path.last().unwrap(), to);
+            for w in path.windows(2) {
+                prop_assert!(w[0].is_adjacent(w[1]));
+            }
+            for c in &path {
+                prop_assert!(region.contains(*c));
+                prop_assert!(!defects.is_faulty(*c));
+            }
+            if defects.is_fault_free() {
+                prop_assert_eq!(path.len() as u32, from.distance(to) + 1, "BFS must be shortest");
+            }
+        }
+    }
+
+    /// Routes around parked droplets keep fluidic spacing.
+    #[test]
+    fn routes_keep_spacing(region in arb_region(), park_q in 0i32..9, park_r in 0i32..9) {
+        let parked = HexCoord::new(park_q, park_r);
+        prop_assume!(region.contains(parked));
+        let router = Router::new(&region, &DefectMap::new());
+        let cells: Vec<HexCoord> = region.iter().collect();
+        let from = cells[0];
+        let to = cells[cells.len() - 1];
+        prop_assume!(from != parked && to != parked);
+        if let Some(path) = router.route(from, to, &[parked]) {
+            for c in &path {
+                prop_assert!(spacing_violation(&[*c, parked]).is_none(), "cell {c} violates spacing");
+            }
+        }
+    }
+
+    /// Volume-weighted mixing conserves total solute amount.
+    #[test]
+    fn mixing_conserves_mass(c1 in 0.0f64..100.0, c2 in 0.0f64..100.0, v1 in 0.1f64..100.0, v2 in 0.1f64..100.0) {
+        let a = Mixture::single("x", c1);
+        let b = Mixture::single("x", c2);
+        let mixed = a.mixed_with(v1, &b, v2);
+        let before = c1 * v1 + c2 * v2;
+        let after = mixed.concentration("x") * (v1 + v2);
+        prop_assert!((before - after).abs() < 1e-9 * before.max(1.0));
+        // Mixed concentration lies between the inputs.
+        prop_assert!(mixed.concentration("x") >= c1.min(c2) - 1e-12);
+        prop_assert!(mixed.concentration("x") <= c1.max(c2) + 1e-12);
+    }
+
+    /// Kinetics: the coloured product is non-negative, bounded by the
+    /// consumed analyte, and monotone in the initial concentration.
+    #[test]
+    fn kinetics_sane(conc in 0.0f64..20.0, duration in 1.0f64..120.0) {
+        for analyte in Analyte::ALL {
+            let k = analyte.kinetics();
+            let s = k.integrate(conc, duration, 0.05);
+            prop_assert!(s.quinoneimine_mm >= 0.0);
+            prop_assert!(s.analyte_mm >= 0.0);
+            let consumed = conc - s.analyte_mm;
+            prop_assert!(s.quinoneimine_mm + s.peroxide_mm <= consumed + 1e-6);
+            // Monotonicity in concentration.
+            let more = k.integrate(conc + 1.0, duration, 0.05);
+            prop_assert!(more.quinoneimine_mm >= s.quinoneimine_mm - 1e-9);
+        }
+    }
+
+    /// Absorbance is linear and non-negative.
+    #[test]
+    fn absorbance_linear(c in 0.0f64..10.0, scale in 1.0f64..5.0) {
+        let a1 = absorbance_545nm(c, 0.03, 26.0);
+        let a2 = absorbance_545nm(c * scale, 0.03, 26.0);
+        prop_assert!(a1 >= 0.0);
+        prop_assert!((a2 - a1 * scale).abs() < 1e-9);
+    }
+
+    /// Longer reaction windows never bleach the product (monotone in time).
+    #[test]
+    fn product_monotone_in_time(conc in 0.5f64..10.0) {
+        let k = TrinderKinetics::new(0.08, 6.0, 0.3, 1.0);
+        let short = k.integrate(conc, 10.0, 0.05).quinoneimine_mm;
+        let long = k.integrate(conc, 60.0, 0.05).quinoneimine_mm;
+        prop_assert!(long >= short - 1e-9);
+    }
+}

@@ -1,0 +1,393 @@
+//! `dmfb` — command-line driver for the dmfb-redundancy toolchain.
+//!
+//! ```text
+//! dmfb yield   --design dtmb26 --primaries 100 --p 0.95
+//! dmfb sweep   --design dtmb44 --primaries 100 --from 0.80 --to 1.00 --steps 11 --effective
+//! dmfb faults  --casestudy --max-m 40
+//! dmfb render  --design dtmb16 --primaries 100 --inject 0.9 --seed 7
+//! dmfb assay   --faults 10 --seed 42
+//! ```
+
+use dmfb_core::prelude::*;
+use dmfb_core::{grid::render, yield_model::effective};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match Options::parse(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "yield" => cmd_yield(&opts),
+        "sweep" => cmd_sweep(&opts),
+        "faults" => cmd_faults(&opts),
+        "render" => cmd_render(&opts),
+        "assay" => cmd_assay(&opts),
+        "profile" => cmd_profile(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+dmfb — yield enhancement for digital microfluidic biochips (DATE 2005)
+
+USAGE:
+  dmfb yield  --design <D> --primaries <N> --p <P> [--trials T] [--seed S] [--threads K]
+  dmfb sweep  --design <D> --primaries <N> [--from P] [--to P] [--steps K] [--effective]
+  dmfb faults (--casestudy | --design <D> --primaries <N>) [--max-m M] [--trials T]
+  dmfb render --design <D> --primaries <N> [--inject P] [--seed S]
+  dmfb assay  [--faults M] [--seed S]
+  dmfb profile (--casestudy | --design <D> --primaries <N>) [--trials T]
+  dmfb help
+
+DESIGNS: none | dtmb16 | dtmb26 | dtmb26b | dtmb36 | dtmb44";
+
+/// Parsed `--key value` options (flags store "true").
+struct Options {
+    map: BTreeMap<String, String>,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut map = BTreeMap::new();
+        let mut i = 0;
+        while i < args.len() {
+            let arg = &args[i];
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(format!("expected --option, got '{arg}'"));
+            };
+            let is_flag = matches!(key, "effective" | "casestudy" | "all-primaries");
+            if is_flag {
+                map.insert(key.to_string(), "true".to_string());
+                i += 1;
+            } else {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--{key} requires a value"))?;
+                map.insert(key.to_string(), value.clone());
+                i += 2;
+            }
+        }
+        Ok(Options { map })
+    }
+
+    fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.map.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value '{v}' for --{key}")),
+        }
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.map.contains_key(key)
+    }
+
+    fn design(&self) -> Result<Option<DtmbKind>, String> {
+        match self.map.get("design").map(String::as_str) {
+            None | Some("none") => Ok(None),
+            Some("dtmb16") => Ok(Some(DtmbKind::Dtmb16)),
+            Some("dtmb26") => Ok(Some(DtmbKind::Dtmb26A)),
+            Some("dtmb26b") => Ok(Some(DtmbKind::Dtmb26B)),
+            Some("dtmb36") => Ok(Some(DtmbKind::Dtmb36)),
+            Some("dtmb44") => Ok(Some(DtmbKind::Dtmb44)),
+            Some(other) => Err(format!("unknown design '{other}'")),
+        }
+    }
+
+    fn biochip(&self) -> Result<Biochip, String> {
+        let n: usize = self.get("primaries", 100)?;
+        let threads: usize = self.get("threads", 1)?;
+        let chip = match self.design()? {
+            Some(kind) => Biochip::dtmb(kind, n),
+            None => Biochip::without_redundancy(n),
+        };
+        Ok(chip.with_threads(threads.max(1)))
+    }
+}
+
+fn cmd_yield(opts: &Options) -> Result<(), String> {
+    let chip = opts.biochip()?;
+    let p: f64 = opts.get("p", 0.95)?;
+    let trials: u32 = opts.get("trials", 10_000)?;
+    let seed: u64 = opts.get("seed", 1)?;
+    let r = chip.yield_report(p, trials, seed);
+    println!(
+        "design: {} | primaries {} | spares {} | RR {:.4}",
+        chip.array()
+            .kind()
+            .map_or("none".to_string(), |k| k.to_string()),
+        chip.array().primary_count(),
+        chip.array().spare_count(),
+        r.redundancy_ratio
+    );
+    println!("survival p        : {:.4}", r.survival_p);
+    println!("raw yield         : {}", r.raw_yield);
+    println!("reconfigured yield: {}", r.reconfigured_yield);
+    println!("effective yield   : {:.4}", r.effective_yield);
+    if let Some(a) = r.analytical {
+        println!("analytical        : {a:.4}");
+    }
+    Ok(())
+}
+
+fn cmd_sweep(opts: &Options) -> Result<(), String> {
+    let chip = opts.biochip()?;
+    let from: f64 = opts.get("from", 0.90)?;
+    let to: f64 = opts.get("to", 1.00)?;
+    let steps: usize = opts.get("steps", 11)?;
+    let trials: u32 = opts.get("trials", 10_000)?;
+    let seed: u64 = opts.get("seed", 1)?;
+    if steps < 2 || !(0.0..=1.0).contains(&from) || !(0.0..=1.0).contains(&to) || from >= to {
+        return Err("need 0 <= from < to <= 1 and steps >= 2".into());
+    }
+    let effective = opts.flag("effective");
+    println!("p,yield,ci_lo,ci_hi{}", if effective { ",effective_yield" } else { "" });
+    for i in 0..steps {
+        let p = from + (to - from) * i as f64 / (steps - 1) as f64;
+        let r = chip.yield_report(p, trials, seed.wrapping_add(i as u64));
+        let (lo, hi) = r.reconfigured_yield.wilson95();
+        if effective {
+            println!(
+                "{:.4},{:.4},{:.4},{:.4},{:.4}",
+                p,
+                r.reconfigured_yield.point(),
+                lo,
+                hi,
+                r.effective_yield
+            );
+        } else {
+            println!("{:.4},{:.4},{:.4},{:.4}", p, r.reconfigured_yield.point(), lo, hi);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_faults(opts: &Options) -> Result<(), String> {
+    let trials: u32 = opts.get("trials", 10_000)?;
+    let seed: u64 = opts.get("seed", 1)?;
+    let max_m: usize = opts.get("max-m", 40)?;
+    let chip = if opts.flag("casestudy") {
+        let description = ivd_dtmb26_chip();
+        let policy = if opts.flag("all-primaries") {
+            ReconfigPolicy::AllPrimaries
+        } else {
+            used_cells_policy(&description)
+        };
+        Biochip::from_array(description.array).with_policy(policy)
+    } else {
+        opts.biochip()?
+    };
+    println!("m,yield,ci_lo,ci_hi");
+    for m in 0..=max_m {
+        let est = chip.exact_fault_yield(m, trials, seed.wrapping_add(m as u64));
+        let (lo, hi) = est.wilson95();
+        println!("{m},{:.4},{lo:.4},{hi:.4}", est.point());
+    }
+    Ok(())
+}
+
+fn cmd_render(opts: &Options) -> Result<(), String> {
+    let chip = opts.biochip()?;
+    let p: f64 = opts.get("inject", 1.0)?;
+    let seed: u64 = opts.get("seed", 1)?;
+    let array = chip.array();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let defects = Bernoulli::from_survival(p).inject(array.region(), &mut rng);
+    let plan = attempt_reconfiguration(array, &defects, chip.policy());
+    let art = render::hex(array.region(), |c| glyph(array, &defects, plan.as_ref().ok(), c));
+    println!("legend: . primary  o spare  X faulty primary  x faulty spare  R replacing spare");
+    print!("{art}");
+    match &plan {
+        Ok(plan) if defects.fault_count() > 0 => {
+            println!("reconfiguration OK: {} replacement(s)", plan.len());
+        }
+        Ok(_) => println!("fault-free"),
+        Err(failure) => println!("{failure}"),
+    }
+    Ok(())
+}
+
+fn glyph(
+    array: &DefectTolerantArray,
+    defects: &DefectMap,
+    plan: Option<&ReconfigPlan>,
+    cell: HexCoord,
+) -> char {
+    let faulty = defects.is_faulty(cell);
+    let spare = array.is_spare(cell);
+    let replacing = plan.is_some_and(|p| p.spares_used().any(|s| s == cell));
+    match (spare, faulty, replacing) {
+        (true, true, _) => 'x',
+        (true, false, true) => 'R',
+        (true, false, false) => 'o',
+        (false, true, _) => 'X',
+        (false, false, _) => '.',
+    }
+}
+
+fn cmd_assay(opts: &Options) -> Result<(), String> {
+    let m: usize = opts.get("faults", 0)?;
+    let seed: u64 = opts.get("seed", 42)?;
+    let chip = ivd_dtmb26_chip();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut defects = ExactCount::new(m).inject(chip.array.region(), &mut rng);
+    defects.close_shorts();
+    let policy = used_cells_policy(&chip);
+    let plan = attempt_reconfiguration(&chip.array, &defects, &policy)
+        .map_err(|e| format!("chip cannot be reconfigured: {e}"))?;
+    println!(
+        "chip: {} primaries + {} spares, {} assay cells, {} injected fault(s), {} replacement(s)",
+        chip.array.primary_count(),
+        chip.array.spare_count(),
+        chip.assay_cells.len(),
+        defects.fault_count(),
+        plan.len()
+    );
+    let exec = Executor::new(chip, defects, Some(plan));
+    let outcomes = exec
+        .run(&MultiplexedIvd::standard_panel(), &mut rng)
+        .map_err(|e| e.to_string())?;
+    println!("assay         sample    true mM  measured mM  error%  moves  done@s");
+    for o in &outcomes {
+        println!(
+            "{:<12}  {:<8}  {:>7.3}  {:>11.3}  {:>5.1}%  {:>5}  {:>6.1}",
+            o.request.analyte.to_string(),
+            o.request.sample_port,
+            o.true_concentration_mm,
+            o.measured_concentration_mm,
+            100.0 * o.relative_error(),
+            o.transport_moves,
+            o.completion_time_s
+        );
+    }
+    let ey = effective::effective_yield_of(exec_array(&exec), 1.0);
+    println!("(array effective-yield scale factor n/N = {ey:.4})");
+    Ok(())
+}
+
+/// Accessor shim: the executor owns the chip; reach its array for stats.
+fn exec_array(_exec: &Executor) -> &DefectTolerantArray {
+    // The Executor API intentionally hides its internals; recompute the
+    // case-study array instead (cheap, deterministic).
+    use std::sync::OnceLock;
+    static ARRAY: OnceLock<DefectTolerantArray> = OnceLock::new();
+    ARRAY.get_or_init(|| ivd_dtmb26_chip().array)
+}
+
+fn cmd_profile(opts: &Options) -> Result<(), String> {
+    let trials: u32 = opts.get("trials", 2_000)?;
+    let seed: u64 = opts.get("seed", 1)?;
+    let (array, policy, label) = if opts.flag("casestudy") {
+        let chip = ivd_dtmb26_chip();
+        let policy = used_cells_policy(&chip);
+        (chip.array, policy, "IVD case-study chip".to_string())
+    } else {
+        let chip = opts.biochip()?;
+        let label = chip
+            .array()
+            .kind()
+            .map_or("no-redundancy".to_string(), |k| k.to_string());
+        (chip.array().clone(), chip.policy().clone(), label)
+    };
+    let profile = tolerance_profile(&array, &policy, trials, seed);
+    println!(
+        "{label}: {} primaries + {} spares, {trials} trials",
+        array.primary_count(),
+        array.spare_count()
+    );
+    println!(
+        "tolerated faults: mean {:.1}, sd {:.1}, min {:.0}, max {:.0}",
+        profile.stats.mean(),
+        profile.stats.stddev(),
+        profile.stats.min(),
+        profile.stats.max()
+    );
+    for level in [0.99, 0.95, 0.90, 0.50] {
+        println!(
+            "  P(tolerate >= m) >= {level:.2} up to m = {}",
+            profile.quantile_at_least(level)
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(args: &[&str]) -> Options {
+        Options::parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn parses_key_values_and_flags() {
+        let o = opts(&["--p", "0.95", "--effective", "--trials", "500"]);
+        assert_eq!(o.get::<f64>("p", 0.0).unwrap(), 0.95);
+        assert_eq!(o.get::<u32>("trials", 0).unwrap(), 500);
+        assert!(o.flag("effective"));
+        assert!(!o.flag("casestudy"));
+        // Defaults when absent.
+        assert_eq!(o.get::<u64>("seed", 9).unwrap(), 9);
+    }
+
+    #[test]
+    fn rejects_malformed_arguments() {
+        let args: Vec<String> = vec!["p".into()];
+        assert!(Options::parse(&args).is_err());
+        let args: Vec<String> = vec!["--trials".into()];
+        assert!(Options::parse(&args).is_err());
+        let o = opts(&["--trials", "abc"]);
+        assert!(o.get::<u32>("trials", 0).is_err());
+    }
+
+    #[test]
+    fn design_names_map_to_kinds() {
+        assert_eq!(opts(&[]).design().unwrap(), None);
+        assert_eq!(
+            opts(&["--design", "dtmb16"]).design().unwrap(),
+            Some(DtmbKind::Dtmb16)
+        );
+        assert_eq!(
+            opts(&["--design", "dtmb26b"]).design().unwrap(),
+            Some(DtmbKind::Dtmb26B)
+        );
+        assert_eq!(opts(&["--design", "none"]).design().unwrap(), None);
+        assert!(opts(&["--design", "bogus"]).design().is_err());
+    }
+
+    #[test]
+    fn biochip_construction_respects_options() {
+        let chip = opts(&["--design", "dtmb44", "--primaries", "40"])
+            .biochip()
+            .unwrap();
+        assert_eq!(chip.array().primary_count(), 40);
+        assert_eq!(chip.array().kind(), Some(DtmbKind::Dtmb44));
+        let plain = opts(&["--primaries", "25"]).biochip().unwrap();
+        assert_eq!(plain.array().primary_count(), 25);
+        assert_eq!(plain.array().kind(), None);
+    }
+}

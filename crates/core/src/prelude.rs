@@ -1,0 +1,38 @@
+//! Convenience re-exports for typical experiments.
+//!
+//! ```
+//! use dmfb_core::prelude::*;
+//!
+//! let chip = Biochip::dtmb(DtmbKind::Dtmb26A, 100);
+//! let y = chip.yield_report(0.95, 500, 1).reconfigured_yield;
+//! assert!(y.point() > 0.0);
+//! ```
+
+pub use crate::{Biochip, PipelineOutcome, YieldReport};
+
+pub use dmfb_grid::{CellMap, HexCoord, HexDir, Region, SquareCoord, SquareRegion};
+
+pub use dmfb_defects::injection::{Bernoulli, ClusteredSpot, ExactCount, InjectionModel};
+pub use dmfb_defects::testing::{covering_walk, diagnose, MeasurementModel};
+pub use dmfb_defects::{CatastrophicDefect, DefectCause, DefectMap, FaultClass};
+
+pub use dmfb_reconfig::dtmb::DtmbKind;
+pub use dmfb_reconfig::shifted::{ModuleBand, SpareRowArray};
+pub use dmfb_reconfig::{
+    attempt_reconfiguration, CellRole, DefectTolerantArray, ReconfigPlan, ReconfigPolicy,
+};
+
+pub use dmfb_sim::{BernoulliEstimate, MonteCarlo, Summary};
+
+pub use dmfb_yield::analytical::{
+    dtmb16_yield, independent_repair_yield, no_redundancy_yield,
+};
+pub use dmfb_yield::{
+    effective_yield, tolerance_profile, MonteCarloYield, ToleranceProfile, YieldCurve,
+    YieldPoint,
+};
+
+pub use dmfb_bioassay::layout::{fabricated_ivd_chip, ivd_dtmb26_chip, used_cells_policy};
+pub use dmfb_bioassay::online::{OnlineExecutor, OperationalFault};
+pub use dmfb_bioassay::schedule::Executor;
+pub use dmfb_bioassay::{Analyte, ChipDescription, MultiplexedIvd};

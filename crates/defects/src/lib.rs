@@ -1,0 +1,46 @@
+//! Manufacturing defect models, stochastic injection, and droplet-trace
+//! testing for digital microfluidic biochips.
+//!
+//! Following the paper's Section 4, faults are classified like analog
+//! circuits: **catastrophic** (dielectric breakdown, shorts between
+//! adjacent electrodes, opens in the electrode/control-source connection)
+//! and **parametric** (geometry deviations that only fail when they exceed
+//! tolerance).
+//!
+//! Three layers live here:
+//!
+//! * Fault taxonomy and per-chip [`DefectMap`]s ([`fault`], [`map`]).
+//! * Stochastic injection ([`injection`]): the paper's i.i.d. cell-failure
+//!   assumption ([`injection::Bernoulli`]), the exact-`m`-failures mode used
+//!   for the Figure 13 case study ([`injection::ExactCount`]), and a
+//!   clustered-spot extension used only for ablation studies.
+//! * Test and diagnosis ([`testing`]): simulation of the electrostatic
+//!   droplet-trace test methodology the paper cites (its refs 10 and 11) — a test
+//!   droplet traverses the cells; catastrophic faults block it; bisection
+//!   over traversal segments localises the faulty cells.
+//!
+//! # Example
+//!
+//! ```
+//! use dmfb_defects::injection::{Bernoulli, InjectionModel};
+//! use dmfb_grid::Region;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let chip = Region::parallelogram(10, 10);
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let defects = Bernoulli::from_survival(0.95).inject(&chip, &mut rng);
+//! assert!(defects.fault_count() <= 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fault;
+pub mod injection;
+pub mod map;
+pub mod operational;
+pub mod parametric;
+pub mod testing;
+
+pub use fault::{CatastrophicDefect, DefectCause, FaultClass, ParametricDefect};
+pub use map::DefectMap;

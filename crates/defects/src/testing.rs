@@ -1,0 +1,436 @@
+//! Droplet-trace testing and fault diagnosis.
+//!
+//! The paper relies on a previously published "unified test methodology"
+//! (its refs 10 and 11): stimuli droplets containing a conducting fluid
+//! (e.g. KCl solution) are dispensed from a droplet source and transported
+//! through the array, traversing the cells, to detect the faulty ones. A
+//! catastrophic fault stops the droplet; a parametric fault shows up as a
+//! performance deviation and is detectable only when the deviation exceeds
+//! the measurement threshold.
+//!
+//! This module simulates that flow:
+//!
+//! 1. [`covering_walk`] plans a traversal visiting every cell of a region
+//!    (a snake over lattice rows, with BFS bridges where rows are ragged).
+//! 2. [`run_test_droplet`] walks it over a given [`DefectMap`] and reports
+//!    where the droplet got stuck, if anywhere.
+//! 3. [`diagnose`] iterates test droplets — each run localises the next
+//!    blocking fault, then re-plans around all known faults — until a clean
+//!    pass, producing a [`DiagnosisReport`] with the detected fault map,
+//!    unreachable cells, and test cost (droplets and electrode actuations).
+
+use crate::fault::DefectCause;
+use crate::DefectMap;
+use dmfb_grid::{HexCoord, Region};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Plans a walk that visits every cell of `region`, starting from its
+/// smallest coordinate. Consecutive walk cells are always adjacent; cells
+/// may be revisited when bridging between rows or around concavities.
+///
+/// Returns `None` if the region is empty or not connected (a disconnected
+/// region cannot be traversed by one droplet).
+///
+/// # Example
+///
+/// ```
+/// use dmfb_defects::testing::covering_walk;
+/// use dmfb_grid::Region;
+///
+/// let region = Region::parallelogram(4, 3);
+/// let walk = covering_walk(&region).unwrap();
+/// assert!(walk.len() >= region.len());
+/// ```
+#[must_use]
+pub fn covering_walk(region: &Region) -> Option<Vec<HexCoord>> {
+    covering_walk_avoiding(region, &BTreeSet::new())
+}
+
+/// Like [`covering_walk`], but never enters `avoid` cells and only visits
+/// the cells reachable around them. Used by [`diagnose`] to re-plan after
+/// each discovered fault. Returns `None` if no start cell exists.
+#[must_use]
+pub fn covering_walk_avoiding(
+    region: &Region,
+    avoid: &BTreeSet<HexCoord>,
+) -> Option<Vec<HexCoord>> {
+    let start = region.iter().find(|c| !avoid.contains(c))?;
+    // Targets: all allowed cells, visited in snake order (rows of constant
+    // r, alternating q direction) for short bridges.
+    let mut rows: BTreeMap<i32, Vec<HexCoord>> = BTreeMap::new();
+    for c in region.iter().filter(|c| !avoid.contains(c)) {
+        rows.entry(c.r).or_default().push(c);
+    }
+    let mut targets: Vec<HexCoord> = Vec::new();
+    for (i, (_, mut row)) in rows.into_iter().enumerate() {
+        row.sort();
+        if i % 2 == 1 {
+            row.reverse();
+        }
+        targets.extend(row);
+    }
+
+    let mut walk = vec![start];
+    let mut current = start;
+    let mut visited: BTreeSet<HexCoord> = BTreeSet::new();
+    visited.insert(start);
+    for t in targets {
+        if t == current || visited.contains(&t) && t != current {
+            if t == current {
+                continue;
+            }
+        }
+        if visited.contains(&t) {
+            continue;
+        }
+        match bfs_path(region, avoid, current, t) {
+            Some(path) => {
+                // path[0] == current; append the rest.
+                for c in path.into_iter().skip(1) {
+                    visited.insert(c);
+                    walk.push(c);
+                }
+                current = t;
+            }
+            None => {
+                // Unreachable around the avoided cells; skip (reported by
+                // the caller as unreachable).
+            }
+        }
+    }
+    Some(walk)
+}
+
+/// Shortest in-region path between two cells avoiding `avoid`, inclusive of
+/// both endpoints.
+fn bfs_path(
+    region: &Region,
+    avoid: &BTreeSet<HexCoord>,
+    from: HexCoord,
+    to: HexCoord,
+) -> Option<Vec<HexCoord>> {
+    if from == to {
+        return Some(vec![from]);
+    }
+    let mut prev: BTreeMap<HexCoord, HexCoord> = BTreeMap::new();
+    let mut queue = VecDeque::new();
+    queue.push_back(from);
+    prev.insert(from, from);
+    while let Some(c) = queue.pop_front() {
+        for n in region.neighbors_in(c) {
+            if avoid.contains(&n) || prev.contains_key(&n) {
+                continue;
+            }
+            prev.insert(n, c);
+            if n == to {
+                let mut path = vec![to];
+                let mut cur = to;
+                while cur != from {
+                    cur = prev[&cur];
+                    path.push(cur);
+                }
+                path.reverse();
+                return Some(path);
+            }
+            queue.push_back(n);
+        }
+    }
+    None
+}
+
+/// The outcome of routing one test droplet along a walk.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TestOutcome {
+    /// The droplet traversed the whole walk and reached the sink.
+    Passed {
+        /// Number of electrode actuations (moves) performed.
+        moves: usize,
+    },
+    /// The droplet failed to move onto `cell` at walk index `step`
+    /// (a catastrophic fault blocks actuation onto that electrode).
+    Stuck {
+        /// The cell the droplet could not enter.
+        cell: HexCoord,
+        /// Index into the walk at which the failure occurred.
+        step: usize,
+    },
+}
+
+/// Routes a test droplet along `walk` over the true defect state.
+///
+/// The droplet cannot *enter* a catastrophically faulty cell: breakdown
+/// electrolyses the droplet, an open never actuates, and a short means the
+/// droplet cannot overlap the next electrode. If the walk's first cell is
+/// itself faulty, dispensing fails at step 0.
+///
+/// # Panics
+///
+/// Panics if consecutive walk cells are not adjacent (an invalid plan).
+#[must_use]
+pub fn run_test_droplet(walk: &[HexCoord], defects: &DefectMap) -> TestOutcome {
+    let mut moves = 0;
+    for (i, &cell) in walk.iter().enumerate() {
+        if i > 0 {
+            assert!(
+                walk[i - 1].is_adjacent(cell),
+                "walk cells {} and {} are not adjacent",
+                walk[i - 1],
+                cell
+            );
+        }
+        let blocked = matches!(defects.cause(cell), Some(DefectCause::Catastrophic(_)));
+        if blocked {
+            return TestOutcome::Stuck { cell, step: i };
+        }
+        if i > 0 {
+            moves += 1;
+        }
+    }
+    TestOutcome::Passed { moves }
+}
+
+/// Result of the iterative diagnosis procedure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiagnosisReport {
+    /// Faults localised by the procedure.
+    pub detected: DefectMap,
+    /// Cells that could not be reached by any test droplet once the
+    /// detected faults were avoided (they cannot be certified fault-free).
+    pub unreachable: Vec<HexCoord>,
+    /// Number of test droplets dispensed.
+    pub droplets_used: usize,
+    /// Total electrode actuations across all droplets.
+    pub total_moves: usize,
+}
+
+impl DiagnosisReport {
+    /// Whether diagnosis found every catastrophic fault in `truth` and
+    /// reported no false positives among reachable cells.
+    #[must_use]
+    pub fn catches_all_catastrophic(&self, truth: &DefectMap) -> bool {
+        truth
+            .iter()
+            .filter(|(_, cause)| matches!(cause, DefectCause::Catastrophic(_)))
+            .all(|(c, _)| self.detected.is_faulty(c) || self.unreachable.contains(&c))
+    }
+}
+
+/// Parameters of the measurement used to catch parametric faults.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MeasurementModel {
+    /// Minimum |relative deviation| observable during a traversal (droplet
+    /// velocity / capacitance measurement resolution).
+    pub detect_threshold: f64,
+}
+
+impl Default for MeasurementModel {
+    fn default() -> Self {
+        MeasurementModel {
+            detect_threshold: 0.10,
+        }
+    }
+}
+
+/// Runs the full iterative test-and-diagnose procedure.
+///
+/// Each iteration plans a covering walk around the already-known faults and
+/// dispenses a fresh test droplet. When the droplet sticks, the blocking
+/// cell is recorded and the walk is re-planned; when it passes, every
+/// traversed cell with an out-of-threshold parametric deviation is also
+/// recorded (the droplet *can* cross such cells, but the measured transport
+/// characteristics reveal them). Terminates when a droplet completes its
+/// walk or no cells remain testable.
+#[must_use]
+pub fn diagnose(
+    region: &Region,
+    truth: &DefectMap,
+    measurement: MeasurementModel,
+) -> DiagnosisReport {
+    let mut known: BTreeSet<HexCoord> = BTreeSet::new();
+    let mut detected = DefectMap::new();
+    let mut droplets = 0usize;
+    let mut total_moves = 0usize;
+
+    loop {
+        let Some(walk) = covering_walk_avoiding(region, &known) else {
+            break; // every cell known faulty
+        };
+        droplets += 1;
+        match run_test_droplet(&walk, truth) {
+            TestOutcome::Stuck { cell, step } => {
+                total_moves += step.saturating_sub(1);
+                known.insert(cell);
+                let cause = *truth.cause(cell).expect("stuck on a faulty cell");
+                detected.mark(cell, cause);
+            }
+            TestOutcome::Passed { moves } => {
+                total_moves += moves;
+                // Parametric screening along the successful traversal.
+                for &cell in &walk {
+                    if let Some(DefectCause::Parametric(param, dev)) = truth.cause(cell) {
+                        if dev.abs() > measurement.detect_threshold {
+                            detected.mark(cell, DefectCause::Parametric(*param, *dev));
+                        }
+                    }
+                }
+                break;
+            }
+        }
+        if known.len() >= region.len() {
+            break;
+        }
+    }
+
+    // Reachability audit around the detected catastrophic faults.
+    let covered: BTreeSet<HexCoord> = covering_walk_avoiding(region, &known)
+        .map(|walk| walk.into_iter().collect())
+        .unwrap_or_default();
+    let unreachable: Vec<HexCoord> = region
+        .iter()
+        .filter(|c| !known.contains(c) && !covered.contains(c))
+        .collect();
+
+    DiagnosisReport {
+        detected,
+        unreachable,
+        droplets_used: droplets,
+        total_moves,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{CatastrophicDefect, ParametricDefect};
+
+    fn breakdown() -> DefectCause {
+        DefectCause::Catastrophic(CatastrophicDefect::DielectricBreakdown)
+    }
+
+    #[test]
+    fn covering_walk_visits_every_cell() {
+        let region = Region::parallelogram(5, 4);
+        let walk = covering_walk(&region).unwrap();
+        let visited: BTreeSet<HexCoord> = walk.iter().copied().collect();
+        assert_eq!(visited.len(), region.len());
+        for w in walk.windows(2) {
+            assert!(w[0].is_adjacent(w[1]));
+        }
+    }
+
+    #[test]
+    fn covering_walk_on_hexagon_region() {
+        let region = Region::hexagon(HexCoord::ORIGIN, 3);
+        let walk = covering_walk(&region).unwrap();
+        let visited: BTreeSet<HexCoord> = walk.iter().copied().collect();
+        assert_eq!(visited.len(), region.len());
+    }
+
+    #[test]
+    fn empty_region_has_no_walk() {
+        assert!(covering_walk(&Region::new()).is_none());
+    }
+
+    #[test]
+    fn clean_chip_passes_one_droplet() {
+        let region = Region::parallelogram(6, 6);
+        let report = diagnose(&region, &DefectMap::new(), MeasurementModel::default());
+        assert_eq!(report.droplets_used, 1);
+        assert!(report.detected.is_fault_free());
+        assert!(report.unreachable.is_empty());
+        assert!(report.total_moves >= region.len() - 1);
+    }
+
+    #[test]
+    fn droplet_sticks_on_catastrophic_cell() {
+        let region = Region::parallelogram(4, 1);
+        let walk = covering_walk(&region).unwrap();
+        let mut truth = DefectMap::new();
+        truth.mark(HexCoord::new(2, 0), breakdown());
+        match run_test_droplet(&walk, &truth) {
+            TestOutcome::Stuck { cell, step } => {
+                assert_eq!(cell, HexCoord::new(2, 0));
+                assert_eq!(step, 2);
+            }
+            other => panic!("expected stuck, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn diagnose_localises_all_catastrophic_faults() {
+        let region = Region::parallelogram(8, 8);
+        let mut truth = DefectMap::new();
+        for c in [HexCoord::new(2, 3), HexCoord::new(5, 1), HexCoord::new(6, 6)] {
+            truth.mark(c, breakdown());
+        }
+        let report = diagnose(&region, &truth, MeasurementModel::default());
+        assert!(report.catches_all_catastrophic(&truth));
+        assert_eq!(report.detected.fault_count(), 3);
+        // One droplet per fault plus the final clean pass.
+        assert_eq!(report.droplets_used, 4);
+        assert!(report.unreachable.is_empty());
+    }
+
+    #[test]
+    fn parametric_detection_depends_on_threshold() {
+        let region = Region::parallelogram(5, 5);
+        let mut truth = DefectMap::new();
+        truth.mark(
+            HexCoord::new(2, 2),
+            DefectCause::Parametric(ParametricDefect::PlateGap, 0.15),
+        );
+        // Threshold below the deviation: caught.
+        let caught = diagnose(
+            &region,
+            &truth,
+            MeasurementModel {
+                detect_threshold: 0.10,
+            },
+        );
+        assert_eq!(caught.detected.fault_count(), 1);
+        // Threshold above the deviation: the soft fault escapes.
+        let escaped = diagnose(
+            &region,
+            &truth,
+            MeasurementModel {
+                detect_threshold: 0.20,
+            },
+        );
+        assert!(escaped.detected.is_fault_free());
+        // Either way the droplet passes in one run.
+        assert_eq!(caught.droplets_used, 1);
+    }
+
+    #[test]
+    fn enclosed_cells_reported_unreachable() {
+        // A radius-2 hexagon whose inner ring is entirely faulty: the
+        // centre cannot be probed.
+        let region = Region::hexagon(HexCoord::ORIGIN, 2);
+        let mut truth = DefectMap::new();
+        for c in HexCoord::ORIGIN.ring(1) {
+            truth.mark(c, breakdown());
+        }
+        let report = diagnose(&region, &truth, MeasurementModel::default());
+        assert!(report.catches_all_catastrophic(&truth));
+        assert!(report.unreachable.contains(&HexCoord::ORIGIN));
+    }
+
+    #[test]
+    fn fully_faulty_region_terminates() {
+        let region = Region::parallelogram(3, 3);
+        let mut truth = DefectMap::new();
+        for c in region.iter() {
+            truth.mark(c, breakdown());
+        }
+        let report = diagnose(&region, &truth, MeasurementModel::default());
+        // First cell of every re-plan is faulty; all cells end up detected.
+        assert_eq!(report.detected.fault_count(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "not adjacent")]
+    fn invalid_walk_is_rejected() {
+        let walk = vec![HexCoord::new(0, 0), HexCoord::new(5, 5)];
+        let _ = run_test_droplet(&walk, &DefectMap::new());
+    }
+}

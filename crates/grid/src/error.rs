@@ -1,0 +1,39 @@
+//! Error types for lattice operations.
+
+use crate::HexCoord;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by geometric operations on biochip regions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GridError {
+    /// The referenced cell is not part of the region.
+    CellNotInRegion(HexCoord),
+    /// Two cells that were required to be adjacent are not.
+    NotAdjacent(HexCoord, HexCoord),
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridError::CellNotInRegion(c) => write!(f, "cell {c} is not in the region"),
+            GridError::NotAdjacent(a, b) => write!(f, "cells {a} and {b} are not adjacent"),
+        }
+    }
+}
+
+impl Error for GridError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GridError::CellNotInRegion(HexCoord::new(1, 2));
+        assert_eq!(e.to_string(), "cell (1, 2) is not in the region");
+        let e = GridError::NotAdjacent(HexCoord::new(0, 0), HexCoord::new(2, 2));
+        assert!(e.to_string().contains("not adjacent"));
+    }
+}

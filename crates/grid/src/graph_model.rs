@@ -1,0 +1,175 @@
+//! Graph model of a microfluidic array (paper Figure 3(b)).
+//!
+//! The paper derives a graph from the array in which every cell is a node
+//! and an edge connects two nodes iff the corresponding cells are physically
+//! adjacent. This module builds that graph for any [`Region`] and exposes it
+//! with stable integer node identifiers, suitable for handing to the
+//! matching algorithms in `dmfb-graph`.
+
+use crate::{HexCoord, Region};
+use std::collections::BTreeMap;
+
+/// Stable index of a cell inside an [`AdjacencyGraph`].
+///
+/// Node ids are assigned in sorted cell order, so a given region always
+/// produces the same numbering.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub usize);
+
+/// Undirected adjacency graph of a cell region.
+///
+/// # Example
+///
+/// ```
+/// use dmfb_grid::{AdjacencyGraph, HexCoord, Region};
+///
+/// let graph = AdjacencyGraph::from_region(&Region::parallelogram(3, 3));
+/// assert_eq!(graph.node_count(), 9);
+/// let center = graph.node_of(HexCoord::new(1, 1)).unwrap();
+/// assert_eq!(graph.degree(center), 6);
+/// ```
+#[derive(Clone, Debug)]
+pub struct AdjacencyGraph {
+    cells: Vec<HexCoord>,
+    index: BTreeMap<HexCoord, NodeId>,
+    adjacency: Vec<Vec<NodeId>>,
+}
+
+impl AdjacencyGraph {
+    /// Builds the adjacency graph of `region`.
+    #[must_use]
+    pub fn from_region(region: &Region) -> Self {
+        let cells: Vec<HexCoord> = region.iter().collect();
+        let index: BTreeMap<HexCoord, NodeId> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (*c, NodeId(i)))
+            .collect();
+        let adjacency = cells
+            .iter()
+            .map(|c| {
+                c.neighbors()
+                    .filter_map(|n| index.get(&n).copied())
+                    .collect()
+            })
+            .collect();
+        AdjacencyGraph {
+            cells,
+            index,
+            adjacency,
+        }
+    }
+
+    /// Number of nodes (cells).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of undirected edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// The node id of `cell`, if the cell is part of the graph.
+    #[must_use]
+    pub fn node_of(&self, cell: HexCoord) -> Option<NodeId> {
+        self.index.get(&cell).copied()
+    }
+
+    /// The cell behind a node id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range for this graph.
+    #[must_use]
+    pub fn cell_of(&self, node: NodeId) -> HexCoord {
+        self.cells[node.0]
+    }
+
+    /// Neighbouring node ids of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range for this graph.
+    #[must_use]
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.adjacency[node.0]
+    }
+
+    /// Degree of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range for this graph.
+    #[must_use]
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.adjacency[node.0].len()
+    }
+
+    /// Iterates `(NodeId, HexCoord)` pairs in id order.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, HexCoord)> + '_ {
+        self.cells.iter().enumerate().map(|(i, c)| (NodeId(i), *c))
+    }
+
+    /// Iterates undirected edges as `(NodeId, NodeId)` with `a < b`, each
+    /// edge reported once, in deterministic order.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.adjacency.iter().enumerate().flat_map(|(i, nbrs)| {
+            nbrs.iter()
+                .filter(move |n| n.0 > i)
+                .map(move |n| (NodeId(i), *n))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_of_parallelogram() {
+        let region = Region::parallelogram(3, 3);
+        let g = AdjacencyGraph::from_region(&region);
+        assert_eq!(g.node_count(), 9);
+        // Center cell has all 6 neighbours inside.
+        let center = g.node_of(HexCoord::new(1, 1)).unwrap();
+        assert_eq!(g.degree(center), 6);
+        // Handshake: sum of degrees = 2 * edges.
+        let total: usize = (0..g.node_count()).map(|i| g.degree(NodeId(i))).sum();
+        assert_eq!(total, 2 * g.edge_count());
+    }
+
+    #[test]
+    fn node_ids_are_stable_sorted_order() {
+        let region = Region::parallelogram(2, 2);
+        let g1 = AdjacencyGraph::from_region(&region);
+        let g2 = AdjacencyGraph::from_region(&region);
+        for (a, b) in g1.nodes().zip(g2.nodes()) {
+            assert_eq!(a, b);
+        }
+        // Sorted order means node 0 is the smallest coordinate.
+        assert_eq!(g1.cell_of(NodeId(0)), region.iter().next().unwrap());
+    }
+
+    #[test]
+    fn edges_unique_and_symmetric() {
+        let region = Region::hexagon(HexCoord::ORIGIN, 2);
+        let g = AdjacencyGraph::from_region(&region);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), g.edge_count());
+        for (a, b) in edges {
+            assert!(a < b);
+            assert!(g.neighbors(a).contains(&b));
+            assert!(g.neighbors(b).contains(&a));
+            assert!(g.cell_of(a).is_adjacent(g.cell_of(b)));
+        }
+    }
+
+    #[test]
+    fn missing_cell_has_no_node() {
+        let g = AdjacencyGraph::from_region(&Region::parallelogram(2, 1));
+        assert!(g.node_of(HexCoord::new(9, 9)).is_none());
+    }
+}

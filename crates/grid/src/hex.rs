@@ -1,0 +1,556 @@
+//! Axial coordinates on the hexagonal lattice.
+//!
+//! We use *axial* coordinates `(q, r)` with the implicit third cube
+//! coordinate `s = -q - r`. The six transport directions correspond to the
+//! six electrodes adjacent to a hexagonal cell, matching Figure 1(b) of the
+//! paper: a droplet can be moved to an adjacent cell in six possible
+//! directions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Neg, Sub};
+
+/// A cell position on the hexagonal lattice in axial coordinates.
+///
+/// The lattice is unbounded; finite biochips are modelled by
+/// [`Region`](crate::Region). Coordinates are `i32`, which is ample for any
+/// fabricable electrode array.
+///
+/// # Example
+///
+/// ```
+/// use dmfb_grid::{HexCoord, HexDir};
+///
+/// let a = HexCoord::new(2, -1);
+/// let b = a.step(HexDir::SouthEast);
+/// assert_eq!(b, HexCoord::new(2, 0));
+/// assert_eq!(a.distance(b), 1);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct HexCoord {
+    /// Axial column coordinate.
+    pub q: i32,
+    /// Axial row coordinate.
+    pub r: i32,
+}
+
+impl fmt::Debug for HexCoord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Hex({}, {})", self.q, self.r)
+    }
+}
+
+impl fmt::Display for HexCoord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.q, self.r)
+    }
+}
+
+/// The six droplet transport directions on a hexagonal-electrode array.
+///
+/// Direction names follow a "pointy-top" hex layout where rows of constant
+/// `r` render as horizontal rows shifted half a cell per row.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum HexDir {
+    /// `(+1, 0)`
+    East,
+    /// `(-1, 0)`
+    West,
+    /// `(+1, -1)`
+    NorthEast,
+    /// `(0, -1)`
+    NorthWest,
+    /// `(0, +1)`
+    SouthEast,
+    /// `(-1, +1)`
+    SouthWest,
+}
+
+impl HexDir {
+    /// All six directions in a fixed, deterministic order.
+    pub const ALL: [HexDir; 6] = [
+        HexDir::East,
+        HexDir::NorthEast,
+        HexDir::NorthWest,
+        HexDir::West,
+        HexDir::SouthWest,
+        HexDir::SouthEast,
+    ];
+
+    /// The axial `(dq, dr)` offset of this direction.
+    #[must_use]
+    pub const fn offset(self) -> (i32, i32) {
+        match self {
+            HexDir::East => (1, 0),
+            HexDir::West => (-1, 0),
+            HexDir::NorthEast => (1, -1),
+            HexDir::NorthWest => (0, -1),
+            HexDir::SouthEast => (0, 1),
+            HexDir::SouthWest => (-1, 1),
+        }
+    }
+
+    /// The opposite transport direction.
+    ///
+    /// ```
+    /// use dmfb_grid::HexDir;
+    /// assert_eq!(HexDir::East.opposite(), HexDir::West);
+    /// assert_eq!(HexDir::NorthEast.opposite(), HexDir::SouthWest);
+    /// ```
+    #[must_use]
+    pub const fn opposite(self) -> HexDir {
+        match self {
+            HexDir::East => HexDir::West,
+            HexDir::West => HexDir::East,
+            HexDir::NorthEast => HexDir::SouthWest,
+            HexDir::NorthWest => HexDir::SouthEast,
+            HexDir::SouthEast => HexDir::NorthWest,
+            HexDir::SouthWest => HexDir::NorthEast,
+        }
+    }
+
+    /// Rotate one step counter-clockwise (60°).
+    #[must_use]
+    pub const fn rotate_ccw(self) -> HexDir {
+        match self {
+            HexDir::East => HexDir::NorthEast,
+            HexDir::NorthEast => HexDir::NorthWest,
+            HexDir::NorthWest => HexDir::West,
+            HexDir::West => HexDir::SouthWest,
+            HexDir::SouthWest => HexDir::SouthEast,
+            HexDir::SouthEast => HexDir::East,
+        }
+    }
+
+    /// Rotate one step clockwise (60°).
+    #[must_use]
+    pub const fn rotate_cw(self) -> HexDir {
+        match self {
+            HexDir::East => HexDir::SouthEast,
+            HexDir::SouthEast => HexDir::SouthWest,
+            HexDir::SouthWest => HexDir::West,
+            HexDir::West => HexDir::NorthWest,
+            HexDir::NorthWest => HexDir::NorthEast,
+            HexDir::NorthEast => HexDir::East,
+        }
+    }
+}
+
+impl HexCoord {
+    /// The lattice origin `(0, 0)`.
+    pub const ORIGIN: HexCoord = HexCoord { q: 0, r: 0 };
+
+    /// Creates a coordinate from axial components.
+    #[must_use]
+    pub const fn new(q: i32, r: i32) -> Self {
+        HexCoord { q, r }
+    }
+
+    /// The implicit third cube coordinate `s = -q - r`.
+    #[must_use]
+    pub const fn s(self) -> i32 {
+        -self.q - self.r
+    }
+
+    /// Cube-coordinate triple `(x, y, z)` with `x + y + z = 0`.
+    #[must_use]
+    pub const fn to_cube(self) -> (i32, i32, i32) {
+        (self.q, self.s(), self.r)
+    }
+
+    /// Builds an axial coordinate from a cube triple.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x + y + z != 0`, which is not a valid cube coordinate.
+    #[must_use]
+    pub fn from_cube(x: i32, y: i32, z: i32) -> Self {
+        assert_eq!(x + y + z, 0, "cube coordinates must satisfy x + y + z = 0");
+        HexCoord { q: x, r: z }
+    }
+
+    /// The cell one step away in direction `dir`.
+    #[must_use]
+    pub fn step(self, dir: HexDir) -> HexCoord {
+        let (dq, dr) = dir.offset();
+        HexCoord::new(self.q + dq, self.r + dr)
+    }
+
+    /// The cell `n` steps away in direction `dir`.
+    #[must_use]
+    pub fn step_by(self, dir: HexDir, n: i32) -> HexCoord {
+        let (dq, dr) = dir.offset();
+        HexCoord::new(self.q + dq * n, self.r + dr * n)
+    }
+
+    /// The six physically adjacent cells, in [`HexDir::ALL`] order.
+    ///
+    /// Physical adjacency is what *microfluidic locality* is about: a
+    /// droplet — and hence the function of a faulty cell — can only move to
+    /// one of these six positions.
+    pub fn neighbors(self) -> impl Iterator<Item = HexCoord> {
+        HexDir::ALL.into_iter().map(move |d| self.step(d))
+    }
+
+    /// Whether `other` is one of the six adjacent cells.
+    #[must_use]
+    pub fn is_adjacent(self, other: HexCoord) -> bool {
+        self != other && self.distance(other) == 1
+    }
+
+    /// Hex-lattice (cube) distance: the minimum number of droplet moves
+    /// between two cells on an unobstructed array.
+    ///
+    /// ```
+    /// use dmfb_grid::HexCoord;
+    /// assert_eq!(HexCoord::new(0, 0).distance(HexCoord::new(2, -1)), 2);
+    /// ```
+    #[must_use]
+    pub fn distance(self, other: HexCoord) -> u32 {
+        let dq = self.q - other.q;
+        let dr = self.r - other.r;
+        let ds = self.s() - other.s();
+        ((dq.abs() + dr.abs() + ds.abs()) / 2) as u32
+    }
+
+    /// The ring of cells at exactly `radius` steps from `self`.
+    ///
+    /// `radius == 0` yields just `self`. For `radius >= 1` the ring has
+    /// `6 * radius` cells, returned in contiguous walk order starting from
+    /// the cell `radius` steps to the west.
+    #[must_use]
+    pub fn ring(self, radius: u32) -> Ring {
+        Ring::new(self, radius)
+    }
+
+    /// All cells within `radius` steps (a filled hexagon), in spiral order
+    /// from the centre outwards. Contains `1 + 3*radius*(radius+1)` cells.
+    pub fn spiral(self, radius: u32) -> impl Iterator<Item = HexCoord> {
+        (0..=radius).flat_map(move |k| self.ring(k))
+    }
+
+    /// Rotates 60° counter-clockwise about the origin
+    /// (cube `(x, y, z) → (−z, −x, −y)`).
+    ///
+    /// ```
+    /// use dmfb_grid::HexCoord;
+    /// let c = HexCoord::new(2, -1);
+    /// let mut r = c;
+    /// for _ in 0..6 { r = r.rotated_ccw(); }
+    /// assert_eq!(r, c);
+    /// ```
+    #[must_use]
+    pub fn rotated_ccw(self) -> HexCoord {
+        let (x, y, z) = self.to_cube();
+        HexCoord::from_cube(-z, -x, -y)
+    }
+
+    /// Rotates 60° clockwise about the origin
+    /// (cube `(x, y, z) → (−y, −z, −x)`).
+    #[must_use]
+    pub fn rotated_cw(self) -> HexCoord {
+        let (x, y, z) = self.to_cube();
+        HexCoord::from_cube(-y, -z, -x)
+    }
+
+    /// Rotates 60° counter-clockwise about `center`.
+    #[must_use]
+    pub fn rotated_ccw_around(self, center: HexCoord) -> HexCoord {
+        (self - center).rotated_ccw() + center
+    }
+
+    /// Reflects across the `q` axis (cube `(x, y, z) → (x, z, y)`): an
+    /// involution that, combined with the rotations, generates the full
+    /// 12-element symmetry group of the hexagonal lattice.
+    #[must_use]
+    pub fn reflected(self) -> HexCoord {
+        let (x, y, z) = self.to_cube();
+        HexCoord::from_cube(x, z, y)
+    }
+
+    /// Cells on the straight line from `self` to `other`, inclusive of both
+    /// endpoints, computed by cube-coordinate interpolation and rounding.
+    ///
+    /// The line has `distance + 1` cells and consecutive cells are adjacent,
+    /// so it is a legal droplet transport route on a fault-free array.
+    #[must_use]
+    pub fn line_to(self, other: HexCoord) -> Vec<HexCoord> {
+        let n = self.distance(other);
+        if n == 0 {
+            return vec![self];
+        }
+        let (ax, ay, az) = self.to_cube();
+        let (bx, by, bz) = other.to_cube();
+        let mut out = Vec::with_capacity(n as usize + 1);
+        for i in 0..=n {
+            let t = f64::from(i) / f64::from(n);
+            // Nudge towards b by an epsilon to break ties deterministically.
+            let x = f64::from(ax) + (f64::from(bx) - f64::from(ax)) * t + 1e-6;
+            let y = f64::from(ay) + (f64::from(by) - f64::from(ay)) * t + 2e-6;
+            let z = f64::from(az) + (f64::from(bz) - f64::from(az)) * t - 3e-6;
+            out.push(cube_round(x, y, z));
+        }
+        out
+    }
+}
+
+/// Rounds fractional cube coordinates to the nearest lattice cell.
+fn cube_round(x: f64, y: f64, z: f64) -> HexCoord {
+    let mut rx = x.round();
+    let mut ry = y.round();
+    let mut rz = z.round();
+    let dx = (rx - x).abs();
+    let dy = (ry - y).abs();
+    let dz = (rz - z).abs();
+    if dx > dy && dx > dz {
+        rx = -ry - rz;
+    } else if dy > dz {
+        ry = -rx - rz;
+    } else {
+        rz = -rx - ry;
+    }
+    HexCoord::from_cube(rx as i32, ry as i32, rz as i32)
+}
+
+impl Add for HexCoord {
+    type Output = HexCoord;
+    fn add(self, rhs: HexCoord) -> HexCoord {
+        HexCoord::new(self.q + rhs.q, self.r + rhs.r)
+    }
+}
+
+impl Sub for HexCoord {
+    type Output = HexCoord;
+    fn sub(self, rhs: HexCoord) -> HexCoord {
+        HexCoord::new(self.q - rhs.q, self.r - rhs.r)
+    }
+}
+
+impl Neg for HexCoord {
+    type Output = HexCoord;
+    fn neg(self) -> HexCoord {
+        HexCoord::new(-self.q, -self.r)
+    }
+}
+
+impl From<(i32, i32)> for HexCoord {
+    fn from((q, r): (i32, i32)) -> Self {
+        HexCoord::new(q, r)
+    }
+}
+
+/// Iterator over the cells of a hexagonal ring; see [`HexCoord::ring`].
+#[derive(Clone, Debug)]
+pub struct Ring {
+    next: Option<HexCoord>,
+    dir_idx: usize,
+    steps_in_dir: u32,
+    radius: u32,
+    emitted: u64,
+    total: u64,
+}
+
+/// Walk order for rings: start west of the centre, then walk the six sides.
+const RING_WALK: [HexDir; 6] = [
+    HexDir::NorthEast,
+    HexDir::East,
+    HexDir::SouthEast,
+    HexDir::SouthWest,
+    HexDir::West,
+    HexDir::NorthWest,
+];
+
+impl Ring {
+    fn new(center: HexCoord, radius: u32) -> Self {
+        let total = if radius == 0 { 1 } else { u64::from(radius) * 6 };
+        let start = if radius == 0 {
+            center
+        } else {
+            center.step_by(HexDir::West, radius as i32)
+        };
+        Ring {
+            next: Some(start),
+            dir_idx: 0,
+            steps_in_dir: 0,
+            radius,
+            emitted: 0,
+            total,
+        }
+    }
+}
+
+impl Iterator for Ring {
+    type Item = HexCoord;
+
+    fn next(&mut self) -> Option<HexCoord> {
+        if self.emitted >= self.total {
+            return None;
+        }
+        let current = self.next?;
+        self.emitted += 1;
+        if self.emitted < self.total {
+            let mut cur = current;
+            let dir = RING_WALK[self.dir_idx];
+            cur = cur.step(dir);
+            self.steps_in_dir += 1;
+            if self.steps_in_dir == self.radius {
+                self.steps_in_dir = 0;
+                self.dir_idx += 1;
+            }
+            self.next = Some(cur);
+        } else {
+            self.next = None;
+        }
+        Some(current)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = (self.total - self.emitted) as usize;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Ring {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn six_distinct_neighbors() {
+        let c = HexCoord::new(3, -2);
+        let n: HashSet<_> = c.neighbors().collect();
+        assert_eq!(n.len(), 6);
+        assert!(!n.contains(&c));
+        for x in &n {
+            assert_eq!(c.distance(*x), 1);
+            assert!(c.is_adjacent(*x));
+        }
+    }
+
+    #[test]
+    fn opposite_directions_cancel() {
+        let c = HexCoord::new(-5, 9);
+        for d in HexDir::ALL {
+            assert_eq!(c.step(d).step(d.opposite()), c);
+        }
+    }
+
+    #[test]
+    fn rotation_cycles() {
+        for d in HexDir::ALL {
+            let mut x = d;
+            for _ in 0..6 {
+                x = x.rotate_ccw();
+            }
+            assert_eq!(x, d);
+            assert_eq!(d.rotate_ccw().rotate_cw(), d);
+        }
+    }
+
+    #[test]
+    fn cube_invariant_holds() {
+        for q in -4..=4 {
+            for r in -4..=4 {
+                let c = HexCoord::new(q, r);
+                let (x, y, z) = c.to_cube();
+                assert_eq!(x + y + z, 0);
+                assert_eq!(HexCoord::from_cube(x, y, z), c);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cube coordinates")]
+    fn from_cube_rejects_invalid() {
+        let _ = HexCoord::from_cube(1, 1, 1);
+    }
+
+    #[test]
+    fn distance_is_a_metric_on_samples() {
+        let pts = [
+            HexCoord::new(0, 0),
+            HexCoord::new(3, -1),
+            HexCoord::new(-2, 4),
+            HexCoord::new(5, 5),
+        ];
+        for a in pts {
+            assert_eq!(a.distance(a), 0);
+            for b in pts {
+                assert_eq!(a.distance(b), b.distance(a));
+                for c in pts {
+                    assert!(a.distance(c) <= a.distance(b) + b.distance(c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_sizes_and_radii() {
+        let c = HexCoord::new(1, 1);
+        assert_eq!(c.ring(0).collect::<Vec<_>>(), vec![c]);
+        for radius in 1..=4u32 {
+            let ring: Vec<_> = c.ring(radius).collect();
+            assert_eq!(ring.len(), (6 * radius) as usize);
+            let set: HashSet<_> = ring.iter().copied().collect();
+            assert_eq!(set.len(), ring.len(), "ring cells must be distinct");
+            for x in &ring {
+                assert_eq!(c.distance(*x), radius);
+            }
+            // Walk order: consecutive ring cells are adjacent, and the ring closes.
+            for w in ring.windows(2) {
+                assert!(w[0].is_adjacent(w[1]));
+            }
+            assert!(ring[ring.len() - 1].is_adjacent(ring[0]));
+        }
+    }
+
+    #[test]
+    fn spiral_is_filled_hexagon() {
+        let c = HexCoord::ORIGIN;
+        let cells: Vec<_> = c.spiral(3).collect();
+        assert_eq!(cells.len(), 1 + 3 * 3 * 4);
+        let set: HashSet<_> = cells.iter().copied().collect();
+        assert_eq!(set.len(), cells.len());
+        for x in &cells {
+            assert!(c.distance(*x) <= 3);
+        }
+    }
+
+    #[test]
+    fn line_endpoints_adjacency_and_length() {
+        let a = HexCoord::new(-2, 0);
+        let b = HexCoord::new(4, -3);
+        let line = a.line_to(b);
+        assert_eq!(line.first(), Some(&a));
+        assert_eq!(line.last(), Some(&b));
+        assert_eq!(line.len() as u32, a.distance(b) + 1);
+        for w in line.windows(2) {
+            assert!(w[0].is_adjacent(w[1]), "line cells must be adjacent");
+        }
+    }
+
+    #[test]
+    fn line_degenerate() {
+        let a = HexCoord::new(7, -7);
+        assert_eq!(a.line_to(a), vec![a]);
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = HexCoord::new(1, 2);
+        let b = HexCoord::new(-3, 5);
+        assert_eq!(a + b, HexCoord::new(-2, 7));
+        assert_eq!(a - b, HexCoord::new(4, -3));
+        assert_eq!(-a, HexCoord::new(-1, -2));
+        assert_eq!(HexCoord::from((1, 2)), a);
+    }
+
+    #[test]
+    fn display_and_debug_nonempty() {
+        let a = HexCoord::new(0, 0);
+        assert!(!format!("{a}").is_empty());
+        assert!(!format!("{a:?}").is_empty());
+    }
+}

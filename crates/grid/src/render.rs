@@ -1,0 +1,135 @@
+//! ASCII rendering of biochip arrays.
+//!
+//! The figure-generator binaries print array layouts (spare patterns,
+//! defect maps, reconfiguration plans) as text. Hexagonal arrays are drawn
+//! with one text row per lattice row `r` and a half-cell indentation per
+//! row, which preserves the six-neighbour adjacency visually.
+
+use crate::{CellMap, HexCoord, Region, SquareCoord, SquareRegion};
+
+/// Renders a hexagonal region, one glyph per cell, using `glyph` to choose
+/// the character for each coordinate.
+///
+/// Rows are lattice rows of constant `r`; each row is indented by one extra
+/// column per `r` step so that neighbours touch visually. Cells outside the
+/// region print as spaces.
+///
+/// # Example
+///
+/// ```
+/// use dmfb_grid::{Region, render};
+///
+/// let region = Region::parallelogram(3, 2);
+/// let art = render::hex(&region, |_| '*');
+/// assert_eq!(art.lines().count(), 2);
+/// ```
+pub fn hex(region: &Region, mut glyph: impl FnMut(HexCoord) -> char) -> String {
+    let Some((lo, hi)) = region.bounds() else {
+        return String::new();
+    };
+    let mut out = String::new();
+    for r in lo.r..=hi.r {
+        let mut line = String::new();
+        // Half-cell shear: row r starts (r - lo.r) half-steps to the right.
+        let indent = (r - lo.r) as usize;
+        line.extend(std::iter::repeat(' ').take(indent));
+        for q in lo.q..=hi.q {
+            let c = HexCoord::new(q, r);
+            if region.contains(c) {
+                line.push(glyph(c));
+            } else {
+                line.push(' ');
+            }
+            line.push(' ');
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a hexagonal region using a payload map; cells missing from the
+/// map (but inside the region) print as `default`.
+pub fn hex_map<T>(
+    region: &Region,
+    map: &CellMap<T>,
+    mut glyph: impl FnMut(&T) -> char,
+    default: char,
+) -> String {
+    hex(region, |c| map.get(c).map_or(default, &mut glyph))
+}
+
+/// Renders a square region, one glyph per cell, row by row.
+pub fn square(region: &SquareRegion, mut glyph: impl FnMut(SquareCoord) -> char) -> String {
+    let cells: Vec<SquareCoord> = region.iter().collect();
+    if cells.is_empty() {
+        return String::new();
+    }
+    let xmin = cells.iter().map(|c| c.x).min().expect("non-empty");
+    let xmax = cells.iter().map(|c| c.x).max().expect("non-empty");
+    let ymin = cells.iter().map(|c| c.y).min().expect("non-empty");
+    let ymax = cells.iter().map(|c| c.y).max().expect("non-empty");
+    let mut out = String::new();
+    for y in ymin..=ymax {
+        let mut line = String::new();
+        for x in xmin..=xmax {
+            let c = SquareCoord::new(x, y);
+            if region.contains(c) {
+                line.push(glyph(c));
+            } else {
+                line.push(' ');
+            }
+            line.push(' ');
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_renders_rows() {
+        let region = Region::parallelogram(3, 2);
+        let art = hex(&region, |_| 'o');
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].trim(), "o o o");
+        // second row indented one half-step
+        assert!(lines[1].starts_with(' '));
+    }
+
+    #[test]
+    fn hex_glyph_sees_coordinates() {
+        let region = Region::parallelogram(2, 1);
+        let art = hex(&region, |c| if c.q == 0 { 'a' } else { 'b' });
+        assert!(art.contains('a') && art.contains('b'));
+    }
+
+    #[test]
+    fn hex_map_uses_default_for_missing() {
+        let region = Region::parallelogram(2, 1);
+        let mut map = CellMap::new();
+        map.insert(HexCoord::new(0, 0), 7);
+        let art = hex_map(&region, &map, |_| 'x', '.');
+        assert!(art.contains('x') && art.contains('.'));
+    }
+
+    #[test]
+    fn empty_regions_render_empty() {
+        assert_eq!(hex(&Region::new(), |_| 'o'), "");
+        assert_eq!(square(&SquareRegion::new(), |_| 'o'), "");
+    }
+
+    #[test]
+    fn square_renders_grid() {
+        let region = SquareRegion::rect(3, 2);
+        let art = square(&region, |_| '#');
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], "# # #");
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the lattice substrate.
+
+use dmfb_grid::{AdjacencyGraph, HexCoord, HexDir, Region};
+use proptest::prelude::*;
+
+fn arb_coord() -> impl Strategy<Value = HexCoord> {
+    (-50i32..50, -50i32..50).prop_map(|(q, r)| HexCoord::new(q, r))
+}
+
+fn arb_dir() -> impl Strategy<Value = HexDir> {
+    prop::sample::select(HexDir::ALL.to_vec())
+}
+
+proptest! {
+    /// distance(a, b) == distance(b, a) and distance(a, a) == 0.
+    #[test]
+    fn distance_symmetric(a in arb_coord(), b in arb_coord()) {
+        prop_assert_eq!(a.distance(b), b.distance(a));
+        prop_assert_eq!(a.distance(a), 0);
+    }
+
+    /// Triangle inequality for the hex metric.
+    #[test]
+    fn distance_triangle(a in arb_coord(), b in arb_coord(), c in arb_coord()) {
+        prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c));
+    }
+
+    /// A unit step changes distance by exactly one from the origin of the step.
+    #[test]
+    fn step_moves_by_one(a in arb_coord(), d in arb_dir()) {
+        let b = a.step(d);
+        prop_assert_eq!(a.distance(b), 1);
+        prop_assert_eq!(b.step(d.opposite()), a);
+    }
+
+    /// Translation invariance of the metric.
+    #[test]
+    fn distance_translation_invariant(a in arb_coord(), b in arb_coord(), t in arb_coord()) {
+        prop_assert_eq!((a + t).distance(b + t), a.distance(b));
+    }
+
+    /// Lines are shortest droplet routes: length = distance + 1, steps adjacent.
+    #[test]
+    fn lines_are_shortest_paths(a in arb_coord(), b in arb_coord()) {
+        let line = a.line_to(b);
+        prop_assert_eq!(line.len() as u32, a.distance(b) + 1);
+        prop_assert_eq!(*line.first().unwrap(), a);
+        prop_assert_eq!(*line.last().unwrap(), b);
+        for w in line.windows(2) {
+            prop_assert!(w[0].is_adjacent(w[1]));
+        }
+    }
+
+    /// Rings partition the filled hexagon.
+    #[test]
+    fn ring_cells_at_radius(c in arb_coord(), radius in 0u32..6) {
+        let ring: Vec<_> = c.ring(radius).collect();
+        let expected = if radius == 0 { 1 } else { (6 * radius) as usize };
+        prop_assert_eq!(ring.len(), expected);
+        for x in ring {
+            prop_assert_eq!(c.distance(x), radius);
+        }
+    }
+
+    /// Parallelogram regions are connected and have the right size.
+    #[test]
+    fn parallelogram_connected(w in 1u32..12, h in 1u32..12) {
+        let region = Region::parallelogram(w, h);
+        prop_assert_eq!(region.len(), (w * h) as usize);
+        prop_assert!(region.is_connected());
+    }
+
+    /// The adjacency graph satisfies the handshake lemma and mirrors
+    /// geometric adjacency.
+    #[test]
+    fn graph_handshake(w in 1u32..8, h in 1u32..8) {
+        let region = Region::parallelogram(w, h);
+        let g = AdjacencyGraph::from_region(&region);
+        let degree_sum: usize = g.nodes().map(|(n, _)| g.degree(n)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.edge_count());
+        for (a, b) in g.edges() {
+            prop_assert!(g.cell_of(a).is_adjacent(g.cell_of(b)));
+        }
+    }
+
+    /// Boundary + interior partition every region.
+    #[test]
+    fn boundary_interior_partition(radius in 0u32..6) {
+        let region = Region::hexagon(HexCoord::ORIGIN, radius);
+        let b = region.boundary().count();
+        let i = region.interior().count();
+        prop_assert_eq!(b + i, region.len());
+    }
+
+    /// Rotations are distance-preserving bijections of order 6; the
+    /// reflection is an involution; cw and ccw are inverses.
+    #[test]
+    fn symmetry_group_laws(a in arb_coord(), b in arb_coord()) {
+        prop_assert_eq!(a.rotated_ccw().rotated_cw(), a);
+        prop_assert_eq!(a.reflected().reflected(), a);
+        prop_assert_eq!(a.rotated_ccw().distance(b.rotated_ccw()), a.distance(b));
+        prop_assert_eq!(a.reflected().distance(b.reflected()), a.distance(b));
+        let mut six = a;
+        for _ in 0..6 {
+            six = six.rotated_ccw();
+        }
+        prop_assert_eq!(six, a);
+        // Rotation about a center fixes the center.
+        prop_assert_eq!(b.rotated_ccw_around(b), b);
+        prop_assert_eq!(a.rotated_ccw_around(b).distance(b), a.distance(b));
+    }
+
+    /// Region transforms under lattice symmetries preserve cardinality,
+    /// connectivity, and interior size.
+    #[test]
+    fn region_symmetry_invariants(w in 2u32..8, h in 2u32..8) {
+        let region = Region::parallelogram(w, h);
+        let rotated = region.transformed(HexCoord::rotated_ccw);
+        prop_assert_eq!(rotated.len(), region.len());
+        prop_assert!(rotated.is_connected());
+        prop_assert_eq!(
+            rotated.interior().count(),
+            region.interior().count()
+        );
+        let reflected = region.transformed(HexCoord::reflected);
+        prop_assert_eq!(reflected.len(), region.len());
+        prop_assert_eq!(reflected.boundary().count(), region.boundary().count());
+    }
+}

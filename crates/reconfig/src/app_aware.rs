@@ -1,0 +1,267 @@
+//! Application-aware reconfiguration without space redundancy.
+//!
+//! The paper's first category of reconfiguration techniques "do not add
+//! space redundancy ... Instead, they attempt to tolerate the defect by
+//! using fault-free unused cells. In order to achieve satisfactory yield
+//! using this method, fault tolerance must be considered in the design
+//! procedure, e.g., in the placement of microfluidic modules in the array.
+//! Consequently, it leads to an increase in design complexity." This module
+//! implements that alternative as a baseline: virtual modules are re-placed
+//! onto fault-free parallelogram footprints of the array.
+
+use dmfb_defects::DefectMap;
+use dmfb_grid::{HexCoord, Region};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A rectangular (parallelogram, in axial coordinates) virtual module.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct VirtualModule {
+    /// Module name (e.g. "mixer", "detector").
+    pub name: String,
+    /// Footprint width in cells (axial `q` extent).
+    pub width: u32,
+    /// Footprint height in cells (axial `r` extent).
+    pub height: u32,
+}
+
+impl VirtualModule {
+    /// Creates a module with the given footprint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(name: impl Into<String>, width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "module footprint must be non-empty");
+        VirtualModule {
+            name: name.into(),
+            width,
+            height,
+        }
+    }
+
+    /// The cells covered when the module's low corner sits at `origin`.
+    pub fn footprint(&self, origin: HexCoord) -> impl Iterator<Item = HexCoord> + '_ {
+        let (w, h) = (self.width as i32, self.height as i32);
+        (0..w).flat_map(move |dq| {
+            (0..h).map(move |dr| HexCoord::new(origin.q + dq, origin.r + dr))
+        })
+    }
+}
+
+/// A successful re-placement: one origin per module, in input order.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Placement {
+    /// New module origins, parallel to the module list.
+    pub origins: Vec<HexCoord>,
+    /// Number of modules whose origin changed from the preferred one.
+    pub modules_moved: usize,
+    /// Sum of hex distances between preferred and final origins.
+    pub total_displacement: u32,
+}
+
+/// Why re-placement failed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PlacementFailure {
+    /// The module that could not be placed.
+    pub module: String,
+}
+
+impl fmt::Display for PlacementFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "no fault-free placement available for module '{}'",
+            self.module
+        )
+    }
+}
+
+impl std::error::Error for PlacementFailure {}
+
+/// Greedy first-fit re-placement of `modules` onto the fault-free cells of
+/// `region`, preferring each module's original origin and then scanning
+/// origins in order of distance from it.
+///
+/// This models the application-dependent alternative to interstitial
+/// redundancy. Greedy placement is not complete — it may fail where an
+/// exhaustive placer would succeed — mirroring the "increase in design
+/// complexity" the paper attributes to this approach.
+///
+/// # Errors
+///
+/// [`PlacementFailure`] naming the first module that does not fit.
+pub fn replace_modules(
+    region: &Region,
+    defects: &DefectMap,
+    modules: &[VirtualModule],
+    preferred: &[HexCoord],
+) -> Result<Placement, PlacementFailure> {
+    assert_eq!(
+        modules.len(),
+        preferred.len(),
+        "one preferred origin per module"
+    );
+    let mut occupied: BTreeSet<HexCoord> = BTreeSet::new();
+    let mut origins = Vec::with_capacity(modules.len());
+    let mut moved = 0usize;
+    let mut displacement = 0u32;
+
+    let candidate_origins: Vec<HexCoord> = region.iter().collect();
+    for (module, &pref) in modules.iter().zip(preferred) {
+        let fits = |origin: HexCoord, occupied: &BTreeSet<HexCoord>| {
+            module.footprint(origin).all(|c| {
+                region.contains(c) && !defects.is_faulty(c) && !occupied.contains(&c)
+            })
+        };
+        // Try the preferred origin first, then all origins by distance.
+        let chosen = if fits(pref, &occupied) {
+            Some(pref)
+        } else {
+            let mut sorted: Vec<HexCoord> = candidate_origins.clone();
+            sorted.sort_by_key(|c| (pref.distance(*c), *c));
+            sorted.into_iter().find(|&o| fits(o, &occupied))
+        };
+        match chosen {
+            Some(origin) => {
+                for c in module.footprint(origin) {
+                    occupied.insert(c);
+                }
+                if origin != pref {
+                    moved += 1;
+                    displacement += pref.distance(origin);
+                }
+                origins.push(origin);
+            }
+            None => {
+                return Err(PlacementFailure {
+                    module: module.name.clone(),
+                })
+            }
+        }
+    }
+    Ok(Placement {
+        origins,
+        modules_moved: moved,
+        total_displacement: displacement,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mixer() -> VirtualModule {
+        VirtualModule::new("mixer", 2, 2)
+    }
+
+    #[test]
+    fn footprint_covers_rectangle() {
+        let m = VirtualModule::new("m", 3, 2);
+        let cells: Vec<HexCoord> = m.footprint(HexCoord::new(1, 1)).collect();
+        assert_eq!(cells.len(), 6);
+        assert!(cells.contains(&HexCoord::new(3, 2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_footprint_rejected() {
+        let _ = VirtualModule::new("bad", 0, 2);
+    }
+
+    #[test]
+    fn fault_free_placement_stays_put() {
+        let region = Region::parallelogram(6, 6);
+        let placement = replace_modules(
+            &region,
+            &DefectMap::new(),
+            &[mixer()],
+            &[HexCoord::new(1, 1)],
+        )
+        .unwrap();
+        assert_eq!(placement.origins, vec![HexCoord::new(1, 1)]);
+        assert_eq!(placement.modules_moved, 0);
+        assert_eq!(placement.total_displacement, 0);
+    }
+
+    #[test]
+    fn fault_inside_module_forces_relocation() {
+        let region = Region::parallelogram(6, 6);
+        let defects = DefectMap::from_cells([HexCoord::new(1, 1)]);
+        let placement =
+            replace_modules(&region, &defects, &[mixer()], &[HexCoord::new(1, 1)]).unwrap();
+        assert_eq!(placement.modules_moved, 1);
+        assert!(placement.total_displacement >= 1);
+        // New footprint avoids the fault.
+        let m = mixer();
+        for c in m.footprint(placement.origins[0]) {
+            assert!(!defects.is_faulty(c));
+        }
+    }
+
+    #[test]
+    fn modules_do_not_overlap() {
+        let region = Region::parallelogram(4, 4);
+        let modules = [mixer(), mixer(), mixer(), mixer()];
+        let preferred = [
+            HexCoord::new(0, 0),
+            HexCoord::new(2, 0),
+            HexCoord::new(0, 2),
+            HexCoord::new(2, 2),
+        ];
+        let placement =
+            replace_modules(&region, &DefectMap::new(), &modules, &preferred).unwrap();
+        let mut all: Vec<HexCoord> = Vec::new();
+        for (m, o) in modules.iter().zip(&placement.origins) {
+            all.extend(m.footprint(*o));
+        }
+        let n = all.len();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), n, "footprints overlap");
+    }
+
+    #[test]
+    fn saturated_array_fails_gracefully() {
+        // 4x4 region fully packed with four 2x2 modules; one fault makes
+        // placement impossible (no unused cells to absorb it).
+        let region = Region::parallelogram(4, 4);
+        let modules = [mixer(), mixer(), mixer(), mixer()];
+        let preferred = [
+            HexCoord::new(0, 0),
+            HexCoord::new(2, 0),
+            HexCoord::new(0, 2),
+            HexCoord::new(2, 2),
+        ];
+        let defects = DefectMap::from_cells([HexCoord::new(3, 3)]);
+        let err = replace_modules(&region, &defects, &modules, &preferred).unwrap_err();
+        assert!(!err.module.is_empty());
+        assert!(err.to_string().contains("no fault-free placement"));
+    }
+
+    #[test]
+    fn spare_headroom_enables_tolerance() {
+        // Same four modules on a 6x6 region: plenty of unused cells, the
+        // defect is absorbed by moving one module.
+        let region = Region::parallelogram(6, 6);
+        let modules = [mixer(), mixer(), mixer(), mixer()];
+        let preferred = [
+            HexCoord::new(0, 0),
+            HexCoord::new(2, 0),
+            HexCoord::new(0, 2),
+            HexCoord::new(2, 2),
+        ];
+        let defects = DefectMap::from_cells([HexCoord::new(0, 0)]);
+        let placement = replace_modules(&region, &defects, &modules, &preferred).unwrap();
+        // Greedy may displace a neighbour too, but at least the module on
+        // the fault must move, and every footprint must be fault-free.
+        assert!(placement.modules_moved >= 1);
+        for (m, o) in modules.iter().zip(&placement.origins) {
+            for c in m.footprint(*o) {
+                assert!(!defects.is_faulty(c));
+            }
+        }
+    }
+}

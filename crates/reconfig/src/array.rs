@@ -1,0 +1,307 @@
+//! Defect-tolerant arrays: regions with a primary/spare role per cell.
+
+use crate::dtmb::DtmbKind;
+use dmfb_grid::{CellMap, GridError, HexCoord, Region};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The role of a cell in a defect-tolerant microfluidic array.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum CellRole {
+    /// A working cell used (or usable) by bioassays.
+    Primary,
+    /// An interstitial spare that can functionally replace an adjacent
+    /// faulty primary via local reconfiguration.
+    Spare,
+}
+
+/// A microfluidic array whose cells are partitioned into primary and spare
+/// cells — the object the paper calls `DTMB(s, p)` when the spares follow
+/// one of the interstitial patterns of Figures 3–6.
+///
+/// # Example
+///
+/// ```
+/// use dmfb_reconfig::dtmb::DtmbKind;
+/// use dmfb_grid::Region;
+///
+/// let array = DtmbKind::Dtmb26A.instantiate(&Region::parallelogram(10, 10));
+/// assert_eq!(array.primary_count() + array.spare_count(), 100);
+/// ```
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct DefectTolerantArray {
+    region: Region,
+    roles: CellMap<CellRole>,
+    kind: Option<DtmbKind>,
+}
+
+impl fmt::Debug for DefectTolerantArray {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DefectTolerantArray({:?}, {} primary + {} spare)",
+            self.kind,
+            self.primary_count(),
+            self.spare_count()
+        )
+    }
+}
+
+impl DefectTolerantArray {
+    /// Builds an array from an explicit role map. Prefer
+    /// [`DtmbKind::instantiate`] for the published patterns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `roles` does not cover exactly the cells of `region`.
+    #[must_use]
+    pub fn from_roles(region: Region, roles: CellMap<CellRole>, kind: Option<DtmbKind>) -> Self {
+        assert_eq!(
+            roles.len(),
+            region.len(),
+            "role map must cover the region exactly"
+        );
+        for c in region.iter() {
+            assert!(roles.contains(c), "cell {c} missing from role map");
+        }
+        DefectTolerantArray {
+            region,
+            roles,
+            kind,
+        }
+    }
+
+    /// An array with no redundancy at all: every cell is primary. This is
+    /// the paper's baseline (`Y = pⁿ`) and the model of the first fabricated
+    /// multiplexed-diagnostics chip.
+    #[must_use]
+    pub fn without_redundancy(region: Region) -> Self {
+        let roles = CellMap::from_region_with(&region, |_| CellRole::Primary);
+        DefectTolerantArray {
+            region,
+            roles,
+            kind: None,
+        }
+    }
+
+    /// The underlying cell region.
+    #[must_use]
+    pub fn region(&self) -> &Region {
+        &self.region
+    }
+
+    /// The DTMB pattern this array was instantiated from, if any.
+    #[must_use]
+    pub fn kind(&self) -> Option<DtmbKind> {
+        self.kind
+    }
+
+    /// The role of `cell`.
+    ///
+    /// # Errors
+    ///
+    /// [`GridError::CellNotInRegion`] if the cell is not part of the array.
+    pub fn role(&self, cell: HexCoord) -> Result<CellRole, GridError> {
+        self.roles
+            .get(cell)
+            .copied()
+            .ok_or(GridError::CellNotInRegion(cell))
+    }
+
+    /// Whether `cell` is a spare (false for primaries *and* for cells
+    /// outside the array).
+    #[must_use]
+    pub fn is_spare(&self, cell: HexCoord) -> bool {
+        matches!(self.roles.get(cell), Some(CellRole::Spare))
+    }
+
+    /// Whether `cell` is a primary (false outside the array).
+    #[must_use]
+    pub fn is_primary(&self, cell: HexCoord) -> bool {
+        matches!(self.roles.get(cell), Some(CellRole::Primary))
+    }
+
+    /// Iterates the primary cells in sorted order.
+    pub fn primaries(&self) -> impl Iterator<Item = HexCoord> + '_ {
+        self.roles.cells_where(|r| *r == CellRole::Primary)
+    }
+
+    /// Iterates the spare cells in sorted order.
+    pub fn spares(&self) -> impl Iterator<Item = HexCoord> + '_ {
+        self.roles.cells_where(|r| *r == CellRole::Spare)
+    }
+
+    /// Number of primary cells (`n` in the paper).
+    #[must_use]
+    pub fn primary_count(&self) -> usize {
+        self.primaries().count()
+    }
+
+    /// Number of spare cells.
+    #[must_use]
+    pub fn spare_count(&self) -> usize {
+        self.spares().count()
+    }
+
+    /// Total number of cells (`N = n + spares`).
+    #[must_use]
+    pub fn total_cells(&self) -> usize {
+        self.region.len()
+    }
+
+    /// The redundancy ratio `RR` — Definition 2: spares / primaries.
+    /// Returns 0 for an array without primaries.
+    #[must_use]
+    pub fn redundancy_ratio(&self) -> f64 {
+        let n = self.primary_count();
+        if n == 0 {
+            0.0
+        } else {
+            self.spare_count() as f64 / n as f64
+        }
+    }
+
+    /// The spare cells adjacent to `cell` (its replacement candidates).
+    pub fn adjacent_spares(&self, cell: HexCoord) -> impl Iterator<Item = HexCoord> + '_ {
+        self.region
+            .neighbors_in(cell)
+            .filter(|n| self.is_spare(*n))
+    }
+
+    /// The primary cells adjacent to `cell`.
+    pub fn adjacent_primaries(&self, cell: HexCoord) -> impl Iterator<Item = HexCoord> + '_ {
+        self.region
+            .neighbors_in(cell)
+            .filter(|n| self.is_primary(*n))
+    }
+
+    /// Audits the array against Definition 1, returning the observed
+    /// degree ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::CellNotInRegion`] only if the array is
+    /// internally inconsistent (cannot happen through public constructors).
+    pub fn audit(&self) -> Result<DegreeAudit, GridError> {
+        let mut spares_min = usize::MAX;
+        let mut spares_max = 0usize;
+        let mut interior_primaries = 0usize;
+        for c in self.primaries() {
+            if self.region.is_boundary(c)? {
+                continue;
+            }
+            interior_primaries += 1;
+            let k = self.adjacent_spares(c).count();
+            spares_min = spares_min.min(k);
+            spares_max = spares_max.max(k);
+        }
+        let mut prim_min = usize::MAX;
+        let mut prim_max = 0usize;
+        let mut interior_spares = 0usize;
+        for c in self.spares() {
+            if self.region.is_boundary(c)? {
+                continue;
+            }
+            interior_spares += 1;
+            let k = self.adjacent_primaries(c).count();
+            prim_min = prim_min.min(k);
+            prim_max = prim_max.max(k);
+        }
+        Ok(DegreeAudit {
+            interior_primaries,
+            interior_spares,
+            spares_per_interior_primary: if interior_primaries == 0 {
+                (0, 0)
+            } else {
+                (spares_min, spares_max)
+            },
+            primaries_per_interior_spare: if interior_spares == 0 {
+                (0, 0)
+            } else {
+                (prim_min, prim_max)
+            },
+        })
+    }
+}
+
+/// The observed adjacency degrees of an array, checked against the
+/// `DTMB(s, p)` definition. Boundary cells are excluded, exactly as the
+/// paper's Definition 1 does ("each *non-boundary* primary cell").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DegreeAudit {
+    /// Number of non-boundary primary cells.
+    pub interior_primaries: usize,
+    /// Number of non-boundary spare cells.
+    pub interior_spares: usize,
+    /// `(min, max)` spare-neighbour count over non-boundary primaries; a
+    /// DTMB(s, p) array must have `min == max == s`.
+    pub spares_per_interior_primary: (usize, usize),
+    /// `(min, max)` primary-neighbour count over non-boundary spares; a
+    /// DTMB(s, p) array must have `min == max == p`.
+    pub primaries_per_interior_spare: (usize, usize),
+}
+
+impl DegreeAudit {
+    /// Whether the audit matches an exact `DTMB(s, p)` degree guarantee.
+    #[must_use]
+    pub fn matches(&self, s: usize, p: usize) -> bool {
+        (self.interior_primaries == 0 || self.spares_per_interior_primary == (s, s))
+            && (self.interior_spares == 0 || self.primaries_per_interior_spare == (p, p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn without_redundancy_all_primary() {
+        let array = DefectTolerantArray::without_redundancy(Region::parallelogram(5, 5));
+        assert_eq!(array.primary_count(), 25);
+        assert_eq!(array.spare_count(), 0);
+        assert_eq!(array.redundancy_ratio(), 0.0);
+        assert!(array.kind().is_none());
+        assert!(array.is_primary(HexCoord::new(2, 2)));
+        assert!(!array.is_spare(HexCoord::new(2, 2)));
+        assert!(!array.is_primary(HexCoord::new(50, 50)));
+    }
+
+    #[test]
+    fn from_roles_validates_coverage() {
+        let region = Region::parallelogram(2, 1);
+        let mut roles = CellMap::new();
+        roles.insert(HexCoord::new(0, 0), CellRole::Primary);
+        roles.insert(HexCoord::new(1, 0), CellRole::Spare);
+        let array = DefectTolerantArray::from_roles(region, roles, None);
+        assert_eq!(array.primary_count(), 1);
+        assert_eq!(array.spare_count(), 1);
+        assert_eq!(array.redundancy_ratio(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the region")]
+    fn from_roles_rejects_partial_maps() {
+        let region = Region::parallelogram(2, 1);
+        let mut roles = CellMap::new();
+        roles.insert(HexCoord::new(0, 0), CellRole::Primary);
+        let _ = DefectTolerantArray::from_roles(region, roles, None);
+    }
+
+    #[test]
+    fn role_query_errors_outside() {
+        let array = DefectTolerantArray::without_redundancy(Region::parallelogram(2, 2));
+        assert!(array.role(HexCoord::new(9, 9)).is_err());
+        assert_eq!(array.role(HexCoord::new(0, 0)).unwrap(), CellRole::Primary);
+    }
+
+    #[test]
+    fn audit_of_plain_array() {
+        let array = DefectTolerantArray::without_redundancy(Region::parallelogram(6, 6));
+        let audit = array.audit().unwrap();
+        assert!(audit.interior_primaries > 0);
+        assert_eq!(audit.interior_spares, 0);
+        assert_eq!(audit.spares_per_interior_primary, (0, 0));
+        assert!(audit.matches(0, 0));
+        assert!(!audit.matches(1, 6));
+    }
+}

@@ -1,0 +1,47 @@
+//! Interstitial redundancy designs and reconfiguration engines.
+//!
+//! The heart of the paper: defect-tolerant microfluidic biochip designs
+//! `DTMB(s, p)` place spare cells in the *interstitial sites* of a
+//! hexagonal array so that each non-boundary primary cell is adjacent to
+//! `s` spares and each spare is adjacent to `p` primaries (Definition 1).
+//! A faulty primary is then replaced by a neighbouring spare — *local
+//! reconfiguration* — with the assignment computed as a maximal bipartite
+//! matching (paper Section 6, Figure 8).
+//!
+//! Modules:
+//!
+//! * [`dtmb`] — the four published designs (plus the alternative DTMB(2,6)
+//!   variant of Figure 4(b)) as infinite lattice patterns instantiated over
+//!   any region, with degree audits and redundancy ratios (Table 1).
+//! * [`array`](mod@crate::array) — [`DefectTolerantArray`]: a region plus a role (primary /
+//!   spare) per cell.
+//! * [`local`] — matching-based local reconfiguration with success policies
+//!   and Hall-violation failure witnesses.
+//! * [`shifted`] — the boundary spare-row baseline with its cascade of
+//!   "shifted replacements" (Figure 2), including cost accounting.
+//! * [`app_aware`] — the redundancy-free category-1 alternative: re-placing
+//!   modules onto fault-free unused cells.
+//!
+//! # Example
+//!
+//! ```
+//! use dmfb_reconfig::dtmb::DtmbKind;
+//! use dmfb_grid::Region;
+//!
+//! let array = DtmbKind::Dtmb16.instantiate(&Region::parallelogram(14, 14));
+//! let audit = array.audit().unwrap();
+//! assert_eq!(audit.spares_per_interior_primary, (1, 1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod app_aware;
+pub mod array;
+pub mod dtmb;
+pub mod local;
+pub mod shifted;
+pub mod square_dtmb;
+
+pub use array::{CellRole, DefectTolerantArray, DegreeAudit};
+pub use local::{attempt_reconfiguration, ReconfigFailure, ReconfigPlan, ReconfigPolicy};

@@ -1,0 +1,102 @@
+//! Property-based tests for DTMB patterns and local reconfiguration.
+
+use dmfb_defects::DefectMap;
+use dmfb_grid::{HexCoord, Region};
+use dmfb_reconfig::dtmb::DtmbKind;
+use dmfb_reconfig::{attempt_reconfiguration, ReconfigPolicy};
+use proptest::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = DtmbKind> {
+    prop::sample::select(DtmbKind::ALL.to_vec())
+}
+
+proptest! {
+    /// Definition 1 degree guarantees hold on any parallelogram region for
+    /// all five patterns, regardless of offset (translation of the window).
+    #[test]
+    fn degree_invariants(
+        kind in arb_kind(),
+        w in 6u32..16,
+        h in 6u32..16,
+        dq in -20i32..20,
+        dr in -20i32..20,
+    ) {
+        let region = Region::parallelogram(w, h).translated(HexCoord::new(dq, dr));
+        let array = kind.instantiate(&region);
+        let audit = array.audit().unwrap();
+        let (s, p) = kind.spec();
+        prop_assert!(audit.matches(s, p), "{kind}: {audit:?}");
+    }
+
+    /// The spare pattern density approaches RR/(1+RR) of all cells.
+    #[test]
+    fn spare_density(kind in arb_kind(), side in 20u32..36) {
+        let array = kind.instantiate(&Region::parallelogram(side, side));
+        let rr = kind.redundancy_ratio_limit();
+        let expected_fraction = rr / (1.0 + rr);
+        let actual = array.spare_count() as f64 / array.total_cells() as f64;
+        prop_assert!((actual - expected_fraction).abs() < 0.05,
+            "{kind}: spare fraction {actual} vs {expected_fraction}");
+    }
+
+    /// A reconfiguration plan always assigns adjacent, fault-free, distinct
+    /// spares, and covers exactly the in-scope faulty primaries.
+    #[test]
+    fn plans_are_sound(
+        kind in arb_kind(),
+        fault_seed in prop::collection::vec((0i32..12, 0i32..12), 0..10),
+    ) {
+        let region = Region::parallelogram(12, 12);
+        let array = kind.instantiate(&region);
+        let defects = DefectMap::from_cells(
+            fault_seed.into_iter().map(|(q, r)| HexCoord::new(q, r)),
+        );
+        if let Ok(plan) = attempt_reconfiguration(&array, &defects, &ReconfigPolicy::AllPrimaries) {
+            let faulty_primaries: Vec<HexCoord> = defects
+                .faulty_cells()
+                .filter(|c| array.is_primary(*c))
+                .collect();
+            prop_assert_eq!(plan.len(), faulty_primaries.len());
+            let mut used = std::collections::BTreeSet::new();
+            for (faulty, spare) in plan.iter() {
+                prop_assert!(faulty.is_adjacent(spare));
+                prop_assert!(array.is_spare(spare));
+                prop_assert!(!defects.is_faulty(spare));
+                prop_assert!(used.insert(spare), "spare reused");
+                prop_assert!(defects.is_faulty(faulty));
+            }
+        }
+    }
+
+    /// Monotonicity: removing a fault never turns a reconfigurable chip
+    /// into an unreconfigurable one.
+    #[test]
+    fn fault_removal_is_monotone(
+        kind in arb_kind(),
+        fault_seed in prop::collection::vec((0i32..10, 0i32..10), 1..8),
+    ) {
+        let region = Region::parallelogram(10, 10);
+        let array = kind.instantiate(&region);
+        let cells: Vec<HexCoord> = fault_seed
+            .into_iter()
+            .map(|(q, r)| HexCoord::new(q, r))
+            .collect();
+        let full = DefectMap::from_cells(cells.clone());
+        let ok_full =
+            attempt_reconfiguration(&array, &full, &ReconfigPolicy::AllPrimaries).is_ok();
+        if ok_full {
+            for skip in 0..cells.len() {
+                let reduced: Vec<HexCoord> = cells
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != skip)
+                    .map(|(_, c)| *c)
+                    .collect();
+                let sub = DefectMap::from_cells(reduced);
+                prop_assert!(
+                    attempt_reconfiguration(&array, &sub, &ReconfigPolicy::AllPrimaries).is_ok()
+                );
+            }
+        }
+    }
+}

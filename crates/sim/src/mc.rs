@@ -1,0 +1,263 @@
+//! The Monte-Carlo engine.
+
+use crate::{BernoulliEstimate, SeedSequence, Summary};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A reproducible Monte-Carlo experiment runner.
+///
+/// Each trial receives its own [`StdRng`] seeded from a [`SeedSequence`], so
+/// an experiment's result depends only on `(trials, master_seed)` — never on
+/// thread count or scheduling. This is what lets the figure generators print
+/// the exact numbers recorded in `EXPERIMENTS.md`.
+///
+/// # Example
+///
+/// ```
+/// use dmfb_sim::MonteCarlo;
+/// use rand::Rng;
+///
+/// let mc = MonteCarlo::new(5_000, 1);
+/// let seq = mc.run(|rng| rng.gen_bool(0.5));
+/// let par = mc.run_parallel(4, |rng| rng.gen_bool(0.5));
+/// assert_eq!(seq.successes(), par.successes());
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct MonteCarlo {
+    trials: u32,
+    master_seed: u64,
+}
+
+impl MonteCarlo {
+    /// Creates an engine that will run `trials` trials seeded by
+    /// `master_seed`.
+    #[must_use]
+    pub fn new(trials: u32, master_seed: u64) -> Self {
+        MonteCarlo {
+            trials,
+            master_seed,
+        }
+    }
+
+    /// Number of trials per run.
+    #[must_use]
+    pub fn trials(&self) -> u32 {
+        self.trials
+    }
+
+    /// The master seed.
+    #[must_use]
+    pub fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+
+    /// Runs `trial` once per trial sequentially and returns the success
+    /// proportion.
+    pub fn run(&self, mut trial: impl FnMut(&mut StdRng) -> bool) -> BernoulliEstimate {
+        let mut successes = 0u64;
+        for seed in SeedSequence::new(self.master_seed).take(self.trials as usize) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            if trial(&mut rng) {
+                successes += 1;
+            }
+        }
+        BernoulliEstimate::new(successes, u64::from(self.trials))
+    }
+
+    /// Runs the experiment across `threads` worker threads. The result is
+    /// identical to [`MonteCarlo::run`] because each trial's RNG depends
+    /// only on its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or if a worker thread panics.
+    pub fn run_parallel(
+        &self,
+        threads: usize,
+        trial: impl Fn(&mut StdRng) -> bool + Sync,
+    ) -> BernoulliEstimate {
+        assert!(threads > 0, "at least one thread required");
+        if threads == 1 || self.trials < 2 {
+            return self.run(|rng| trial(rng));
+        }
+        let total = self.trials as u64;
+        let master = self.master_seed;
+        let successes = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for t in 0..threads as u64 {
+                let trial = &trial;
+                handles.push(scope.spawn(move |_| {
+                    let mut local = 0u64;
+                    let mut i = t;
+                    while i < total {
+                        let mut rng = StdRng::seed_from_u64(SeedSequence::nth_seed(master, i));
+                        if trial(&mut rng) {
+                            local += 1;
+                        }
+                        i += threads as u64;
+                    }
+                    local
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("worker")).sum()
+        })
+        .expect("scope");
+        BernoulliEstimate::new(successes, total)
+    }
+
+    /// Runs a real-valued observable once per trial and accumulates a
+    /// [`Summary`].
+    pub fn observe(&self, mut observable: impl FnMut(&mut StdRng) -> f64) -> Summary {
+        let mut s = Summary::new();
+        for seed in SeedSequence::new(self.master_seed).take(self.trials as usize) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            s.push(observable(&mut rng));
+        }
+        s
+    }
+
+    /// Runs trials until the 95% Wilson interval half-width drops below
+    /// `target_half_width` or the engine's trial budget is exhausted,
+    /// whichever comes first. Checks the width every `batch` trials.
+    ///
+    /// The trial stream is the same as [`MonteCarlo::run`]'s, so stopping
+    /// early is statistically safe to first order (the stopping rule looks
+    /// only at the width, not the estimate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0` or `target_half_width <= 0`.
+    pub fn run_to_precision(
+        &self,
+        target_half_width: f64,
+        batch: u32,
+        mut trial: impl FnMut(&mut StdRng) -> bool,
+    ) -> BernoulliEstimate {
+        assert!(batch > 0, "batch must be positive");
+        assert!(
+            target_half_width > 0.0,
+            "target half-width must be positive"
+        );
+        let mut successes = 0u64;
+        let mut done = 0u64;
+        let mut seeds = SeedSequence::new(self.master_seed);
+        while done < u64::from(self.trials) {
+            for _ in 0..batch.min((u64::from(self.trials) - done) as u32) {
+                let seed = seeds.next().expect("seed stream is infinite");
+                let mut rng = StdRng::seed_from_u64(seed);
+                if trial(&mut rng) {
+                    successes += 1;
+                }
+                done += 1;
+            }
+            let est = BernoulliEstimate::new(successes, done);
+            if est.margin95() <= target_half_width {
+                return est;
+            }
+        }
+        BernoulliEstimate::new(successes, done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn reproducible_runs() {
+        let mc = MonteCarlo::new(1_000, 7);
+        let a = mc.run(|rng| rng.gen_bool(0.3));
+        let b = mc.run(|rng| rng.gen_bool(0.3));
+        assert_eq!(a, b);
+        assert_eq!(mc.trials(), 1_000);
+        assert_eq!(mc.master_seed(), 7);
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let mc = MonteCarlo::new(2_000, 99);
+        let seq = mc.run(|rng| rng.gen_bool(0.42));
+        for threads in [1, 2, 3, 8] {
+            let par = mc.run_parallel(threads, |rng| rng.gen_bool(0.42));
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn estimates_converge() {
+        let mc = MonteCarlo::new(20_000, 3);
+        let est = mc.run(|rng| rng.gen_bool(0.8));
+        assert!((est.point() - 0.8).abs() < 0.01);
+        let (lo, hi) = est.wilson95();
+        assert!(lo <= 0.8 && 0.8 <= hi);
+    }
+
+    #[test]
+    fn observe_summary() {
+        let mc = MonteCarlo::new(10_000, 11);
+        let s = mc.observe(|rng| rng.gen_range(0.0..1.0));
+        assert!((s.mean() - 0.5).abs() < 0.02);
+        assert!(s.min() >= 0.0 && s.max() <= 1.0);
+        assert_eq!(s.count(), 10_000);
+    }
+
+    #[test]
+    fn zero_trials() {
+        let mc = MonteCarlo::new(0, 5);
+        let est = mc.run(|_| true);
+        assert_eq!(est.trials(), 0);
+        assert_eq!(est.point(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let mc = MonteCarlo::new(10, 5);
+        let _ = mc.run_parallel(0, |_| true);
+    }
+
+    #[test]
+    fn precision_mode_stops_early_when_easy() {
+        let mc = MonteCarlo::new(100_000, 21);
+        // A certain event needs very few trials to reach a tight interval.
+        let est = mc.run_to_precision(0.01, 100, |_| true);
+        assert!(est.trials() < 50_000, "stopped after {} trials", est.trials());
+        assert_eq!(est.point(), 1.0);
+        assert!(est.margin95() <= 0.01);
+    }
+
+    #[test]
+    fn precision_mode_exhausts_budget_when_hard() {
+        let mc = MonteCarlo::new(500, 22);
+        // A fair coin cannot reach +-0.1% with 500 trials.
+        let est = mc.run_to_precision(0.001, 100, |rng| rng.gen_bool(0.5));
+        assert_eq!(est.trials(), 500);
+        assert!(est.margin95() > 0.001);
+    }
+
+    #[test]
+    fn precision_mode_prefix_of_run() {
+        // The precision mode consumes the same trial stream, so its counts
+        // are a prefix of the full run's trial-by-trial history.
+        let mc = MonteCarlo::new(2_000, 23);
+        let full = mc.run(|rng| rng.gen_bool(0.3));
+        let partial = mc.run_to_precision(1.0, 2_000, |rng| rng.gen_bool(0.3));
+        assert_eq!(partial.trials(), 2_000);
+        assert_eq!(partial.successes(), full.successes());
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must be positive")]
+    fn precision_mode_rejects_zero_batch() {
+        let _ = MonteCarlo::new(10, 1).run_to_precision(0.1, 0, |_| true);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = MonteCarlo::new(500, 1).run(|rng| rng.gen_bool(0.5));
+        let b = MonteCarlo::new(500, 2).run(|rng| rng.gen_bool(0.5));
+        // Overwhelmingly likely to differ in exact success count.
+        assert_ne!(a.successes(), b.successes());
+    }
+}

@@ -1,0 +1,281 @@
+//! Closed-form yield models (paper Section 6, Figure 7).
+
+/// Yield of an `n`-cell array with no redundancy: every cell must survive,
+/// so `Y = pⁿ`.
+///
+/// This is both the Figure 7 baseline and the paper's Section 7 headline:
+/// the first fabricated multiplexed-diagnostics chip has 108 assay cells
+/// and therefore yields only `0.99¹⁰⁸ ≈ 0.3378` at 99% cell survival.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+#[must_use]
+pub fn no_redundancy_yield(p: f64, n: usize) -> f64 {
+    assert_probability(p);
+    p.powi(i32::try_from(n).expect("cell count fits i32"))
+}
+
+/// Yield of one DTMB(1,6) cluster — one spare surrounded by six primaries:
+/// the cluster survives iff at most one of its seven cells fails, i.e.
+/// `Yc = p⁷ + 7·p⁶·(1 − p)`.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+#[must_use]
+pub fn dtmb16_cluster_yield(p: f64) -> f64 {
+    assert_probability(p);
+    p.powi(7) + 7.0 * p.powi(6) * (1.0 - p)
+}
+
+/// Analytical yield of a DTMB(1,6) array with `n` primary cells, viewed as
+/// `n/6` independent clusters: `Y = Yc^(n/6)`.
+///
+/// The paper notes the division into clusters is approximate for finite
+/// arrays ("A biochip with n primary cells can be approximately divided
+/// into n/6 clusters"); the Monte-Carlo estimator quantifies the gap.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+#[must_use]
+pub fn dtmb16_yield(p: f64, primaries: usize) -> f64 {
+    assert_probability(p);
+    dtmb16_cluster_yield(p).powf(primaries as f64 / 6.0)
+}
+
+/// Probability that at most `k` of `n` independent cells fail when each
+/// fails with probability `q = 1 − p` (binomial CDF). Useful for k-of-n
+/// redundancy bounds.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+#[must_use]
+pub fn at_most_k_failures(p: f64, n: usize, k: usize) -> f64 {
+    assert_probability(p);
+    let q = 1.0 - p;
+    let mut sum = 0.0;
+    for i in 0..=k.min(n) {
+        sum += binomial(n, i) * q.powi(i as i32) * p.powi((n - i) as i32);
+    }
+    sum.min(1.0)
+}
+
+/// Upper bound on the yield of any DTMB(s, p) array with `n` primaries and
+/// `m` spares: the chip certainly dies once more than `m` cells fail.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+#[must_use]
+pub fn spare_count_upper_bound(p: f64, primaries: usize, spares: usize) -> f64 {
+    at_most_k_failures(p, primaries + spares, spares)
+}
+
+/// Independent-repair approximation for a DTMB(s, ·) design: a primary
+/// cell is lost only if it fails *and* all `s` of its adjacent spares fail,
+/// so `Y ≈ (1 − q^(s+1))ⁿ` with `q = 1 − p`.
+///
+/// The approximation ignores spare contention (two faulty primaries
+/// fighting over a shared spare), so it sits *above* the Monte-Carlo truth
+/// for the (·, 6) designs where each spare serves six primaries; the gap
+/// is a direct measurement of how much contention costs. For DTMB(1,6)
+/// this coincides with treating each primary's cluster independently.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+#[must_use]
+pub fn independent_repair_yield(p: f64, primaries: usize, spares_per_primary: usize) -> f64 {
+    assert_probability(p);
+    let q = 1.0 - p;
+    (1.0 - q.powi(spares_per_primary as i32 + 1))
+        .powi(i32::try_from(primaries).expect("cell count fits i32"))
+}
+
+/// Closed-form yield of the boundary spare-row baseline (paper Figure 2)
+/// on a `width`-column array with `module_rows` working rows and
+/// `spare_rows` spare rows.
+///
+/// Shifted replacement tolerates a chip iff the number of faulty module
+/// rows does not exceed the number of *fault-free* spare rows. With i.i.d.
+/// cell survival `p`, each row survives with `p_row = p^width`
+/// independently, so the yield is
+/// `Σ_{i,j : i ≤ spare_rows − j} P(i faulty module rows) · P(j faulty spare rows)`.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]` or `width == 0`.
+#[must_use]
+pub fn spare_row_yield(p: f64, width: usize, module_rows: usize, spare_rows: usize) -> f64 {
+    assert_probability(p);
+    assert!(width > 0, "array must have at least one column");
+    let p_row = p.powi(i32::try_from(width).expect("width fits i32"));
+    let q_row = 1.0 - p_row;
+    let prob_faulty = |n: usize, k: usize| {
+        binomial(n, k) * q_row.powi(k as i32) * p_row.powi((n - k) as i32)
+    };
+    let mut yield_total = 0.0;
+    for j in 0..=spare_rows {
+        let healthy_spares = spare_rows - j;
+        let p_j = prob_faulty(spare_rows, j);
+        for i in 0..=healthy_spares.min(module_rows) {
+            yield_total += p_j * prob_faulty(module_rows, i);
+        }
+    }
+    yield_total.min(1.0)
+}
+
+/// Binomial coefficient as `f64` (exact for the modest sizes used here).
+#[must_use]
+pub fn binomial(n: usize, k: usize) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut num = 1.0f64;
+    for i in 0..k {
+        num = num * (n - i) as f64 / (i + 1) as f64;
+    }
+    num
+}
+
+fn assert_probability(p: f64) {
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "survival probability must be in [0, 1], got {p}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_section7_headline_number() {
+        // "It is only 0.3378 even if the survival probability of a single
+        // cell is as high as 0.99" for the 108-cell chip.
+        let y = no_redundancy_yield(0.99, 108);
+        assert!((y - 0.3378).abs() < 5e-4, "got {y}");
+    }
+
+    #[test]
+    fn cluster_yield_closed_form_samples() {
+        // p = 0.95: 0.95^7 + 7*0.95^6*0.05
+        let y = dtmb16_cluster_yield(0.95);
+        let expected = 0.95f64.powi(7) + 7.0 * 0.95f64.powi(6) * 0.05;
+        assert!((y - expected).abs() < 1e-15);
+        assert!((dtmb16_cluster_yield(1.0) - 1.0).abs() < 1e-15);
+        assert_eq!(dtmb16_cluster_yield(0.0), 0.0);
+    }
+
+    #[test]
+    fn dtmb16_beats_no_redundancy() {
+        for &p in &[0.90, 0.95, 0.99] {
+            for &n in &[60usize, 120, 240] {
+                assert!(
+                    dtmb16_yield(p, n) > no_redundancy_yield(p, n),
+                    "p={p}, n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn figure7_sample_point() {
+        // p = 0.95, n = 100: Yc ≈ 0.9556, Y ≈ 0.9556^(100/6) ≈ 0.469.
+        let y = dtmb16_yield(0.95, 100);
+        assert!((y - 0.469).abs() < 5e-3, "got {y}");
+    }
+
+    #[test]
+    fn yield_monotone_in_p_and_decreasing_in_n() {
+        assert!(dtmb16_yield(0.96, 120) > dtmb16_yield(0.94, 120));
+        assert!(dtmb16_yield(0.95, 60) > dtmb16_yield(0.95, 240));
+        assert!(no_redundancy_yield(0.96, 120) > no_redundancy_yield(0.94, 120));
+    }
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(5, 0), 1.0);
+        assert_eq!(binomial(5, 5), 1.0);
+        assert_eq!(binomial(5, 2), 10.0);
+        assert_eq!(binomial(10, 3), 120.0);
+        assert_eq!(binomial(3, 4), 0.0);
+    }
+
+    #[test]
+    fn binomial_cdf_limits() {
+        assert!((at_most_k_failures(0.9, 10, 10) - 1.0).abs() < 1e-12);
+        let none = at_most_k_failures(0.9, 10, 0);
+        assert!((none - 0.9f64.powi(10)).abs() < 1e-12);
+        // CDF is monotone in k.
+        for k in 0..10 {
+            assert!(at_most_k_failures(0.9, 10, k) <= at_most_k_failures(0.9, 10, k + 1) + 1e-15);
+        }
+    }
+
+    #[test]
+    fn upper_bound_dominates_cluster_model() {
+        // The spare-count bound ignores locality, so it must be >= the
+        // exact DTMB(1,6) yield (n primaries, n/6 spares).
+        for &p in &[0.90, 0.95, 0.99] {
+            let n = 120;
+            let bound = spare_count_upper_bound(p, n, n / 6);
+            assert!(bound >= dtmb16_yield(p, n) - 1e-12, "p={p}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn rejects_bad_probability() {
+        let _ = no_redundancy_yield(1.2, 10);
+    }
+
+    #[test]
+    fn spare_row_yield_properties() {
+        // No spare rows: the chip must be entirely fault-free.
+        let none = spare_row_yield(0.95, 8, 6, 0);
+        assert!((none - 0.95f64.powi(48)).abs() < 1e-12);
+        // Perfect cells: always yields.
+        assert!((spare_row_yield(1.0, 8, 6, 1) - 1.0).abs() < 1e-12);
+        // More spare rows never hurt.
+        for k in 0..3 {
+            assert!(
+                spare_row_yield(0.95, 8, 6, k + 1) >= spare_row_yield(0.95, 8, 6, k) - 1e-12
+            );
+        }
+        // At equal overhead, interstitial DTMB beats the spare-row scheme:
+        // 48 primaries + 1 spare row of 8 cells (RR = 1/6) vs DTMB(1,6).
+        let baseline = spare_row_yield(0.95, 8, 6, 1);
+        let interstitial = dtmb16_yield(0.95, 48);
+        assert!(
+            interstitial > baseline,
+            "DTMB(1,6) {interstitial} must beat spare-row {baseline} at equal RR"
+        );
+    }
+
+    #[test]
+    fn independent_repair_brackets_sensibly() {
+        // s = 0 degenerates to the no-redundancy power law.
+        for &p in &[0.9, 0.95, 0.99] {
+            assert!(
+                (independent_repair_yield(p, 50, 0) - no_redundancy_yield(p, 50)).abs() < 1e-12
+            );
+        }
+        // More spares per primary never hurts.
+        for s in 0..4 {
+            assert!(
+                independent_repair_yield(0.95, 100, s + 1)
+                    >= independent_repair_yield(0.95, 100, s)
+            );
+        }
+        // And it beats the exact DTMB(1,6) model (which adds the spare's
+        // own failure and cluster contention).
+        for &p in &[0.90, 0.95, 0.99] {
+            assert!(independent_repair_yield(p, 120, 1) >= dtmb16_yield(p, 120) - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Effective yield (paper Section 6, Figure 10).
+//!
+//! "Adding more redundant cells increases the array area and thereby
+//! manufacturing cost. To measure yield enhancement relative to the
+//! increased array size, we define the effective yield EY as
+//! `EY = Y·(n/N) = Y/(1+RR)` where n is the number of primary cells, and N
+//! is the total number of cells in the microfluidic array."
+
+use dmfb_reconfig::DefectTolerantArray;
+
+/// Effective yield from a raw yield and a redundancy ratio:
+/// `EY = Y / (1 + RR)`.
+///
+/// # Panics
+///
+/// Panics if `yield_value` is outside `[0, 1]` or `rr` is negative.
+#[must_use]
+pub fn effective_yield(yield_value: f64, rr: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&yield_value),
+        "yield must be in [0, 1], got {yield_value}"
+    );
+    assert!(rr >= 0.0, "redundancy ratio must be non-negative, got {rr}");
+    yield_value / (1.0 + rr)
+}
+
+/// Effective yield using an array's exact finite-size cell counts:
+/// `EY = Y · n / N`.
+///
+/// # Panics
+///
+/// Panics if `yield_value` is outside `[0, 1]` or the array has no cells.
+#[must_use]
+pub fn effective_yield_of(array: &DefectTolerantArray, yield_value: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&yield_value),
+        "yield must be in [0, 1], got {yield_value}"
+    );
+    let n = array.primary_count();
+    let total = array.total_cells();
+    assert!(total > 0, "array has no cells");
+    yield_value * n as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmfb_reconfig::dtmb::DtmbKind;
+    use dmfb_grid::Region;
+
+    #[test]
+    fn formula_matches_definition() {
+        // RR = 1/3 → EY = Y * 3/4.
+        assert!((effective_yield(0.8, 1.0 / 3.0) - 0.6).abs() < 1e-12);
+        // No redundancy → EY = Y.
+        assert_eq!(effective_yield(0.7, 0.0), 0.7);
+    }
+
+    #[test]
+    fn array_form_equals_ratio_form() {
+        let array = DtmbKind::Dtmb26A.instantiate(&Region::parallelogram(20, 20));
+        let y = 0.9;
+        let via_counts = effective_yield_of(&array, y);
+        let via_rr = effective_yield(y, array.redundancy_ratio());
+        assert!((via_counts - via_rr).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_redundancy_penalised_more() {
+        let y = 1.0;
+        let ey: Vec<f64> = DtmbKind::TABLE1
+            .iter()
+            .map(|k| effective_yield(y, k.redundancy_ratio_limit()))
+            .collect();
+        // At perfect yield, lower redundancy always wins on EY.
+        for w in ey.windows(2) {
+            assert!(w[0] > w[1]);
+        }
+        // DTMB(4,4) halves the effective yield.
+        assert!((ey[3] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "yield must be in [0, 1]")]
+    fn rejects_bad_yield() {
+        let _ = effective_yield(1.1, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_rr() {
+        let _ = effective_yield(0.5, -0.1);
+    }
+}

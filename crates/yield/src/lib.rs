@@ -1,0 +1,40 @@
+//! Yield estimation for defect-tolerant DMFB designs.
+//!
+//! Implements the paper's Section 6 in full:
+//!
+//! * [`analytical`] — closed forms: the no-redundancy baseline `Y = pⁿ`,
+//!   the DTMB(1,6) cluster model `Y = (p⁷ + 7p⁶(1−p))^(n/6)` (paper
+//!   Figure 7), and binomial helpers.
+//! * [`monte_carlo`] — the matching-based Monte-Carlo estimator used for
+//!   DTMB(2,6), DTMB(3,6) and DTMB(4,4) (Figure 9), in both the
+//!   survival-probability mode and the exact-`m`-failures mode used by the
+//!   Figure 13 case study.
+//! * [`effective`] — the paper's *effective yield* metric
+//!   `EY = Y·n/N = Y/(1+RR)` that trades yield against array area
+//!   (Figure 10), with crossover detection between designs.
+//! * [`sweep`] — parameter sweeps producing the curves behind each figure.
+//!
+//! # Example
+//!
+//! ```
+//! use dmfb_yield::analytical;
+//!
+//! // Paper Section 7: without redundancy, a 108-cell chip yields only
+//! // ~0.3378 even at 99% cell survival.
+//! let y = analytical::no_redundancy_yield(0.99, 108);
+//! assert!((y - 0.3378).abs() < 5e-4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analytical;
+pub mod effective;
+pub mod monte_carlo;
+pub mod profile;
+pub mod sweep;
+
+pub use effective::effective_yield;
+pub use monte_carlo::{MonteCarloYield, YieldPoint};
+pub use profile::{tolerance_profile, ToleranceProfile};
+pub use sweep::YieldCurve;

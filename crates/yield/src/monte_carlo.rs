@@ -1,0 +1,257 @@
+//! Matching-based Monte-Carlo yield estimation (paper Section 6, Figures 9
+//! and 13).
+//!
+//! "During each run of the simulation, the cells in the microfluidic array,
+//! including both primary and spare cells, are randomly chosen to fail with
+//! probability p [defect probability q]. We then check if these defects can
+//! be tolerated via local reconfiguration based on the interstitial spare
+//! cells. This checking procedure is based on a graph matching approach."
+
+use dmfb_defects::injection::{Bernoulli, ExactCount, InjectionModel};
+use dmfb_reconfig::{local, DefectTolerantArray, ReconfigPolicy};
+use dmfb_sim::{BernoulliEstimate, MonteCarlo};
+use serde::{Deserialize, Serialize};
+
+/// One `(parameter, yield)` sample of a yield curve, with its Monte-Carlo
+/// confidence bounds.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct YieldPoint {
+    /// The swept parameter: survival probability `p` (Figure 9) or fault
+    /// count `m` (Figure 13).
+    pub x: f64,
+    /// Estimated yield at `x`.
+    pub y: f64,
+    /// 95% Wilson interval around `y`.
+    pub ci95: (f64, f64),
+    /// Trials behind the estimate.
+    pub trials: u64,
+}
+
+/// Monte-Carlo yield estimator for a defect-tolerant array under a success
+/// policy.
+///
+/// # Example
+///
+/// ```
+/// use dmfb_reconfig::dtmb::DtmbKind;
+/// use dmfb_reconfig::ReconfigPolicy;
+/// use dmfb_yield::MonteCarloYield;
+///
+/// let array = DtmbKind::Dtmb44.with_primary_count(50);
+/// let est = MonteCarloYield::new(array, ReconfigPolicy::AllPrimaries)
+///     .estimate_survival(0.95, 2_000, 7);
+/// assert!(est.point() > 0.5);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MonteCarloYield {
+    array: DefectTolerantArray,
+    policy: ReconfigPolicy,
+    threads: usize,
+}
+
+impl MonteCarloYield {
+    /// Creates an estimator for `array` under `policy`, defaulting to
+    /// single-threaded execution.
+    #[must_use]
+    pub fn new(array: DefectTolerantArray, policy: ReconfigPolicy) -> Self {
+        MonteCarloYield {
+            array,
+            policy,
+            threads: 1,
+        }
+    }
+
+    /// Distributes trials across `threads` worker threads. Results are
+    /// identical regardless of thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "at least one thread required");
+        self.threads = threads;
+        self
+    }
+
+    /// The array under evaluation.
+    #[must_use]
+    pub fn array(&self) -> &DefectTolerantArray {
+        &self.array
+    }
+
+    /// Estimates yield when every cell (primary and spare alike) survives
+    /// independently with probability `p` — the Figure 9 experiment.
+    #[must_use]
+    pub fn estimate_survival(&self, p: f64, trials: u32, seed: u64) -> BernoulliEstimate {
+        let model = Bernoulli::from_survival(p);
+        self.estimate_with(&model, trials, seed)
+    }
+
+    /// Estimates yield with exactly `m` random cell failures per chip — the
+    /// Figure 13 experiment.
+    #[must_use]
+    pub fn estimate_exact_faults(&self, m: usize, trials: u32, seed: u64) -> BernoulliEstimate {
+        let model = ExactCount::new(m);
+        self.estimate_with(&model, trials, seed)
+    }
+
+    /// Estimates yield under an arbitrary injection model (e.g. the
+    /// clustered-spot ablation).
+    #[must_use]
+    pub fn estimate_with(
+        &self,
+        model: &(impl InjectionModel + Sync),
+        trials: u32,
+        seed: u64,
+    ) -> BernoulliEstimate {
+        let mc = MonteCarlo::new(trials, seed);
+        let region = self.array.region();
+        let trial = |rng: &mut rand::rngs::StdRng| {
+            let defects = model.inject(region, rng);
+            local::is_reconfigurable(&self.array, &defects, &self.policy)
+        };
+        if self.threads > 1 {
+            mc.run_parallel(self.threads, trial)
+        } else {
+            mc.run(trial)
+        }
+    }
+
+    /// Sweeps survival probabilities into a list of [`YieldPoint`]s.
+    #[must_use]
+    pub fn sweep_survival(&self, ps: &[f64], trials: u32, seed: u64) -> Vec<YieldPoint> {
+        ps.iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                let est = self.estimate_survival(p, trials, seed.wrapping_add(i as u64));
+                YieldPoint {
+                    x: p,
+                    y: est.point(),
+                    ci95: est.wilson95(),
+                    trials: est.trials(),
+                }
+            })
+            .collect()
+    }
+
+    /// Sweeps exact fault counts into a list of [`YieldPoint`]s.
+    #[must_use]
+    pub fn sweep_exact_faults(&self, ms: &[usize], trials: u32, seed: u64) -> Vec<YieldPoint> {
+        ms.iter()
+            .enumerate()
+            .map(|(i, &m)| {
+                let est = self.estimate_exact_faults(m, trials, seed.wrapping_add(i as u64));
+                YieldPoint {
+                    x: m as f64,
+                    y: est.point(),
+                    ci95: est.wilson95(),
+                    trials: est.trials(),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytical;
+    use dmfb_reconfig::dtmb::DtmbKind;
+
+    const TRIALS: u32 = 3_000;
+
+    fn estimator(kind: DtmbKind, n: usize) -> MonteCarloYield {
+        MonteCarloYield::new(kind.with_primary_count(n), ReconfigPolicy::AllPrimaries)
+    }
+
+    #[test]
+    fn perfect_survival_always_yields() {
+        let est = estimator(DtmbKind::Dtmb26A, 60).estimate_survival(1.0, 200, 1);
+        assert_eq!(est.point(), 1.0);
+    }
+
+    #[test]
+    fn zero_survival_never_yields() {
+        let est = estimator(DtmbKind::Dtmb26A, 60).estimate_survival(0.0, 200, 1);
+        assert_eq!(est.point(), 0.0);
+    }
+
+    #[test]
+    fn zero_faults_always_yield() {
+        let est = estimator(DtmbKind::Dtmb36, 60).estimate_exact_faults(0, 100, 3);
+        assert_eq!(est.point(), 1.0);
+    }
+
+    #[test]
+    fn mc_matches_analytical_for_dtmb16() {
+        // The DTMB(1,6) analytical model should agree with MC within a few
+        // points (boundary effects make MC slightly optimistic because
+        // boundary clusters are smaller).
+        let n = 120;
+        let mc = estimator(DtmbKind::Dtmb16, n);
+        for &p in &[0.95, 0.98] {
+            let est = mc.estimate_survival(p, 6_000, 11);
+            let analytic = analytical::dtmb16_yield(p, n);
+            assert!(
+                (est.point() - analytic).abs() < 0.05,
+                "p={p}: mc {} vs analytic {analytic}",
+                est.point()
+            );
+        }
+    }
+
+    #[test]
+    fn redundancy_order_matches_figure9() {
+        // At fixed n and p, higher redundancy yields more.
+        let p = 0.93;
+        let n = 100;
+        let y26 = estimator(DtmbKind::Dtmb26A, n)
+            .estimate_survival(p, TRIALS, 5)
+            .point();
+        let y36 = estimator(DtmbKind::Dtmb36, n)
+            .estimate_survival(p, TRIALS, 5)
+            .point();
+        let y44 = estimator(DtmbKind::Dtmb44, n)
+            .estimate_survival(p, TRIALS, 5)
+            .point();
+        assert!(y44 >= y36 - 0.02, "44 {y44} vs 36 {y36}");
+        assert!(y36 >= y26 - 0.02, "36 {y36} vs 26 {y26}");
+        let baseline = analytical::no_redundancy_yield(p, n);
+        assert!(y26 > baseline + 0.1);
+    }
+
+    #[test]
+    fn yield_monotone_in_fault_count() {
+        let mc = estimator(DtmbKind::Dtmb26A, 100);
+        let pts = mc.sweep_exact_faults(&[0, 5, 15, 40], 1_500, 9);
+        for w in pts.windows(2) {
+            assert!(
+                w[1].y <= w[0].y + 0.03,
+                "yield should not increase with faults: {pts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_estimate_reproducible() {
+        let mc = estimator(DtmbKind::Dtmb44, 60);
+        let a = mc.estimate_survival(0.95, 1_000, 17);
+        let b = mc
+            .clone()
+            .with_threads(4)
+            .estimate_survival(0.95, 1_000, 17);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sweep_points_carry_ci() {
+        let mc = estimator(DtmbKind::Dtmb44, 60);
+        let pts = mc.sweep_survival(&[0.9, 0.95], 500, 23);
+        assert_eq!(pts.len(), 2);
+        for pt in pts {
+            assert!(pt.ci95.0 <= pt.y && pt.y <= pt.ci95.1);
+            assert_eq!(pt.trials, 500);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Shared helpers for the example binaries.
+//!
+//! The real content of this package is its example binaries (`quickstart`,
+//! and the domain scenarios); this library only hosts small formatting
+//! utilities they share.
+
+/// Formats a probability as a fixed-width percentage for table output.
+#[must_use]
+pub fn pct(x: f64) -> String {
+    format!("{:6.2}%", 100.0 * x)
+}
+
+/// Renders a simple horizontal bar for terminal "plots".
+#[must_use]
+pub fn bar(x: f64, width: usize) -> String {
+    let n = (x.clamp(0.0, 1.0) * width as f64).round() as usize;
+    let mut s = String::with_capacity(width);
+    for i in 0..width {
+        s.push(if i < n { '#' } else { '.' });
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.5), " 50.00%");
+    }
+
+    #[test]
+    fn bar_clamps() {
+        assert_eq!(bar(2.0, 4), "####");
+        assert_eq!(bar(-1.0, 4), "....");
+        assert_eq!(bar(0.5, 4), "##..");
+    }
+}

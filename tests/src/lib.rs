@@ -1,0 +1,22 @@
+//! Shared fixtures for the cross-crate integration tests.
+
+/// Deterministic seeds used across integration tests so failures reproduce.
+pub const TEST_SEEDS: [u64; 4] = [0xD1F2_0005, 42, 7_777_777, 0xBEEF];
+
+/// Standard trial count for fast-but-stable Monte-Carlo checks in tests.
+pub const TEST_TRIALS: u32 = 2_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_distinct() {
+        for (i, a) in TEST_SEEDS.iter().enumerate() {
+            for b in &TEST_SEEDS[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        assert!(TEST_TRIALS > 0);
+    }
+}

