@@ -22,8 +22,8 @@ fn bench_fig10(c: &mut Criterion) {
                     .enumerate()
                     .map(|(i, &p)| {
                         let e = est.estimate_survival(p, 100, i as u64);
-                        let scale = est.array().primary_count() as f64
-                            / est.array().total_cells() as f64;
+                        let scale =
+                            est.array().primary_count() as f64 / est.array().total_cells() as f64;
                         YieldPoint {
                             x: p,
                             y: e.point() * scale,

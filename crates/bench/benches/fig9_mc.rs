@@ -12,9 +12,13 @@ fn bench_fig9(c: &mut Criterion) {
     group.sample_size(10);
     for kind in DESIGNS {
         let est = MonteCarloYield::new(kind.with_primary_count(120), ReconfigPolicy::AllPrimaries);
-        group.bench_with_input(BenchmarkId::new("n120_p0.95_200trials", kind), &est, |b, est| {
-            b.iter(|| black_box(est.estimate_survival(0.95, 200, 7)));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("n120_p0.95_200trials", kind),
+            &est,
+            |b, est| {
+                b.iter(|| black_box(est.estimate_survival(0.95, 200, 7)));
+            },
+        );
     }
     group.finish();
 }

@@ -9,13 +9,17 @@ fn bench_table1(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1_rr");
     group.sample_size(20);
     for kind in DtmbKind::TABLE1 {
-        group.bench_with_input(BenchmarkId::new("instantiate+audit", kind), &kind, |b, &k| {
-            b.iter(|| {
-                let array = k.with_primary_count(black_box(240));
-                let audit = array.audit().expect("audit");
-                black_box((array.redundancy_ratio(), audit));
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("instantiate+audit", kind),
+            &kind,
+            |b, &k| {
+                b.iter(|| {
+                    let array = k.with_primary_count(black_box(240));
+                    let audit = array.audit().expect("audit");
+                    black_box((array.redundancy_ratio(), audit));
+                });
+            },
+        );
     }
     group.finish();
 }

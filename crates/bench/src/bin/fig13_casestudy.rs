@@ -23,8 +23,7 @@ fn main() {
     // Placement ablation: same array, assay cells spread to minimise spare
     // contention (the paper's exact placement is unpublished; block and
     // spread bracket it).
-    let (spread_array, spread_cells) =
-        dmfb_core::bioassay::layout::ivd_dtmb26_spread_assay_cells();
+    let (spread_array, spread_cells) = dmfb_core::bioassay::layout::ivd_dtmb26_spread_assay_cells();
     let spread = Biochip::from_array(spread_array)
         .with_policy(ReconfigPolicy::UsedCells(spread_cells.iter().collect()));
 
@@ -69,9 +68,7 @@ fn main() {
     let curve = YieldCurve::new("block", used_points);
     let spread_curve = YieldCurve::new("spread", spread_points);
     match curve.last_x_at_least(0.90) {
-        Some(x) => println!(
-            "\nBlock placement: yield >= 0.90 up to m = {x:.0} (paper: up to 35)."
-        ),
+        Some(x) => println!("\nBlock placement: yield >= 0.90 up to m = {x:.0} (paper: up to 35)."),
         None => println!("\nBlock placement never reaches 0.90 — check the model!"),
     }
     if let Some(x) = spread_curve.last_x_at_least(0.90) {

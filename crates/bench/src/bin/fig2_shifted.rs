@@ -53,7 +53,11 @@ fn main() {
     table.row(vec![
         "faults in Modules 2 and 3".into(),
         "FAILS".into(),
-        format!("{} faulty rows > {} spare row", failure.faulty_rows.len(), failure.spare_rows),
+        format!(
+            "{} faulty rows > {} spare row",
+            failure.faulty_rows.len(),
+            failure.spare_rows
+        ),
         "-".into(),
     ]);
     print!("{}", table.render());

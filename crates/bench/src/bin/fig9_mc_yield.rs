@@ -18,9 +18,7 @@ fn main() {
 
         let estimators: Vec<MonteCarloYield> = DESIGNS
             .iter()
-            .map(|k| {
-                MonteCarloYield::new(k.with_primary_count(n), ReconfigPolicy::AllPrimaries)
-            })
+            .map(|k| MonteCarloYield::new(k.with_primary_count(n), ReconfigPolicy::AllPrimaries))
             .collect();
         for (i, &p) in FIG7_9_SURVIVAL_GRID.iter().enumerate() {
             let mut row = vec![
@@ -32,7 +30,10 @@ fn main() {
                     .wrapping_add(i as u64)
                     .wrapping_mul(31)
                     .wrapping_add(d as u64);
-                row.push(format!("{:.4}", est.estimate_survival(p, PAPER_TRIALS, seed).point()));
+                row.push(format!(
+                    "{:.4}",
+                    est.estimate_survival(p, PAPER_TRIALS, seed).point()
+                ));
             }
             table.row(row);
         }

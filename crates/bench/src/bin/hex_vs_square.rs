@@ -23,9 +23,21 @@ fn main() {
         "hex area saving".into(),
     ]);
     let rows: [(&str, DtmbKind, SquarePattern); 3] = [
-        ("s = 1 spare/primary", DtmbKind::Dtmb16, SquarePattern::PerfectCode),
-        ("s = 2 spares/primary", DtmbKind::Dtmb26A, SquarePattern::Stripes),
-        ("s = 4 spares/primary", DtmbKind::Dtmb44, SquarePattern::Checkerboard),
+        (
+            "s = 1 spare/primary",
+            DtmbKind::Dtmb16,
+            SquarePattern::PerfectCode,
+        ),
+        (
+            "s = 2 spares/primary",
+            DtmbKind::Dtmb26A,
+            SquarePattern::Stripes,
+        ),
+        (
+            "s = 4 spares/primary",
+            DtmbKind::Dtmb44,
+            SquarePattern::Checkerboard,
+        ),
     ];
     for (label, hex, square) in rows {
         let hex_rr = hex.redundancy_ratio_limit();

@@ -19,8 +19,7 @@ pub const FIG7_9_SURVIVAL_GRID: [f64; 11] = [
 /// where the low-`p` regime is what separates the designs: DTMB(4,4) only
 /// pulls ahead once cell survival drops well below 0.8.
 pub const FIG10_SURVIVAL_GRID: [f64; 16] = [
-    0.70, 0.72, 0.74, 0.76, 0.78, 0.80, 0.82, 0.84, 0.86, 0.88, 0.90, 0.92, 0.94, 0.96, 0.98,
-    1.00,
+    0.70, 0.72, 0.74, 0.76, 0.78, 0.80, 0.82, 0.84, 0.86, 0.88, 0.90, 0.92, 0.94, 0.96, 0.98, 1.00,
 ];
 
 /// Primary-cell counts plotted in Figures 7 and 9.
@@ -32,7 +31,7 @@ pub const PAPER_TRIALS: u32 = 10_000;
 
 /// Master seed used by all figure generators, so the printed numbers are
 /// reproducible and match `EXPERIMENTS.md`.
-pub const FIGURE_SEED: u64 = 0x0DA7_E200_5u64;
+pub const FIGURE_SEED: u64 = 0xDA7E_2005_u64;
 
 /// A minimal plain-text table renderer for figure output.
 ///

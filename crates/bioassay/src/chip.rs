@@ -98,7 +98,10 @@ impl ChipDescription {
         let region = self.array.region();
         for d in &self.dispensers {
             if !region.contains(d.cell) {
-                return Err(format!("dispenser {} cell {} outside array", d.label, d.cell));
+                return Err(format!(
+                    "dispenser {} cell {} outside array",
+                    d.label, d.cell
+                ));
             }
         }
         for m in &self.mixers {
@@ -159,7 +162,10 @@ mod tests {
         let chip = tiny_chip();
         assert!(chip.dispenser("SAMPLE1").is_some());
         assert!(chip.dispenser("nope").is_none());
-        assert_eq!(chip.mixer("mix0").unwrap().rendezvous(), HexCoord::new(1, 1));
+        assert_eq!(
+            chip.mixer("mix0").unwrap().rendezvous(),
+            HexCoord::new(1, 1)
+        );
         assert!((chip.mixer("mix0").unwrap().mix_time_s() - 2.0).abs() < 1e-12);
     }
 

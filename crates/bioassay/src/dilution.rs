@@ -173,8 +173,7 @@ mod tests {
         let seen = diluted_concentration(raw, &plan);
         assert!(seen <= max_standard);
         let kinetics = analyte.kinetics();
-        let curve =
-            crate::kinetics::CalibrationCurve::build(&kinetics, &standards, 60.0);
+        let curve = crate::kinetics::CalibrationCurve::build(&kinetics, &standards, 60.0);
         let state = kinetics.integrate(seen, 60.0, 0.05);
         let a = crate::kinetics::absorbance_545nm(
             state.quinoneimine_mm,

@@ -42,7 +42,10 @@ impl TrinderKinetics {
     #[must_use]
     pub fn new(vmax1_mm_s: f64, km1_mm: f64, vmax2_mm_s: f64, km2_mm: f64) -> Self {
         for v in [vmax1_mm_s, km1_mm, vmax2_mm_s, km2_mm] {
-            assert!(v.is_finite() && v > 0.0, "kinetic parameters must be positive");
+            assert!(
+                v.is_finite() && v > 0.0,
+                "kinetic parameters must be positive"
+            );
         }
         TrinderKinetics {
             vmax1_mm_s,
@@ -161,21 +164,14 @@ impl CalibrationCurve {
     ///
     /// Panics if fewer than two standards are supplied.
     #[must_use]
-    pub fn build(
-        kinetics: &TrinderKinetics,
-        standards_mm: &[f64],
-        reaction_time_s: f64,
-    ) -> Self {
+    pub fn build(kinetics: &TrinderKinetics, standards_mm: &[f64], reaction_time_s: f64) -> Self {
         assert!(standards_mm.len() >= 2, "need at least two standards");
         let mut points: Vec<(f64, f64)> = standards_mm
             .iter()
             .map(|&c| {
                 let state = kinetics.integrate(c, reaction_time_s, 0.05);
-                let a = absorbance_545nm(
-                    state.quinoneimine_mm,
-                    DROPLET_PATH_CM,
-                    QUINONEIMINE_EPSILON,
-                );
+                let a =
+                    absorbance_545nm(state.quinoneimine_mm, DROPLET_PATH_CM, QUINONEIMINE_EPSILON);
                 (a, c)
             })
             .collect();

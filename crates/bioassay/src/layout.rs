@@ -70,12 +70,20 @@ pub fn fabricated_ivd_chip() -> ChipDescription {
         mixers: vec![
             Mixer {
                 name: "mixer1".into(),
-                cells: vec![HexCoord::new(-1, 4), HexCoord::new(0, 4), HexCoord::new(-1, 5)],
+                cells: vec![
+                    HexCoord::new(-1, 4),
+                    HexCoord::new(0, 4),
+                    HexCoord::new(-1, 5),
+                ],
                 mix_time_s_x1000: 60_000,
             },
             Mixer {
                 name: "mixer2".into(),
-                cells: vec![HexCoord::new(3, 4), HexCoord::new(4, 4), HexCoord::new(3, 5)],
+                cells: vec![
+                    HexCoord::new(3, 4),
+                    HexCoord::new(4, 4),
+                    HexCoord::new(3, 5),
+                ],
                 mix_time_s_x1000: 60_000,
             },
         ],
@@ -113,12 +121,20 @@ pub fn ivd_dtmb26_chip() -> ChipDescription {
         mixers: vec![
             Mixer {
                 name: "mixer1".into(),
-                cells: vec![HexCoord::new(3, 3), HexCoord::new(3, 4), HexCoord::new(4, 3)],
+                cells: vec![
+                    HexCoord::new(3, 3),
+                    HexCoord::new(3, 4),
+                    HexCoord::new(4, 3),
+                ],
                 mix_time_s_x1000: 60_000,
             },
             Mixer {
                 name: "mixer2".into(),
-                cells: vec![HexCoord::new(5, 7), HexCoord::new(5, 8), HexCoord::new(6, 7)],
+                cells: vec![
+                    HexCoord::new(5, 7),
+                    HexCoord::new(5, 8),
+                    HexCoord::new(6, 7),
+                ],
                 mix_time_s_x1000: 60_000,
             },
         ],
@@ -289,7 +305,11 @@ mod tests {
             assert!(chip.assay_cells.contains(d.cell));
         }
         for p in &chip.dispensers {
-            assert!(chip.assay_cells.contains(p.cell), "port {} off-area", p.label);
+            assert!(
+                chip.assay_cells.contains(p.cell),
+                "port {} off-area",
+                p.label
+            );
         }
     }
 }

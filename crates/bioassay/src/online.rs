@@ -75,15 +75,16 @@ impl OnlineExecutor {
         rng: &mut impl Rng,
     ) -> Result<OnlineReport, ExecError> {
         let mut defects = self.initial_defects.clone();
-        let mut plan = attempt_reconfiguration(&self.chip.array, &defects, &self.policy)
-            .map_err(|failure| ExecError::FaultyResource {
+        let mut plan = attempt_reconfiguration(&self.chip.array, &defects, &self.policy).map_err(
+            |failure| ExecError::FaultyResource {
                 resource: "initial reconfiguration".into(),
                 cell: failure
                     .unassigned
                     .first()
                     .copied()
                     .unwrap_or(HexCoord::ORIGIN),
-            })?;
+            },
+        )?;
         let mut outcomes = Vec::with_capacity(batch.requests.len());
         let mut replans = 0usize;
         let mut absorbed = 0usize;
@@ -102,15 +103,16 @@ impl OnlineExecutor {
                 }
             }
             if changed {
-                plan = attempt_reconfiguration(&self.chip.array, &defects, &self.policy)
-                    .map_err(|failure| ExecError::FaultyResource {
+                plan = attempt_reconfiguration(&self.chip.array, &defects, &self.policy).map_err(
+                    |failure| ExecError::FaultyResource {
                         resource: format!("online re-plan before assay {i}"),
                         cell: failure
                             .unassigned
                             .first()
                             .copied()
                             .unwrap_or(HexCoord::ORIGIN),
-                    })?;
+                    },
+                )?;
                 replans += 1;
                 absorbed += events.iter().filter(|e| e.before_assay == i).count();
             }

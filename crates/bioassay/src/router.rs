@@ -232,7 +232,11 @@ mod tests {
         let region = Region::parallelogram(5, 3);
         let router = Router::new(&region, &DefectMap::new());
         assert!(router
-            .route(HexCoord::new(0, 1), HexCoord::new(4, 1), &[HexCoord::new(2, 1)])
+            .route(
+                HexCoord::new(0, 1),
+                HexCoord::new(4, 1),
+                &[HexCoord::new(2, 1)]
+            )
             .is_none());
     }
 

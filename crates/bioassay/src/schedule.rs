@@ -58,7 +58,10 @@ impl fmt::Display for ExecError {
             ExecError::UnknownMixer(m) => write!(f, "unknown mixer '{m}'"),
             ExecError::UnknownDetector(i) => write!(f, "unknown detector index {i}"),
             ExecError::FaultyResource { resource, cell } => {
-                write!(f, "{resource} sits on faulty cell {cell} with no replacement")
+                write!(
+                    f,
+                    "{resource} sits on faulty cell {cell} with no replacement"
+                )
             }
             ExecError::Unroutable { from, to } => {
                 write!(f, "no droplet route from {from} to {to}")
@@ -205,8 +208,8 @@ impl Executor {
             .fold(0.0f64, f64::max);
             let transport_s = moves as f64 * step_ms / 1e3;
             let detect_s = f64::from(detector.integration_ms) / 1e3;
-            let reaction_s = mixer.mix_time_s() + (detect_route.len() - 1) as f64 * step_ms / 1e3
-                + detect_s;
+            let reaction_s =
+                mixer.mix_time_s() + (detect_route.len() - 1) as f64 * step_ms / 1e3 + detect_s;
             let completion = ready + transport_s + mixer.mix_time_s() + detect_s;
             for k in [
                 req.sample_port.clone(),
@@ -222,7 +225,11 @@ impl Executor {
             let (lo, hi) = req.analyte.physiological_range_mm();
             let truth = rng.gen_range(lo..=hi);
             let sample_conc = sample.contents.concentration(req.analyte.species());
-            let true_in_droplet = if sample_conc > 0.0 { sample_conc } else { truth };
+            let true_in_droplet = if sample_conc > 0.0 {
+                sample_conc
+            } else {
+                truth
+            };
             // Merging sample and reagent droplets halves the concentration.
             let diluted = true_in_droplet * sample.droplet_volume_nl
                 / (sample.droplet_volume_nl + reagent.droplet_volume_nl);
@@ -233,8 +240,8 @@ impl Executor {
             let absorbance = self.photodiode.measure(clean_absorbance, rng);
             // The instrument calibrates against diluted standards with the
             // same reaction window, then corrects for dilution.
-            let dilution = sample.droplet_volume_nl
-                / (sample.droplet_volume_nl + reagent.droplet_volume_nl);
+            let dilution =
+                sample.droplet_volume_nl / (sample.droplet_volume_nl + reagent.droplet_volume_nl);
             let standards: Vec<f64> = req
                 .analyte
                 .calibration_standards_mm()
@@ -282,7 +289,9 @@ mod tests {
     fn clean_chip_runs_standard_panel() {
         let chip = layout::fabricated_ivd_chip();
         let exec = Executor::new(chip, DefectMap::new(), None);
-        let outcomes = exec.run(&MultiplexedIvd::standard_panel(), &mut rng()).unwrap();
+        let outcomes = exec
+            .run(&MultiplexedIvd::standard_panel(), &mut rng())
+            .unwrap();
         assert_eq!(outcomes.len(), 4);
         for o in &outcomes {
             assert!(o.transport_moves > 0);
@@ -325,7 +334,9 @@ mod tests {
         )
         .expect("single fault is tolerable on DTMB(2,6)");
         let exec = Executor::new(chip, defects, Some(plan));
-        let outcomes = exec.run(&MultiplexedIvd::standard_panel(), &mut rng()).unwrap();
+        let outcomes = exec
+            .run(&MultiplexedIvd::standard_panel(), &mut rng())
+            .unwrap();
         assert_eq!(outcomes.len(), 4);
     }
 

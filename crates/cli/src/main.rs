@@ -15,6 +15,27 @@ use rand::SeedableRng;
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
+/// Like `println!`, but a closed stdout (`dmfb ... | head`) ends the
+/// process quietly with success instead of panicking on broken pipe.
+macro_rules! outln {
+    ($($arg:tt)*) => {{
+        use std::io::Write as _;
+        if writeln!(std::io::stdout(), $($arg)*).is_err() {
+            std::process::exit(0);
+        }
+    }};
+}
+
+/// `print!` counterpart of [`outln!`].
+macro_rules! out {
+    ($($arg:tt)*) => {{
+        use std::io::Write as _;
+        if write!(std::io::stdout(), $($arg)*).is_err() {
+            std::process::exit(0);
+        }
+    }};
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = args.split_first() else {
@@ -36,7 +57,7 @@ fn main() -> ExitCode {
         "assay" => cmd_assay(&opts),
         "profile" => cmd_profile(&opts),
         "help" | "--help" | "-h" => {
-            println!("{USAGE}");
+            outln!("{USAGE}");
             Ok(())
         }
         other => Err(format!("unknown command '{other}'")),
@@ -135,7 +156,7 @@ fn cmd_yield(opts: &Options) -> Result<(), String> {
     let trials: u32 = opts.get("trials", 10_000)?;
     let seed: u64 = opts.get("seed", 1)?;
     let r = chip.yield_report(p, trials, seed);
-    println!(
+    outln!(
         "design: {} | primaries {} | spares {} | RR {:.4}",
         chip.array()
             .kind()
@@ -144,12 +165,12 @@ fn cmd_yield(opts: &Options) -> Result<(), String> {
         chip.array().spare_count(),
         r.redundancy_ratio
     );
-    println!("survival p        : {:.4}", r.survival_p);
-    println!("raw yield         : {}", r.raw_yield);
-    println!("reconfigured yield: {}", r.reconfigured_yield);
-    println!("effective yield   : {:.4}", r.effective_yield);
+    outln!("survival p        : {:.4}", r.survival_p);
+    outln!("raw yield         : {}", r.raw_yield);
+    outln!("reconfigured yield: {}", r.reconfigured_yield);
+    outln!("effective yield   : {:.4}", r.effective_yield);
     if let Some(a) = r.analytical {
-        println!("analytical        : {a:.4}");
+        outln!("analytical        : {a:.4}");
     }
     Ok(())
 }
@@ -165,13 +186,16 @@ fn cmd_sweep(opts: &Options) -> Result<(), String> {
         return Err("need 0 <= from < to <= 1 and steps >= 2".into());
     }
     let effective = opts.flag("effective");
-    println!("p,yield,ci_lo,ci_hi{}", if effective { ",effective_yield" } else { "" });
+    outln!(
+        "p,yield,ci_lo,ci_hi{}",
+        if effective { ",effective_yield" } else { "" }
+    );
     for i in 0..steps {
         let p = from + (to - from) * i as f64 / (steps - 1) as f64;
         let r = chip.yield_report(p, trials, seed.wrapping_add(i as u64));
         let (lo, hi) = r.reconfigured_yield.wilson95();
         if effective {
-            println!(
+            outln!(
                 "{:.4},{:.4},{:.4},{:.4},{:.4}",
                 p,
                 r.reconfigured_yield.point(),
@@ -180,7 +204,13 @@ fn cmd_sweep(opts: &Options) -> Result<(), String> {
                 r.effective_yield
             );
         } else {
-            println!("{:.4},{:.4},{:.4},{:.4}", p, r.reconfigured_yield.point(), lo, hi);
+            outln!(
+                "{:.4},{:.4},{:.4},{:.4}",
+                p,
+                r.reconfigured_yield.point(),
+                lo,
+                hi
+            );
         }
     }
     Ok(())
@@ -201,11 +231,11 @@ fn cmd_faults(opts: &Options) -> Result<(), String> {
     } else {
         opts.biochip()?
     };
-    println!("m,yield,ci_lo,ci_hi");
+    outln!("m,yield,ci_lo,ci_hi");
     for m in 0..=max_m {
         let est = chip.exact_fault_yield(m, trials, seed.wrapping_add(m as u64));
         let (lo, hi) = est.wilson95();
-        println!("{m},{:.4},{lo:.4},{hi:.4}", est.point());
+        outln!("{m},{:.4},{lo:.4},{hi:.4}", est.point());
     }
     Ok(())
 }
@@ -218,15 +248,17 @@ fn cmd_render(opts: &Options) -> Result<(), String> {
     let mut rng = StdRng::seed_from_u64(seed);
     let defects = Bernoulli::from_survival(p).inject(array.region(), &mut rng);
     let plan = attempt_reconfiguration(array, &defects, chip.policy());
-    let art = render::hex(array.region(), |c| glyph(array, &defects, plan.as_ref().ok(), c));
-    println!("legend: . primary  o spare  X faulty primary  x faulty spare  R replacing spare");
-    print!("{art}");
+    let art = render::hex(array.region(), |c| {
+        glyph(array, &defects, plan.as_ref().ok(), c)
+    });
+    outln!("legend: . primary  o spare  X faulty primary  x faulty spare  R replacing spare");
+    out!("{art}");
     match &plan {
         Ok(plan) if defects.fault_count() > 0 => {
-            println!("reconfiguration OK: {} replacement(s)", plan.len());
+            outln!("reconfiguration OK: {} replacement(s)", plan.len());
         }
-        Ok(_) => println!("fault-free"),
-        Err(failure) => println!("{failure}"),
+        Ok(_) => outln!("fault-free"),
+        Err(failure) => outln!("{failure}"),
     }
     Ok(())
 }
@@ -259,7 +291,7 @@ fn cmd_assay(opts: &Options) -> Result<(), String> {
     let policy = used_cells_policy(&chip);
     let plan = attempt_reconfiguration(&chip.array, &defects, &policy)
         .map_err(|e| format!("chip cannot be reconfigured: {e}"))?;
-    println!(
+    outln!(
         "chip: {} primaries + {} spares, {} assay cells, {} injected fault(s), {} replacement(s)",
         chip.array.primary_count(),
         chip.array.spare_count(),
@@ -271,9 +303,9 @@ fn cmd_assay(opts: &Options) -> Result<(), String> {
     let outcomes = exec
         .run(&MultiplexedIvd::standard_panel(), &mut rng)
         .map_err(|e| e.to_string())?;
-    println!("assay         sample    true mM  measured mM  error%  moves  done@s");
+    outln!("assay         sample    true mM  measured mM  error%  moves  done@s");
     for o in &outcomes {
-        println!(
+        outln!(
             "{:<12}  {:<8}  {:>7.3}  {:>11.3}  {:>5.1}%  {:>5}  {:>6.1}",
             o.request.analyte.to_string(),
             o.request.sample_port,
@@ -285,7 +317,7 @@ fn cmd_assay(opts: &Options) -> Result<(), String> {
         );
     }
     let ey = effective::effective_yield_of(exec_array(&exec), 1.0);
-    println!("(array effective-yield scale factor n/N = {ey:.4})");
+    outln!("(array effective-yield scale factor n/N = {ey:.4})");
     Ok(())
 }
 
@@ -314,12 +346,12 @@ fn cmd_profile(opts: &Options) -> Result<(), String> {
         (chip.array().clone(), chip.policy().clone(), label)
     };
     let profile = tolerance_profile(&array, &policy, trials, seed);
-    println!(
+    outln!(
         "{label}: {} primaries + {} spares, {trials} trials",
         array.primary_count(),
         array.spare_count()
     );
-    println!(
+    outln!(
         "tolerated faults: mean {:.1}, sd {:.1}, min {:.0}, max {:.0}",
         profile.stats.mean(),
         profile.stats.stddev(),
@@ -327,7 +359,7 @@ fn cmd_profile(opts: &Options) -> Result<(), String> {
         profile.stats.max()
     );
     for level in [0.99, 0.95, 0.90, 0.50] {
-        println!(
+        outln!(
             "  P(tolerate >= m) >= {level:.2} up to m = {}",
             profile.quantile_at_least(level)
         );

@@ -1,0 +1,77 @@
+//! End-to-end smoke tests driving the compiled `dmfb` binary.
+
+use std::process::{Command, Output};
+
+fn dmfb(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dmfb"))
+        .args(args)
+        .output()
+        .expect("spawn dmfb")
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    let out = dmfb(&["--help"]);
+    assert!(out.status.success(), "--help exited nonzero");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("USAGE"), "usage missing:\n{text}");
+    assert!(text.contains("dmfb yield"), "commands missing:\n{text}");
+}
+
+#[test]
+fn unknown_command_fails_with_error() {
+    let out = dmfb(&["frobnicate"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown command"), "stderr:\n{err}");
+}
+
+#[test]
+fn small_yield_report_runs_end_to_end() {
+    let out = dmfb(&[
+        "yield",
+        "--design",
+        "dtmb26",
+        "--primaries",
+        "60",
+        "--p",
+        "0.95",
+        "--trials",
+        "300",
+        "--seed",
+        "7",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("raw yield"), "report missing:\n{text}");
+    assert!(
+        text.contains("reconfigured yield"),
+        "report missing:\n{text}"
+    );
+    assert!(text.contains("DTMB(2,6)"), "design missing:\n{text}");
+}
+
+#[test]
+fn yield_report_is_deterministic_for_a_seed() {
+    let args = [
+        "yield",
+        "--design",
+        "dtmb16",
+        "--primaries",
+        "40",
+        "--p",
+        "0.9",
+        "--trials",
+        "200",
+        "--seed",
+        "11",
+    ];
+    let a = dmfb(&args);
+    let b = dmfb(&args);
+    assert!(a.status.success() && b.status.success());
+    assert_eq!(a.stdout, b.stdout, "same seed must give identical reports");
+}

@@ -138,9 +138,7 @@ impl Biochip {
         });
 
         let analytical = match self.array.kind() {
-            Some(DtmbKind::Dtmb16) => {
-                Some(analytical::dtmb16_yield(p, self.array.primary_count()))
-            }
+            Some(DtmbKind::Dtmb16) => Some(analytical::dtmb16_yield(p, self.array.primary_count())),
             None => Some(analytical::no_redundancy_yield(
                 p,
                 self.array.primary_count(),
@@ -175,11 +173,8 @@ impl Biochip {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut defects = Bernoulli::from_survival(p).inject(self.array.region(), &mut rng);
         defects.close_shorts();
-        let diagnosis = testing::diagnose(
-            self.array.region(),
-            &defects,
-            MeasurementModel::default(),
-        );
+        let diagnosis =
+            testing::diagnose(self.array.region(), &defects, MeasurementModel::default());
         let plan = attempt_reconfiguration(&self.array, &diagnosis.detected, &self.policy);
         PipelineOutcome {
             true_defects: defects,

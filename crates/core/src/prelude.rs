@@ -24,12 +24,9 @@ pub use dmfb_reconfig::{
 
 pub use dmfb_sim::{BernoulliEstimate, MonteCarlo, Summary};
 
-pub use dmfb_yield::analytical::{
-    dtmb16_yield, independent_repair_yield, no_redundancy_yield,
-};
+pub use dmfb_yield::analytical::{dtmb16_yield, independent_repair_yield, no_redundancy_yield};
 pub use dmfb_yield::{
-    effective_yield, tolerance_profile, MonteCarloYield, ToleranceProfile, YieldCurve,
-    YieldPoint,
+    effective_yield, tolerance_profile, MonteCarloYield, ToleranceProfile, YieldCurve, YieldPoint,
 };
 
 pub use dmfb_bioassay::layout::{fabricated_ivd_chip, ivd_dtmb26_chip, used_cells_policy};

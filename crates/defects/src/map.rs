@@ -220,9 +220,9 @@ mod tests {
         // Partner records the reciprocal direction.
         assert!(matches!(
             m.cause(b),
-            Some(DefectCause::Catastrophic(CatastrophicDefect::ElectrodeShort(
-                HexDir::West
-            )))
+            Some(DefectCause::Catastrophic(
+                CatastrophicDefect::ElectrodeShort(HexDir::West)
+            ))
         ));
         // Idempotent.
         assert_eq!(m.close_shorts(), 0);
@@ -264,7 +264,9 @@ mod tests {
         assert_eq!(m.fault_count(), 2);
         assert!(matches!(
             m.cause(a_cell),
-            Some(DefectCause::Catastrophic(CatastrophicDefect::OpenConnection))
+            Some(DefectCause::Catastrophic(
+                CatastrophicDefect::OpenConnection
+            ))
         ));
     }
 }

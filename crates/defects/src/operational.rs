@@ -105,10 +105,7 @@ impl MtbfModel {
                 // Inverse-CDF sample of Exp(rate), guarding u=0.
                 let u: f64 = 1.0 - rng.gen::<f64>();
                 let t = -u.ln() / rate;
-                (t <= horizon_hours).then_some(FailureEvent {
-                    at_hours: t,
-                    cell,
-                })
+                (t <= horizon_hours).then_some(FailureEvent { at_hours: t, cell })
             })
             .collect();
         events.sort_by(|a, b| a.at_hours.total_cmp(&b.at_hours));

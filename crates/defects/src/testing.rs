@@ -75,11 +75,7 @@ pub fn covering_walk_avoiding(
     let mut visited: BTreeSet<HexCoord> = BTreeSet::new();
     visited.insert(start);
     for t in targets {
-        if t == current || visited.contains(&t) && t != current {
-            if t == current {
-                continue;
-            }
-        }
+        // `current` is always in `visited`, so this also skips t == current.
         if visited.contains(&t) {
             continue;
         }
@@ -251,10 +247,8 @@ pub fn diagnose(
     let mut droplets = 0usize;
     let mut total_moves = 0usize;
 
-    loop {
-        let Some(walk) = covering_walk_avoiding(region, &known) else {
-            break; // every cell known faulty
-        };
+    // Loop ends when every cell is known faulty (no walk exists).
+    while let Some(walk) = covering_walk_avoiding(region, &known) {
         droplets += 1;
         match run_test_droplet(&walk, truth) {
             TestOutcome::Stuck { cell, step } => {
@@ -360,7 +354,11 @@ mod tests {
     fn diagnose_localises_all_catastrophic_faults() {
         let region = Region::parallelogram(8, 8);
         let mut truth = DefectMap::new();
-        for c in [HexCoord::new(2, 3), HexCoord::new(5, 1), HexCoord::new(6, 6)] {
+        for c in [
+            HexCoord::new(2, 3),
+            HexCoord::new(5, 1),
+            HexCoord::new(6, 6),
+        ] {
             truth.mark(c, breakdown());
         }
         let report = diagnose(&region, &truth, MeasurementModel::default());

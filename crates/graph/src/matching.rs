@@ -142,12 +142,12 @@ pub fn hopcroft_karp(graph: &BipartiteGraph) -> Matching {
     loop {
         // BFS phase: layer the graph from unmatched left nodes.
         queue.clear();
-        for a in 0..n {
+        for (a, d) in dist.iter_mut().enumerate() {
             if m.pair_left[a].is_none() {
-                dist[a] = 0;
+                *d = 0;
                 queue.push_back(a);
             } else {
-                dist[a] = INF;
+                *d = INF;
             }
         }
         let mut found_augmenting = false;
@@ -320,9 +320,14 @@ mod tests {
 
     #[test]
     fn kuhn_agrees_with_hk_on_fixed_cases() {
-        let cases: Vec<(usize, usize, Vec<(usize, usize)>)> = vec![
+        type Case = (usize, usize, Vec<(usize, usize)>);
+        let cases: Vec<Case> = vec![
             (1, 1, vec![(0, 0)]),
-            (4, 4, vec![(0, 0), (1, 0), (1, 1), (2, 1), (2, 2), (3, 2), (3, 3)]),
+            (
+                4,
+                4,
+                vec![(0, 0), (1, 0), (1, 1), (2, 1), (2, 2), (3, 2), (3, 3)],
+            ),
             (3, 2, vec![(0, 0), (1, 0), (2, 0), (2, 1)]),
             (5, 5, vec![]),
         ];

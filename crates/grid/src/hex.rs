@@ -362,7 +362,11 @@ const RING_WALK: [HexDir; 6] = [
 
 impl Ring {
     fn new(center: HexCoord, radius: u32) -> Self {
-        let total = if radius == 0 { 1 } else { u64::from(radius) * 6 };
+        let total = if radius == 0 {
+            1
+        } else {
+            u64::from(radius) * 6
+        };
         let start = if radius == 0 {
             center
         } else {

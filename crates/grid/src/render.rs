@@ -32,7 +32,7 @@ pub fn hex(region: &Region, mut glyph: impl FnMut(HexCoord) -> char) -> String {
         let mut line = String::new();
         // Half-cell shear: row r starts (r - lo.r) half-steps to the right.
         let indent = (r - lo.r) as usize;
-        line.extend(std::iter::repeat(' ').take(indent));
+        line.extend(std::iter::repeat_n(' ', indent));
         for q in lo.q..=hi.q {
             let c = HexCoord::new(q, r);
             if region.contains(c) {

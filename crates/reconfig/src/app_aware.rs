@@ -34,7 +34,10 @@ impl VirtualModule {
     /// Panics if either dimension is zero.
     #[must_use]
     pub fn new(name: impl Into<String>, width: u32, height: u32) -> Self {
-        assert!(width > 0 && height > 0, "module footprint must be non-empty");
+        assert!(
+            width > 0 && height > 0,
+            "module footprint must be non-empty"
+        );
         VirtualModule {
             name: name.into(),
             width,
@@ -45,9 +48,7 @@ impl VirtualModule {
     /// The cells covered when the module's low corner sits at `origin`.
     pub fn footprint(&self, origin: HexCoord) -> impl Iterator<Item = HexCoord> + '_ {
         let (w, h) = (self.width as i32, self.height as i32);
-        (0..w).flat_map(move |dq| {
-            (0..h).map(move |dr| HexCoord::new(origin.q + dq, origin.r + dr))
-        })
+        (0..w).flat_map(move |dq| (0..h).map(move |dr| HexCoord::new(origin.q + dq, origin.r + dr)))
     }
 }
 
@@ -112,9 +113,9 @@ pub fn replace_modules(
     let candidate_origins: Vec<HexCoord> = region.iter().collect();
     for (module, &pref) in modules.iter().zip(preferred) {
         let fits = |origin: HexCoord, occupied: &BTreeSet<HexCoord>| {
-            module.footprint(origin).all(|c| {
-                region.contains(c) && !defects.is_faulty(c) && !occupied.contains(&c)
-            })
+            module
+                .footprint(origin)
+                .all(|c| region.contains(c) && !defects.is_faulty(c) && !occupied.contains(&c))
         };
         // Try the preferred origin first, then all origins by distance.
         let chosen = if fits(pref, &occupied) {
@@ -211,8 +212,7 @@ mod tests {
             HexCoord::new(0, 2),
             HexCoord::new(2, 2),
         ];
-        let placement =
-            replace_modules(&region, &DefectMap::new(), &modules, &preferred).unwrap();
+        let placement = replace_modules(&region, &DefectMap::new(), &modules, &preferred).unwrap();
         let mut all: Vec<HexCoord> = Vec::new();
         for (m, o) in modules.iter().zip(&placement.origins) {
             all.extend(m.footprint(*o));

@@ -163,9 +163,7 @@ impl DefectTolerantArray {
 
     /// The spare cells adjacent to `cell` (its replacement candidates).
     pub fn adjacent_spares(&self, cell: HexCoord) -> impl Iterator<Item = HexCoord> + '_ {
-        self.region
-            .neighbors_in(cell)
-            .filter(|n| self.is_spare(*n))
+        self.region.neighbors_in(cell).filter(|n| self.is_spare(*n))
     }
 
     /// The primary cells adjacent to `cell`.

@@ -191,9 +191,17 @@ pub fn attempt_reconfiguration(
     } else {
         let witness = hall_violation(&graph).expect("uncovered left side implies deficiency");
         Err(ReconfigFailure {
-            unassigned: matching.unmatched_left().into_iter().map(|a| faulty[a]).collect(),
+            unassigned: matching
+                .unmatched_left()
+                .into_iter()
+                .map(|a| faulty[a])
+                .collect(),
             deficient_set: witness.left_set.into_iter().map(|a| faulty[a]).collect(),
-            available_spares: witness.neighborhood.into_iter().map(|b| spares[b]).collect(),
+            available_spares: witness
+                .neighborhood
+                .into_iter()
+                .map(|b| spares[b])
+                .collect(),
         })
     }
 }
@@ -258,7 +266,11 @@ mod tests {
             attempt_reconfiguration(&array, &DefectMap::new(), &ReconfigPolicy::AllPrimaries)
                 .unwrap();
         assert!(plan.is_empty());
-        assert!(is_reconfigurable(&array, &DefectMap::new(), &ReconfigPolicy::AllPrimaries));
+        assert!(is_reconfigurable(
+            &array,
+            &DefectMap::new(),
+            &ReconfigPolicy::AllPrimaries
+        ));
     }
 
     #[test]
@@ -294,12 +306,16 @@ mod tests {
         let mut cells = vec![cell];
         cells.extend(spares.iter().copied());
         let defects = DefectMap::from_cells(cells);
-        let err = attempt_reconfiguration(&array, &defects, &ReconfigPolicy::AllPrimaries)
-            .unwrap_err();
+        let err =
+            attempt_reconfiguration(&array, &defects, &ReconfigPolicy::AllPrimaries).unwrap_err();
         assert_eq!(err.unassigned, vec![cell]);
         assert!(err.deficient_set.contains(&cell));
         assert!(err.available_spares.is_empty());
-        assert!(!is_reconfigurable(&array, &defects, &ReconfigPolicy::AllPrimaries));
+        assert!(!is_reconfigurable(
+            &array,
+            &defects,
+            &ReconfigPolicy::AllPrimaries
+        ));
         assert!(err.to_string().contains("failed"));
     }
 
@@ -337,7 +353,7 @@ mod tests {
         let policy = ReconfigPolicy::UsedCells(BTreeSet::new());
         let plan_none = attempt_reconfiguration(&array, &defects, &policy).unwrap();
         assert!(plan_none.is_empty());
-        assert!(policy.requires(unused) == false);
+        assert!(!policy.requires(unused));
     }
 
     #[test]
@@ -345,7 +361,11 @@ mod tests {
         let array = dtmb26_array();
         let spares: Vec<HexCoord> = array.spares().collect();
         let defects = DefectMap::from_cells(spares);
-        assert!(is_reconfigurable(&array, &defects, &ReconfigPolicy::AllPrimaries));
+        assert!(is_reconfigurable(
+            &array,
+            &defects,
+            &ReconfigPolicy::AllPrimaries
+        ));
     }
 
     #[test]
@@ -360,12 +380,15 @@ mod tests {
         assert_eq!(cluster.len(), 6);
         // One faulty primary in the cluster: fine.
         let one = DefectMap::from_cells([cluster[0]]);
-        assert!(is_reconfigurable(&array, &one, &ReconfigPolicy::AllPrimaries));
+        assert!(is_reconfigurable(
+            &array,
+            &one,
+            &ReconfigPolicy::AllPrimaries
+        ));
         // Two faulty primaries in the same cluster: they share the single
         // spare, so reconfiguration must fail.
         let two = DefectMap::from_cells([cluster[0], cluster[1]]);
-        let err =
-            attempt_reconfiguration(&array, &two, &ReconfigPolicy::AllPrimaries).unwrap_err();
+        let err = attempt_reconfiguration(&array, &two, &ReconfigPolicy::AllPrimaries).unwrap_err();
         assert_eq!(err.deficient_set.len(), 2);
         assert_eq!(err.available_spares.len(), 1);
     }
@@ -375,8 +398,7 @@ mod tests {
         let array = DtmbKind::Dtmb44.instantiate(&Region::parallelogram(10, 10));
         let faulty: Vec<HexCoord> = array.primaries().take(8).collect();
         let defects = DefectMap::from_cells(faulty);
-        if let Ok(plan) = attempt_reconfiguration(&array, &defects, &ReconfigPolicy::AllPrimaries)
-        {
+        if let Ok(plan) = attempt_reconfiguration(&array, &defects, &ReconfigPolicy::AllPrimaries) {
             let mut used: Vec<HexCoord> = plan.spares_used().collect();
             let before = used.len();
             used.sort();

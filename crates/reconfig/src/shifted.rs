@@ -159,10 +159,7 @@ impl SpareRowArray {
     /// # Errors
     ///
     /// [`ShiftFailure`] when there are more faulty rows than spare rows.
-    pub fn shifted_replacement(
-        &self,
-        faults: &[SquareCoord],
-    ) -> Result<ShiftPlan, ShiftFailure> {
+    pub fn shifted_replacement(&self, faults: &[SquareCoord]) -> Result<ShiftPlan, ShiftFailure> {
         let module_rows = self.module_rows();
         let faulty_rows: BTreeSet<u32> = faults
             .iter()
@@ -229,6 +226,7 @@ mod tests {
             .unwrap();
         assert_eq!(plan.modules_reconfigured, vec!["Module 1".to_string()]);
         assert_eq!(plan.cells_remapped, 16); // 2 rows x 8 columns
+
         // Rows 0..=3 unchanged; rows 4,5 shifted down by one.
         assert_eq!(&plan.row_remap[..4], &[0, 1, 2, 3]);
         assert_eq!(&plan.row_remap[4..], &[5, 6]);
@@ -243,15 +241,9 @@ mod tests {
         let plan = array
             .shifted_replacement(&[SquareCoord::new(0, 1)])
             .unwrap();
-        assert!(plan
-            .modules_reconfigured
-            .contains(&"Module 3".to_string()));
-        assert!(plan
-            .modules_reconfigured
-            .contains(&"Module 2".to_string()));
-        assert!(plan
-            .modules_reconfigured
-            .contains(&"Module 1".to_string()));
+        assert!(plan.modules_reconfigured.contains(&"Module 3".to_string()));
+        assert!(plan.modules_reconfigured.contains(&"Module 2".to_string()));
+        assert!(plan.modules_reconfigured.contains(&"Module 1".to_string()));
         assert_eq!(plan.cells_remapped, 48);
     }
 

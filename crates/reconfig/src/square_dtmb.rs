@@ -109,10 +109,7 @@ impl SquarePattern {
             if c.neighbors4().any(|n| !region.contains(n)) {
                 continue;
             }
-            let k = c
-                .neighbors4()
-                .filter(|n| self.is_spare_site(*n))
-                .count();
+            let k = c.neighbors4().filter(|n| self.is_spare_site(*n)).count();
             min = min.min(k);
             max = max.max(k);
             any = true;
@@ -129,8 +126,7 @@ impl SquarePattern {
     /// to a distinct adjacent fault-free spare (4-adjacency).
     #[must_use]
     pub fn is_reconfigurable(self, region: &SquareRegion, faulty: &[SquareCoord]) -> bool {
-        let faulty_set: std::collections::BTreeSet<SquareCoord> =
-            faulty.iter().copied().collect();
+        let faulty_set: std::collections::BTreeSet<SquareCoord> = faulty.iter().copied().collect();
         let faulty_primaries: Vec<SquareCoord> = faulty
             .iter()
             .copied()
@@ -181,7 +177,11 @@ mod tests {
     fn perfect_code_covers_every_primary_once() {
         let region = SquareRegion::rect(20, 20);
         let (min, max) = SquarePattern::PerfectCode.audit(&region);
-        assert_eq!((min, max), (1, 1), "perfect code: every primary sees 1 spare");
+        assert_eq!(
+            (min, max),
+            (1, 1),
+            "perfect code: every primary sees 1 spare"
+        );
         // RR approaches 1/4.
         let (p, s) = SquarePattern::PerfectCode.counts(&region);
         let rr = s as f64 / p as f64;
@@ -206,8 +206,7 @@ mod tests {
         // And a single fault there is fatal.
         assert!(!SquarePattern::Quarter.is_reconfigurable(&region, &[SquareCoord::new(3, 3)]));
         // ...while the perfect code tolerates any single primary fault.
-        assert!(SquarePattern::PerfectCode
-            .is_reconfigurable(&region, &[SquareCoord::new(3, 3)]));
+        assert!(SquarePattern::PerfectCode.is_reconfigurable(&region, &[SquareCoord::new(3, 3)]));
     }
 
     #[test]

@@ -82,11 +82,11 @@ impl MonteCarlo {
         }
         let total = self.trials as u64;
         let master = self.master_seed;
-        let successes = crossbeam::thread::scope(|scope| {
+        let successes = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(threads);
             for t in 0..threads as u64 {
                 let trial = &trial;
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let mut local = 0u64;
                     let mut i = t;
                     while i < total {
@@ -100,8 +100,7 @@ impl MonteCarlo {
                 }));
             }
             handles.into_iter().map(|h| h.join().expect("worker")).sum()
-        })
-        .expect("scope");
+        });
         BernoulliEstimate::new(successes, total)
     }
 
@@ -222,7 +221,11 @@ mod tests {
         let mc = MonteCarlo::new(100_000, 21);
         // A certain event needs very few trials to reach a tight interval.
         let est = mc.run_to_precision(0.01, 100, |_| true);
-        assert!(est.trials() < 50_000, "stopped after {} trials", est.trials());
+        assert!(
+            est.trials() < 50_000,
+            "stopped after {} trials",
+            est.trials()
+        );
         assert_eq!(est.point(), 1.0);
         assert!(est.margin95() <= 0.01);
     }

@@ -74,10 +74,7 @@ impl BernoulliEstimate {
     /// Merges two independent estimates of the same quantity.
     #[must_use]
     pub fn merged(self, other: BernoulliEstimate) -> BernoulliEstimate {
-        BernoulliEstimate::new(
-            self.successes + other.successes,
-            self.trials + other.trials,
-        )
+        BernoulliEstimate::new(self.successes + other.successes, self.trials + other.trials)
     }
 }
 
@@ -300,7 +297,9 @@ mod tests {
 
     #[test]
     fn summary_known_values() {
-        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert!((s.mean() - 5.0).abs() < 1e-12);
         assert!((s.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
         assert_eq!(s.min(), 2.0);

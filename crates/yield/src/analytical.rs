@@ -114,9 +114,8 @@ pub fn spare_row_yield(p: f64, width: usize, module_rows: usize, spare_rows: usi
     assert!(width > 0, "array must have at least one column");
     let p_row = p.powi(i32::try_from(width).expect("width fits i32"));
     let q_row = 1.0 - p_row;
-    let prob_faulty = |n: usize, k: usize| {
-        binomial(n, k) * q_row.powi(k as i32) * p_row.powi((n - k) as i32)
-    };
+    let prob_faulty =
+        |n: usize, k: usize| binomial(n, k) * q_row.powi(k as i32) * p_row.powi((n - k) as i32);
     let mut yield_total = 0.0;
     for j in 0..=spare_rows {
         let healthy_spares = spare_rows - j;
@@ -243,9 +242,7 @@ mod tests {
         assert!((spare_row_yield(1.0, 8, 6, 1) - 1.0).abs() < 1e-12);
         // More spare rows never hurt.
         for k in 0..3 {
-            assert!(
-                spare_row_yield(0.95, 8, 6, k + 1) >= spare_row_yield(0.95, 8, 6, k) - 1e-12
-            );
+            assert!(spare_row_yield(0.95, 8, 6, k + 1) >= spare_row_yield(0.95, 8, 6, k) - 1e-12);
         }
         // At equal overhead, interstitial DTMB beats the spare-row scheme:
         // 48 primaries + 1 spare row of 8 cells (RR = 1/6) vs DTMB(1,6).

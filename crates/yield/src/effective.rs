@@ -45,8 +45,8 @@ pub fn effective_yield_of(array: &DefectTolerantArray, yield_value: f64) -> f64 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dmfb_reconfig::dtmb::DtmbKind;
     use dmfb_grid::Region;
+    use dmfb_reconfig::dtmb::DtmbKind;
 
     #[test]
     fn formula_matches_definition() {

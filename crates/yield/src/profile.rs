@@ -55,7 +55,7 @@ impl ToleranceProfile {
     #[must_use]
     pub fn quantile_at_least(&self, level: f64) -> usize {
         let mut m = 0;
-        while self.survival(m + 1) >= level && (m as usize) < self.histogram.len() {
+        while self.survival(m + 1) >= level && m < self.histogram.len() {
             m += 1;
         }
         m
@@ -178,9 +178,7 @@ mod tests {
 
     #[test]
     fn no_redundancy_dies_on_first_primary_fault() {
-        let array = DefectTolerantArray::without_redundancy(
-            dmfb_grid::Region::parallelogram(6, 6),
-        );
+        let array = DefectTolerantArray::without_redundancy(dmfb_grid::Region::parallelogram(6, 6));
         let profile = tolerance_profile(&array, &ReconfigPolicy::AllPrimaries, 200, 5);
         // With every cell primary, the first fault is always fatal.
         assert_eq!(profile.stats.max(), 0.0);

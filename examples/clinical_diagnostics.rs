@@ -55,7 +55,10 @@ fn main() {
     let policy = used_cells_policy(&chip);
     let plan = match attempt_reconfiguration(&chip.array, &diagnosis.detected, &policy) {
         Ok(plan) => {
-            println!("reconfiguration: OK, {} assay cell(s) replaced by spares", plan.len());
+            println!(
+                "reconfiguration: OK, {} assay cell(s) replaced by spares",
+                plan.len()
+            );
             plan
         }
         Err(failure) => {

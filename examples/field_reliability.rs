@@ -50,11 +50,7 @@ fn main() {
             }
         }
         let frac = alive as f64 / chips as f64;
-        println!(
-            "{horizon:>12.0}   {}   {}",
-            pct(frac),
-            bar(frac, 30)
-        );
+        println!("{horizon:>12.0}   {}   {}", pct(frac), bar(frac, 30));
     }
     println!(
         "\nexpected failures at the longest horizon: {:.1} cells of {}",

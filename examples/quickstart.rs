@@ -23,8 +23,14 @@ fn main() {
     let report = chip.yield_report(0.95, 10_000, 42);
     println!("survival p = {:.2}", report.survival_p);
     println!("  raw yield (no reconfiguration): {}", report.raw_yield);
-    println!("  with local reconfiguration:     {}", report.reconfigured_yield);
-    println!("  effective yield (area-scaled):  {:.4}", report.effective_yield);
+    println!(
+        "  with local reconfiguration:     {}",
+        report.reconfigured_yield
+    );
+    println!(
+        "  effective yield (area-scaled):  {:.4}",
+        report.effective_yield
+    );
 
     // 3. One chip instance end to end: inject defects, test with droplet
     //    traces, reconfigure from what the test found.

@@ -21,9 +21,7 @@ fn main() {
     let analyte = Analyte::Glucose;
     let standards = analyte.calibration_standards_mm();
     let max_standard = *standards.last().expect("standards exist");
-    println!(
-        "sample: {raw:.1} mM glucose; calibration range tops out at {max_standard:.1} mM"
-    );
+    println!("sample: {raw:.1} mM glucose; calibration range tops out at {max_standard:.1} mM");
 
     let plan = if raw > max_standard {
         DilutionPlan::for_target(2.0 * raw / max_standard)

@@ -15,10 +15,7 @@ use dmfb_examples::bar;
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let primaries: usize = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(100);
+    let primaries: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(100);
     let trials: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(3_000);
 
     println!("effective-yield explorer: n = {primaries} primaries, {trials} trials/point\n");

@@ -17,6 +17,6 @@ mod tests {
                 assert_ne!(a, b);
             }
         }
-        assert!(TEST_TRIALS > 0);
+        const { assert!(TEST_TRIALS > 0) };
     }
 }

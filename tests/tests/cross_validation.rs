@@ -82,11 +82,8 @@ fn spare_count_bound_dominates_mc() {
             .yield_report(p, 3_000, TEST_SEEDS[0])
             .reconfigured_yield
             .point();
-        let bound = spare_count_upper_bound(
-            p,
-            chip.array().primary_count(),
-            chip.array().spare_count(),
-        );
+        let bound =
+            spare_count_upper_bound(p, chip.array().primary_count(), chip.array().spare_count());
         assert!(
             mc <= bound + 0.02,
             "{kind}: mc {mc} exceeds spare-count bound {bound}"

@@ -113,9 +113,7 @@ fn clustered_defects_are_worse_than_iid() {
     let clustered = ClusteredSpot::new(2.0, 1, 0.6);
     let expected_failures = clustered.expected_failures();
     let q = expected_failures / total_cells;
-    let iid = est
-        .estimate_survival(1.0 - q, 4_000, TEST_SEEDS[0])
-        .point();
+    let iid = est.estimate_survival(1.0 - q, 4_000, TEST_SEEDS[0]).point();
     let spot = est.estimate_with(&clustered, 4_000, TEST_SEEDS[0]).point();
     assert!(
         spot < iid + 0.02,

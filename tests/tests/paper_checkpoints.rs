@@ -77,9 +77,8 @@ fn figure10_crossover() {
     let fat = Biochip::dtmb(DtmbKind::Dtmb44, n);
     let low_p = 0.82;
     let high_p = 0.99;
-    let ey = |chip: &Biochip, p: f64, seed: u64| {
-        chip.yield_report(p, TEST_TRIALS, seed).effective_yield
-    };
+    let ey =
+        |chip: &Biochip, p: f64, seed: u64| chip.yield_report(p, TEST_TRIALS, seed).effective_yield;
     assert!(
         ey(&fat, low_p, TEST_SEEDS[2]) > ey(&lean, low_p, TEST_SEEDS[2]),
         "DTMB(4,4) must win on EY at p={low_p}"
@@ -109,11 +108,15 @@ fn figure13_case_study_shape() {
     }
     // The paper reports >= 0.90 up to m = 35; with our denser assay block
     // the crossing lands near m = 30 — still "tens of faults tolerated".
-    let y25 = biochip.exact_fault_yield(25, TEST_TRIALS, TEST_SEEDS[1]).point();
+    let y25 = biochip
+        .exact_fault_yield(25, TEST_TRIALS, TEST_SEEDS[1])
+        .point();
     assert!(y25 >= 0.90, "yield at m=25 should be >= 0.90, got {y25}");
     // And the redundancy is what does it: all-primaries policy is far worse.
     let strict = Biochip::from_array(chip.array);
-    let y25_strict = strict.exact_fault_yield(25, TEST_TRIALS, TEST_SEEDS[1]).point();
+    let y25_strict = strict
+        .exact_fault_yield(25, TEST_TRIALS, TEST_SEEDS[1])
+        .point();
     assert!(y25 > y25_strict + 0.1);
 }
 

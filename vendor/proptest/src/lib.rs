@@ -1,0 +1,464 @@
+//! Offline vendored subset of the `proptest` 1.x API.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the slice of proptest its property suites use:
+//! the [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assume!`, range/tuple/vec/select strategies, `prop_map` /
+//! `prop_flat_map`, and [`test_runner::ProptestConfig`].
+//!
+//! Differences from upstream, by design:
+//!
+//! - **No shrinking.** A failing case reports the assertion message only.
+//! - **Deterministic seeding.** Each property derives case RNGs from a
+//!   hash of its module path and name plus the case and attempt index,
+//!   so failures always reproduce and distinct properties explore
+//!   distinct input streams.
+//! - **Default case count is 64** (upstream: 256) to keep the tier-1
+//!   test gate fast; raise per-block with
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]`.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use super::StdRng;
+
+    /// A generator of test-case values (stub of `proptest::strategy::Strategy`).
+    ///
+    /// Unlike upstream there is no value tree; `Value` is the produced
+    /// type directly and sampling never shrinks.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps produced values through `f`.
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { source: self, f }
+        }
+
+        /// Builds a dependent strategy from each produced value.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { source: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, T, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> T {
+            (self.f)(self.source.sample(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            (self.f)(self.source.sample(rng)).sample(rng)
+        }
+    }
+
+    macro_rules! range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rand::Rng::gen_range(rng, self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rand::Rng::gen_range(rng, self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($s,)+) = self;
+                    ($($s.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategies! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+}
+
+/// Collection strategies (stub of `proptest::collection`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::StdRng;
+
+    /// Length specification for [`vec`]: a fixed size or a range.
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec length range");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<T>` with element strategy `element` and a length
+    /// drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rand::Rng::gen_range(rng, self.size.lo..self.size.hi_exclusive);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies (stub of `proptest::sample`).
+pub mod sample {
+    use super::strategy::Strategy;
+    use super::StdRng;
+
+    /// Strategy drawing one element of `options` uniformly.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select() needs at least one option");
+        Select { options }
+    }
+
+    /// Strategy returned by [`select`].
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> T {
+            let i = rand::Rng::gen_range(rng, 0..self.options.len());
+            self.options[i].clone()
+        }
+    }
+}
+
+/// Test-runner configuration and internals used by the macros.
+pub mod test_runner {
+    /// Per-block configuration (stub of `proptest::test_runner::Config`).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Upstream defaults to 256; the stub trades a little coverage
+            // for a faster tier-1 gate.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Marker returned by `prop_assume!` when a case is rejected.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Reject;
+
+    /// Max resampling attempts per case before a property aborts because
+    /// `prop_assume!` rejects everything (upstream: "too many global
+    /// rejects").
+    pub const MAX_REJECTS_PER_CASE: u32 = 256;
+
+    /// Derives the deterministic RNG for one sampling attempt of one case
+    /// of the property named `property` (pass `module_path!()` +
+    /// test name so distinct properties explore distinct input streams).
+    pub fn case_rng(property: &str, case: u32, attempt: u32) -> rand::rngs::StdRng {
+        use rand::SeedableRng;
+        // FNV-1a over the property path keeps streams stable per test but
+        // different across tests.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in property.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        rand::rngs::StdRng::seed_from_u64(
+            h ^ u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ u64::from(attempt).wrapping_mul(0xD1F2_0005),
+        )
+    }
+}
+
+/// Everything a property-test module needs (stub of `proptest::prelude`).
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespaced access to strategy modules, as `prop::collection::vec`
+    /// and friends.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let property = concat!(module_path!(), "::", stringify!($name));
+            for case in 0..config.cases {
+                // An Err outcome is a case rejected by prop_assume!:
+                // resample (bounded) rather than count it as tested. The
+                // closure exists so prop_assume! can early-return without
+                // ending the test.
+                let mut attempt = 0u32;
+                loop {
+                    let mut rng = $crate::test_runner::case_rng(property, case, attempt);
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);
+                    )+
+                    #[allow(clippy::redundant_closure_call)]
+                    let outcome = (|| -> ::core::result::Result<(), $crate::test_runner::Reject> {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    if outcome.is_ok() {
+                        break;
+                    }
+                    attempt += 1;
+                    assert!(
+                        attempt < $crate::test_runner::MAX_REJECTS_PER_CASE,
+                        "property {property}: prop_assume! rejected {attempt} \
+                         samples in a row; strategy and assumption are \
+                         incompatible"
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Skips the current case when `cond` does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, f in 0.25f64..=0.5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.25..=0.5).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_vecs_compose(
+            (a, b) in (0i32..5, 5i32..10),
+            xs in prop::collection::vec(0u8..4, 2..6),
+        ) {
+            prop_assert!(a < b);
+            prop_assert!(xs.len() >= 2 && xs.len() < 6);
+            prop_assert!(xs.iter().all(|&x| x < 4));
+        }
+
+        #[test]
+        fn select_picks_an_option(v in prop::sample::select(vec![2, 4, 8])) {
+            prop_assert!(v == 2 || v == 4 || v == 8);
+        }
+
+        #[test]
+        fn map_and_flat_map(
+            n in (1usize..5).prop_flat_map(|n| (0..n).prop_map(move |i| (n, i)))
+        ) {
+            let (n, i) = n;
+            prop_assert!(i < n);
+        }
+
+        #[test]
+        fn assume_skips(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn config_is_honored(_x in 0u32..1000) {
+            // Runs 7 cases; nothing to assert beyond not panicking.
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_but_differ_across_properties() {
+        use crate::strategy::Strategy;
+        let s = (0u64..1_000_000, 0u64..1_000_000);
+        let sample_all = |name: &str| -> Vec<_> {
+            (0..5)
+                .map(|c| s.sample(&mut crate::test_runner::case_rng(name, c, 0)))
+                .collect()
+        };
+        assert_eq!(sample_all("mod::prop_a"), sample_all("mod::prop_a"));
+        assert_ne!(sample_all("mod::prop_a"), sample_all("mod::prop_b"));
+    }
+
+    #[test]
+    fn impossible_assumption_aborts_instead_of_passing_vacuously() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(1))]
+                fn never_accepts(x in 0u32..10) {
+                    prop_assume!(x > 100);
+                }
+            }
+            never_accepts();
+        });
+        let err = *result
+            .expect_err("must abort")
+            .downcast::<String>()
+            .unwrap();
+        assert!(err.contains("rejected"), "panic message: {err}");
+    }
+}

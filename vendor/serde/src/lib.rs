@@ -1,0 +1,11 @@
+//! Offline stub of `serde`.
+//!
+//! Re-exports no-op `Serialize`/`Deserialize` derives from the vendored
+//! `serde_derive` stub. The workspace derives the traits for forward
+//! compatibility but performs no serialization yet; swap these vendored
+//! stubs for the real crates.io `serde` when it does.
+
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

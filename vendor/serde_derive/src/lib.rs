@@ -1,0 +1,20 @@
+//! Offline no-op stub of `serde_derive`.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize` (no code
+//! serializes anything yet), so these derives intentionally expand to
+//! nothing. When real serialization lands, replace the `vendor/serde*`
+//! stubs with the crates.io crates.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
