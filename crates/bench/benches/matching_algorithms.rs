@@ -2,7 +2,9 @@
 //! reconfiguration-shaped bipartite graphs of growing size.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dmfb_core::graph::{augmenting_path_matching, hopcroft_karp, BipartiteGraph};
+use dmfb_core::graph::{
+    augmenting_path_matching, hopcroft_karp, BipartiteGraph, BitsetGraph, BitsetMatcher,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
@@ -30,6 +32,19 @@ fn bench_matching(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("augmenting_path", size), &g, |b, g| {
             b.iter(|| black_box(augmenting_path_matching(g)));
         });
+        let bg = BitsetGraph::from_graph(&g);
+        group.bench_with_input(BenchmarkId::new("bitset_hk", size), &bg, |b, bg| {
+            let mut matcher = BitsetMatcher::new();
+            b.iter(|| black_box(matcher.max_matching(bg).len()));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("bitset_hk_feasibility", size),
+            &bg,
+            |b, bg| {
+                let mut matcher = BitsetMatcher::new();
+                b.iter(|| black_box(matcher.covers_all_left(bg)));
+            },
+        );
     }
     group.finish();
 }

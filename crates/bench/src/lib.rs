@@ -4,8 +4,13 @@
 //! `src/bin/` that regenerates the corresponding table or figure as text,
 //! printing paper-expected values next to measured ones, and (b) a
 //! criterion bench timing the underlying computation. This library holds
-//! the pieces they share: experiment parameter sets and plain-text table
-//! rendering.
+//! the pieces they share: experiment parameter sets, plain-text table
+//! rendering, and the machine-readable [`BenchReport`] JSON format
+//! (`BENCH_*.json`) that `dmfb bench --json` emits and CI archives.
+
+mod report;
+
+pub use report::{BenchEntry, BenchReport, BENCH_SCHEMA};
 
 use std::fmt::Write as _;
 

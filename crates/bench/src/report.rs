@@ -1,0 +1,435 @@
+//! Machine-readable benchmark reports (`BENCH_*.json`).
+//!
+//! `dmfb bench --json` serialises its measurements with this module so CI
+//! can archive them as workflow artifacts and later PRs can diff
+//! throughput numbers instead of eyeballing log output. The environment
+//! vendors no JSON library, so the writer is a small hand-rolled emitter
+//! for the fixed `dmfb-bench/1` schema:
+//!
+//! ```json
+//! {
+//!   "schema": "dmfb-bench/1",
+//!   "label": "quick",
+//!   "created_unix_ms": 1753660800000,
+//!   "threads": 8,
+//!   "quick": true,
+//!   "entries": [
+//!     {
+//!       "name": "dtmb26/incremental",
+//!       "design": "DTMB(2,6)",
+//!       "primaries": 120,
+//!       "trials": 2000,
+//!       "grid_points": 1,
+//!       "wall_ms": 12.5,
+//!       "trials_per_sec": 160000.0,
+//!       "yield_estimate": 0.9435
+//!     }
+//!   ]
+//! }
+//! ```
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// The schema identifier written into every report.
+pub const BENCH_SCHEMA: &str = "dmfb-bench/1";
+
+/// One measured configuration: a named workload with its wall time and
+/// derived throughput.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchEntry {
+    /// Unique entry name, conventionally `<design>/<engine>`.
+    pub name: String,
+    /// Human-readable design label (e.g. `DTMB(2,6)`).
+    pub design: String,
+    /// Primary-cell count of the benchmarked array.
+    pub primaries: usize,
+    /// Monte-Carlo trials executed.
+    pub trials: u64,
+    /// Survival-grid points served by those trials (1 for single-point
+    /// estimates; the grid length for batched sweeps).
+    pub grid_points: usize,
+    /// Wall-clock time in milliseconds.
+    pub wall_ms: f64,
+    /// Effective point-trials per second:
+    /// `trials × grid_points / wall seconds`.
+    pub trials_per_sec: f64,
+    /// The yield estimate the workload produced (a cross-engine sanity
+    /// anchor for report consumers).
+    pub yield_estimate: f64,
+}
+
+impl BenchEntry {
+    fn to_json(&self, out: &mut String) {
+        out.push('{');
+        let _ = write!(out, "\"name\":{}", json_string(&self.name));
+        let _ = write!(out, ",\"design\":{}", json_string(&self.design));
+        let _ = write!(out, ",\"primaries\":{}", self.primaries);
+        let _ = write!(out, ",\"trials\":{}", self.trials);
+        let _ = write!(out, ",\"grid_points\":{}", self.grid_points);
+        let _ = write!(out, ",\"wall_ms\":{}", json_number(self.wall_ms));
+        let _ = write!(
+            out,
+            ",\"trials_per_sec\":{}",
+            json_number(self.trials_per_sec)
+        );
+        let _ = write!(
+            out,
+            ",\"yield_estimate\":{}",
+            json_number(self.yield_estimate)
+        );
+        out.push('}');
+    }
+}
+
+/// A complete benchmark run, serialisable to a `BENCH_<label>.json` file.
+///
+/// # Example
+///
+/// ```
+/// use dmfb_bench::{BenchEntry, BenchReport};
+///
+/// let mut report = BenchReport::new("quick", 4, true);
+/// report.push(BenchEntry {
+///     name: "dtmb26/incremental".into(),
+///     design: "DTMB(2,6)".into(),
+///     primaries: 120,
+///     trials: 2_000,
+///     grid_points: 1,
+///     wall_ms: 12.5,
+///     trials_per_sec: 160_000.0,
+///     yield_estimate: 0.94,
+/// });
+/// let json = report.to_json();
+/// assert!(json.contains("\"schema\":\"dmfb-bench/1\""));
+/// assert_eq!(report.file_name(), "BENCH_quick.json");
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchReport {
+    /// Report label; becomes the `BENCH_<label>.json` file-name stem.
+    pub label: String,
+    /// Milliseconds since the Unix epoch at report creation.
+    pub created_unix_ms: u64,
+    /// Worker threads the run was configured with (post `0 = auto`
+    /// resolution).
+    pub threads: usize,
+    /// Whether this was a `--quick` run (CI smoke) or the full suite.
+    pub quick: bool,
+    /// The measurements.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchReport {
+    /// Creates an empty report stamped with the current wall-clock time.
+    #[must_use]
+    pub fn new(label: impl Into<String>, threads: usize, quick: bool) -> Self {
+        let created_unix_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+            .unwrap_or(0);
+        BenchReport {
+            label: label.into(),
+            created_unix_ms,
+            threads,
+            quick,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Appends a measurement.
+    pub fn push(&mut self, entry: BenchEntry) {
+        self.entries.push(entry);
+    }
+
+    /// Serialises the report as a single JSON object (no trailing
+    /// newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + 220 * self.entries.len());
+        out.push('{');
+        let _ = write!(out, "\"schema\":{}", json_string(BENCH_SCHEMA));
+        let _ = write!(out, ",\"label\":{}", json_string(&self.label));
+        let _ = write!(out, ",\"created_unix_ms\":{}", self.created_unix_ms);
+        let _ = write!(out, ",\"threads\":{}", self.threads);
+        let _ = write!(out, ",\"quick\":{}", self.quick);
+        out.push_str(",\"entries\":[");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            e.to_json(&mut out);
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// The conventional file name for this report: `BENCH_<label>.json`,
+    /// with the label sanitised to `[A-Za-z0-9._-]`.
+    #[must_use]
+    pub fn file_name(&self) -> String {
+        let stem: String = self
+            .label
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                    c
+                } else {
+                    '-'
+                }
+            })
+            .collect();
+        format!("BENCH_{stem}.json")
+    }
+
+    /// Writes `<dir>/BENCH_<label>.json` (plus a trailing newline) and
+    /// returns the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from writing the file.
+    pub fn write_to_dir(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        let path = dir.join(self.file_name());
+        let mut json = self.to_json();
+        json.push('\n');
+        std::fs::write(&path, json)?;
+        Ok(path)
+    }
+}
+
+/// Quotes and escapes `s` as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a float as a JSON number; non-finite values (which JSON cannot
+/// represent) degrade to `null`.
+fn json_number(x: f64) -> String {
+    if x.is_finite() {
+        let s = format!("{x}");
+        // `{}` prints integral floats without a fractional part; that is
+        // still a valid JSON number, so pass it through unchanged.
+        s
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal JSON syntax checker (objects, arrays, strings, numbers,
+    /// booleans, null) — enough to prove the emitter produces
+    /// well-formed documents without vendoring a parser.
+    fn validate_json(s: &str) -> Result<(), String> {
+        let b = s.as_bytes();
+        let mut i = 0usize;
+        fn ws(b: &[u8], i: &mut usize) {
+            while *i < b.len() && (b[*i] as char).is_ascii_whitespace() {
+                *i += 1;
+            }
+        }
+        fn value(b: &[u8], i: &mut usize) -> Result<(), String> {
+            ws(b, i);
+            match b.get(*i) {
+                Some(b'{') => {
+                    *i += 1;
+                    ws(b, i);
+                    if b.get(*i) == Some(&b'}') {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    loop {
+                        string(b, i)?;
+                        ws(b, i);
+                        if b.get(*i) != Some(&b':') {
+                            return Err(format!("expected ':' at {i}"));
+                        }
+                        *i += 1;
+                        value(b, i)?;
+                        ws(b, i);
+                        match b.get(*i) {
+                            Some(b',') => *i += 1,
+                            Some(b'}') => {
+                                *i += 1;
+                                return Ok(());
+                            }
+                            _ => return Err(format!("expected ',' or '}}' at {i}")),
+                        }
+                        ws(b, i);
+                    }
+                }
+                Some(b'[') => {
+                    *i += 1;
+                    ws(b, i);
+                    if b.get(*i) == Some(&b']') {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    loop {
+                        value(b, i)?;
+                        ws(b, i);
+                        match b.get(*i) {
+                            Some(b',') => *i += 1,
+                            Some(b']') => {
+                                *i += 1;
+                                return Ok(());
+                            }
+                            _ => return Err(format!("expected ',' or ']' at {i}")),
+                        }
+                    }
+                }
+                Some(b'"') => string(b, i),
+                Some(b't') => literal(b, i, "true"),
+                Some(b'f') => literal(b, i, "false"),
+                Some(b'n') => literal(b, i, "null"),
+                Some(_) => number(b, i),
+                None => Err("unexpected end".into()),
+            }
+        }
+        fn literal(b: &[u8], i: &mut usize, lit: &str) -> Result<(), String> {
+            if b[*i..].starts_with(lit.as_bytes()) {
+                *i += lit.len();
+                Ok(())
+            } else {
+                Err(format!("bad literal at {i}"))
+            }
+        }
+        fn string(b: &[u8], i: &mut usize) -> Result<(), String> {
+            ws(b, i);
+            if b.get(*i) != Some(&b'"') {
+                return Err(format!("expected string at {i}"));
+            }
+            *i += 1;
+            while let Some(&c) = b.get(*i) {
+                match c {
+                    b'"' => {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    b'\\' => *i += 2,
+                    c if c < 0x20 => return Err(format!("raw control char at {i}")),
+                    _ => *i += 1,
+                }
+            }
+            Err("unterminated string".into())
+        }
+        fn number(b: &[u8], i: &mut usize) -> Result<(), String> {
+            let start = *i;
+            while let Some(&c) = b.get(*i) {
+                if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                    *i += 1;
+                } else {
+                    break;
+                }
+            }
+            let text = std::str::from_utf8(&b[start..*i]).unwrap();
+            text.parse::<f64>()
+                .map(|_| ())
+                .map_err(|_| format!("bad number '{text}' at {start}"))
+        }
+        value(b, &mut i)?;
+        ws(b, &mut i);
+        if i == b.len() {
+            Ok(())
+        } else {
+            Err(format!("trailing garbage at {i}"))
+        }
+    }
+
+    fn sample_entry() -> BenchEntry {
+        BenchEntry {
+            name: "dtmb26/batched-sweep".into(),
+            design: "DTMB(2,6)".into(),
+            primaries: 120,
+            trials: 2_000,
+            grid_points: 11,
+            wall_ms: 42.75,
+            trials_per_sec: 514_619.88,
+            yield_estimate: 0.9435,
+        }
+    }
+
+    #[test]
+    fn report_serialises_to_valid_json() {
+        let mut r = BenchReport::new("quick", 8, true);
+        r.push(sample_entry());
+        r.push(BenchEntry {
+            name: "weird \"label\"\n\\".into(),
+            yield_estimate: f64::NAN,
+            ..sample_entry()
+        });
+        let json = r.to_json();
+        validate_json(&json).expect("emitter must produce valid JSON");
+        assert!(json.contains("\"schema\":\"dmfb-bench/1\""));
+        assert!(json.contains("\"entries\":[{"));
+        assert!(json.contains("\"yield_estimate\":null"), "NaN → null");
+        assert!(json.contains("\\\"label\\\""), "escaped quotes");
+    }
+
+    #[test]
+    fn empty_report_is_valid_json() {
+        let r = BenchReport::new("empty", 1, false);
+        let json = r.to_json();
+        validate_json(&json).unwrap();
+        assert!(json.ends_with("\"entries\":[]}"));
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(validate_json("{\"a\":}").is_err());
+        assert!(validate_json("{\"a\":1,}").is_err());
+        assert!(validate_json("[1 2]").is_err());
+        assert!(validate_json("{} trailing").is_err());
+        assert!(validate_json("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn file_name_is_sanitised() {
+        let r = BenchReport::new("quick run/7", 1, true);
+        assert_eq!(r.file_name(), "BENCH_quick-run-7.json");
+    }
+
+    #[test]
+    fn write_round_trip() {
+        let dir = std::env::temp_dir().join(format!(
+            "dmfb-bench-test-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut r = BenchReport::new("roundtrip", 2, true);
+        r.push(sample_entry());
+        let path = r.write_to_dir(&dir).unwrap();
+        assert!(path
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .starts_with("BENCH_"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.ends_with('\n'));
+        validate_json(text.trim_end()).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

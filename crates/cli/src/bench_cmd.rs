@@ -1,0 +1,175 @@
+//! `dmfb bench` — the performance-reporting suite behind the CI
+//! `bench-smoke` job.
+//!
+//! Runs the Monte-Carlo yield workload through each engine generation —
+//! the per-trial graph-rebuild path, the incremental bitset evaluator,
+//! and the batched whole-curve sweep — on a fixed set of DTMB designs,
+//! and reports wall time plus effective trial throughput. `--json` writes
+//! a `BENCH_<label>.json` file in the [`dmfb_bench`] schema so CI can
+//! archive the numbers and later PRs can compare them.
+
+use dmfb_bench::{BenchEntry, BenchReport, TextTable, FIG7_9_SURVIVAL_GRID};
+use dmfb_core::prelude::*;
+use std::time::Instant;
+
+/// Survival probability used for the single-point engine comparisons.
+const BENCH_P: f64 = 0.95;
+
+/// Master seed for all bench workloads (throughput, not statistics, is
+/// the point — but determinism keeps yield anchors comparable across
+/// runs).
+const BENCH_SEED: u64 = 0xBE7C_2005;
+
+/// Configuration for one `dmfb bench` invocation.
+pub struct BenchConfig {
+    /// Quick mode: small arrays and trial counts for the CI smoke job.
+    pub quick: bool,
+    /// Worker threads (`0` = one per available core).
+    pub threads: usize,
+    /// Emit a `BENCH_*.json` report instead of only the text table.
+    pub json: bool,
+    /// Directory receiving the JSON report.
+    pub out_dir: String,
+    /// Report label (file-name stem suffix).
+    pub label: String,
+}
+
+/// One benchmarked workload: `(design, primaries, trials)`.
+fn cases(quick: bool) -> Vec<(DtmbKind, usize, u32)> {
+    if quick {
+        vec![
+            (DtmbKind::Dtmb26A, 120, 2_000),
+            (DtmbKind::Dtmb44, 120, 2_000),
+        ]
+    } else {
+        vec![
+            (DtmbKind::Dtmb16, 240, 10_000),
+            (DtmbKind::Dtmb26A, 240, 10_000),
+            (DtmbKind::Dtmb36, 240, 10_000),
+            (DtmbKind::Dtmb44, 240, 10_000),
+        ]
+    }
+}
+
+/// Short CLI-style design tag for entry names (`dtmb26`, `dtmb44`, …).
+fn tag(kind: DtmbKind) -> &'static str {
+    match kind {
+        DtmbKind::Dtmb16 => "dtmb16",
+        DtmbKind::Dtmb26A => "dtmb26",
+        DtmbKind::Dtmb26B => "dtmb26b",
+        DtmbKind::Dtmb36 => "dtmb36",
+        DtmbKind::Dtmb44 => "dtmb44",
+    }
+}
+
+fn entry(
+    name: String,
+    kind: DtmbKind,
+    primaries: usize,
+    trials: u32,
+    grid_points: usize,
+    wall_ms: f64,
+    yield_estimate: f64,
+) -> BenchEntry {
+    let point_trials = u64::from(trials) * grid_points as u64;
+    BenchEntry {
+        name,
+        design: kind.to_string(),
+        primaries,
+        trials: u64::from(trials),
+        grid_points,
+        wall_ms,
+        trials_per_sec: if wall_ms > 0.0 {
+            point_trials as f64 / (wall_ms / 1_000.0)
+        } else {
+            f64::INFINITY
+        },
+        yield_estimate,
+    }
+}
+
+/// Runs the suite and returns the filled report.
+#[must_use]
+pub fn run(config: &BenchConfig) -> BenchReport {
+    let threads = if config.threads == 0 {
+        auto_threads()
+    } else {
+        config.threads
+    };
+    let mut report = BenchReport::new(config.label.clone(), threads, config.quick);
+    for (kind, primaries, trials) in cases(config.quick) {
+        let mc = MonteCarloYield::new(
+            kind.with_primary_count(primaries),
+            ReconfigPolicy::AllPrimaries,
+        )
+        .with_threads(threads);
+
+        let t0 = Instant::now();
+        let rebuild = mc.estimate_survival(BENCH_P, trials, BENCH_SEED);
+        report.push(entry(
+            format!("{}/rebuild", tag(kind)),
+            kind,
+            primaries,
+            trials,
+            1,
+            t0.elapsed().as_secs_f64() * 1_000.0,
+            rebuild.point(),
+        ));
+
+        let t0 = Instant::now();
+        let fast = mc.estimate_survival_fast(BENCH_P, trials, BENCH_SEED);
+        report.push(entry(
+            format!("{}/incremental", tag(kind)),
+            kind,
+            primaries,
+            trials,
+            1,
+            t0.elapsed().as_secs_f64() * 1_000.0,
+            fast.point(),
+        ));
+
+        let grid = FIG7_9_SURVIVAL_GRID;
+        let t0 = Instant::now();
+        let curve = mc.sweep_survival_batched(&grid, trials, BENCH_SEED);
+        let at_bench_p = curve
+            .iter()
+            .find(|pt| (pt.x - BENCH_P).abs() < 1e-9)
+            .map_or(f64::NAN, |pt| pt.y);
+        report.push(entry(
+            format!("{}/batched-sweep", tag(kind)),
+            kind,
+            primaries,
+            trials,
+            grid.len(),
+            t0.elapsed().as_secs_f64() * 1_000.0,
+            at_bench_p,
+        ));
+    }
+    report
+}
+
+/// Renders the report as an aligned text table.
+#[must_use]
+pub fn render_table(report: &BenchReport) -> String {
+    let mut table = TextTable::new(vec![
+        "workload".into(),
+        "primaries".into(),
+        "trials".into(),
+        "grid".into(),
+        "wall_ms".into(),
+        "point-trials/s".into(),
+        "yield@0.95".into(),
+    ]);
+    for e in &report.entries {
+        table.row(vec![
+            e.name.clone(),
+            e.primaries.to_string(),
+            e.trials.to_string(),
+            e.grid_points.to_string(),
+            format!("{:.1}", e.wall_ms),
+            format!("{:.0}", e.trials_per_sec),
+            format!("{:.4}", e.yield_estimate),
+        ]);
+    }
+    table.render()
+}

@@ -8,6 +8,8 @@
 //! dmfb assay   --faults 10 --seed 42
 //! ```
 
+mod bench_cmd;
+
 use dmfb_core::prelude::*;
 use dmfb_core::{grid::render, yield_model::effective};
 use rand::rngs::StdRng;
@@ -56,6 +58,7 @@ fn main() -> ExitCode {
         "render" => cmd_render(&opts),
         "assay" => cmd_assay(&opts),
         "profile" => cmd_profile(&opts),
+        "bench" => cmd_bench(&opts),
         "help" | "--help" | "-h" => {
             outln!("{USAGE}");
             Ok(())
@@ -77,13 +80,16 @@ dmfb — yield enhancement for digital microfluidic biochips (DATE 2005)
 USAGE:
   dmfb yield  --design <D> --primaries <N> --p <P> [--trials T] [--seed S] [--threads K]
   dmfb sweep  --design <D> --primaries <N> [--from P] [--to P] [--steps K] [--effective]
+              [--batched] [--trials T] [--seed S] [--threads K]
   dmfb faults (--casestudy | --design <D> --primaries <N>) [--max-m M] [--trials T]
   dmfb render --design <D> --primaries <N> [--inject P] [--seed S]
   dmfb assay  [--faults M] [--seed S]
   dmfb profile (--casestudy | --design <D> --primaries <N>) [--trials T]
+  dmfb bench  [--quick] [--json] [--out DIR] [--label L] [--threads K]
   dmfb help
 
-DESIGNS: none | dtmb16 | dtmb26 | dtmb26b | dtmb36 | dtmb44";
+DESIGNS: none | dtmb16 | dtmb26 | dtmb26b | dtmb36 | dtmb44
+THREADS: --threads 0 (default) = one worker per available core";
 
 /// Parsed `--key value` options (flags store "true").
 struct Options {
@@ -99,7 +105,10 @@ impl Options {
             let Some(key) = arg.strip_prefix("--") else {
                 return Err(format!("expected --option, got '{arg}'"));
             };
-            let is_flag = matches!(key, "effective" | "casestudy" | "all-primaries");
+            let is_flag = matches!(
+                key,
+                "effective" | "casestudy" | "all-primaries" | "json" | "quick" | "batched"
+            );
             if is_flag {
                 map.insert(key.to_string(), "true".to_string());
                 i += 1;
@@ -141,12 +150,13 @@ impl Options {
 
     fn biochip(&self) -> Result<Biochip, String> {
         let n: usize = self.get("primaries", 100)?;
-        let threads: usize = self.get("threads", 1)?;
+        // 0 = one worker per available core (the default).
+        let threads: usize = self.get("threads", 0)?;
         let chip = match self.design()? {
             Some(kind) => Biochip::dtmb(kind, n),
             None => Biochip::without_redundancy(n),
         };
-        Ok(chip.with_threads(threads.max(1)))
+        Ok(chip.with_threads(threads))
     }
 }
 
@@ -190,28 +200,53 @@ fn cmd_sweep(opts: &Options) -> Result<(), String> {
         "p,yield,ci_lo,ci_hi{}",
         if effective { ",effective_yield" } else { "" }
     );
+    let emit = |p: f64, y: f64, lo: f64, hi: f64, ey: f64| {
+        if effective {
+            outln!("{p:.4},{y:.4},{lo:.4},{hi:.4},{ey:.4}");
+        } else {
+            outln!("{p:.4},{y:.4},{lo:.4},{hi:.4}");
+        }
+    };
+    if opts.flag("batched") {
+        // Batched engine: one Monte-Carlo pass serves the whole curve
+        // (common random numbers across the grid; single master seed).
+        let threads: usize = opts.get("threads", 0)?;
+        let mc =
+            MonteCarloYield::new(chip.array().clone(), chip.policy().clone()).with_threads(threads);
+        let ps: Vec<f64> = (0..steps)
+            .map(|i| from + (to - from) * i as f64 / (steps - 1) as f64)
+            .collect();
+        for pt in mc.sweep_survival_batched(&ps, trials, seed) {
+            let ey = effective::effective_yield_of(chip.array(), pt.y);
+            emit(pt.x, pt.y, pt.ci95.0, pt.ci95.1, ey);
+        }
+        return Ok(());
+    }
     for i in 0..steps {
         let p = from + (to - from) * i as f64 / (steps - 1) as f64;
         let r = chip.yield_report(p, trials, seed.wrapping_add(i as u64));
         let (lo, hi) = r.reconfigured_yield.wilson95();
-        if effective {
-            outln!(
-                "{:.4},{:.4},{:.4},{:.4},{:.4}",
-                p,
-                r.reconfigured_yield.point(),
-                lo,
-                hi,
-                r.effective_yield
-            );
-        } else {
-            outln!(
-                "{:.4},{:.4},{:.4},{:.4}",
-                p,
-                r.reconfigured_yield.point(),
-                lo,
-                hi
-            );
-        }
+        emit(p, r.reconfigured_yield.point(), lo, hi, r.effective_yield);
+    }
+    Ok(())
+}
+
+fn cmd_bench(opts: &Options) -> Result<(), String> {
+    let quick = opts.flag("quick");
+    let config = bench_cmd::BenchConfig {
+        quick,
+        threads: opts.get("threads", 0)?,
+        json: opts.flag("json"),
+        out_dir: opts.get("out", ".".to_string())?,
+        label: opts.get("label", if quick { "quick" } else { "full" }.to_string())?,
+    };
+    let report = bench_cmd::run(&config);
+    out!("{}", bench_cmd::render_table(&report));
+    if config.json {
+        let path = report
+            .write_to_dir(std::path::Path::new(&config.out_dir))
+            .map_err(|e| format!("cannot write bench report: {e}"))?;
+        outln!("wrote {}", path.display());
     }
     Ok(())
 }

@@ -75,3 +75,84 @@ fn yield_report_is_deterministic_for_a_seed() {
     assert!(a.status.success() && b.status.success());
     assert_eq!(a.stdout, b.stdout, "same seed must give identical reports");
 }
+
+#[test]
+fn batched_sweep_emits_monotone_csv() {
+    let out = dmfb(&[
+        "sweep",
+        "--design",
+        "dtmb44",
+        "--primaries",
+        "60",
+        "--from",
+        "0.85",
+        "--to",
+        "1.0",
+        "--steps",
+        "4",
+        "--trials",
+        "400",
+        "--seed",
+        "5",
+        "--batched",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    let mut lines = text.lines();
+    assert_eq!(lines.next(), Some("p,yield,ci_lo,ci_hi"));
+    let yields: Vec<f64> = lines
+        .map(|l| l.split(',').nth(1).unwrap().parse().unwrap())
+        .collect();
+    assert_eq!(yields.len(), 4);
+    // Common random numbers make the batched curve monotone in p.
+    for w in yields.windows(2) {
+        assert!(w[1] >= w[0], "batched curve must be monotone: {yields:?}");
+    }
+    assert_eq!(*yields.last().unwrap(), 1.0, "p=1 never fails");
+}
+
+#[test]
+fn bench_json_quick_writes_valid_report() {
+    let dir = std::env::temp_dir().join(format!("dmfb-bench-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dmfb(&[
+        "bench",
+        "--quick",
+        "--json",
+        "--out",
+        dir.to_str().unwrap(),
+        "--label",
+        "smoke",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("point-trials/s"), "table missing:\n{text}");
+    assert!(
+        text.contains("dtmb26/incremental") && text.contains("dtmb44/batched-sweep"),
+        "workloads missing:\n{text}"
+    );
+    let report_path = dir.join("BENCH_smoke.json");
+    assert!(
+        text.contains("BENCH_smoke.json"),
+        "path not echoed:\n{text}"
+    );
+    let json = std::fs::read_to_string(&report_path).expect("report file written");
+    for key in [
+        "\"schema\":\"dmfb-bench/1\"",
+        "\"label\":\"smoke\"",
+        "\"entries\":[",
+        "\"trials_per_sec\":",
+        "\"yield_estimate\":",
+    ] {
+        assert!(json.contains(key), "missing {key} in:\n{json}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -90,15 +90,11 @@ impl Biochip {
         self
     }
 
-    /// Runs Monte-Carlo trials across `threads` worker threads (results are
-    /// identical for any thread count).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `threads == 0`.
+    /// Runs Monte-Carlo trials across `threads` worker threads (results
+    /// are identical for any thread count; `0` = one worker per available
+    /// core, per [`dmfb_sim::auto_threads`]).
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
-        assert!(threads > 0, "at least one thread required");
         self.threads = threads;
         self
     }

@@ -20,9 +20,10 @@ pub use dmfb_reconfig::dtmb::DtmbKind;
 pub use dmfb_reconfig::shifted::{ModuleBand, SpareRowArray};
 pub use dmfb_reconfig::{
     attempt_reconfiguration, CellRole, DefectTolerantArray, ReconfigPlan, ReconfigPolicy,
+    TrialEvaluator,
 };
 
-pub use dmfb_sim::{BernoulliEstimate, MonteCarlo, Summary};
+pub use dmfb_sim::{auto_threads, parallel_map, BernoulliEstimate, MonteCarlo, Summary};
 
 pub use dmfb_yield::analytical::{dtmb16_yield, independent_repair_yield, no_redundancy_yield};
 pub use dmfb_yield::{

@@ -1,0 +1,574 @@
+//! Bitset-adjacency bipartite graphs and a cache-friendly Hopcroft–Karp.
+//!
+//! The Monte-Carlo hot path solves tens of thousands of small bipartite
+//! matching problems per yield point. [`BipartiteGraph`] stores one heap
+//! `Vec` per left node, which is flexible but costs an allocation per node
+//! and a pointer chase per neighbour. [`BitsetGraph`] instead packs each
+//! left node's neighbour set into `u64` words of one flat buffer, so
+//!
+//! * building a graph is `left × words` zeroed `u64`s plus one bit-set per
+//!   edge (no per-node allocations),
+//! * neighbour iteration is `trailing_zeros` over a register, and
+//! * whole-neighbourhood questions (Hall checks, unions) are word-wise ORs.
+//!
+//! [`BitsetMatcher`] runs Hopcroft–Karp over this layout with reusable
+//! scratch buffers, and [`BitsetGraph::hall_infeasible`] answers "can a
+//! left-perfect matching possibly exist?" in `O(left × words)` before any
+//! search starts — the early exit that serves the simulator's yes/no
+//! question.
+
+use crate::matching::Matching;
+use crate::BipartiteGraph;
+
+/// A bipartite graph whose left-node neighbour sets are `u64` bitsets.
+///
+/// Functionally equivalent to [`BipartiteGraph`] for matching purposes;
+/// trades the ability to iterate edges in insertion order for dense storage
+/// and word-parallel set operations.
+///
+/// # Example
+///
+/// ```
+/// use dmfb_graph::{hopcroft_karp_bitset, BitsetGraph};
+///
+/// let mut g = BitsetGraph::new(2, 2);
+/// g.add_edge(0, 0);
+/// g.add_edge(0, 1);
+/// g.add_edge(1, 0);
+/// let m = hopcroft_karp_bitset(&g);
+/// assert_eq!(m.len(), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitsetGraph {
+    left_count: usize,
+    right_count: usize,
+    words_per_row: usize,
+    /// `left_count × words_per_row` words; bit `b` of row `a` is edge `(a, b)`.
+    adj: Vec<u64>,
+    edges: usize,
+}
+
+impl BitsetGraph {
+    /// Creates a graph with the given side sizes and no edges.
+    #[must_use]
+    pub fn new(left_count: usize, right_count: usize) -> Self {
+        let words_per_row = right_count.div_ceil(64);
+        BitsetGraph {
+            left_count,
+            right_count,
+            words_per_row,
+            adj: vec![0u64; left_count * words_per_row],
+            edges: 0,
+        }
+    }
+
+    /// Converts an adjacency-list graph into the bitset layout.
+    #[must_use]
+    pub fn from_graph(graph: &BipartiteGraph) -> Self {
+        let mut g = BitsetGraph::new(graph.left_count(), graph.right_count());
+        for (a, b) in graph.edges() {
+            g.add_edge(a, b);
+        }
+        g
+    }
+
+    /// Clears all edges while keeping the side sizes and buffer capacity —
+    /// the reuse entry point for per-trial graph construction.
+    pub fn clear_edges(&mut self) {
+        self.adj.iter_mut().for_each(|w| *w = 0);
+        self.edges = 0;
+    }
+
+    /// Reshapes the graph to new side sizes, reusing the buffer when it is
+    /// large enough, and clears all edges.
+    pub fn reset(&mut self, left_count: usize, right_count: usize) {
+        self.left_count = left_count;
+        self.right_count = right_count;
+        self.words_per_row = right_count.div_ceil(64);
+        let need = left_count * self.words_per_row;
+        self.adj.clear();
+        self.adj.resize(need, 0);
+        self.edges = 0;
+    }
+
+    /// Adds the edge `(a, b)`. Duplicate edges are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range.
+    pub fn add_edge(&mut self, a: usize, b: usize) {
+        assert!(a < self.left_count, "left node {a} out of range");
+        assert!(b < self.right_count, "right node {b} out of range");
+        let word = &mut self.adj[a * self.words_per_row + b / 64];
+        let mask = 1u64 << (b % 64);
+        if *word & mask == 0 {
+            *word |= mask;
+            self.edges += 1;
+        }
+    }
+
+    /// Number of left-side nodes.
+    #[must_use]
+    pub fn left_count(&self) -> usize {
+        self.left_count
+    }
+
+    /// Number of right-side nodes.
+    #[must_use]
+    pub fn right_count(&self) -> usize {
+        self.right_count
+    }
+
+    /// Number of edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Whether the edge `(a, b)` is present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range.
+    #[must_use]
+    pub fn contains_edge(&self, a: usize, b: usize) -> bool {
+        assert!(a < self.left_count, "left node {a} out of range");
+        assert!(b < self.right_count, "right node {b} out of range");
+        self.adj[a * self.words_per_row + b / 64] & (1u64 << (b % 64)) != 0
+    }
+
+    /// The neighbour bitset of left node `a` as `u64` words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range.
+    #[must_use]
+    pub fn row(&self, a: usize) -> &[u64] {
+        &self.adj[a * self.words_per_row..(a + 1) * self.words_per_row]
+    }
+
+    /// Iterates the right-side neighbours of `a` in ascending order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range.
+    pub fn neighbors(&self, a: usize) -> impl Iterator<Item = usize> + '_ {
+        self.row(a).iter().enumerate().flat_map(|(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let bit = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(wi * 64 + bit)
+            })
+        })
+    }
+
+    /// Degree of left node `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range.
+    #[must_use]
+    pub fn degree_left(&self, a: usize) -> usize {
+        self.row(a).iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether some left node has no neighbours at all.
+    #[must_use]
+    pub fn has_isolated_left(&self) -> bool {
+        (0..self.left_count).any(|a| self.row(a).iter().all(|&w| w == 0))
+    }
+
+    /// Cheap certificate that **no left-saturating (perfect-on-A) matching
+    /// can exist**, checked before any augmenting search:
+    ///
+    /// 1. more left nodes than right nodes,
+    /// 2. an isolated left node (`N({a}) = ∅`), or
+    /// 3. a Hall violation on the full left side: `|N(A)| < |A|`, computed
+    ///    as the popcount of the word-wise OR of every row.
+    ///
+    /// A `false` return is *not* a feasibility proof — Hall's condition
+    /// must hold for every subset — but on the simulator's sparse defect
+    /// graphs these three checks dismiss most infeasible instances in one
+    /// linear pass.
+    #[must_use]
+    pub fn hall_infeasible(&self) -> bool {
+        if self.left_count == 0 {
+            return false;
+        }
+        if self.left_count > self.right_count {
+            return true;
+        }
+        // Single pass: OR all rows while watching for an empty one.
+        let mut union = vec![0u64; self.words_per_row];
+        for a in 0..self.left_count {
+            let row = self.row(a);
+            let mut any = 0u64;
+            for (u, &w) in union.iter_mut().zip(row) {
+                *u |= w;
+                any |= w;
+            }
+            if any == 0 {
+                return true; // isolated left node
+            }
+        }
+        let reachable: usize = union.iter().map(|w| w.count_ones() as usize).sum();
+        reachable < self.left_count
+    }
+}
+
+impl Matching {
+    /// Checks that the matching is consistent with a [`BitsetGraph`]:
+    /// every matched pair is an edge and the two directions agree.
+    #[must_use]
+    pub fn is_valid_bitset(&self, graph: &BitsetGraph) -> bool {
+        if self.pair_left.len() != graph.left_count()
+            || self.pair_right.len() != graph.right_count()
+        {
+            return false;
+        }
+        let mut count = 0;
+        for (a, p) in self.pair_left.iter().enumerate() {
+            if let Some(b) = p {
+                if !graph.contains_edge(a, *b) || self.pair_right[*b] != Some(a) {
+                    return false;
+                }
+                count += 1;
+            }
+        }
+        for (b, p) in self.pair_right.iter().enumerate() {
+            if let Some(a) = p {
+                if self.pair_left[*a] != Some(b) {
+                    return false;
+                }
+            }
+        }
+        count == self.size
+    }
+}
+
+const UNMATCHED: u32 = u32::MAX;
+const INF: u32 = u32::MAX;
+
+/// Reusable Hopcroft–Karp scratch state for [`BitsetGraph`]s.
+///
+/// The Monte-Carlo simulator calls the matcher once per trial; allocating
+/// the BFS queue, layer array and pairing arrays each time dominates the
+/// cost of the tiny searches themselves. A `BitsetMatcher` owns those
+/// buffers and grows them on demand, so a long trial loop settles into
+/// zero allocations.
+///
+/// # Example
+///
+/// ```
+/// use dmfb_graph::{BitsetGraph, BitsetMatcher};
+///
+/// let mut g = BitsetGraph::new(2, 1);
+/// g.add_edge(0, 0);
+/// g.add_edge(1, 0);
+/// let mut matcher = BitsetMatcher::new();
+/// assert!(!matcher.covers_all_left(&g)); // two faults, one spare
+/// assert_eq!(matcher.max_matching(&g).len(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct BitsetMatcher {
+    pair_left: Vec<u32>,
+    pair_right: Vec<u32>,
+    dist: Vec<u32>,
+    queue: Vec<u32>,
+}
+
+impl BitsetMatcher {
+    /// Creates a matcher with empty scratch buffers.
+    #[must_use]
+    pub fn new() -> Self {
+        BitsetMatcher::default()
+    }
+
+    fn prepare(&mut self, graph: &BitsetGraph) {
+        self.pair_left.clear();
+        self.pair_left.resize(graph.left_count(), UNMATCHED);
+        self.pair_right.clear();
+        self.pair_right.resize(graph.right_count(), UNMATCHED);
+        self.dist.clear();
+        self.dist.resize(graph.left_count(), INF);
+        self.queue.clear();
+    }
+
+    /// One BFS layering phase. Returns `true` if an augmenting path exists.
+    fn bfs(&mut self, graph: &BitsetGraph) -> bool {
+        self.queue.clear();
+        for a in 0..graph.left_count() {
+            if self.pair_left[a] == UNMATCHED {
+                self.dist[a] = 0;
+                self.queue.push(a as u32);
+            } else {
+                self.dist[a] = INF;
+            }
+        }
+        let mut found = false;
+        let mut head = 0;
+        while head < self.queue.len() {
+            let a = self.queue[head] as usize;
+            head += 1;
+            let next = self.dist[a] + 1;
+            for (wi, &word) in graph.row(a).iter().enumerate() {
+                let mut w = word;
+                while w != 0 {
+                    let b = wi * 64 + w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    let a2 = self.pair_right[b];
+                    if a2 == UNMATCHED {
+                        found = true;
+                    } else if self.dist[a2 as usize] == INF {
+                        self.dist[a2 as usize] = next;
+                        self.queue.push(a2);
+                    }
+                }
+            }
+        }
+        found
+    }
+
+    /// Layered DFS from left node `a`, augmenting along a shortest path.
+    fn dfs(&mut self, graph: &BitsetGraph, a: usize) -> bool {
+        let next = self.dist[a] + 1;
+        for (wi, &word) in graph.row(a).iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let b = wi * 64 + w.trailing_zeros() as usize;
+                w &= w - 1;
+                let a2 = self.pair_right[b];
+                let advance = a2 == UNMATCHED
+                    || (self.dist[a2 as usize] == next && self.dfs(graph, a2 as usize));
+                if advance {
+                    self.pair_left[a] = b as u32;
+                    self.pair_right[b] = a as u32;
+                    return true;
+                }
+            }
+        }
+        self.dist[a] = INF;
+        false
+    }
+
+    /// Runs Hopcroft–Karp phases; returns the matching size. If
+    /// `stop_at_left_cover` is set, returns early (possibly before the
+    /// matching is maximum) once every left node is matched.
+    fn solve(&mut self, graph: &BitsetGraph, stop_at_left_cover: bool) -> usize {
+        self.prepare(graph);
+        let n = graph.left_count();
+        if n == 0 || graph.right_count() == 0 || graph.edge_count() == 0 {
+            return 0;
+        }
+        let mut size = 0usize;
+        while self.bfs(graph) {
+            for a in 0..n {
+                if self.pair_left[a] == UNMATCHED && self.dfs(graph, a) {
+                    size += 1;
+                }
+            }
+            if stop_at_left_cover && size == n {
+                break;
+            }
+        }
+        size
+    }
+
+    /// Whether a matching covering **every left node** exists — the
+    /// simulator's tolerability question. Early-exits on
+    /// [`BitsetGraph::hall_infeasible`] before searching, and stops
+    /// augmenting as soon as the left side is saturated.
+    pub fn covers_all_left(&mut self, graph: &BitsetGraph) -> bool {
+        if graph.left_count() == 0 {
+            return true;
+        }
+        if graph.hall_infeasible() {
+            return false;
+        }
+        self.solve(graph, true) == graph.left_count()
+    }
+
+    /// Computes a maximum matching, reusing this matcher's buffers.
+    pub fn max_matching(&mut self, graph: &BitsetGraph) -> Matching {
+        let size = self.solve(graph, false);
+        let mut m = Matching::new(graph.left_count(), graph.right_count());
+        for (a, &b) in self.pair_left.iter().enumerate() {
+            if b != UNMATCHED {
+                m.pair_left[a] = Some(b as usize);
+            }
+        }
+        for (b, &a) in self.pair_right.iter().enumerate() {
+            if a != UNMATCHED {
+                m.pair_right[b] = Some(a as usize);
+            }
+        }
+        m.size = size;
+        m
+    }
+}
+
+/// Computes a maximum matching over a [`BitsetGraph`] with Hopcroft–Karp
+/// in `O(E √V)`. One-shot convenience wrapper around [`BitsetMatcher`];
+/// loops should hold a matcher and call [`BitsetMatcher::max_matching`]
+/// to reuse its scratch buffers.
+///
+/// # Example
+///
+/// ```
+/// use dmfb_graph::{hopcroft_karp_bitset, BipartiteGraph, BitsetGraph};
+///
+/// let mut g = BipartiteGraph::new(2, 1);
+/// g.add_edge(0, 0);
+/// g.add_edge(1, 0);
+/// let m = hopcroft_karp_bitset(&BitsetGraph::from_graph(&g));
+/// assert_eq!(m.len(), 1);
+/// ```
+#[must_use]
+pub fn hopcroft_karp_bitset(graph: &BitsetGraph) -> Matching {
+    BitsetMatcher::new().max_matching(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hopcroft_karp;
+
+    fn both(left: usize, right: usize, edges: &[(usize, usize)]) -> (BipartiteGraph, BitsetGraph) {
+        let mut g = BipartiteGraph::new(left, right);
+        for &(a, b) in edges {
+            g.add_edge(a, b);
+        }
+        let bg = BitsetGraph::from_graph(&g);
+        (g, bg)
+    }
+
+    #[test]
+    fn construction_mirrors_adjacency_list() {
+        let (g, bg) = both(3, 70, &[(0, 0), (0, 69), (2, 64), (2, 64)]);
+        assert_eq!(bg.left_count(), 3);
+        assert_eq!(bg.right_count(), 70);
+        assert_eq!(bg.edge_count(), g.edge_count());
+        assert!(bg.contains_edge(0, 69));
+        assert!(!bg.contains_edge(1, 0));
+        assert_eq!(bg.neighbors(0).collect::<Vec<_>>(), vec![0, 69]);
+        assert_eq!(bg.degree_left(2), 1);
+        assert_eq!(bg.degree_left(1), 0);
+        assert!(bg.has_isolated_left());
+    }
+
+    type EdgeCase = (usize, usize, &'static [(usize, usize)]);
+
+    #[test]
+    fn matches_list_matcher_on_fixed_cases() {
+        let cases: &[EdgeCase] = &[
+            (0, 0, &[]),
+            (3, 3, &[]),
+            (1, 1, &[(0, 0)]),
+            (2, 1, &[(0, 0), (1, 0)]),
+            (2, 2, &[(0, 0), (0, 1), (1, 0)]),
+            (3, 3, &[(0, 0), (0, 1), (1, 1), (2, 1), (2, 2)]),
+            (
+                4,
+                4,
+                &[(0, 0), (1, 0), (1, 1), (2, 1), (2, 2), (3, 2), (3, 3)],
+            ),
+        ];
+        for &(l, r, edges) in cases {
+            let (g, bg) = both(l, r, edges);
+            let list = hopcroft_karp(&g);
+            let bits = hopcroft_karp_bitset(&bg);
+            assert_eq!(list.len(), bits.len(), "edges {edges:?}");
+            assert!(bits.is_valid_bitset(&bg));
+        }
+    }
+
+    #[test]
+    fn covers_all_left_agrees_with_full_matching() {
+        let mut matcher = BitsetMatcher::new();
+        let (_, feasible) = both(2, 2, &[(0, 0), (0, 1), (1, 0)]);
+        assert!(matcher.covers_all_left(&feasible));
+        let (_, tight) = both(2, 1, &[(0, 0), (1, 0)]);
+        assert!(!matcher.covers_all_left(&tight));
+        let (_, empty) = both(0, 4, &[]);
+        assert!(matcher.covers_all_left(&empty));
+    }
+
+    #[test]
+    fn hall_infeasible_certificates() {
+        // More left than right.
+        let (_, g) = both(3, 2, &[(0, 0), (1, 1), (2, 0)]);
+        assert!(g.hall_infeasible());
+        // Isolated left node.
+        let (_, g) = both(2, 2, &[(0, 0)]);
+        assert!(g.hall_infeasible());
+        // Joint neighbourhood too small.
+        let (_, g) = both(3, 3, &[(0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (2, 1)]);
+        assert!(g.hall_infeasible());
+        // Feasible square.
+        let (_, g) = both(2, 2, &[(0, 0), (1, 1)]);
+        assert!(!g.hall_infeasible());
+        // Infeasible but not caught by the cheap certificate (subset
+        // violation): {0,1} share spare 0 while spare 1 hangs off node 2.
+        let (_, g) = both(3, 3, &[(0, 0), (1, 0), (2, 1), (2, 2), (0, 0)]);
+        assert!(!g.hall_infeasible());
+        assert!(!BitsetMatcher::new().covers_all_left(&g));
+        // Empty left side is trivially feasible.
+        let (_, g) = both(0, 1, &[]);
+        assert!(!g.hall_infeasible());
+    }
+
+    #[test]
+    fn matcher_buffers_are_reusable() {
+        let mut matcher = BitsetMatcher::new();
+        let (_, a) = both(3, 3, &[(0, 0), (1, 1), (2, 2)]);
+        let (_, b) = both(2, 1, &[(0, 0), (1, 0)]);
+        for _ in 0..3 {
+            assert_eq!(matcher.max_matching(&a).len(), 3);
+            assert_eq!(matcher.max_matching(&b).len(), 1);
+            assert!(matcher.covers_all_left(&a));
+            assert!(!matcher.covers_all_left(&b));
+        }
+    }
+
+    #[test]
+    fn reset_and_clear_reuse_storage() {
+        let mut g = BitsetGraph::new(2, 130);
+        g.add_edge(0, 129);
+        g.add_edge(1, 0);
+        assert_eq!(g.edge_count(), 2);
+        g.clear_edges();
+        assert_eq!(g.edge_count(), 0);
+        assert!(!g.contains_edge(0, 129));
+        g.reset(4, 5);
+        assert_eq!(g.left_count(), 4);
+        assert_eq!(g.right_count(), 5);
+        g.add_edge(3, 4);
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.contains_edge(3, 4));
+    }
+
+    #[test]
+    fn wide_right_side_crosses_word_boundaries() {
+        // A perfect matching where partners sit in different u64 words.
+        let mut g = BitsetGraph::new(4, 260);
+        for a in 0..4 {
+            g.add_edge(a, a * 64 + 63);
+            g.add_edge(a, 259);
+        }
+        let m = hopcroft_karp_bitset(&g);
+        assert_eq!(m.len(), 4);
+        assert!(m.is_valid_bitset(&g));
+        assert!(BitsetMatcher::new().covers_all_left(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_edge_bounds_checked() {
+        let mut g = BitsetGraph::new(1, 64);
+        g.add_edge(0, 64);
+    }
+}

@@ -10,6 +10,10 @@
 //! This crate provides:
 //!
 //! * [`BipartiteGraph`] — the adjacency structure,
+//! * [`BitsetGraph`] / [`BitsetMatcher`] / [`hopcroft_karp_bitset`] — a
+//!   `u64`-word bitset adjacency layout and an allocation-free
+//!   Hopcroft–Karp over it, with a Hall-violation early exit; this is the
+//!   Monte-Carlo hot path,
 //! * [`hopcroft_karp`] — `O(E √V)` maximum matching (the production path),
 //! * [`augmenting_path_matching`] — the simple Hungarian-style matcher used
 //!   as a cross-check oracle in tests and ablation benches,
@@ -38,11 +42,13 @@
 #![warn(missing_docs)]
 
 mod bipartite;
+mod bitset;
 mod hall;
 mod matching;
 mod union_find;
 
 pub use bipartite::BipartiteGraph;
+pub use bitset::{hopcroft_karp_bitset, BitsetGraph, BitsetMatcher};
 pub use hall::{hall_violation, HallViolation};
 pub use matching::{augmenting_path_matching, hopcroft_karp, Matching};
 pub use union_find::UnionFind;

@@ -10,14 +10,14 @@ use std::collections::VecDeque;
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Matching {
     /// `pair_left[a] = Some(b)` iff left `a` is matched to right `b`.
-    pair_left: Vec<Option<usize>>,
+    pub(crate) pair_left: Vec<Option<usize>>,
     /// `pair_right[b] = Some(a)` iff right `b` is matched to left `a`.
-    pair_right: Vec<Option<usize>>,
-    size: usize,
+    pub(crate) pair_right: Vec<Option<usize>>,
+    pub(crate) size: usize,
 }
 
 impl Matching {
-    fn new(left: usize, right: usize) -> Self {
+    pub(crate) fn new(left: usize, right: usize) -> Self {
         Matching {
             pair_left: vec![None; left],
             pair_right: vec![None; right],

@@ -1,0 +1,90 @@
+//! Property-based equivalence suite: the bitset Hopcroft–Karp matcher
+//! against the augmenting-path (Kuhn) oracle, on random DTMB-shaped
+//! bipartite graphs.
+//!
+//! "DTMB-shaped" mirrors what the simulator actually builds: left nodes
+//! are faulty primary cells with at most `s ≤ 4` adjacent spares (the
+//! paper's designs have `s ∈ {1, 2, 3, 4}`), and the right side is the
+//! pool of fault-free spares, never larger than a few dozen for the array
+//! sizes the figures sweep.
+
+use dmfb_graph::{
+    augmenting_path_matching, hopcroft_karp, hopcroft_karp_bitset, BipartiteGraph, BitsetGraph,
+    BitsetMatcher,
+};
+use proptest::prelude::*;
+
+/// A DTMB-shaped instance: per-left degree at most 4, both sides small.
+fn arb_dtmb_graph() -> impl Strategy<Value = BipartiteGraph> {
+    (1usize..32, 1usize..24).prop_flat_map(|(l, r)| {
+        // For each left node: a degree 0..=4 and four candidate spares
+        // (of which the first `degree` are used).
+        prop::collection::vec((0usize..5, (0..r, 0..r, 0..r, 0..r)), l).prop_map(move |rows| {
+            let mut g = BipartiteGraph::new(rows.len(), r);
+            for (a, (degree, (b0, b1, b2, b3))) in rows.into_iter().enumerate() {
+                for b in [b0, b1, b2, b3].into_iter().take(degree) {
+                    g.add_edge(a, b);
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    /// Tentpole acceptance property: the new bitset Hopcroft–Karp and the
+    /// existing augmenting-path matcher agree on the maximum matching size,
+    /// and the bitset result is a structurally valid matching.
+    #[test]
+    fn bitset_hk_agrees_with_augmenting_path(g in arb_dtmb_graph()) {
+        let bg = BitsetGraph::from_graph(&g);
+        let bits = hopcroft_karp_bitset(&bg);
+        let kuhn = augmenting_path_matching(&g);
+        prop_assert_eq!(bits.len(), kuhn.len());
+        prop_assert!(bits.is_valid_bitset(&bg));
+    }
+
+    /// The bitset matcher also agrees with the adjacency-list
+    /// Hopcroft–Karp, and the graph conversion preserves the edge set.
+    #[test]
+    fn bitset_hk_agrees_with_list_hk(g in arb_dtmb_graph()) {
+        let bg = BitsetGraph::from_graph(&g);
+        prop_assert_eq!(bg.edge_count(), g.edge_count());
+        for (a, b) in g.edges() {
+            prop_assert!(bg.contains_edge(a, b));
+        }
+        prop_assert_eq!(
+            hopcroft_karp_bitset(&bg).len(),
+            hopcroft_karp(&g).len()
+        );
+    }
+
+    /// The early-exit feasibility path answers exactly "matching size
+    /// equals left count", and a `hall_infeasible` certificate is never
+    /// issued for a feasible instance.
+    #[test]
+    fn covers_all_left_matches_full_solve(g in arb_dtmb_graph()) {
+        let bg = BitsetGraph::from_graph(&g);
+        let mut matcher = BitsetMatcher::new();
+        let covered = matcher.covers_all_left(&bg);
+        let size = augmenting_path_matching(&g).len();
+        prop_assert_eq!(covered, size == g.left_count());
+        if bg.hall_infeasible() {
+            prop_assert!(!covered);
+        }
+    }
+
+    /// Scratch reuse never changes answers: solving a second, different
+    /// instance with the same matcher gives the same result as a fresh
+    /// matcher.
+    #[test]
+    fn matcher_reuse_is_sound(a in arb_dtmb_graph(), b in arb_dtmb_graph()) {
+        let (ba, bb) = (BitsetGraph::from_graph(&a), BitsetGraph::from_graph(&b));
+        let mut reused = BitsetMatcher::new();
+        let _ = reused.max_matching(&ba);
+        let warm = reused.max_matching(&bb);
+        let cold = hopcroft_karp_bitset(&bb);
+        prop_assert_eq!(warm.len(), cold.len());
+        prop_assert!(warm.is_valid_bitset(&bb));
+    }
+}

@@ -1,0 +1,402 @@
+//! Incremental Monte-Carlo trial evaluation.
+//!
+//! The naive hot path rebuilds the world once per trial: inject a
+//! [`DefectMap`] (a `BTreeMap` per chip), re-derive which spares border
+//! which faulty primaries by walking the hex lattice, allocate a fresh
+//! adjacency-list graph, and run a fresh matcher. Every piece of that
+//! except the random fault draw is *identical across trials* of the same
+//! array.
+//!
+//! [`TrialEvaluator`] hoists the invariant part out of the loop. Built
+//! once per `(array, policy)`, it stores the in-scope primaries, the
+//! spares that could ever matter, and the primary→spare adjacency in CSR
+//! form. A trial then only (a) draws one uniform per relevant cell,
+//! (b) writes fault flags into reusable buffers, and (c) runs the bitset
+//! Hopcroft–Karp from `dmfb-graph` over a reusable [`BitsetGraph`] — no
+//! maps, no lattice walks, no allocations after warm-up.
+//!
+//! The evaluator also answers a whole survival-probability **grid** per
+//! trial ([`TrialEvaluator::survival_trial_grid`]): with common random
+//! numbers (cell survives at `p` iff its uniform `u < p`), the fault sets
+//! are nested along the grid, tolerability is monotone in `p`, and a
+//! binary search finds the tolerability threshold in `O(log k)` matcher
+//! calls — one Monte-Carlo pass serves an entire yield curve.
+
+use crate::array::DefectTolerantArray;
+use crate::local::ReconfigPolicy;
+use dmfb_defects::DefectMap;
+use dmfb_graph::{BitsetGraph, BitsetMatcher};
+use dmfb_grid::HexCoord;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Precomputed matching structure for one `(array, policy)` pair, reused
+/// across all Monte-Carlo trials.
+///
+/// All methods take `&self`; per-trial mutable state lives in a
+/// [`TrialScratch`] so one evaluator can be shared across worker threads
+/// (hand each worker its own scratch from [`TrialEvaluator::scratch`]).
+///
+/// # Example
+///
+/// ```
+/// use dmfb_reconfig::dtmb::DtmbKind;
+/// use dmfb_reconfig::{ReconfigPolicy, TrialEvaluator};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let array = DtmbKind::Dtmb26A.with_primary_count(60);
+/// let eval = TrialEvaluator::new(&array, &ReconfigPolicy::AllPrimaries);
+/// let mut scratch = eval.scratch();
+/// let mut rng = StdRng::seed_from_u64(7);
+/// // One trial at 95% cell survival.
+/// let tolerable = eval.survival_trial(0.95, &mut rng, &mut scratch);
+/// // High survival on a protected array almost always reconfigures.
+/// let _ = tolerable;
+/// ```
+#[derive(Clone, Debug)]
+pub struct TrialEvaluator {
+    /// In-scope primary cells (primary role ∧ required by the policy), in
+    /// region iteration order.
+    primaries: Vec<HexCoord>,
+    /// Spares adjacent to at least one in-scope primary, sorted.
+    spares: Vec<HexCoord>,
+    /// CSR offsets into `adj_spares`, length `primaries.len() + 1`.
+    adj_offsets: Vec<u32>,
+    /// Concatenated adjacent-spare indices per primary.
+    adj_spares: Vec<u32>,
+}
+
+/// Reusable per-trial buffers for a [`TrialEvaluator`]. Create one per
+/// worker thread via [`TrialEvaluator::scratch`].
+#[derive(Clone, Debug)]
+pub struct TrialScratch {
+    /// Uniform draw per in-scope primary (grid mode).
+    u_primary: Vec<f64>,
+    /// Uniform draw per relevant spare (grid mode).
+    u_spare: Vec<f64>,
+    faulty_primary: Vec<bool>,
+    faulty_spare: Vec<bool>,
+    /// Faulty primaries of the current trial (indices into `primaries`).
+    rows: Vec<u32>,
+    /// Edge list of the current trial's compacted graph.
+    edges: Vec<(u32, u32)>,
+    /// Generation-stamped spare→column compaction (avoids clearing).
+    col_of_spare: Vec<u32>,
+    col_gen: Vec<u32>,
+    generation: u32,
+    graph: BitsetGraph,
+    matcher: BitsetMatcher,
+}
+
+impl TrialEvaluator {
+    /// Builds the evaluator for `array` under `policy`. Cost is one pass
+    /// over the array — amortised over every subsequent trial.
+    #[must_use]
+    pub fn new(array: &DefectTolerantArray, policy: &ReconfigPolicy) -> Self {
+        let primaries: Vec<HexCoord> = array.primaries().filter(|c| policy.requires(*c)).collect();
+        // Collect and index the spares that border any in-scope primary.
+        let mut spares: Vec<HexCoord> = primaries
+            .iter()
+            .flat_map(|&c| array.adjacent_spares(c))
+            .collect();
+        spares.sort();
+        spares.dedup();
+        let spare_index =
+            |s: HexCoord| -> u32 { spares.binary_search(&s).expect("spare was collected") as u32 };
+        let mut adj_offsets = Vec::with_capacity(primaries.len() + 1);
+        let mut adj_spares = Vec::new();
+        adj_offsets.push(0u32);
+        for &c in &primaries {
+            for s in array.adjacent_spares(c) {
+                adj_spares.push(spare_index(s));
+            }
+            adj_offsets.push(adj_spares.len() as u32);
+        }
+        TrialEvaluator {
+            primaries,
+            spares,
+            adj_offsets,
+            adj_spares,
+        }
+    }
+
+    /// Number of in-scope primary cells.
+    #[must_use]
+    pub fn primary_count(&self) -> usize {
+        self.primaries.len()
+    }
+
+    /// Number of spares that can ever participate in a matching.
+    #[must_use]
+    pub fn spare_count(&self) -> usize {
+        self.spares.len()
+    }
+
+    /// Number of primary→spare adjacencies in the precomputed structure.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.adj_spares.len()
+    }
+
+    /// Allocates a scratch sized for this evaluator. One per worker
+    /// thread; reused across all of that worker's trials.
+    #[must_use]
+    pub fn scratch(&self) -> TrialScratch {
+        TrialScratch {
+            u_primary: vec![0.0; self.primaries.len()],
+            u_spare: vec![0.0; self.spares.len()],
+            faulty_primary: vec![false; self.primaries.len()],
+            faulty_spare: vec![false; self.spares.len()],
+            rows: Vec::with_capacity(self.primaries.len()),
+            edges: Vec::with_capacity(self.adj_spares.len()),
+            col_of_spare: vec![0; self.spares.len()],
+            col_gen: vec![0; self.spares.len()],
+            generation: 0,
+            graph: BitsetGraph::new(0, 0),
+            matcher: BitsetMatcher::new(),
+        }
+    }
+
+    /// Adjacent spare indices of in-scope primary `i`.
+    fn adjacent(&self, i: usize) -> &[u32] {
+        &self.adj_spares[self.adj_offsets[i] as usize..self.adj_offsets[i + 1] as usize]
+    }
+
+    /// Decides tolerability for the fault flags currently staged in
+    /// `scratch.faulty_primary` / `scratch.faulty_spare`.
+    fn solve(&self, scratch: &mut TrialScratch) -> bool {
+        scratch.rows.clear();
+        scratch.edges.clear();
+        scratch.generation = scratch.generation.wrapping_add(1);
+        if scratch.generation == 0 {
+            // u32 wrap-around: stamps from 2^32 solves ago would alias the
+            // fresh counter, so invalidate them all and restart at 1.
+            scratch.col_gen.iter_mut().for_each(|g| *g = 0);
+            scratch.generation = 1;
+        }
+        let generation = scratch.generation;
+        let mut cols = 0u32;
+        for (i, &faulty) in scratch.faulty_primary.iter().enumerate() {
+            if !faulty {
+                continue;
+            }
+            let row = scratch.rows.len() as u32;
+            let mut any = false;
+            for &s in self.adjacent(i) {
+                if scratch.faulty_spare[s as usize] {
+                    continue;
+                }
+                let col = if scratch.col_gen[s as usize] == generation {
+                    scratch.col_of_spare[s as usize]
+                } else {
+                    scratch.col_gen[s as usize] = generation;
+                    scratch.col_of_spare[s as usize] = cols;
+                    cols += 1;
+                    cols - 1
+                };
+                scratch.edges.push((row, col));
+                any = true;
+            }
+            if !any {
+                // A faulty cell with no live spare can never be matched.
+                return false;
+            }
+            scratch.rows.push(i as u32);
+        }
+        if scratch.rows.is_empty() {
+            return true;
+        }
+        scratch.graph.reset(scratch.rows.len(), cols as usize);
+        for &(a, b) in &scratch.edges {
+            scratch.graph.add_edge(a as usize, b as usize);
+        }
+        scratch.matcher.covers_all_left(&scratch.graph)
+    }
+
+    /// Runs one survival-mode trial: every relevant cell fails
+    /// independently with probability `1 − p`; returns whether the
+    /// resulting chip is tolerable via local reconfiguration.
+    ///
+    /// The verdict has exactly the same distribution as building a
+    /// [`DefectMap`] with `Bernoulli::from_survival(p)` and calling
+    /// [`crate::local::is_reconfigurable`]: cells outside the evaluator's
+    /// structure (out-of-scope primaries, spares bordering none of them)
+    /// cannot change the answer, so their draws are skipped.
+    pub fn survival_trial(&self, p: f64, rng: &mut StdRng, scratch: &mut TrialScratch) -> bool {
+        for f in scratch.faulty_primary.iter_mut() {
+            *f = rng.gen::<f64>() >= p;
+        }
+        for f in scratch.faulty_spare.iter_mut() {
+            *f = rng.gen::<f64>() >= p;
+        }
+        self.solve(scratch)
+    }
+
+    /// Runs one trial against an **entire ascending survival grid**,
+    /// writing `out[j] = tolerable at ps[j]` for every grid point.
+    ///
+    /// One uniform is drawn per relevant cell and shared across the grid
+    /// (common random numbers): a cell survives at `p` iff `u < p`, so
+    /// fault sets shrink as `p` grows and tolerability is monotone along
+    /// the grid. The threshold index is located by binary search —
+    /// `O(log k)` matcher calls instead of `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ps` is not sorted ascending or lengths mismatch.
+    pub fn survival_trial_grid(
+        &self,
+        ps: &[f64],
+        rng: &mut StdRng,
+        scratch: &mut TrialScratch,
+        out: &mut [bool],
+    ) {
+        assert_eq!(ps.len(), out.len(), "grid and output lengths differ");
+        assert!(
+            ps.windows(2).all(|w| w[0] <= w[1]),
+            "survival grid must be ascending"
+        );
+        for u in scratch.u_primary.iter_mut() {
+            *u = rng.gen();
+        }
+        for u in scratch.u_spare.iter_mut() {
+            *u = rng.gen();
+        }
+        // Binary search the smallest grid index that is tolerable.
+        let mut lo = 0usize; // smallest index possibly tolerable
+        let mut hi = ps.len(); // everything >= hi known tolerable
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let p = ps[mid];
+            for (f, &u) in scratch.faulty_primary.iter_mut().zip(&scratch.u_primary) {
+                *f = u >= p;
+            }
+            for (f, &u) in scratch.faulty_spare.iter_mut().zip(&scratch.u_spare) {
+                *f = u >= p;
+            }
+            if self.solve(scratch) {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        for (j, o) in out.iter_mut().enumerate() {
+            *o = j >= lo;
+        }
+    }
+
+    /// Evaluates an explicit defect map. Same verdict as
+    /// [`crate::local::is_reconfigurable`] on the evaluator's array and
+    /// policy — used by the equivalence tests and by callers that already
+    /// hold a map but want the incremental engine's speed.
+    pub fn evaluate_defects(&self, defects: &DefectMap, scratch: &mut TrialScratch) -> bool {
+        for (f, &c) in scratch.faulty_primary.iter_mut().zip(&self.primaries) {
+            *f = defects.is_faulty(c);
+        }
+        for (f, &s) in scratch.faulty_spare.iter_mut().zip(&self.spares) {
+            *f = defects.is_faulty(s);
+        }
+        self.solve(scratch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtmb::DtmbKind;
+    use crate::local;
+    use rand::SeedableRng;
+
+    fn evaluator(kind: DtmbKind, n: usize) -> (DefectTolerantArray, TrialEvaluator) {
+        let array = kind.with_primary_count(n);
+        let eval = TrialEvaluator::new(&array, &ReconfigPolicy::AllPrimaries);
+        (array, eval)
+    }
+
+    #[test]
+    fn structure_mirrors_array() {
+        let (array, eval) = evaluator(DtmbKind::Dtmb26A, 80);
+        assert_eq!(eval.primary_count(), array.primary_count());
+        assert!(eval.spare_count() <= array.spare_count());
+        assert!(eval.edge_count() > 0);
+    }
+
+    #[test]
+    fn fault_free_chip_is_tolerable() {
+        let (_, eval) = evaluator(DtmbKind::Dtmb44, 40);
+        let mut scratch = eval.scratch();
+        assert!(eval.evaluate_defects(&DefectMap::new(), &mut scratch));
+    }
+
+    #[test]
+    fn agrees_with_local_engine_on_random_maps() {
+        use rand::seq::SliceRandom;
+        for kind in DtmbKind::ALL {
+            let array = kind.with_primary_count(60);
+            let eval = TrialEvaluator::new(&array, &ReconfigPolicy::AllPrimaries);
+            let mut scratch = eval.scratch();
+            let cells: Vec<HexCoord> = array.region().iter().collect();
+            let mut rng = StdRng::seed_from_u64(0xD7);
+            for faults in [0usize, 1, 3, 8, 20, 40] {
+                for _ in 0..20 {
+                    let mut pick = cells.clone();
+                    pick.shuffle(&mut rng);
+                    let defects = DefectMap::from_cells(pick.into_iter().take(faults));
+                    let expected =
+                        local::is_reconfigurable(&array, &defects, &ReconfigPolicy::AllPrimaries);
+                    let got = eval.evaluate_defects(&defects, &mut scratch);
+                    assert_eq!(got, expected, "{kind} faults={faults}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn survival_extremes() {
+        let (_, eval) = evaluator(DtmbKind::Dtmb26A, 60);
+        let mut scratch = eval.scratch();
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(eval.survival_trial(1.0, &mut rng, &mut scratch));
+        assert!(!eval.survival_trial(0.0, &mut rng, &mut scratch));
+    }
+
+    #[test]
+    fn grid_trials_are_monotone_and_match_threshold() {
+        let (_, eval) = evaluator(DtmbKind::Dtmb36, 80);
+        let mut scratch = eval.scratch();
+        let ps = [0.0, 0.5, 0.8, 0.9, 0.95, 0.99, 1.0];
+        let mut out = [false; 7];
+        for seed in 0..50 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            eval.survival_trial_grid(&ps, &mut rng, &mut scratch, &mut out);
+            // Monotone: once tolerable, stays tolerable.
+            for w in out.windows(2) {
+                assert!(w[1] || !w[0], "tolerability must be monotone: {out:?}");
+            }
+            // p = 1 has no faults at all.
+            assert!(out[6]);
+        }
+    }
+
+    #[test]
+    fn policy_scoping_is_respected() {
+        use std::collections::BTreeSet;
+        let array = DtmbKind::Dtmb26A.with_primary_count(50);
+        // Empty scope: nothing is required, chips always pass.
+        let eval = TrialEvaluator::new(&array, &ReconfigPolicy::UsedCells(BTreeSet::new()));
+        assert_eq!(eval.primary_count(), 0);
+        let mut scratch = eval.scratch();
+        let all: Vec<HexCoord> = array.region().iter().collect();
+        assert!(eval.evaluate_defects(&DefectMap::from_cells(all), &mut scratch));
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn grid_must_be_sorted() {
+        let (_, eval) = evaluator(DtmbKind::Dtmb44, 20);
+        let mut scratch = eval.scratch();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut out = [false; 2];
+        eval.survival_trial_grid(&[0.9, 0.5], &mut rng, &mut scratch, &mut out);
+    }
+}

@@ -17,6 +17,10 @@
 //!   spare) per cell.
 //! * [`local`] — matching-based local reconfiguration with success policies
 //!   and Hall-violation failure witnesses.
+//! * [`incremental`] — [`TrialEvaluator`]: the Monte-Carlo hot path, which
+//!   precomputes the primary↔spare neighbour structure once per array and
+//!   evaluates each trial (or a whole survival-probability grid per trial)
+//!   with reusable bitset-matching buffers.
 //! * [`shifted`] — the boundary spare-row baseline with its cascade of
 //!   "shifted replacements" (Figure 2), including cost accounting.
 //! * [`app_aware`] — the redundancy-free category-1 alternative: re-placing
@@ -39,9 +43,11 @@
 pub mod app_aware;
 pub mod array;
 pub mod dtmb;
+pub mod incremental;
 pub mod local;
 pub mod shifted;
 pub mod square_dtmb;
 
 pub use array::{CellRole, DefectTolerantArray, DegreeAudit};
+pub use incremental::{TrialEvaluator, TrialScratch};
 pub use local::{attempt_reconfiguration, ReconfigFailure, ReconfigPlan, ReconfigPolicy};

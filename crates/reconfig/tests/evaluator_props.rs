@@ -1,0 +1,71 @@
+//! Property tests: the incremental [`TrialEvaluator`] must agree with the
+//! reference `local::is_reconfigurable` engine on every defect map, for
+//! every published DTMB design and policy scope.
+
+use dmfb_defects::DefectMap;
+use dmfb_grid::HexCoord;
+use dmfb_reconfig::dtmb::DtmbKind;
+use dmfb_reconfig::{local, ReconfigPolicy, TrialEvaluator};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn arb_kind() -> impl Strategy<Value = DtmbKind> {
+    prop::sample::select(DtmbKind::ALL.to_vec())
+}
+
+proptest! {
+    /// Random fault subsets of the array: identical verdicts, including
+    /// when the evaluator's scratch is reused across cases.
+    #[test]
+    fn evaluator_matches_reference_engine(
+        kind in arb_kind(),
+        n in 20usize..80,
+        picks in prop::collection::vec((0usize..1000, 0usize..1000), 0..30),
+    ) {
+        let array = kind.with_primary_count(n);
+        let cells: Vec<HexCoord> = array.region().iter().collect();
+        let faulty: Vec<HexCoord> = picks
+            .iter()
+            .map(|&(a, b)| cells[(a * 1000 + b) % cells.len()])
+            .collect();
+        let defects = DefectMap::from_cells(faulty);
+        let policy = ReconfigPolicy::AllPrimaries;
+        let eval = TrialEvaluator::new(&array, &policy);
+        let mut scratch = eval.scratch();
+        let expected = local::is_reconfigurable(&array, &defects, &policy);
+        prop_assert_eq!(eval.evaluate_defects(&defects, &mut scratch), expected);
+        // Scratch reuse: evaluating again (and after an unrelated map)
+        // still gives the same verdict.
+        let noise = DefectMap::from_cells(cells.iter().copied().take(5));
+        let _ = eval.evaluate_defects(&noise, &mut scratch);
+        prop_assert_eq!(eval.evaluate_defects(&defects, &mut scratch), expected);
+    }
+
+    /// Scoped policies: verdicts agree when only a subset of primaries is
+    /// required to work.
+    #[test]
+    fn evaluator_matches_reference_under_scoped_policy(
+        kind in arb_kind(),
+        n in 20usize..60,
+        scope_picks in prop::collection::vec(0usize..1000, 0..25),
+        fault_picks in prop::collection::vec(0usize..1000, 0..25),
+    ) {
+        let array = kind.with_primary_count(n);
+        let primaries: Vec<HexCoord> = array.primaries().collect();
+        let cells: Vec<HexCoord> = array.region().iter().collect();
+        let scope: BTreeSet<HexCoord> = scope_picks
+            .iter()
+            .map(|&i| primaries[i % primaries.len()])
+            .collect();
+        let policy = ReconfigPolicy::UsedCells(scope);
+        let defects = DefectMap::from_cells(
+            fault_picks.iter().map(|&i| cells[i % cells.len()]),
+        );
+        let eval = TrialEvaluator::new(&array, &policy);
+        let mut scratch = eval.scratch();
+        prop_assert_eq!(
+            eval.evaluate_defects(&defects, &mut scratch),
+            local::is_reconfigurable(&array, &defects, &policy)
+        );
+    }
+}

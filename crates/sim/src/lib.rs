@@ -14,6 +14,9 @@
 //!   confidence intervals.
 //! * [`Summary`] — streaming mean/variance for real-valued observables.
 //! * [`SeedSequence`] — SplitMix64 stream of decorrelated sub-seeds.
+//! * [`sweep`] — deterministic parallel job orchestration
+//!   ([`parallel_map`]) and the [`auto_threads`] core-count default used
+//!   wherever a thread count is optional (`0` = one worker per core).
 //!
 //! # Example
 //!
@@ -33,7 +36,9 @@
 mod mc;
 mod seeds;
 mod stats;
+pub mod sweep;
 
 pub use mc::MonteCarlo;
 pub use seeds::SeedSequence;
 pub use stats::{wilson_interval, BernoulliEstimate, Summary};
+pub use sweep::{auto_threads, parallel_map};

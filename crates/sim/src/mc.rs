@@ -4,6 +4,16 @@ use crate::{BernoulliEstimate, SeedSequence, Summary};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// Maps the public "0 = one worker per core" convention onto a concrete
+/// worker count.
+fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        crate::sweep::auto_threads()
+    } else {
+        threads
+    }
+}
+
 /// A reproducible Monte-Carlo experiment runner.
 ///
 /// Each trial receives its own [`StdRng`] seeded from a [`SeedSequence`], so
@@ -19,7 +29,9 @@ use rand::SeedableRng;
 ///
 /// let mc = MonteCarlo::new(5_000, 1);
 /// let seq = mc.run(|rng| rng.gen_bool(0.5));
-/// let par = mc.run_parallel(4, |rng| rng.gen_bool(0.5));
+/// // `0` threads means "one worker per available core"
+/// // (std::thread::available_parallelism).
+/// let par = mc.run_parallel(0, |rng| rng.gen_bool(0.5));
 /// assert_eq!(seq.successes(), par.successes());
 /// ```
 #[derive(Clone, Copy, Debug)]
@@ -54,31 +66,65 @@ impl MonteCarlo {
     /// Runs `trial` once per trial sequentially and returns the success
     /// proportion.
     pub fn run(&self, mut trial: impl FnMut(&mut StdRng) -> bool) -> BernoulliEstimate {
+        self.run_with(|| (), |rng, ()| trial(rng))
+    }
+
+    /// Like [`MonteCarlo::run`], but threads a caller-built scratch state
+    /// through every trial. `init` is called once before the loop; `trial`
+    /// receives the same `&mut S` each time, so buffers allocated in
+    /// `init` amortise across the whole run (the incremental-evaluator
+    /// pattern in `dmfb-reconfig`).
+    pub fn run_with<S>(
+        &self,
+        init: impl FnOnce() -> S,
+        mut trial: impl FnMut(&mut StdRng, &mut S) -> bool,
+    ) -> BernoulliEstimate {
+        let mut state = init();
         let mut successes = 0u64;
         for seed in SeedSequence::new(self.master_seed).take(self.trials as usize) {
             let mut rng = StdRng::seed_from_u64(seed);
-            if trial(&mut rng) {
+            if trial(&mut rng, &mut state) {
                 successes += 1;
             }
         }
         BernoulliEstimate::new(successes, u64::from(self.trials))
     }
 
-    /// Runs the experiment across `threads` worker threads. The result is
-    /// identical to [`MonteCarlo::run`] because each trial's RNG depends
-    /// only on its index.
+    /// Runs the experiment across `threads` worker threads (`0` means one
+    /// worker per available core, per [`crate::sweep::auto_threads`]). The
+    /// result is identical to [`MonteCarlo::run`] because each trial's RNG
+    /// depends only on its index.
     ///
     /// # Panics
     ///
-    /// Panics if `threads == 0` or if a worker thread panics.
+    /// Panics if a worker thread panics.
     pub fn run_parallel(
         &self,
         threads: usize,
         trial: impl Fn(&mut StdRng) -> bool + Sync,
     ) -> BernoulliEstimate {
-        assert!(threads > 0, "at least one thread required");
+        self.run_parallel_with(threads, || (), |rng, ()| trial(rng))
+    }
+
+    /// Per-thread-state variant of [`MonteCarlo::run_parallel`]: each
+    /// worker thread calls `init` once and reuses the returned scratch for
+    /// all of its trials. Results are byte-identical to
+    /// [`MonteCarlo::run_with`] for any thread count, because every
+    /// trial's RNG depends only on the trial index and the per-worker
+    /// success counts are summed in worker order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics.
+    pub fn run_parallel_with<S>(
+        &self,
+        threads: usize,
+        init: impl Fn() -> S + Sync,
+        trial: impl Fn(&mut StdRng, &mut S) -> bool + Sync,
+    ) -> BernoulliEstimate {
+        let threads = resolve_threads(threads);
         if threads == 1 || self.trials < 2 {
-            return self.run(|rng| trial(rng));
+            return self.run_with(&init, |rng, s| trial(rng, s));
         }
         let total = self.trials as u64;
         let master = self.master_seed;
@@ -86,12 +132,14 @@ impl MonteCarlo {
             let mut handles = Vec::with_capacity(threads);
             for t in 0..threads as u64 {
                 let trial = &trial;
+                let init = &init;
                 handles.push(scope.spawn(move || {
+                    let mut state = init();
                     let mut local = 0u64;
                     let mut i = t;
                     while i < total {
                         let mut rng = StdRng::seed_from_u64(SeedSequence::nth_seed(master, i));
-                        if trial(&mut rng) {
+                        if trial(&mut rng, &mut state) {
                             local += 1;
                         }
                         i += threads as u64;
@@ -102,6 +150,94 @@ impl MonteCarlo {
             handles.into_iter().map(|h| h.join().expect("worker")).sum()
         });
         BernoulliEstimate::new(successes, total)
+    }
+
+    /// Runs a *vector-valued* experiment: every trial fills a `k`-slot
+    /// success vector (one slot per swept parameter value), and the engine
+    /// tallies per-slot success counts into `k` estimates.
+    ///
+    /// This is how one Monte-Carlo pass serves an entire yield curve: a
+    /// trial draws one random chip and reports, for each survival
+    /// probability on the grid, whether that chip would have been
+    /// tolerable — see `dmfb-yield`'s batched sweep.
+    pub fn tally<S>(
+        &self,
+        k: usize,
+        init: impl FnOnce() -> S,
+        mut trial: impl FnMut(&mut StdRng, &mut S, &mut [bool]),
+    ) -> Vec<BernoulliEstimate> {
+        let mut state = init();
+        let mut outcomes = vec![false; k];
+        let mut counts = vec![0u64; k];
+        for seed in SeedSequence::new(self.master_seed).take(self.trials as usize) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            outcomes.iter_mut().for_each(|o| *o = false);
+            trial(&mut rng, &mut state, &mut outcomes);
+            for (c, &o) in counts.iter_mut().zip(&outcomes) {
+                *c += u64::from(o);
+            }
+        }
+        counts
+            .into_iter()
+            .map(|c| BernoulliEstimate::new(c, u64::from(self.trials)))
+            .collect()
+    }
+
+    /// Parallel, byte-identical counterpart of [`MonteCarlo::tally`]
+    /// (`threads == 0` means one worker per available core). Per-worker
+    /// count vectors are summed element-wise, which is order-independent,
+    /// so the estimates never depend on scheduling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics.
+    pub fn tally_parallel<S>(
+        &self,
+        threads: usize,
+        k: usize,
+        init: impl Fn() -> S + Sync,
+        trial: impl Fn(&mut StdRng, &mut S, &mut [bool]) + Sync,
+    ) -> Vec<BernoulliEstimate> {
+        let threads = resolve_threads(threads);
+        if threads == 1 || self.trials < 2 {
+            return self.tally(k, &init, |rng, s, out| trial(rng, s, out));
+        }
+        let total = self.trials as u64;
+        let master = self.master_seed;
+        let counts = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for t in 0..threads as u64 {
+                let trial = &trial;
+                let init = &init;
+                handles.push(scope.spawn(move || {
+                    let mut state = init();
+                    let mut outcomes = vec![false; k];
+                    let mut local = vec![0u64; k];
+                    let mut i = t;
+                    while i < total {
+                        let mut rng = StdRng::seed_from_u64(SeedSequence::nth_seed(master, i));
+                        outcomes.iter_mut().for_each(|o| *o = false);
+                        trial(&mut rng, &mut state, &mut outcomes);
+                        for (c, &o) in local.iter_mut().zip(&outcomes) {
+                            *c += u64::from(o);
+                        }
+                        i += threads as u64;
+                    }
+                    local
+                }));
+            }
+            let mut counts = vec![0u64; k];
+            for h in handles {
+                for (c, l) in counts.iter_mut().zip(h.join().expect("worker")) {
+                    *c += l;
+                }
+            }
+            counts
+        });
+        counts
+            .into_iter()
+            .map(|c| BernoulliEstimate::new(c, total))
+            .collect()
     }
 
     /// Runs a real-valued observable once per trial and accumulates a
@@ -177,8 +313,61 @@ mod tests {
     fn parallel_equals_sequential() {
         let mc = MonteCarlo::new(2_000, 99);
         let seq = mc.run(|rng| rng.gen_bool(0.42));
-        for threads in [1, 2, 3, 8] {
+        // 0 = one worker per available core.
+        for threads in [0, 1, 2, 3, 8] {
             let par = mc.run_parallel(threads, |rng| rng.gen_bool(0.42));
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn per_thread_state_is_reused_and_results_match() {
+        let mc = MonteCarlo::new(1_000, 5);
+        // Count how many times init runs sequentially: exactly once.
+        let mut inits = 0u32;
+        let seq = mc.run_with(
+            || {
+                inits += 1;
+                Vec::<u8>::with_capacity(16)
+            },
+            |rng, buf| {
+                buf.clear();
+                buf.push(1);
+                rng.gen_bool(0.37)
+            },
+        );
+        assert_eq!(inits, 1);
+        for threads in [0, 1, 2, 5] {
+            let par = mc.run_parallel_with(
+                threads,
+                || Vec::<u8>::with_capacity(16),
+                |rng, buf| {
+                    buf.clear();
+                    buf.push(1);
+                    rng.gen_bool(0.37)
+                },
+            );
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn tally_parallel_is_byte_identical() {
+        let mc = MonteCarlo::new(1_500, 41);
+        let grid = [0.2, 0.5, 0.9];
+        let fill = |rng: &mut StdRng, (): &mut (), out: &mut [bool]| {
+            let u: f64 = rng.gen();
+            for (o, &p) in out.iter_mut().zip(&grid) {
+                *o = u < p;
+            }
+        };
+        let seq = mc.tally(grid.len(), || (), fill);
+        assert_eq!(seq.len(), grid.len());
+        // Slots are monotone in p by construction (common random numbers).
+        assert!(seq[0].successes() <= seq[1].successes());
+        assert!(seq[1].successes() <= seq[2].successes());
+        for threads in [0, 2, 7] {
+            let par = mc.tally_parallel(threads, grid.len(), || (), fill);
             assert_eq!(par, seq, "threads={threads}");
         }
     }
@@ -210,10 +399,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one thread")]
-    fn zero_threads_rejected() {
-        let mc = MonteCarlo::new(10, 5);
-        let _ = mc.run_parallel(0, |_| true);
+    fn zero_threads_means_auto() {
+        let mc = MonteCarlo::new(64, 5);
+        let auto = mc.run_parallel(0, |rng| rng.gen_bool(0.5));
+        let seq = mc.run(|rng| rng.gen_bool(0.5));
+        assert_eq!(auto, seq);
     }
 
     #[test]

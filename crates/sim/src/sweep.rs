@@ -1,0 +1,136 @@
+//! Deterministic parallel job orchestration for parameter sweeps.
+//!
+//! A yield curve is a list of independent `(design, p, trials)` jobs; a
+//! fault-count profile is a list of independent `m` jobs. This module runs
+//! such job lists across worker threads with **byte-identical results to a
+//! sequential run**: every job's output depends only on the job itself,
+//! and outputs are returned in input order regardless of which thread
+//! computed them or in what order they finished.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The number of worker threads the host machine can usefully run —
+/// [`std::thread::available_parallelism`], falling back to 1 where the
+/// parallelism cannot be determined.
+///
+/// This is the default everywhere a thread count is optional: the CLI's
+/// `--threads 0`, [`parallel_map`]'s `threads == 0`, and the Monte-Carlo
+/// engines' auto modes.
+#[must_use]
+pub fn auto_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item of `items` across `threads` worker threads
+/// and returns the results **in input order**.
+///
+/// Scheduling is dynamic (an atomic cursor hands out the next unclaimed
+/// index), so long jobs do not serialise behind short ones; determinism is
+/// preserved because each result is keyed by its input index, never by
+/// completion order. `threads == 0` means [`auto_threads`]. With one
+/// thread (or zero/one items) the call degrades to a plain sequential map
+/// on the caller's thread.
+///
+/// # Example
+///
+/// ```
+/// use dmfb_sim::sweep::parallel_map;
+///
+/// let squares = parallel_map(0, &[1u64, 2, 3, 4], |_, &x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if a worker thread panics.
+pub fn parallel_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = if threads == 0 {
+        auto_threads()
+    } else {
+        threads
+    };
+    let threads = threads.min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut labelled: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let cursor = &cursor;
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    local.push((i, f(i, &items[i])));
+                }
+                local
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+    labelled.sort_by_key(|(i, _)| *i);
+    debug_assert_eq!(labelled.len(), items.len());
+    labelled.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_threads_is_positive() {
+        assert!(auto_threads() >= 1);
+    }
+
+    #[test]
+    fn preserves_input_order_for_any_thread_count() {
+        let items: Vec<u64> = (0..97).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for threads in [0, 1, 2, 3, 8, 200] {
+            let got = parallel_map(threads, &items, |_, &x| x * 3 + 1);
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn index_argument_matches_position() {
+        let items = ["a", "b", "c"];
+        let got = parallel_map(2, &items, |i, s| format!("{i}:{s}"));
+        assert_eq!(got, vec!["0:a", "1:b", "2:c"]);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(4, &empty, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(4, &[42u32], |_, &x| x + 1), vec![43]);
+    }
+
+    #[test]
+    fn uneven_job_durations_do_not_reorder() {
+        // Early items sleep longest; dynamic scheduling would finish them
+        // last, yet the output order must still match the input.
+        let items: Vec<u64> = (0..16).collect();
+        let got = parallel_map(4, &items, |_, &x| {
+            std::thread::sleep(std::time::Duration::from_millis(16 - x));
+            x
+        });
+        assert_eq!(got, items);
+    }
+}

@@ -8,8 +8,8 @@
 //! cells. This checking procedure is based on a graph matching approach."
 
 use dmfb_defects::injection::{Bernoulli, ExactCount, InjectionModel};
-use dmfb_reconfig::{local, DefectTolerantArray, ReconfigPolicy};
-use dmfb_sim::{BernoulliEstimate, MonteCarlo};
+use dmfb_reconfig::{local, DefectTolerantArray, ReconfigPolicy, TrialEvaluator};
+use dmfb_sim::{parallel_map, BernoulliEstimate, MonteCarlo};
 use serde::{Deserialize, Serialize};
 
 /// One `(parameter, yield)` sample of a yield curve, with its Monte-Carlo
@@ -61,15 +61,11 @@ impl MonteCarloYield {
         }
     }
 
-    /// Distributes trials across `threads` worker threads. Results are
-    /// identical regardless of thread count.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `threads == 0`.
+    /// Distributes trials across `threads` worker threads (`0` = one
+    /// worker per available core). Results are identical regardless of
+    /// thread count.
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
-        assert!(threads > 0, "at least one thread required");
         self.threads = threads;
         self
     }
@@ -111,45 +107,116 @@ impl MonteCarloYield {
             let defects = model.inject(region, rng);
             local::is_reconfigurable(&self.array, &defects, &self.policy)
         };
-        if self.threads > 1 {
-            mc.run_parallel(self.threads, trial)
+        mc.run_parallel(self.threads, trial)
+    }
+
+    /// Estimates survival-mode yield with the incremental
+    /// [`TrialEvaluator`] engine: the array's neighbour structure is
+    /// precomputed once and every trial runs through reusable bitset
+    /// matching buffers — no per-trial graph or defect-map construction.
+    ///
+    /// The estimate is drawn from the same distribution as
+    /// [`MonteCarloYield::estimate_survival`] but from an independent
+    /// random stream (the fast engine draws one uniform per relevant cell
+    /// instead of sampling defect causes), so the two agree statistically,
+    /// not bit-for-bit. Within this engine, results are deterministic in
+    /// `(trials, seed)` and independent of thread count.
+    #[must_use]
+    pub fn estimate_survival_fast(&self, p: f64, trials: u32, seed: u64) -> BernoulliEstimate {
+        let evaluator = TrialEvaluator::new(&self.array, &self.policy);
+        MonteCarlo::new(trials, seed).run_parallel_with(
+            self.threads,
+            || evaluator.scratch(),
+            |rng, scratch| evaluator.survival_trial(p, rng, scratch),
+        )
+    }
+
+    /// Sweeps an **ascending** survival grid in one batched Monte-Carlo
+    /// pass: each trial draws a single random chip (common random numbers
+    /// across the grid) and reports tolerability at every `p` at once,
+    /// via the monotone threshold search in
+    /// [`TrialEvaluator::survival_trial_grid`].
+    ///
+    /// Compared with [`MonteCarloYield::sweep_survival`], which runs an
+    /// independent experiment per grid point, this shares every trial
+    /// across the whole curve, and the common random numbers make the
+    /// curve monotone in `p` trial-by-trial (no sampling wiggles between
+    /// adjacent points). Results are byte-identical for any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ps` is not sorted ascending.
+    #[must_use]
+    pub fn sweep_survival_batched(&self, ps: &[f64], trials: u32, seed: u64) -> Vec<YieldPoint> {
+        let evaluator = TrialEvaluator::new(&self.array, &self.policy);
+        let estimates = MonteCarlo::new(trials, seed).tally_parallel(
+            self.threads,
+            ps.len(),
+            || evaluator.scratch(),
+            |rng, scratch, out| evaluator.survival_trial_grid(ps, rng, scratch, out),
+        );
+        ps.iter()
+            .zip(estimates)
+            .map(|(&p, est)| YieldPoint {
+                x: p,
+                y: est.point(),
+                ci95: est.wilson95(),
+                trials: est.trials(),
+            })
+            .collect()
+    }
+
+    /// Splits the configured worker budget between grid points (outer)
+    /// and trials within a point (inner) so no cores idle when the grid
+    /// is shorter than the thread count. Results are unaffected: every
+    /// estimate is thread-count-invariant by construction.
+    fn sweep_thread_split(&self, points: usize) -> (usize, usize) {
+        let total = if self.threads == 0 {
+            dmfb_sim::auto_threads()
         } else {
-            mc.run(trial)
-        }
+            self.threads
+        };
+        let outer = total.min(points.max(1));
+        let inner = (total / outer.max(1)).max(1);
+        (outer, inner)
     }
 
     /// Sweeps survival probabilities into a list of [`YieldPoint`]s.
+    ///
+    /// Grid points are distributed across the configured worker threads,
+    /// and any leftover parallelism runs inside each point's trial loop;
+    /// per-point results are identical to a fully sequential sweep
+    /// because every point is seeded by its grid index alone.
     #[must_use]
     pub fn sweep_survival(&self, ps: &[f64], trials: u32, seed: u64) -> Vec<YieldPoint> {
-        ps.iter()
-            .enumerate()
-            .map(|(i, &p)| {
-                let est = self.estimate_survival(p, trials, seed.wrapping_add(i as u64));
-                YieldPoint {
-                    x: p,
-                    y: est.point(),
-                    ci95: est.wilson95(),
-                    trials: est.trials(),
-                }
-            })
-            .collect()
+        let (outer, inner) = self.sweep_thread_split(ps.len());
+        let point = self.clone().with_threads(inner);
+        parallel_map(outer, ps, |i, &p| {
+            let est = point.estimate_survival(p, trials, seed.wrapping_add(i as u64));
+            YieldPoint {
+                x: p,
+                y: est.point(),
+                ci95: est.wilson95(),
+                trials: est.trials(),
+            }
+        })
     }
 
-    /// Sweeps exact fault counts into a list of [`YieldPoint`]s.
+    /// Sweeps exact fault counts into a list of [`YieldPoint`]s, with the
+    /// same orchestration as [`MonteCarloYield::sweep_survival`].
     #[must_use]
     pub fn sweep_exact_faults(&self, ms: &[usize], trials: u32, seed: u64) -> Vec<YieldPoint> {
-        ms.iter()
-            .enumerate()
-            .map(|(i, &m)| {
-                let est = self.estimate_exact_faults(m, trials, seed.wrapping_add(i as u64));
-                YieldPoint {
-                    x: m as f64,
-                    y: est.point(),
-                    ci95: est.wilson95(),
-                    trials: est.trials(),
-                }
-            })
-            .collect()
+        let (outer, inner) = self.sweep_thread_split(ms.len());
+        let point = self.clone().with_threads(inner);
+        parallel_map(outer, ms, |i, &m| {
+            let est = point.estimate_exact_faults(m, trials, seed.wrapping_add(i as u64));
+            YieldPoint {
+                x: m as f64,
+                y: est.point(),
+                ci95: est.wilson95(),
+                trials: est.trials(),
+            }
+        })
     }
 }
 
@@ -242,6 +309,74 @@ mod tests {
             .with_threads(4)
             .estimate_survival(0.95, 1_000, 17);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fast_engine_agrees_statistically_with_reference() {
+        // Same distribution, independent streams: the two engines must
+        // land within a few points of each other at moderate trial counts.
+        for kind in [DtmbKind::Dtmb26A, DtmbKind::Dtmb44] {
+            let mc = estimator(kind, 100);
+            for &p in &[0.92, 0.97] {
+                let slow = mc.estimate_survival(p, 4_000, 13).point();
+                let fast = mc.estimate_survival_fast(p, 4_000, 13).point();
+                assert!(
+                    (slow - fast).abs() < 0.04,
+                    "{kind} p={p}: slow {slow} vs fast {fast}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fast_engine_is_thread_invariant() {
+        let mc = estimator(DtmbKind::Dtmb36, 80);
+        let seq = mc.estimate_survival_fast(0.94, 2_000, 29);
+        for threads in [0, 2, 5] {
+            let par = mc
+                .clone()
+                .with_threads(threads)
+                .estimate_survival_fast(0.94, 2_000, 29);
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn batched_sweep_matches_per_point_sweep() {
+        let mc = estimator(DtmbKind::Dtmb26A, 100);
+        let ps = [0.90, 0.94, 0.98, 1.0];
+        let per_point = mc.sweep_survival(&ps, 4_000, 31);
+        let batched = mc.sweep_survival_batched(&ps, 4_000, 31);
+        assert_eq!(batched.len(), ps.len());
+        for (a, b) in per_point.iter().zip(&batched) {
+            assert_eq!(a.x, b.x);
+            assert!(
+                (a.y - b.y).abs() < 0.04,
+                "x={}: per-point {} vs batched {}",
+                a.x,
+                a.y,
+                b.y
+            );
+        }
+        // Common random numbers make the batched curve monotone in p.
+        for w in batched.windows(2) {
+            assert!(w[1].y >= w[0].y, "batched curve must be monotone");
+        }
+        assert_eq!(batched.last().unwrap().y, 1.0, "p=1 never fails");
+    }
+
+    #[test]
+    fn batched_sweep_is_byte_identical_across_thread_counts() {
+        let mc = estimator(DtmbKind::Dtmb44, 60);
+        let ps = [0.85, 0.92, 0.99];
+        let seq = mc.sweep_survival_batched(&ps, 1_000, 47);
+        for threads in [0, 3, 8] {
+            let par = mc
+                .clone()
+                .with_threads(threads)
+                .sweep_survival_batched(&ps, 1_000, 47);
+            assert_eq!(par, seq, "threads={threads}");
+        }
     }
 
     #[test]

@@ -140,7 +140,7 @@ pub mod collection {
     use super::strategy::Strategy;
     use super::StdRng;
 
-    /// Length specification for [`vec`]: a fixed size or a range.
+    /// Length specification for [`vec()`]: a fixed size or a range.
     pub struct SizeRange {
         lo: usize,
         hi_exclusive: usize,
@@ -183,7 +183,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
