@@ -16,6 +16,7 @@
 //!   "entries": [
 //!     {
 //!       "name": "dtmb26/incremental",
+//!       "scheme": "hex-dtmb",
 //!       "design": "DTMB(2,6)",
 //!       "primaries": 120,
 //!       "trials": 2000,
@@ -41,6 +42,10 @@ pub const BENCH_SCHEMA: &str = "dmfb-bench/1";
 pub struct BenchEntry {
     /// Unique entry name, conventionally `<design>/<engine>`.
     pub name: String,
+    /// Redundancy-scheme family the workload ran on (`hex-dtmb`,
+    /// `square-dtmb`, `spare-rows`), so `BENCH_*.json` artifacts from
+    /// different schemes stay distinguishable in the perf trajectory.
+    pub scheme: String,
     /// Human-readable design label (e.g. `DTMB(2,6)`).
     pub design: String,
     /// Primary-cell count of the benchmarked array.
@@ -64,6 +69,7 @@ impl BenchEntry {
     fn to_json(&self, out: &mut String) {
         out.push('{');
         let _ = write!(out, "\"name\":{}", json_string(&self.name));
+        let _ = write!(out, ",\"scheme\":{}", json_string(&self.scheme));
         let _ = write!(out, ",\"design\":{}", json_string(&self.design));
         let _ = write!(out, ",\"primaries\":{}", self.primaries);
         let _ = write!(out, ",\"trials\":{}", self.trials);
@@ -93,6 +99,7 @@ impl BenchEntry {
 /// let mut report = BenchReport::new("quick", 4, true);
 /// report.push(BenchEntry {
 ///     name: "dtmb26/incremental".into(),
+///     scheme: "hex-dtmb".into(),
 ///     design: "DTMB(2,6)".into(),
 ///     primaries: 120,
 ///     trials: 2_000,
@@ -357,6 +364,7 @@ mod tests {
     fn sample_entry() -> BenchEntry {
         BenchEntry {
             name: "dtmb26/batched-sweep".into(),
+            scheme: "hex-dtmb".into(),
             design: "DTMB(2,6)".into(),
             primaries: 120,
             trials: 2_000,
@@ -379,6 +387,7 @@ mod tests {
         let json = r.to_json();
         validate_json(&json).expect("emitter must produce valid JSON");
         assert!(json.contains("\"schema\":\"dmfb-bench/1\""));
+        assert!(json.contains("\"scheme\":\"hex-dtmb\""));
         assert!(json.contains("\"entries\":[{"));
         assert!(json.contains("\"yield_estimate\":null"), "NaN → null");
         assert!(json.contains("\\\"label\\\""), "escaped quotes");

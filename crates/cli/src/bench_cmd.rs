@@ -2,12 +2,16 @@
 //! `bench-smoke` job.
 //!
 //! Runs the Monte-Carlo yield workload through each engine generation —
-//! the per-trial graph-rebuild path, the incremental bitset evaluator,
-//! and the batched whole-curve sweep — on a fixed set of DTMB designs,
-//! and reports wall time plus effective trial throughput. `--json` writes
-//! a `BENCH_<label>.json` file in the [`dmfb_bench`] schema so CI can
+//! the per-trial graph-rebuild path (hex only), the incremental bitset
+//! evaluator, and the batched whole-curve sweep — for the selected
+//! redundancy scheme (`--scheme hex-dtmb | square-dtmb | spare-rows`),
+//! and reports wall time plus effective trial throughput. Every scheme
+//! rides the same generic engine, so the per-scheme `BENCH_*.json`
+//! artifacts are directly comparable. `--json` writes the file in the
+//! [`dmfb_bench`] schema (which records the scheme per entry) so CI can
 //! archive the numbers and later PRs can compare them.
 
+use crate::SchemeChoice;
 use dmfb_bench::{BenchEntry, BenchReport, TextTable, FIG7_9_SURVIVAL_GRID};
 use dmfb_core::prelude::*;
 use std::time::Instant;
@@ -32,10 +36,12 @@ pub struct BenchConfig {
     pub out_dir: String,
     /// Report label (file-name stem suffix).
     pub label: String,
+    /// Redundancy scheme whose workloads to run.
+    pub scheme: SchemeChoice,
 }
 
-/// One benchmarked workload: `(design, primaries, trials)`.
-fn cases(quick: bool) -> Vec<(DtmbKind, usize, u32)> {
+/// One benchmarked hex workload: `(design, primaries, trials)`.
+fn hex_cases(quick: bool) -> Vec<(DtmbKind, usize, u32)> {
     if quick {
         vec![
             (DtmbKind::Dtmb26A, 120, 2_000),
@@ -51,6 +57,17 @@ fn cases(quick: bool) -> Vec<(DtmbKind, usize, u32)> {
     }
 }
 
+/// Square patterns worth benchmarking (the defective quarter pattern's
+/// yield is ~0 everywhere interesting, so it is excluded).
+fn square_cases(quick: bool) -> Vec<(SquarePattern, u32, u32)> {
+    let (side, trials) = if quick { (12, 2_000) } else { (24, 10_000) };
+    vec![
+        (SquarePattern::PerfectCode, side, trials),
+        (SquarePattern::Stripes, side, trials),
+        (SquarePattern::Checkerboard, side, trials),
+    ]
+}
+
 /// Short CLI-style design tag for entry names (`dtmb26`, `dtmb44`, …).
 fn tag(kind: DtmbKind) -> &'static str {
     match kind {
@@ -62,9 +79,21 @@ fn tag(kind: DtmbKind) -> &'static str {
     }
 }
 
+/// Short CLI-style pattern tag for entry names.
+fn pattern_tag(pattern: SquarePattern) -> &'static str {
+    match pattern {
+        SquarePattern::PerfectCode => "perfect-code",
+        SquarePattern::Stripes => "stripes",
+        SquarePattern::Checkerboard => "checkerboard",
+        SquarePattern::Quarter => "quarter",
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn entry(
     name: String,
-    kind: DtmbKind,
+    scheme: &str,
+    design: String,
     primaries: usize,
     trials: u32,
     grid_points: usize,
@@ -74,7 +103,8 @@ fn entry(
     let point_trials = u64::from(trials) * grid_points as u64;
     BenchEntry {
         name,
-        design: kind.to_string(),
+        scheme: scheme.to_string(),
+        design,
         primaries,
         trials: u64::from(trials),
         grid_points,
@@ -88,6 +118,51 @@ fn entry(
     }
 }
 
+/// Runs `incremental` + `batched-sweep` workloads for one scheme-generic
+/// engine and appends the entries. `primaries` is the primary-*cell*
+/// count of the array (for the spare-row scheme that is cells, not the
+/// coarser module-row units the matcher works on — `BenchEntry.primaries`
+/// is documented as a cell count).
+fn run_generic_engine(
+    report: &mut BenchReport,
+    est: &SchemeYield<SquareCoord>,
+    scheme: &str,
+    name_stem: &str,
+    primaries: usize,
+    trials: u32,
+) {
+    let t0 = Instant::now();
+    let fast = est.estimate_survival(BENCH_P, trials, BENCH_SEED);
+    report.push(entry(
+        format!("{name_stem}/incremental"),
+        scheme,
+        est.label().to_string(),
+        primaries,
+        trials,
+        1,
+        t0.elapsed().as_secs_f64() * 1_000.0,
+        fast.point(),
+    ));
+
+    let grid = FIG7_9_SURVIVAL_GRID;
+    let t0 = Instant::now();
+    let curve = est.sweep_survival_batched(&grid, trials, BENCH_SEED);
+    let at_bench_p = curve
+        .iter()
+        .find(|pt| (pt.x - BENCH_P).abs() < 1e-9)
+        .map_or(f64::NAN, |pt| pt.y);
+    report.push(entry(
+        format!("{name_stem}/batched-sweep"),
+        scheme,
+        est.label().to_string(),
+        primaries,
+        trials,
+        grid.len(),
+        t0.elapsed().as_secs_f64() * 1_000.0,
+        at_bench_p,
+    ));
+}
+
 /// Runs the suite and returns the filled report.
 #[must_use]
 pub fn run(config: &BenchConfig) -> BenchReport {
@@ -97,7 +172,54 @@ pub fn run(config: &BenchConfig) -> BenchReport {
         config.threads
     };
     let mut report = BenchReport::new(config.label.clone(), threads, config.quick);
-    for (kind, primaries, trials) in cases(config.quick) {
+    match &config.scheme {
+        SchemeChoice::HexDtmb => run_hex(&mut report, config.quick, threads),
+        SchemeChoice::SquareDtmb { .. } => {
+            for (pattern, side, trials) in square_cases(config.quick) {
+                let est = SchemeYield::from_scheme(&SquareRegion::rect(side, side), &pattern)
+                    .with_threads(threads);
+                run_generic_engine(
+                    &mut report,
+                    &est,
+                    "square-dtmb",
+                    &format!("square-{}", pattern_tag(pattern)),
+                    est.evaluator().unit_count(),
+                    trials,
+                );
+            }
+        }
+        SchemeChoice::SpareRows { .. } => {
+            let (width, rows, spares, trials) = if config.quick {
+                (12u32, 10u32, 2u32, 2_000u32)
+            } else {
+                (24, 20, 3, 10_000)
+            };
+            let array = SpareRowArray::new(
+                width,
+                vec![ModuleBand {
+                    name: "Module 1".into(),
+                    rows,
+                }],
+                spares,
+            );
+            let est = SchemeYield::from_scheme(&array.region(), &array).with_threads(threads);
+            run_generic_engine(
+                &mut report,
+                &est,
+                "spare-rows",
+                &format!("spare-rows-{width}x{rows}+{spares}"),
+                (width * rows) as usize,
+                trials,
+            );
+        }
+    }
+    report
+}
+
+/// The hexagonal suite keeps the historic three-engine comparison
+/// (per-trial rebuild vs incremental vs batched sweep).
+fn run_hex(report: &mut BenchReport, quick: bool, threads: usize) {
+    for (kind, primaries, trials) in hex_cases(quick) {
         let mc = MonteCarloYield::new(
             kind.with_primary_count(primaries),
             ReconfigPolicy::AllPrimaries,
@@ -108,7 +230,8 @@ pub fn run(config: &BenchConfig) -> BenchReport {
         let rebuild = mc.estimate_survival(BENCH_P, trials, BENCH_SEED);
         report.push(entry(
             format!("{}/rebuild", tag(kind)),
-            kind,
+            "hex-dtmb",
+            kind.to_string(),
             primaries,
             trials,
             1,
@@ -120,7 +243,8 @@ pub fn run(config: &BenchConfig) -> BenchReport {
         let fast = mc.estimate_survival_fast(BENCH_P, trials, BENCH_SEED);
         report.push(entry(
             format!("{}/incremental", tag(kind)),
-            kind,
+            "hex-dtmb",
+            kind.to_string(),
             primaries,
             trials,
             1,
@@ -137,7 +261,8 @@ pub fn run(config: &BenchConfig) -> BenchReport {
             .map_or(f64::NAN, |pt| pt.y);
         report.push(entry(
             format!("{}/batched-sweep", tag(kind)),
-            kind,
+            "hex-dtmb",
+            kind.to_string(),
             primaries,
             trials,
             grid.len(),
@@ -145,7 +270,6 @@ pub fn run(config: &BenchConfig) -> BenchReport {
             at_bench_p,
         ));
     }
-    report
 }
 
 /// Renders the report as an aligned text table.
@@ -153,6 +277,7 @@ pub fn run(config: &BenchConfig) -> BenchReport {
 pub fn render_table(report: &BenchReport) -> String {
     let mut table = TextTable::new(vec![
         "workload".into(),
+        "scheme".into(),
         "primaries".into(),
         "trials".into(),
         "grid".into(),
@@ -163,6 +288,7 @@ pub fn render_table(report: &BenchReport) -> String {
     for e in &report.entries {
         table.row(vec![
             e.name.clone(),
+            e.scheme.clone(),
             e.primaries.to_string(),
             e.trials.to_string(),
             e.grid_points.to_string(),

@@ -78,18 +78,53 @@ const USAGE: &str = "\
 dmfb — yield enhancement for digital microfluidic biochips (DATE 2005)
 
 USAGE:
-  dmfb yield  --design <D> --primaries <N> --p <P> [--trials T] [--seed S] [--threads K]
-  dmfb sweep  --design <D> --primaries <N> [--from P] [--to P] [--steps K] [--effective]
-              [--batched] [--trials T] [--seed S] [--threads K]
+  dmfb yield  [--scheme SCHEME] --design <D> --primaries <N> --p <P> [--trials T] [--seed S]
+              [--threads K]
+  dmfb sweep  [--scheme SCHEME] --design <D> --primaries <N> [--from P] [--to P] [--steps K]
+              [--effective] [--batched] [--trials T] [--seed S] [--threads K]
   dmfb faults (--casestudy | --design <D> --primaries <N>) [--max-m M] [--trials T]
   dmfb render --design <D> --primaries <N> [--inject P] [--seed S]
   dmfb assay  [--faults M] [--seed S]
   dmfb profile (--casestudy | --design <D> --primaries <N>) [--trials T]
-  dmfb bench  [--quick] [--json] [--out DIR] [--label L] [--threads K]
+  dmfb bench  [--scheme SCHEME] [--quick] [--json] [--out DIR] [--label L] [--threads K]
+              (fixed workload suite per scheme; scheme sub-parameters are rejected)
   dmfb help
 
+SCHEMES: hex-dtmb (default) | square-dtmb | spare-rows
+  --scheme hex-dtmb    hexagonal DTMB patterns; pick one with --design/--primaries
+  --scheme square-dtmb square interstitial patterns; sub-parameters:
+                       --pattern perfect-code|stripes|checkerboard|quarter
+                       --width W --height H (default 16x16)
+  --scheme spare-rows  boundary spare-row baseline (shifted replacement);
+                       sub-parameters: --width W --module-rows R --spare-rows S
 DESIGNS: none | dtmb16 | dtmb26 | dtmb26b | dtmb36 | dtmb44
 THREADS: --threads 0 (default) = one worker per available core";
+
+/// Which redundancy scheme a command drives. Hexagonal DTMB keeps the
+/// historic report formats; the other schemes run through the generic
+/// [`SchemeYield`] engine.
+pub(crate) enum SchemeChoice {
+    /// Hexagonal DTMB patterns (the default), selected via `--design`.
+    HexDtmb,
+    /// Square-lattice interstitial patterns.
+    SquareDtmb {
+        /// Which spare pattern.
+        pattern: SquarePattern,
+        /// Array width in cells.
+        width: u32,
+        /// Array height in cells.
+        height: u32,
+    },
+    /// Boundary spare-row baseline (shifted replacement).
+    SpareRows {
+        /// Array width in cells.
+        width: u32,
+        /// Module rows above the spare rows.
+        module_rows: u32,
+        /// Spare rows at the bottom.
+        spare_rows: u32,
+    },
+}
 
 /// Parsed `--key value` options (flags store "true").
 struct Options {
@@ -148,6 +183,39 @@ impl Options {
         }
     }
 
+    fn scheme(&self) -> Result<SchemeChoice, String> {
+        match self.map.get("scheme").map(String::as_str) {
+            None | Some("hex-dtmb") => Ok(SchemeChoice::HexDtmb),
+            Some("square-dtmb") => {
+                let pattern = match self.map.get("pattern").map(String::as_str) {
+                    None | Some("perfect-code") => SquarePattern::PerfectCode,
+                    Some("stripes") => SquarePattern::Stripes,
+                    Some("checkerboard") => SquarePattern::Checkerboard,
+                    Some("quarter") => SquarePattern::Quarter,
+                    Some(other) => {
+                        return Err(format!(
+                            "unknown pattern '{other}' \
+                             (valid: perfect-code, stripes, checkerboard, quarter)"
+                        ))
+                    }
+                };
+                Ok(SchemeChoice::SquareDtmb {
+                    pattern,
+                    width: self.get("width", 16)?,
+                    height: self.get("height", 16)?,
+                })
+            }
+            Some("spare-rows") => Ok(SchemeChoice::SpareRows {
+                width: self.get("width", 8)?,
+                module_rows: self.get("module-rows", 6)?,
+                spare_rows: self.get("spare-rows", 1)?,
+            }),
+            Some(other) => Err(format!(
+                "unknown scheme '{other}' (valid: hex-dtmb, square-dtmb, spare-rows)"
+            )),
+        }
+    }
+
     fn biochip(&self) -> Result<Biochip, String> {
         let n: usize = self.get("primaries", 100)?;
         // 0 = one worker per available core (the default).
@@ -160,11 +228,135 @@ impl Options {
     }
 }
 
+/// Every scheme-selecting sub-parameter any scheme understands. A new
+/// scheme parameter must be added here so both the per-scheme guard and
+/// bench's blanket rejection keep covering it.
+const SCHEME_SUBPARAMS: [&str; 7] = [
+    "design",
+    "primaries",
+    "pattern",
+    "width",
+    "height",
+    "module-rows",
+    "spare-rows",
+];
+
+/// Rejects scheme sub-parameters that the selected scheme would silently
+/// ignore (`yield --pattern checkerboard` without `--scheme square-dtmb`
+/// would otherwise run hex and mislabel what was measured).
+fn reject_foreign_subparams(opts: &Options, choice: &SchemeChoice) -> Result<(), String> {
+    let (scheme, allowed): (&str, &[&str]) = match choice {
+        SchemeChoice::HexDtmb => ("hex-dtmb", &["design", "primaries"]),
+        SchemeChoice::SquareDtmb { .. } => ("square-dtmb", &["pattern", "width", "height"]),
+        SchemeChoice::SpareRows { .. } => ("spare-rows", &["width", "module-rows", "spare-rows"]),
+    };
+    for key in SCHEME_SUBPARAMS {
+        if opts.flag(key) && !allowed.contains(&key) {
+            let params: Vec<String> = allowed.iter().map(|k| format!("--{k}")).collect();
+            return Err(format!(
+                "--{key} does not apply to --scheme {scheme} (its parameters: {})",
+                params.join(", ")
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Rejects a non-hex `--scheme` (and stray non-hex sub-parameters) on
+/// commands that only model hexagonal arrays (faults, render, assay,
+/// profile) — silently running hex under a square-dtmb/spare-rows label
+/// would misattribute the numbers.
+fn require_hex_scheme(opts: &Options) -> Result<(), String> {
+    if matches!(opts.scheme()?, SchemeChoice::HexDtmb) {
+        reject_foreign_subparams(opts, &SchemeChoice::HexDtmb)
+    } else {
+        Err("this command models hexagonal arrays only; \
+             --scheme square-dtmb/spare-rows is supported by yield, sweep and bench"
+            .into())
+    }
+}
+
+/// Upper bound on user-supplied array dimensions. Beyond this the region
+/// constructors would panic on i32 conversion or allocate unboundedly;
+/// the cap turns both into a clean CLI error long before either point.
+const MAX_DIM: u32 = 4096;
+
+/// Builds the generic fast engine for a square-lattice (square-dtmb or
+/// spare-rows) scheme choice.
+fn generic_engine(
+    choice: &SchemeChoice,
+    threads: usize,
+) -> Result<SchemeYield<SquareCoord>, String> {
+    let check_dim = |name: &str, value: u32, min: u32| -> Result<(), String> {
+        if value < min || value > MAX_DIM {
+            Err(format!("need {min} <= --{name} <= {MAX_DIM}, got {value}"))
+        } else {
+            Ok(())
+        }
+    };
+    let est = match choice {
+        SchemeChoice::HexDtmb => {
+            return Err("hex-dtmb runs through the --design path, not the generic engine".into())
+        }
+        SchemeChoice::SquareDtmb {
+            pattern,
+            width,
+            height,
+        } => {
+            check_dim("width", *width, 1)?;
+            check_dim("height", *height, 1)?;
+            SchemeYield::from_scheme(&SquareRegion::rect(*width, *height), pattern)
+        }
+        SchemeChoice::SpareRows {
+            width,
+            module_rows,
+            spare_rows,
+        } => {
+            check_dim("width", *width, 1)?;
+            check_dim("module-rows", *module_rows, 1)?;
+            check_dim("spare-rows", *spare_rows, 0)?;
+            let array = SpareRowArray::new(
+                *width,
+                vec![ModuleBand {
+                    name: "Module 1".into(),
+                    rows: *module_rows,
+                }],
+                *spare_rows,
+            );
+            SchemeYield::from_scheme(&array.region(), &array)
+        }
+    };
+    Ok(est.with_threads(threads))
+}
+
 fn cmd_yield(opts: &Options) -> Result<(), String> {
-    let chip = opts.biochip()?;
     let p: f64 = opts.get("p", 0.95)?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err("need 0 <= p <= 1".into());
+    }
     let trials: u32 = opts.get("trials", 10_000)?;
     let seed: u64 = opts.get("seed", 1)?;
+    let choice = opts.scheme()?;
+    reject_foreign_subparams(opts, &choice)?;
+    if !matches!(choice, SchemeChoice::HexDtmb) {
+        let est = generic_engine(&choice, opts.get("threads", 0)?)?;
+        let e = est.estimate_survival(p, trials, seed);
+        let (lo, hi) = e.wilson95();
+        outln!(
+            "scheme: {} | units {} | spare resources {}",
+            est.label(),
+            est.evaluator().unit_count(),
+            est.evaluator().resource_count()
+        );
+        outln!("survival p        : {p:.4}");
+        outln!(
+            "reconfigured yield: {:.4}  (95% CI [{lo:.4}, {hi:.4}], {} trials)",
+            e.point(),
+            e.trials()
+        );
+        return Ok(());
+    }
+    let chip = opts.biochip()?;
     let r = chip.yield_report(p, trials, seed);
     outln!(
         "design: {} | primaries {} | spares {} | RR {:.4}",
@@ -186,7 +378,6 @@ fn cmd_yield(opts: &Options) -> Result<(), String> {
 }
 
 fn cmd_sweep(opts: &Options) -> Result<(), String> {
-    let chip = opts.biochip()?;
     let from: f64 = opts.get("from", 0.90)?;
     let to: f64 = opts.get("to", 1.00)?;
     let steps: usize = opts.get("steps", 11)?;
@@ -196,6 +387,30 @@ fn cmd_sweep(opts: &Options) -> Result<(), String> {
         return Err("need 0 <= from < to <= 1 and steps >= 2".into());
     }
     let effective = opts.flag("effective");
+    let ps: Vec<f64> = (0..steps)
+        .map(|i| from + (to - from) * i as f64 / (steps - 1) as f64)
+        .collect();
+    let choice = opts.scheme()?;
+    reject_foreign_subparams(opts, &choice)?;
+    if !matches!(choice, SchemeChoice::HexDtmb) {
+        // Non-hex schemes always ride the generic fast engine; the
+        // effective-yield column is a hex-array metric.
+        if effective {
+            return Err("--effective requires --scheme hex-dtmb".into());
+        }
+        let est = generic_engine(&choice, opts.get("threads", 0)?)?;
+        let pts = if opts.flag("batched") {
+            est.sweep_survival_batched(&ps, trials, seed)
+        } else {
+            est.sweep_survival(&ps, trials, seed)
+        };
+        outln!("p,yield,ci_lo,ci_hi");
+        for pt in pts {
+            outln!("{:.4},{:.4},{:.4},{:.4}", pt.x, pt.y, pt.ci95.0, pt.ci95.1);
+        }
+        return Ok(());
+    }
+    let chip = opts.biochip()?;
     outln!(
         "p,yield,ci_lo,ci_hi{}",
         if effective { ",effective_yield" } else { "" }
@@ -213,17 +428,13 @@ fn cmd_sweep(opts: &Options) -> Result<(), String> {
         let threads: usize = opts.get("threads", 0)?;
         let mc =
             MonteCarloYield::new(chip.array().clone(), chip.policy().clone()).with_threads(threads);
-        let ps: Vec<f64> = (0..steps)
-            .map(|i| from + (to - from) * i as f64 / (steps - 1) as f64)
-            .collect();
         for pt in mc.sweep_survival_batched(&ps, trials, seed) {
             let ey = effective::effective_yield_of(chip.array(), pt.y);
             emit(pt.x, pt.y, pt.ci95.0, pt.ci95.1, ey);
         }
         return Ok(());
     }
-    for i in 0..steps {
-        let p = from + (to - from) * i as f64 / (steps - 1) as f64;
+    for (i, &p) in ps.iter().enumerate() {
         let r = chip.yield_report(p, trials, seed.wrapping_add(i as u64));
         let (lo, hi) = r.reconfigured_yield.wilson95();
         emit(p, r.reconfigured_yield.point(), lo, hi, r.effective_yield);
@@ -232,6 +443,17 @@ fn cmd_sweep(opts: &Options) -> Result<(), String> {
 }
 
 fn cmd_bench(opts: &Options) -> Result<(), String> {
+    // Bench runs a fixed per-scheme workload suite so BENCH_*.json
+    // artifacts stay comparable across runs; silently ignoring scheme
+    // sub-parameters would mislabel what was measured.
+    for key in SCHEME_SUBPARAMS {
+        if opts.flag(key) {
+            return Err(format!(
+                "--{key} is not supported by bench: it runs a fixed workload \
+                 suite per --scheme (use yield/sweep for custom arrays)"
+            ));
+        }
+    }
     let quick = opts.flag("quick");
     let config = bench_cmd::BenchConfig {
         quick,
@@ -239,6 +461,7 @@ fn cmd_bench(opts: &Options) -> Result<(), String> {
         json: opts.flag("json"),
         out_dir: opts.get("out", ".".to_string())?,
         label: opts.get("label", if quick { "quick" } else { "full" }.to_string())?,
+        scheme: opts.scheme()?,
     };
     let report = bench_cmd::run(&config);
     out!("{}", bench_cmd::render_table(&report));
@@ -252,6 +475,7 @@ fn cmd_bench(opts: &Options) -> Result<(), String> {
 }
 
 fn cmd_faults(opts: &Options) -> Result<(), String> {
+    require_hex_scheme(opts)?;
     let trials: u32 = opts.get("trials", 10_000)?;
     let seed: u64 = opts.get("seed", 1)?;
     let max_m: usize = opts.get("max-m", 40)?;
@@ -276,6 +500,7 @@ fn cmd_faults(opts: &Options) -> Result<(), String> {
 }
 
 fn cmd_render(opts: &Options) -> Result<(), String> {
+    require_hex_scheme(opts)?;
     let chip = opts.biochip()?;
     let p: f64 = opts.get("inject", 1.0)?;
     let seed: u64 = opts.get("seed", 1)?;
@@ -317,6 +542,7 @@ fn glyph(
 }
 
 fn cmd_assay(opts: &Options) -> Result<(), String> {
+    require_hex_scheme(opts)?;
     let m: usize = opts.get("faults", 0)?;
     let seed: u64 = opts.get("seed", 42)?;
     let chip = ivd_dtmb26_chip();
@@ -366,6 +592,7 @@ fn exec_array(_exec: &Executor) -> &DefectTolerantArray {
 }
 
 fn cmd_profile(opts: &Options) -> Result<(), String> {
+    require_hex_scheme(opts)?;
     let trials: u32 = opts.get("trials", 2_000)?;
     let seed: u64 = opts.get("seed", 1)?;
     let (array, policy, label) = if opts.flag("casestudy") {
@@ -444,6 +671,83 @@ mod tests {
         );
         assert_eq!(opts(&["--design", "none"]).design().unwrap(), None);
         assert!(opts(&["--design", "bogus"]).design().is_err());
+    }
+
+    #[test]
+    fn scheme_parsing() {
+        assert!(matches!(opts(&[]).scheme().unwrap(), SchemeChoice::HexDtmb));
+        assert!(matches!(
+            opts(&["--scheme", "hex-dtmb"]).scheme().unwrap(),
+            SchemeChoice::HexDtmb
+        ));
+        match opts(&[
+            "--scheme",
+            "square-dtmb",
+            "--pattern",
+            "stripes",
+            "--width",
+            "9",
+        ])
+        .scheme()
+        .unwrap()
+        {
+            SchemeChoice::SquareDtmb {
+                pattern,
+                width,
+                height,
+            } => {
+                assert_eq!(pattern, SquarePattern::Stripes);
+                assert_eq!((width, height), (9, 16));
+            }
+            _ => panic!("expected square-dtmb"),
+        }
+        match opts(&["--scheme", "spare-rows", "--spare-rows", "2"])
+            .scheme()
+            .unwrap()
+        {
+            SchemeChoice::SpareRows {
+                width,
+                module_rows,
+                spare_rows,
+            } => assert_eq!((width, module_rows, spare_rows), (8, 6, 2)),
+            _ => panic!("expected spare-rows"),
+        }
+        assert!(opts(&["--scheme", "nope"]).scheme().is_err());
+        assert!(opts(&["--scheme", "square-dtmb", "--pattern", "nope"])
+            .scheme()
+            .is_err());
+    }
+
+    #[test]
+    fn foreign_subparams_rejected() {
+        // --pattern without --scheme square-dtmb would silently run hex.
+        let o = opts(&["--pattern", "checkerboard"]);
+        assert!(reject_foreign_subparams(&o, &o.scheme().unwrap()).is_err());
+        let o = opts(&["--scheme", "square-dtmb", "--design", "dtmb44"]);
+        assert!(reject_foreign_subparams(&o, &o.scheme().unwrap()).is_err());
+        let o = opts(&["--scheme", "spare-rows", "--height", "4"]);
+        assert!(reject_foreign_subparams(&o, &o.scheme().unwrap()).is_err());
+        // Matching sub-parameters pass.
+        let o = opts(&[
+            "--scheme",
+            "square-dtmb",
+            "--pattern",
+            "stripes",
+            "--width",
+            "9",
+        ]);
+        assert!(reject_foreign_subparams(&o, &o.scheme().unwrap()).is_ok());
+        let o = opts(&["--design", "dtmb16", "--primaries", "40"]);
+        assert!(reject_foreign_subparams(&o, &o.scheme().unwrap()).is_ok());
+        let o = opts(&[
+            "--scheme",
+            "spare-rows",
+            "--width",
+            "6",
+            "--spare-rows",
+            "2",
+        ]);
+        assert!(reject_foreign_subparams(&o, &o.scheme().unwrap()).is_ok());
     }
 
     #[test]

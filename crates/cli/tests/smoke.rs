@@ -116,6 +116,193 @@ fn batched_sweep_emits_monotone_csv() {
 }
 
 #[test]
+fn unknown_scheme_lists_choices_and_fails() {
+    for cmd in ["yield", "sweep", "bench"] {
+        let out = dmfb(&[cmd, "--scheme", "triangular"]);
+        assert!(!out.status.success(), "{cmd} must reject unknown scheme");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(
+            err.contains("unknown scheme 'triangular'")
+                && err.contains("hex-dtmb")
+                && err.contains("square-dtmb")
+                && err.contains("spare-rows"),
+            "{cmd} stderr must list valid schemes:\n{err}"
+        );
+    }
+}
+
+#[test]
+fn square_scheme_yield_reports_through_fast_engine() {
+    let out = dmfb(&[
+        "yield",
+        "--scheme",
+        "square-dtmb",
+        "--pattern",
+        "checkerboard",
+        "--width",
+        "10",
+        "--height",
+        "10",
+        "--p",
+        "0.95",
+        "--trials",
+        "300",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("checkerboard"), "label missing:\n{text}");
+    assert!(
+        text.contains("reconfigured yield"),
+        "report missing:\n{text}"
+    );
+}
+
+#[test]
+fn batched_scheme_sweeps_are_monotone_and_thread_invariant() {
+    // The acceptance bar: `sweep --batched` for square-dtmb and
+    // spare-rows rides the bitset/CRN fast path and is byte-identical
+    // for any --threads value.
+    let cases: [&[&str]; 2] = [
+        &["--scheme", "square-dtmb", "--pattern", "stripes"],
+        &[
+            "--scheme",
+            "spare-rows",
+            "--width",
+            "6",
+            "--module-rows",
+            "5",
+        ],
+    ];
+    for extra in cases {
+        let mut base = vec![
+            "sweep",
+            "--batched",
+            "--from",
+            "0.85",
+            "--to",
+            "1.0",
+            "--steps",
+            "4",
+            "--trials",
+            "400",
+            "--seed",
+            "5",
+        ];
+        base.extend_from_slice(extra);
+        let reference = dmfb(&base);
+        assert!(
+            reference.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&reference.stderr)
+        );
+        let text = String::from_utf8(reference.stdout.clone()).unwrap();
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some("p,yield,ci_lo,ci_hi"));
+        let yields: Vec<f64> = lines
+            .map(|l| l.split(',').nth(1).unwrap().parse().unwrap())
+            .collect();
+        assert_eq!(yields.len(), 4, "{extra:?}");
+        for w in yields.windows(2) {
+            assert!(w[1] >= w[0], "batched curve must be monotone: {yields:?}");
+        }
+        assert_eq!(*yields.last().unwrap(), 1.0, "p=1 never fails");
+        for threads in ["1", "3", "8"] {
+            let mut args = base.clone();
+            args.extend_from_slice(&["--threads", threads]);
+            let par = dmfb(&args);
+            assert!(par.status.success());
+            assert_eq!(
+                par.stdout, reference.stdout,
+                "{extra:?} --threads {threads} must be byte-identical"
+            );
+        }
+    }
+}
+
+#[test]
+fn effective_column_rejected_off_hex() {
+    let out = dmfb(&["sweep", "--scheme", "spare-rows", "--effective"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--effective"), "stderr:\n{err}");
+}
+
+#[test]
+fn yield_rejects_mismatched_scheme_subparameters() {
+    // Forgetting --scheme square-dtmb must not silently measure hex.
+    let out = dmfb(&["yield", "--pattern", "checkerboard", "--trials", "100"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        err.contains("--pattern") && err.contains("hex-dtmb"),
+        "stderr:\n{err}"
+    );
+}
+
+#[test]
+fn hex_only_commands_reject_other_schemes() {
+    for cmd in ["faults", "render", "assay", "profile"] {
+        let out = dmfb(&[cmd, "--scheme", "square-dtmb"]);
+        assert!(!out.status.success(), "{cmd} must reject non-hex schemes");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(
+            err.contains("hexagonal arrays only"),
+            "{cmd} stderr:\n{err}"
+        );
+    }
+}
+
+#[test]
+fn bench_rejects_scheme_subparameters() {
+    // Bench runs a fixed suite per scheme; accepting-and-ignoring
+    // sub-parameters would mislabel what was measured.
+    let out = dmfb(&[
+        "bench",
+        "--quick",
+        "--scheme",
+        "square-dtmb",
+        "--pattern",
+        "quarter",
+    ]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        err.contains("--pattern") && err.contains("fixed workload"),
+        "stderr:\n{err}"
+    );
+}
+
+#[test]
+fn bench_json_records_scheme_per_entry() {
+    let dir = std::env::temp_dir().join(format!("dmfb-bench-scheme-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dmfb(&[
+        "bench",
+        "--quick",
+        "--json",
+        "--scheme",
+        "square-dtmb",
+        "--out",
+        dir.to_str().unwrap(),
+        "--label",
+        "sq-smoke",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(dir.join("BENCH_sq-smoke.json")).expect("report written");
+    assert!(json.contains("\"scheme\":\"square-dtmb\""), "{json}");
+    assert!(json.contains("square-stripes/batched-sweep"), "{json}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bench_json_quick_writes_valid_report() {
     let dir = std::env::temp_dir().join(format!("dmfb-bench-smoke-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

@@ -10,7 +10,7 @@
 
 pub use crate::{Biochip, PipelineOutcome, YieldReport};
 
-pub use dmfb_grid::{CellMap, HexCoord, HexDir, Region, SquareCoord, SquareRegion};
+pub use dmfb_grid::{CellMap, HexCoord, HexDir, Region, SquareCoord, SquareRegion, Topology};
 
 pub use dmfb_defects::injection::{Bernoulli, ClusteredSpot, ExactCount, InjectionModel};
 pub use dmfb_defects::testing::{covering_walk, diagnose, MeasurementModel};
@@ -19,15 +19,16 @@ pub use dmfb_defects::{CatastrophicDefect, DefectCause, DefectMap, FaultClass};
 pub use dmfb_reconfig::dtmb::DtmbKind;
 pub use dmfb_reconfig::shifted::{ModuleBand, SpareRowArray};
 pub use dmfb_reconfig::{
-    attempt_reconfiguration, CellRole, DefectTolerantArray, ReconfigPlan, ReconfigPolicy,
-    TrialEvaluator,
+    attempt_reconfiguration, scheme_audit, CellRole, DefectTolerantArray, ReconfigPlan,
+    ReconfigPolicy, RedundancyScheme, SchemeStructure, SquarePattern, TrialEvaluator,
 };
 
 pub use dmfb_sim::{auto_threads, parallel_map, BernoulliEstimate, MonteCarlo, Summary};
 
 pub use dmfb_yield::analytical::{dtmb16_yield, independent_repair_yield, no_redundancy_yield};
 pub use dmfb_yield::{
-    effective_yield, tolerance_profile, MonteCarloYield, ToleranceProfile, YieldCurve, YieldPoint,
+    effective_yield, tolerance_profile, MonteCarloYield, SchemeYield, ToleranceProfile, YieldCurve,
+    YieldPoint,
 };
 
 pub use dmfb_bioassay::layout::{fabricated_ivd_chip, ivd_dtmb26_chip, used_cells_policy};

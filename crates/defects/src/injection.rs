@@ -10,7 +10,7 @@
 
 use crate::fault::{CatastrophicDefect, DefectCause};
 use crate::DefectMap;
-use dmfb_grid::{HexCoord, HexDir, Region};
+use dmfb_grid::{HexCoord, HexDir, Region, Topology};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -107,6 +107,29 @@ impl Bernoulli {
     pub fn survival_probability(&self) -> f64 {
         1.0 - self.defect_probability
     }
+
+    /// Topology-generic injection: every cell of `topo` fails independently
+    /// with probability `q`, marked with a generic open-connection cause
+    /// (cause taxonomy richer than open/failed is hexagonal-specific).
+    ///
+    /// On a hexagonal [`Region`] this draws the same *fault sets* as
+    /// [`InjectionModel::inject`] would, differing only in the recorded
+    /// causes and consumed randomness.
+    pub fn inject_in<T: Topology>(&self, topo: &T, rng: &mut impl Rng) -> DefectMap<T::Coord> {
+        let mut map = DefectMap::new();
+        if self.defect_probability == 0.0 {
+            return map;
+        }
+        for cell in topo.cells_iter() {
+            if rng.gen_bool(self.defect_probability) {
+                map.mark(
+                    cell,
+                    DefectCause::Catastrophic(CatastrophicDefect::OpenConnection),
+                );
+            }
+        }
+        map
+    }
 }
 
 impl InjectionModel for Bernoulli {
@@ -143,6 +166,25 @@ impl ExactCount {
     #[must_use]
     pub fn faults(&self) -> usize {
         self.faults
+    }
+
+    /// Topology-generic injection: exactly `m` distinct cells of `topo`
+    /// fail, chosen uniformly without replacement, marked with a generic
+    /// open-connection cause.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` exceeds the number of cells in the topology.
+    pub fn inject_in<T: Topology>(&self, topo: &T, rng: &mut impl Rng) -> DefectMap<T::Coord> {
+        let mut cells: Vec<T::Coord> = topo.cells_iter().collect();
+        assert!(
+            self.faults <= cells.len(),
+            "cannot inject {} faults into a {}-cell topology",
+            self.faults,
+            cells.len()
+        );
+        cells.shuffle(rng);
+        DefectMap::from_cells(cells.into_iter().take(self.faults))
     }
 }
 
@@ -360,6 +402,23 @@ mod tests {
     #[test]
     fn poisson_zero_mean() {
         assert_eq!(poisson(0.0, &mut rng(1)), 0);
+    }
+
+    #[test]
+    fn topology_generic_injection_on_square_lattice() {
+        use dmfb_grid::SquareRegion;
+        let region = SquareRegion::rect(20, 20);
+        let none = Bernoulli::new(0.0).inject_in(&region, &mut rng(1));
+        assert!(none.is_fault_free());
+        let all = Bernoulli::new(1.0).inject_in(&region, &mut rng(1));
+        assert_eq!(all.fault_count(), 400);
+        for m in [0usize, 3, 50] {
+            let map = ExactCount::new(m).inject_in(&region, &mut rng(5));
+            assert_eq!(map.fault_count(), m);
+            for c in map.faulty_cells() {
+                assert!(region.contains(c));
+            }
+        }
     }
 
     #[test]

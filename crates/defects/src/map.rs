@@ -9,9 +9,12 @@ use std::fmt;
 /// of each fault.
 ///
 /// A `DefectMap` is what the test methodology produces and what the
-/// reconfiguration engine consumes. Electrode shorts implicitly fault the
-/// *partner* cell too — the shorted pair "effectively forms one longer
-/// electrode" — which [`DefectMap::close_shorts`] makes explicit.
+/// reconfiguration engine consumes. It is generic over the cell coordinate
+/// type `C`, defaulting to the hexagonal lattice's [`HexCoord`]; the square
+/// lattice uses `DefectMap<SquareCoord>`. Electrode shorts implicitly fault
+/// the *partner* cell too — the shorted pair "effectively forms one longer
+/// electrode" — which [`DefectMap::close_shorts`] (hexagonal maps only)
+/// makes explicit.
 ///
 /// # Example
 ///
@@ -27,18 +30,26 @@ use std::fmt;
 /// assert!(defects.is_faulty(HexCoord::new(1, 1)));
 /// assert_eq!(defects.fault_count(), 1);
 /// ```
-#[derive(Clone, PartialEq, Default, Serialize, Deserialize)]
-pub struct DefectMap {
-    faults: CellMap<DefectCause>,
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct DefectMap<C: Ord + Copy = HexCoord> {
+    faults: CellMap<DefectCause, C>,
 }
 
-impl fmt::Debug for DefectMap {
+impl<C: Ord + Copy> Default for DefectMap<C> {
+    fn default() -> Self {
+        DefectMap {
+            faults: CellMap::new(),
+        }
+    }
+}
+
+impl<C: Ord + Copy + fmt::Debug> fmt::Debug for DefectMap<C> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "DefectMap({} faulty cells)", self.faults.len())
     }
 }
 
-impl DefectMap {
+impl<C: Ord + Copy> DefectMap<C> {
     /// Creates an empty (fault-free) map.
     #[must_use]
     pub fn new() -> Self {
@@ -49,7 +60,7 @@ impl DefectMap {
     /// cause. Convenient for tests and for the exact-`m` injection mode
     /// where only *which* cells fail matters.
     #[must_use]
-    pub fn from_cells<I: IntoIterator<Item = HexCoord>>(cells: I) -> Self {
+    pub fn from_cells<I: IntoIterator<Item = C>>(cells: I) -> Self {
         let mut map = DefectMap::new();
         for c in cells {
             map.mark(
@@ -62,24 +73,24 @@ impl DefectMap {
 
     /// Marks `cell` faulty with `cause`; returns the previous cause if the
     /// cell was already faulty.
-    pub fn mark(&mut self, cell: HexCoord, cause: DefectCause) -> Option<DefectCause> {
+    pub fn mark(&mut self, cell: C, cause: DefectCause) -> Option<DefectCause> {
         self.faults.insert(cell, cause)
     }
 
     /// Clears the fault at `cell`, returning its cause if present.
-    pub fn clear(&mut self, cell: HexCoord) -> Option<DefectCause> {
+    pub fn clear(&mut self, cell: C) -> Option<DefectCause> {
         self.faults.remove(cell)
     }
 
     /// Whether `cell` is faulty.
     #[must_use]
-    pub fn is_faulty(&self, cell: HexCoord) -> bool {
+    pub fn is_faulty(&self, cell: C) -> bool {
         self.faults.contains(cell)
     }
 
     /// The recorded cause of a fault, if any.
     #[must_use]
-    pub fn cause(&self, cell: HexCoord) -> Option<&DefectCause> {
+    pub fn cause(&self, cell: C) -> Option<&DefectCause> {
         self.faults.get(cell)
     }
 
@@ -96,24 +107,41 @@ impl DefectMap {
     }
 
     /// Iterates `(cell, cause)` in sorted cell order.
-    pub fn iter(&self) -> impl Iterator<Item = (HexCoord, &DefectCause)> {
+    pub fn iter(&self) -> impl Iterator<Item = (C, &DefectCause)> {
         self.faults.iter()
     }
 
     /// Iterates the faulty cells in sorted order.
-    pub fn faulty_cells(&self) -> impl Iterator<Item = HexCoord> + '_ {
+    pub fn faulty_cells(&self) -> impl Iterator<Item = C> + '_ {
         self.faults.cells()
     }
 
     /// Faulty cells restricted to one fault class.
-    pub fn cells_of_class(&self, class: FaultClass) -> impl Iterator<Item = HexCoord> + '_ {
+    pub fn cells_of_class(&self, class: FaultClass) -> impl Iterator<Item = C> + '_ {
         self.faults.cells_where(move |c| c.class() == class)
     }
 
+    /// The union of two defect maps (first cause wins on conflicts).
+    #[must_use]
+    pub fn merged(&self, other: &DefectMap<C>) -> DefectMap<C> {
+        let mut out = self.clone();
+        for (c, cause) in other.iter() {
+            if !out.is_faulty(c) {
+                out.mark(c, *cause);
+            }
+        }
+        out
+    }
+}
+
+impl DefectMap<HexCoord> {
     /// Propagates electrode shorts to their partner cells: for every
     /// `ElectrodeShort(dir)` at cell `c`, the adjacent cell `c.step(dir)` is
     /// also marked faulty (as the other end of the same short) if not
     /// already. Returns the number of cells newly marked.
+    ///
+    /// Short directions are hexagonal transport directions, so this method
+    /// exists only on hexagonal defect maps.
     pub fn close_shorts(&mut self) -> usize {
         let partners: Vec<(HexCoord, HexCoord)> = self
             .faults
@@ -146,22 +174,10 @@ impl DefectMap {
         }
         added
     }
-
-    /// The union of two defect maps (first cause wins on conflicts).
-    #[must_use]
-    pub fn merged(&self, other: &DefectMap) -> DefectMap {
-        let mut out = self.clone();
-        for (c, cause) in other.iter() {
-            if !out.is_faulty(c) {
-                out.mark(c, *cause);
-            }
-        }
-        out
-    }
 }
 
-impl FromIterator<(HexCoord, DefectCause)> for DefectMap {
-    fn from_iter<I: IntoIterator<Item = (HexCoord, DefectCause)>>(iter: I) -> Self {
+impl<C: Ord + Copy> FromIterator<(C, DefectCause)> for DefectMap<C> {
+    fn from_iter<I: IntoIterator<Item = (C, DefectCause)>>(iter: I) -> Self {
         DefectMap {
             faults: iter.into_iter().collect(),
         }
@@ -171,7 +187,7 @@ impl FromIterator<(HexCoord, DefectCause)> for DefectMap {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dmfb_grid::HexDir;
+    use dmfb_grid::{HexDir, SquareCoord};
 
     #[test]
     fn mark_query_clear() {
@@ -268,5 +284,16 @@ mod tests {
                 CatastrophicDefect::OpenConnection
             ))
         ));
+    }
+
+    #[test]
+    fn square_lattice_map() {
+        let cells = [SquareCoord::new(0, 0), SquareCoord::new(2, 1)];
+        let m: DefectMap<SquareCoord> = DefectMap::from_cells(cells);
+        assert_eq!(m.fault_count(), 2);
+        assert!(m.is_faulty(SquareCoord::new(2, 1)));
+        assert!(!m.is_faulty(SquareCoord::new(1, 1)));
+        let merged = m.merged(&DefectMap::from_cells([SquareCoord::new(5, 5)]));
+        assert_eq!(merged.fault_count(), 3);
     }
 }

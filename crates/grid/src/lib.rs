@@ -16,7 +16,11 @@
 //! * [`Region`] — a finite set of hexagonal cells (the biochip outline) with
 //!   deterministic iteration order, boundary/interior classification and
 //!   shape constructors (parallelogram, hexagon, rectangle, arbitrary sets).
-//! * [`CellMap`] — per-cell payload storage over a region.
+//! * [`Topology`] — the abstraction over both lattices (cell iteration,
+//!   membership, neighbour iteration) that redundancy schemes and the fast
+//!   reconfiguration engine are generic over.
+//! * [`CellMap`] — per-cell payload storage over a region, generic over the
+//!   cell coordinate type.
 //! * [`AdjacencyGraph`] — the paper's Figure 3(b) graph model: one node per
 //!   cell, one edge per physically adjacent pair.
 //! * [`render`] — ASCII rendering used by the figure generators.
@@ -45,6 +49,7 @@ mod map;
 mod region;
 pub mod render;
 mod square;
+mod topology;
 
 pub use error::GridError;
 pub use graph_model::{AdjacencyGraph, NodeId};
@@ -52,3 +57,4 @@ pub use hex::{HexCoord, HexDir, Ring};
 pub use map::CellMap;
 pub use region::Region;
 pub use square::{SquareCoord, SquareDir, SquareRegion};
+pub use topology::Topology;

@@ -13,6 +13,10 @@ use std::fmt;
 /// sorted — Monte-Carlo experiments must be bit-for-bit reproducible given a
 /// seed, which rules out randomized iteration order.
 ///
+/// The map is generic over the cell coordinate type `C` so the same storage
+/// serves the hexagonal lattice ([`HexCoord`], the default) and the square
+/// lattice ([`crate::SquareCoord`]).
+///
 /// # Example
 ///
 /// ```
@@ -24,11 +28,11 @@ use std::fmt;
 /// assert_eq!(occupancy.get(HexCoord::new(1, 0)), None);
 /// ```
 #[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct CellMap<T> {
-    inner: BTreeMap<HexCoord, T>,
+pub struct CellMap<T, C: Ord + Copy = HexCoord> {
+    inner: BTreeMap<C, T>,
 }
 
-impl<T> Default for CellMap<T> {
+impl<T, C: Ord + Copy> Default for CellMap<T, C> {
     fn default() -> Self {
         CellMap {
             inner: BTreeMap::new(),
@@ -36,25 +40,18 @@ impl<T> Default for CellMap<T> {
     }
 }
 
-impl<T: fmt::Debug> fmt::Debug for CellMap<T> {
+impl<T: fmt::Debug, C: Ord + Copy + fmt::Debug> fmt::Debug for CellMap<T, C> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_map().entries(self.inner.iter()).finish()
     }
 }
 
-impl<T> CellMap<T> {
+impl<T, C: Ord + Copy> CellMap<T, C> {
     /// Creates an empty map.
     #[must_use]
     pub fn new() -> Self {
         CellMap {
             inner: BTreeMap::new(),
-        }
-    }
-
-    /// Fills every cell of `region` with values produced by `f`.
-    pub fn from_region_with(region: &Region, mut f: impl FnMut(HexCoord) -> T) -> Self {
-        CellMap {
-            inner: region.iter().map(|c| (c, f(c))).collect(),
         }
     }
 
@@ -72,43 +69,43 @@ impl<T> CellMap<T> {
 
     /// The value at `cell`, if mapped.
     #[must_use]
-    pub fn get(&self, cell: HexCoord) -> Option<&T> {
+    pub fn get(&self, cell: C) -> Option<&T> {
         self.inner.get(&cell)
     }
 
     /// Mutable access to the value at `cell`, if mapped.
-    pub fn get_mut(&mut self, cell: HexCoord) -> Option<&mut T> {
+    pub fn get_mut(&mut self, cell: C) -> Option<&mut T> {
         self.inner.get_mut(&cell)
     }
 
     /// Whether `cell` is mapped.
     #[must_use]
-    pub fn contains(&self, cell: HexCoord) -> bool {
+    pub fn contains(&self, cell: C) -> bool {
         self.inner.contains_key(&cell)
     }
 
     /// Maps `cell` to `value`, returning the previous value if any.
-    pub fn insert(&mut self, cell: HexCoord, value: T) -> Option<T> {
+    pub fn insert(&mut self, cell: C, value: T) -> Option<T> {
         self.inner.insert(cell, value)
     }
 
     /// Removes the mapping for `cell`, returning its value if present.
-    pub fn remove(&mut self, cell: HexCoord) -> Option<T> {
+    pub fn remove(&mut self, cell: C) -> Option<T> {
         self.inner.remove(&cell)
     }
 
     /// Iterates `(cell, &value)` in sorted cell order.
-    pub fn iter(&self) -> impl Iterator<Item = (HexCoord, &T)> {
+    pub fn iter(&self) -> impl Iterator<Item = (C, &T)> {
         self.inner.iter().map(|(c, v)| (*c, v))
     }
 
     /// Iterates `(cell, &mut value)` in sorted cell order.
-    pub fn iter_mut(&mut self) -> impl Iterator<Item = (HexCoord, &mut T)> {
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (C, &mut T)> {
         self.inner.iter_mut().map(|(c, v)| (*c, v))
     }
 
     /// Iterates the mapped cells in sorted order.
-    pub fn cells(&self) -> impl Iterator<Item = HexCoord> + '_ {
+    pub fn cells(&self) -> impl Iterator<Item = C> + '_ {
         self.inner.keys().copied()
     }
 
@@ -121,7 +118,7 @@ impl<T> CellMap<T> {
     pub fn cells_where<'a>(
         &'a self,
         mut pred: impl FnMut(&T) -> bool + 'a,
-    ) -> impl Iterator<Item = HexCoord> + 'a {
+    ) -> impl Iterator<Item = C> + 'a {
         self.inner
             .iter()
             .filter(move |(_, v)| pred(v))
@@ -129,31 +126,40 @@ impl<T> CellMap<T> {
     }
 }
 
-impl<T> FromIterator<(HexCoord, T)> for CellMap<T> {
-    fn from_iter<I: IntoIterator<Item = (HexCoord, T)>>(iter: I) -> Self {
+impl<T> CellMap<T, HexCoord> {
+    /// Fills every cell of `region` with values produced by `f`.
+    pub fn from_region_with(region: &Region, mut f: impl FnMut(HexCoord) -> T) -> Self {
+        CellMap {
+            inner: region.iter().map(|c| (c, f(c))).collect(),
+        }
+    }
+}
+
+impl<T, C: Ord + Copy> FromIterator<(C, T)> for CellMap<T, C> {
+    fn from_iter<I: IntoIterator<Item = (C, T)>>(iter: I) -> Self {
         CellMap {
             inner: iter.into_iter().collect(),
         }
     }
 }
 
-impl<T> Extend<(HexCoord, T)> for CellMap<T> {
-    fn extend<I: IntoIterator<Item = (HexCoord, T)>>(&mut self, iter: I) {
+impl<T, C: Ord + Copy> Extend<(C, T)> for CellMap<T, C> {
+    fn extend<I: IntoIterator<Item = (C, T)>>(&mut self, iter: I) {
         self.inner.extend(iter);
     }
 }
 
-impl<'a, T> IntoIterator for &'a CellMap<T> {
-    type Item = (&'a HexCoord, &'a T);
-    type IntoIter = std::collections::btree_map::Iter<'a, HexCoord, T>;
+impl<'a, T, C: Ord + Copy> IntoIterator for &'a CellMap<T, C> {
+    type Item = (&'a C, &'a T);
+    type IntoIter = std::collections::btree_map::Iter<'a, C, T>;
     fn into_iter(self) -> Self::IntoIter {
         self.inner.iter()
     }
 }
 
-impl<T> IntoIterator for CellMap<T> {
-    type Item = (HexCoord, T);
-    type IntoIter = std::collections::btree_map::IntoIter<HexCoord, T>;
+impl<T, C: Ord + Copy> IntoIterator for CellMap<T, C> {
+    type Item = (C, T);
+    type IntoIter = std::collections::btree_map::IntoIter<C, T>;
     fn into_iter(self) -> Self::IntoIter {
         self.inner.into_iter()
     }
@@ -162,6 +168,7 @@ impl<T> IntoIterator for CellMap<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::SquareCoord;
 
     #[test]
     fn basic_crud() {
@@ -212,5 +219,14 @@ mod tests {
         assert_eq!(m.len(), 2);
         let pairs: Vec<_> = m.into_iter().collect();
         assert_eq!(pairs.len(), 2);
+    }
+
+    #[test]
+    fn square_coordinates_work_too() {
+        let mut m: CellMap<u8, SquareCoord> = CellMap::new();
+        m.insert(SquareCoord::new(1, 2), 7);
+        assert_eq!(m.get(SquareCoord::new(1, 2)), Some(&7));
+        assert!(m.contains(SquareCoord::new(1, 2)));
+        assert_eq!(m.cells().count(), 1);
     }
 }

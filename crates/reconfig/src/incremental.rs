@@ -1,37 +1,45 @@
-//! Incremental Monte-Carlo trial evaluation.
+//! Incremental Monte-Carlo trial evaluation, generic over the redundancy
+//! scheme.
 //!
 //! The naive hot path rebuilds the world once per trial: inject a
 //! [`DefectMap`] (a `BTreeMap` per chip), re-derive which spares border
-//! which faulty primaries by walking the hex lattice, allocate a fresh
+//! which faulty primaries by walking the lattice, allocate a fresh
 //! adjacency-list graph, and run a fresh matcher. Every piece of that
 //! except the random fault draw is *identical across trials* of the same
 //! array.
 //!
 //! [`TrialEvaluator`] hoists the invariant part out of the loop. Built
-//! once per `(array, policy)`, it stores the in-scope primaries, the
-//! spares that could ever matter, and the primary→spare adjacency in CSR
-//! form. A trial then only (a) draws one uniform per relevant cell,
-//! (b) writes fault flags into reusable buffers, and (c) runs the bitset
-//! Hopcroft–Karp from `dmfb-graph` over a reusable [`BitsetGraph`] — no
-//! maps, no lattice walks, no allocations after warm-up.
+//! once per scheme instance — from a hex `(array, policy)` pair via
+//! [`TrialEvaluator::new`], or from **any** [`RedundancyScheme`] over any
+//! [`Topology`] via [`TrialEvaluator::for_scheme`] —
+//! it stores the compiled [`SchemeStructure`] in CSR form: the relevant
+//! cells, the replaceable *units* (primary cells, or module rows for the
+//! spare-row baseline), the spare *resources*, and the unit→resource
+//! adjacency. A trial then only (a) draws one uniform per relevant cell,
+//! (b) aggregates them into per-unit/per-resource fault flags, and
+//! (c) runs the bitset Hopcroft–Karp from `dmfb-graph` over a reusable
+//! [`BitsetGraph`] — no maps, no lattice walks, no allocations after
+//! warm-up.
 //!
 //! The evaluator also answers a whole survival-probability **grid** per
 //! trial ([`TrialEvaluator::survival_trial_grid`]): with common random
-//! numbers (cell survives at `p` iff its uniform `u < p`), the fault sets
-//! are nested along the grid, tolerability is monotone in `p`, and a
+//! numbers (a cell survives at `p` iff its uniform `u < p`), the fault
+//! sets are nested along the grid, tolerability is monotone in `p`, and a
 //! binary search finds the tolerability threshold in `O(log k)` matcher
-//! calls — one Monte-Carlo pass serves an entire yield curve.
+//! calls — one Monte-Carlo pass serves an entire yield curve, for every
+//! scheme alike.
 
 use crate::array::DefectTolerantArray;
 use crate::local::ReconfigPolicy;
+use crate::scheme::{RedundancyScheme, SchemeStructure};
 use dmfb_defects::DefectMap;
 use dmfb_graph::{BitsetGraph, BitsetMatcher};
-use dmfb_grid::HexCoord;
+use dmfb_grid::{HexCoord, Topology};
 use rand::rngs::StdRng;
 use rand::Rng;
 
-/// Precomputed matching structure for one `(array, policy)` pair, reused
-/// across all Monte-Carlo trials.
+/// Precomputed matching structure for one scheme instance, reused across
+/// all Monte-Carlo trials.
 ///
 /// All methods take `&self`; per-trial mutable state lives in a
 /// [`TrialScratch`] so one evaluator can be shared across worker threads
@@ -53,89 +61,183 @@ use rand::Rng;
 /// // High survival on a protected array almost always reconfigures.
 /// let _ = tolerable;
 /// ```
+///
+/// The same engine runs non-hex schemes:
+///
+/// ```
+/// use dmfb_grid::SquareRegion;
+/// use dmfb_reconfig::{RedundancyScheme, SquarePattern, TrialEvaluator};
+///
+/// let region = SquareRegion::rect(12, 12);
+/// let eval = TrialEvaluator::for_scheme(&region, &SquarePattern::Stripes);
+/// assert!(eval.unit_count() > 0);
+/// ```
 #[derive(Clone, Debug)]
-pub struct TrialEvaluator {
-    /// In-scope primary cells (primary role ∧ required by the policy), in
-    /// region iteration order.
-    primaries: Vec<HexCoord>,
-    /// Spares adjacent to at least one in-scope primary, sorted.
-    spares: Vec<HexCoord>,
-    /// CSR offsets into `adj_spares`, length `primaries.len() + 1`.
+pub struct TrialEvaluator<C = HexCoord> {
+    /// Distinct relevant cells, sorted; index space for fault draws.
+    cells: Vec<C>,
+    /// CSR offsets into `unit_cells`, length `unit_count + 1`.
+    unit_offsets: Vec<u32>,
+    /// Concatenated member-cell indices per unit.
+    unit_cells: Vec<u32>,
+    /// CSR offsets into `res_cells`, length `resource_count + 1`.
+    res_offsets: Vec<u32>,
+    /// Concatenated member-cell indices per resource (an empty slice means
+    /// the resource is indestructible).
+    res_cells: Vec<u32>,
+    /// CSR offsets into `adj_res`, length `unit_count + 1`.
     adj_offsets: Vec<u32>,
-    /// Concatenated adjacent-spare indices per primary.
-    adj_spares: Vec<u32>,
+    /// Concatenated candidate-resource indices per unit.
+    adj_res: Vec<u32>,
 }
 
 /// Reusable per-trial buffers for a [`TrialEvaluator`]. Create one per
 /// worker thread via [`TrialEvaluator::scratch`].
 #[derive(Clone, Debug)]
 pub struct TrialScratch {
-    /// Uniform draw per in-scope primary (grid mode).
-    u_primary: Vec<f64>,
-    /// Uniform draw per relevant spare (grid mode).
-    u_spare: Vec<f64>,
-    faulty_primary: Vec<bool>,
-    faulty_spare: Vec<bool>,
-    /// Faulty primaries of the current trial (indices into `primaries`).
+    /// Uniform draw per relevant cell (grid and survival modes).
+    u_cell: Vec<f64>,
+    /// Max member-cell uniform per unit: the unit is faulty at survival
+    /// `p` iff this is `>= p`.
+    unit_u: Vec<f64>,
+    /// Max member-cell uniform per resource (`-1.0` for indestructible
+    /// resources, which never fail).
+    res_u: Vec<f64>,
+    faulty_unit: Vec<bool>,
+    dead_res: Vec<bool>,
+    /// Faulty units of the current trial (indices into the unit space).
     rows: Vec<u32>,
     /// Edge list of the current trial's compacted graph.
     edges: Vec<(u32, u32)>,
-    /// Generation-stamped spare→column compaction (avoids clearing).
-    col_of_spare: Vec<u32>,
+    /// Generation-stamped resource→column compaction (avoids clearing).
+    col_of_res: Vec<u32>,
     col_gen: Vec<u32>,
     generation: u32,
     graph: BitsetGraph,
     matcher: BitsetMatcher,
 }
 
-impl TrialEvaluator {
-    /// Builds the evaluator for `array` under `policy`. Cost is one pass
-    /// over the array — amortised over every subsequent trial.
+impl TrialEvaluator<HexCoord> {
+    /// Builds the evaluator for a hexagonal DTMB `array` under `policy`.
+    /// Cost is one pass over the array — amortised over every subsequent
+    /// trial. Units are the in-scope primaries; resources are the spares
+    /// bordering at least one of them.
     #[must_use]
     pub fn new(array: &DefectTolerantArray, policy: &ReconfigPolicy) -> Self {
-        let primaries: Vec<HexCoord> = array.primaries().filter(|c| policy.requires(*c)).collect();
-        // Collect and index the spares that border any in-scope primary.
-        let mut spares: Vec<HexCoord> = primaries
-            .iter()
-            .flat_map(|&c| array.adjacent_spares(c))
-            .collect();
-        spares.sort();
-        spares.dedup();
-        let spare_index =
-            |s: HexCoord| -> u32 { spares.binary_search(&s).expect("spare was collected") as u32 };
-        let mut adj_offsets = Vec::with_capacity(primaries.len() + 1);
-        let mut adj_spares = Vec::new();
-        adj_offsets.push(0u32);
-        for &c in &primaries {
-            for s in array.adjacent_spares(c) {
-                adj_spares.push(spare_index(s));
+        let mut s = SchemeStructure::new();
+        let mut res_index = std::collections::BTreeMap::new();
+        for c in array.primaries().filter(|c| policy.requires(*c)) {
+            let unit = s.add_unit([c]);
+            for spare in array.adjacent_spares(c) {
+                let resource = match res_index.get(&spare) {
+                    Some(&r) => r,
+                    None => {
+                        let r = s.add_resource([spare]);
+                        res_index.insert(spare, r);
+                        r
+                    }
+                };
+                s.connect(unit, resource);
             }
-            adj_offsets.push(adj_spares.len() as u32);
+        }
+        TrialEvaluator::from_structure(&s)
+    }
+}
+
+impl<C: Copy + Ord> TrialEvaluator<C> {
+    /// Builds the evaluator for any scheme over any topology — the one
+    /// fast engine behind hex DTMB, square DTMB and spare-row sweeps.
+    #[must_use]
+    pub fn for_scheme<T>(topo: &T, scheme: &impl RedundancyScheme<T>) -> Self
+    where
+        T: Topology<Coord = C>,
+    {
+        TrialEvaluator::from_structure(&scheme.compile(topo))
+    }
+
+    /// Compiles a [`SchemeStructure`] into CSR form.
+    #[must_use]
+    pub fn from_structure(structure: &SchemeStructure<C>) -> Self {
+        let mut cells: Vec<C> = (0..structure.unit_count())
+            .flat_map(|i| structure.unit_cells(i).iter().copied())
+            .chain(
+                (0..structure.resource_count())
+                    .flat_map(|j| structure.resource_cells(j).iter().copied()),
+            )
+            .collect();
+        cells.sort_unstable();
+        cells.dedup();
+        let cell_index =
+            |c: &C| -> u32 { cells.binary_search(c).expect("cell was collected") as u32 };
+        let mut unit_offsets = Vec::with_capacity(structure.unit_count() + 1);
+        let mut unit_cells = Vec::new();
+        unit_offsets.push(0u32);
+        for i in 0..structure.unit_count() {
+            unit_cells.extend(structure.unit_cells(i).iter().map(&cell_index));
+            unit_offsets.push(unit_cells.len() as u32);
+        }
+        let mut res_offsets = Vec::with_capacity(structure.resource_count() + 1);
+        let mut res_cells = Vec::new();
+        res_offsets.push(0u32);
+        for j in 0..structure.resource_count() {
+            res_cells.extend(structure.resource_cells(j).iter().map(&cell_index));
+            res_offsets.push(res_cells.len() as u32);
+        }
+        let mut adj_offsets = Vec::with_capacity(structure.unit_count() + 1);
+        let mut adj_res = Vec::new();
+        adj_offsets.push(0u32);
+        for i in 0..structure.unit_count() {
+            adj_res.extend_from_slice(structure.adjacent_resources(i));
+            adj_offsets.push(adj_res.len() as u32);
         }
         TrialEvaluator {
-            primaries,
-            spares,
+            cells,
+            unit_offsets,
+            unit_cells,
+            res_offsets,
+            res_cells,
             adj_offsets,
-            adj_spares,
+            adj_res,
         }
     }
 
-    /// Number of in-scope primary cells.
+    /// Number of replaceable units (for cell-level schemes: the in-scope
+    /// primary cells).
+    #[must_use]
+    pub fn unit_count(&self) -> usize {
+        self.unit_offsets.len() - 1
+    }
+
+    /// Number of spare resources that can ever participate in a matching.
+    #[must_use]
+    pub fn resource_count(&self) -> usize {
+        self.res_offsets.len() - 1
+    }
+
+    /// Number of in-scope primary cells — hex-flavoured alias of
+    /// [`TrialEvaluator::unit_count`].
     #[must_use]
     pub fn primary_count(&self) -> usize {
-        self.primaries.len()
+        self.unit_count()
     }
 
-    /// Number of spares that can ever participate in a matching.
+    /// Number of relevant spares — hex-flavoured alias of
+    /// [`TrialEvaluator::resource_count`].
     #[must_use]
     pub fn spare_count(&self) -> usize {
-        self.spares.len()
+        self.resource_count()
     }
 
-    /// Number of primary→spare adjacencies in the precomputed structure.
+    /// Number of distinct cells whose fault state the evaluator samples.
+    #[must_use]
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of unit→resource adjacencies in the precomputed structure.
     #[must_use]
     pub fn edge_count(&self) -> usize {
-        self.adj_spares.len()
+        self.adj_res.len()
     }
 
     /// Allocates a scratch sized for this evaluator. One per worker
@@ -143,27 +245,71 @@ impl TrialEvaluator {
     #[must_use]
     pub fn scratch(&self) -> TrialScratch {
         TrialScratch {
-            u_primary: vec![0.0; self.primaries.len()],
-            u_spare: vec![0.0; self.spares.len()],
-            faulty_primary: vec![false; self.primaries.len()],
-            faulty_spare: vec![false; self.spares.len()],
-            rows: Vec::with_capacity(self.primaries.len()),
-            edges: Vec::with_capacity(self.adj_spares.len()),
-            col_of_spare: vec![0; self.spares.len()],
-            col_gen: vec![0; self.spares.len()],
+            u_cell: vec![0.0; self.cells.len()],
+            unit_u: vec![0.0; self.unit_count()],
+            res_u: vec![0.0; self.resource_count()],
+            faulty_unit: vec![false; self.unit_count()],
+            dead_res: vec![false; self.resource_count()],
+            rows: Vec::with_capacity(self.unit_count()),
+            edges: Vec::with_capacity(self.adj_res.len()),
+            col_of_res: vec![0; self.resource_count()],
+            col_gen: vec![0; self.resource_count()],
             generation: 0,
             graph: BitsetGraph::new(0, 0),
             matcher: BitsetMatcher::new(),
         }
     }
 
-    /// Adjacent spare indices of in-scope primary `i`.
+    /// Member-cell indices of unit `i`.
+    fn unit_members(&self, i: usize) -> &[u32] {
+        &self.unit_cells[self.unit_offsets[i] as usize..self.unit_offsets[i + 1] as usize]
+    }
+
+    /// Member-cell indices of resource `j`.
+    fn res_members(&self, j: usize) -> &[u32] {
+        &self.res_cells[self.res_offsets[j] as usize..self.res_offsets[j + 1] as usize]
+    }
+
+    /// Candidate resource indices of unit `i`.
     fn adjacent(&self, i: usize) -> &[u32] {
-        &self.adj_spares[self.adj_offsets[i] as usize..self.adj_offsets[i + 1] as usize]
+        &self.adj_res[self.adj_offsets[i] as usize..self.adj_offsets[i + 1] as usize]
+    }
+
+    /// Folds the per-cell uniforms in `scratch.u_cell` into per-unit and
+    /// per-resource maxima, so thresholding against any survival `p` is
+    /// `O(units + resources)`.
+    fn aggregate_uniforms(&self, scratch: &mut TrialScratch) {
+        for i in 0..self.unit_count() {
+            scratch.unit_u[i] = self
+                .unit_members(i)
+                .iter()
+                .map(|&c| scratch.u_cell[c as usize])
+                .fold(f64::NEG_INFINITY, f64::max);
+        }
+        for j in 0..self.resource_count() {
+            // Indestructible resources (no member cells) aggregate to -1,
+            // which never reaches any survival threshold in [0, 1].
+            scratch.res_u[j] = self
+                .res_members(j)
+                .iter()
+                .map(|&c| scratch.u_cell[c as usize])
+                .fold(-1.0, f64::max);
+        }
+    }
+
+    /// Stages fault flags for survival probability `p` from the aggregated
+    /// uniforms (a cell fails iff its uniform `u >= p`).
+    fn threshold(&self, p: f64, scratch: &mut TrialScratch) {
+        for (f, &u) in scratch.faulty_unit.iter_mut().zip(&scratch.unit_u) {
+            *f = u >= p;
+        }
+        for (d, &u) in scratch.dead_res.iter_mut().zip(&scratch.res_u) {
+            *d = u >= p;
+        }
     }
 
     /// Decides tolerability for the fault flags currently staged in
-    /// `scratch.faulty_primary` / `scratch.faulty_spare`.
+    /// `scratch.faulty_unit` / `scratch.dead_res`.
     fn solve(&self, scratch: &mut TrialScratch) -> bool {
         scratch.rows.clear();
         scratch.edges.clear();
@@ -176,21 +322,21 @@ impl TrialEvaluator {
         }
         let generation = scratch.generation;
         let mut cols = 0u32;
-        for (i, &faulty) in scratch.faulty_primary.iter().enumerate() {
+        for (i, &faulty) in scratch.faulty_unit.iter().enumerate() {
             if !faulty {
                 continue;
             }
             let row = scratch.rows.len() as u32;
             let mut any = false;
-            for &s in self.adjacent(i) {
-                if scratch.faulty_spare[s as usize] {
+            for &r in self.adjacent(i) {
+                if scratch.dead_res[r as usize] {
                     continue;
                 }
-                let col = if scratch.col_gen[s as usize] == generation {
-                    scratch.col_of_spare[s as usize]
+                let col = if scratch.col_gen[r as usize] == generation {
+                    scratch.col_of_res[r as usize]
                 } else {
-                    scratch.col_gen[s as usize] = generation;
-                    scratch.col_of_spare[s as usize] = cols;
+                    scratch.col_gen[r as usize] = generation;
+                    scratch.col_of_res[r as usize] = cols;
                     cols += 1;
                     cols - 1
                 };
@@ -198,7 +344,7 @@ impl TrialEvaluator {
                 any = true;
             }
             if !any {
-                // A faulty cell with no live spare can never be matched.
+                // A faulty unit with no live resource can never be matched.
                 return false;
             }
             scratch.rows.push(i as u32);
@@ -215,20 +361,20 @@ impl TrialEvaluator {
 
     /// Runs one survival-mode trial: every relevant cell fails
     /// independently with probability `1 − p`; returns whether the
-    /// resulting chip is tolerable via local reconfiguration.
+    /// resulting chip is tolerable under the scheme's reconfiguration
+    /// semantics.
     ///
-    /// The verdict has exactly the same distribution as building a
-    /// [`DefectMap`] with `Bernoulli::from_survival(p)` and calling
-    /// [`crate::local::is_reconfigurable`]: cells outside the evaluator's
-    /// structure (out-of-scope primaries, spares bordering none of them)
-    /// cannot change the answer, so their draws are skipped.
+    /// For hex arrays the verdict has exactly the same distribution as
+    /// building a [`DefectMap`] with `Bernoulli::from_survival(p)` and
+    /// calling [`crate::local::is_reconfigurable`]: cells outside the
+    /// evaluator's structure (out-of-scope primaries, spares bordering
+    /// none of them) cannot change the answer, so their draws are skipped.
     pub fn survival_trial(&self, p: f64, rng: &mut StdRng, scratch: &mut TrialScratch) -> bool {
-        for f in scratch.faulty_primary.iter_mut() {
-            *f = rng.gen::<f64>() >= p;
+        for u in scratch.u_cell.iter_mut() {
+            *u = rng.gen();
         }
-        for f in scratch.faulty_spare.iter_mut() {
-            *f = rng.gen::<f64>() >= p;
-        }
+        self.aggregate_uniforms(scratch);
+        self.threshold(p, scratch);
         self.solve(scratch)
     }
 
@@ -256,24 +402,16 @@ impl TrialEvaluator {
             ps.windows(2).all(|w| w[0] <= w[1]),
             "survival grid must be ascending"
         );
-        for u in scratch.u_primary.iter_mut() {
+        for u in scratch.u_cell.iter_mut() {
             *u = rng.gen();
         }
-        for u in scratch.u_spare.iter_mut() {
-            *u = rng.gen();
-        }
+        self.aggregate_uniforms(scratch);
         // Binary search the smallest grid index that is tolerable.
         let mut lo = 0usize; // smallest index possibly tolerable
         let mut hi = ps.len(); // everything >= hi known tolerable
         while lo < hi {
             let mid = lo + (hi - lo) / 2;
-            let p = ps[mid];
-            for (f, &u) in scratch.faulty_primary.iter_mut().zip(&scratch.u_primary) {
-                *f = u >= p;
-            }
-            for (f, &u) in scratch.faulty_spare.iter_mut().zip(&scratch.u_spare) {
-                *f = u >= p;
-            }
+            self.threshold(ps[mid], scratch);
             if self.solve(scratch) {
                 hi = mid;
             } else {
@@ -285,18 +423,43 @@ impl TrialEvaluator {
         }
     }
 
-    /// Evaluates an explicit defect map. Same verdict as
-    /// [`crate::local::is_reconfigurable`] on the evaluator's array and
-    /// policy — used by the equivalence tests and by callers that already
-    /// hold a map but want the incremental engine's speed.
-    pub fn evaluate_defects(&self, defects: &DefectMap, scratch: &mut TrialScratch) -> bool {
-        for (f, &c) in scratch.faulty_primary.iter_mut().zip(&self.primaries) {
-            *f = defects.is_faulty(c);
-        }
-        for (f, &s) in scratch.faulty_spare.iter_mut().zip(&self.spares) {
-            *f = defects.is_faulty(s);
-        }
+    /// Evaluates an explicit defect map. For hex arrays this gives the
+    /// same verdict as [`crate::local::is_reconfigurable`] on the
+    /// evaluator's array and policy — used by the equivalence tests and by
+    /// callers that already hold a map but want the incremental engine's
+    /// speed.
+    pub fn evaluate_defects(&self, defects: &DefectMap<C>, scratch: &mut TrialScratch) -> bool {
+        self.stage_cell_faults(scratch, |c| defects.is_faulty(c));
         self.solve(scratch)
+    }
+
+    /// Evaluates an explicit faulty-cell list (cells outside the
+    /// evaluator's structure are ignored, mirroring the legacy oracles).
+    pub fn evaluate_faulty_cells(&self, faulty: &[C], scratch: &mut TrialScratch) -> bool {
+        let mut sorted: Vec<C> = faulty.to_vec();
+        sorted.sort_unstable();
+        self.stage_cell_faults(scratch, |c| sorted.binary_search(&c).is_ok());
+        self.solve(scratch)
+    }
+
+    /// Stages per-unit/per-resource fault flags from a per-cell fault
+    /// predicate.
+    fn stage_cell_faults(&self, scratch: &mut TrialScratch, mut is_faulty: impl FnMut(C) -> bool) {
+        for (u, &c) in scratch.u_cell.iter_mut().zip(&self.cells) {
+            *u = if is_faulty(c) { 1.0 } else { 0.0 };
+        }
+        for i in 0..self.unit_count() {
+            scratch.faulty_unit[i] = self
+                .unit_members(i)
+                .iter()
+                .any(|&c| scratch.u_cell[c as usize] == 1.0);
+        }
+        for j in 0..self.resource_count() {
+            scratch.dead_res[j] = self
+                .res_members(j)
+                .iter()
+                .any(|&c| scratch.u_cell[c as usize] == 1.0);
+        }
     }
 }
 
@@ -319,6 +482,7 @@ mod tests {
         assert_eq!(eval.primary_count(), array.primary_count());
         assert!(eval.spare_count() <= array.spare_count());
         assert!(eval.edge_count() > 0);
+        assert_eq!(eval.cell_count(), eval.primary_count() + eval.spare_count());
     }
 
     #[test]
@@ -398,5 +562,54 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let mut out = [false; 2];
         eval.survival_trial_grid(&[0.9, 0.5], &mut rng, &mut scratch, &mut out);
+    }
+
+    #[test]
+    fn square_pattern_through_generic_engine() {
+        use crate::square_dtmb::SquarePattern;
+        use dmfb_grid::{SquareCoord, SquareRegion};
+        let region = SquareRegion::rect(10, 10);
+        for pattern in SquarePattern::ALL {
+            let eval = TrialEvaluator::for_scheme(&region, &pattern);
+            let mut scratch = eval.scratch();
+            // Fault-free passes; the whole-array fault only passes when
+            // there is nothing required (never here).
+            assert!(eval.evaluate_faulty_cells(&[], &mut scratch), "{pattern}");
+            let all: Vec<SquareCoord> = region.iter().collect();
+            assert!(!eval.evaluate_faulty_cells(&all, &mut scratch), "{pattern}");
+            // Single-fault verdicts match the legacy oracle everywhere.
+            for c in region.iter() {
+                assert_eq!(
+                    eval.evaluate_faulty_cells(&[c], &mut scratch),
+                    pattern.is_reconfigurable(&region, &[c]),
+                    "{pattern} fault at {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spare_rows_through_generic_engine() {
+        use crate::shifted::SpareRowArray;
+        use dmfb_grid::SquareCoord;
+        let array = SpareRowArray::figure2_example();
+        let eval = TrialEvaluator::for_scheme(&array.region(), &array);
+        assert_eq!(eval.unit_count(), 6);
+        assert_eq!(eval.resource_count(), 1);
+        let mut scratch = eval.scratch();
+        // One faulty row: tolerable via the single spare row.
+        assert!(eval.evaluate_faulty_cells(&[SquareCoord::new(3, 4)], &mut scratch));
+        // Two distinct faulty rows exceed the spare row.
+        assert!(!eval.evaluate_faulty_cells(
+            &[SquareCoord::new(0, 0), SquareCoord::new(0, 3)],
+            &mut scratch
+        ));
+        // Same-row faults count once.
+        assert!(eval.evaluate_faulty_cells(
+            &[SquareCoord::new(0, 2), SquareCoord::new(7, 2)],
+            &mut scratch
+        ));
+        // Spare-row faults are ignored (legacy semantics).
+        assert!(eval.evaluate_faulty_cells(&[SquareCoord::new(0, 6)], &mut scratch));
     }
 }

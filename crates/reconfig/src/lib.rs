@@ -21,6 +21,10 @@
 //!   precomputes the primary↔spare neighbour structure once per array and
 //!   evaluates each trial (or a whole survival-probability grid per trial)
 //!   with reusable bitset-matching buffers.
+//! * [`scheme`] — the cross-cutting [`RedundancyScheme`] abstraction:
+//!   every design (hex DTMB, square DTMB, spare rows) compiled into one
+//!   assignment-under-adjacency-conflicts structure so all of them ride
+//!   the same incremental fast engine.
 //! * [`shifted`] — the boundary spare-row baseline with its cascade of
 //!   "shifted replacements" (Figure 2), including cost accounting.
 //! * [`app_aware`] — the redundancy-free category-1 alternative: re-placing
@@ -45,9 +49,34 @@ pub mod array;
 pub mod dtmb;
 pub mod incremental;
 pub mod local;
+pub mod scheme;
 pub mod shifted;
 pub mod square_dtmb;
 
 pub use array::{CellRole, DefectTolerantArray, DegreeAudit};
 pub use incremental::{TrialEvaluator, TrialScratch};
 pub use local::{attempt_reconfiguration, ReconfigFailure, ReconfigPlan, ReconfigPolicy};
+pub use scheme::{scheme_audit, RedundancyScheme, SchemeStructure};
+pub use shifted::{ShiftFailure, ShiftPlan, SpareRowArray};
+pub use square_dtmb::SquarePattern;
+
+/// Formats the first few items of a list for error messages, eliding the
+/// rest (`a, b, c, … 4 more`). Empty lists render as `none`.
+pub(crate) fn format_cell_list<T: std::fmt::Display>(items: &[T]) -> String {
+    use std::fmt::Write as _;
+    const SHOWN: usize = 8;
+    if items.is_empty() {
+        return "none".to_string();
+    }
+    let mut out = String::new();
+    for (i, item) in items.iter().take(SHOWN).enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{item}");
+    }
+    if items.len() > SHOWN {
+        let _ = write!(out, ", … {} more", items.len() - SHOWN);
+    }
+    out
+}

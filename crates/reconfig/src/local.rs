@@ -109,11 +109,14 @@ impl fmt::Display for ReconfigFailure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "local reconfiguration failed: {} faulty cell(s) unassigned; \
-             {} faulty cells compete for {} adjacent fault-free spare(s)",
+            "local reconfiguration failed: {} faulty cell(s) unassigned [{}]; \
+             {} faulty cell(s) [{}] compete for {} adjacent fault-free spare(s) [{}]",
             self.unassigned.len(),
+            crate::format_cell_list(&self.unassigned),
             self.deficient_set.len(),
-            self.available_spares.len()
+            crate::format_cell_list(&self.deficient_set),
+            self.available_spares.len(),
+            crate::format_cell_list(&self.available_spares),
         )
     }
 }

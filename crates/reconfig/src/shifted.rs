@@ -11,7 +11,7 @@
 //! is fault-free. This module implements the scheme on a square-electrode
 //! array to quantify exactly that cost.
 
-use dmfb_grid::SquareCoord;
+use dmfb_grid::{SquareCoord, SquareRegion};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -64,8 +64,9 @@ impl fmt::Display for ShiftFailure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "shifted replacement failed: {} faulty row(s) but only {} spare row(s)",
+            "shifted replacement failed: {} faulty row(s) (rows {}) but only {} spare row(s)",
             self.faulty_rows.len(),
+            crate::format_cell_list(&self.faulty_rows),
             self.spare_rows
         )
     }
@@ -134,6 +135,20 @@ impl SpareRowArray {
     #[must_use]
     pub fn total_rows(&self) -> u32 {
         self.module_rows() + self.spare_rows
+    }
+
+    /// Number of spare rows at the bottom of the array.
+    #[must_use]
+    pub fn spare_rows(&self) -> u32 {
+        self.spare_rows
+    }
+
+    /// The array's footprint as a square-lattice region (module rows plus
+    /// spare rows) — the [`dmfb_grid::Topology`] this scheme is compiled
+    /// over.
+    #[must_use]
+    pub fn region(&self) -> SquareRegion {
+        SquareRegion::rect(self.width, self.total_rows())
     }
 
     /// The module band index owning `row`, or `None` for spare rows.

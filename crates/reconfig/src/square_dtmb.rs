@@ -95,35 +95,22 @@ impl SquarePattern {
     }
 
     /// `(min, max)` adjacent-spare count over the interior primaries of
-    /// `region` — the square analogue of the hex degree audit.
+    /// `region` — the square analogue of the hex degree audit, via the
+    /// lattice-generic [`crate::scheme_audit`].
     #[must_use]
     pub fn audit(self, region: &SquareRegion) -> (usize, usize) {
-        let mut min = usize::MAX;
-        let mut max = 0usize;
-        let mut any = false;
-        for c in region.iter() {
-            if self.is_spare_site(c) {
-                continue;
-            }
-            // interior = all four neighbours exist
-            if c.neighbors4().any(|n| !region.contains(n)) {
-                continue;
-            }
-            let k = c.neighbors4().filter(|n| self.is_spare_site(*n)).count();
-            min = min.min(k);
-            max = max.max(k);
-            any = true;
-        }
-        if any {
-            (min, max)
-        } else {
-            (0, 0)
-        }
+        crate::scheme_audit(region, &self)
     }
 
     /// Whether a set of faulty cells is tolerable by local reconfiguration
     /// on this pattern over `region`: every faulty primary must be matched
     /// to a distinct adjacent fault-free spare (4-adjacency).
+    ///
+    /// This is the **slow reference oracle**, rebuilding the bipartite
+    /// model per call; sweeps and Monte-Carlo runs go through the generic
+    /// [`crate::TrialEvaluator`] instead (see
+    /// `tests/scheme_props.rs` for the proptest equivalence between the
+    /// two).
     #[must_use]
     pub fn is_reconfigurable(self, region: &SquareRegion, faulty: &[SquareCoord]) -> bool {
         let faulty_set: std::collections::BTreeSet<SquareCoord> = faulty.iter().copied().collect();

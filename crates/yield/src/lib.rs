@@ -12,6 +12,9 @@
 //! * [`effective`] — the paper's *effective yield* metric
 //!   `EY = Y·n/N = Y/(1+RR)` that trades yield against array area
 //!   (Figure 10), with crossover detection between designs.
+//! * [`scheme_yield`] — [`SchemeYield`]: the same fast Monte-Carlo engine
+//!   generic over the redundancy scheme (hex DTMB, square DTMB,
+//!   spare-row), so the paper's cross-scheme comparisons are one sweep.
 //! * [`sweep`] — parameter sweeps producing the curves behind each figure.
 //!
 //! # Example
@@ -32,9 +35,11 @@ pub mod analytical;
 pub mod effective;
 pub mod monte_carlo;
 pub mod profile;
+pub mod scheme_yield;
 pub mod sweep;
 
 pub use effective::effective_yield;
 pub use monte_carlo::{MonteCarloYield, YieldPoint};
 pub use profile::{tolerance_profile, ToleranceProfile};
+pub use scheme_yield::SchemeYield;
 pub use sweep::YieldCurve;

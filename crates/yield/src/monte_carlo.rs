@@ -7,6 +7,7 @@
 //! be tolerated via local reconfiguration based on the interstitial spare
 //! cells. This checking procedure is based on a graph matching approach."
 
+use crate::scheme_yield::SchemeYield;
 use dmfb_defects::injection::{Bernoulli, ExactCount, InjectionModel};
 use dmfb_reconfig::{local, DefectTolerantArray, ReconfigPolicy, TrialEvaluator};
 use dmfb_sim::{parallel_map, BernoulliEstimate, MonteCarlo};
@@ -25,6 +26,36 @@ pub struct YieldPoint {
     pub ci95: (f64, f64),
     /// Trials behind the estimate.
     pub trials: u64,
+}
+
+impl YieldPoint {
+    /// Builds a point from a Bernoulli estimate at swept parameter `x`.
+    #[must_use]
+    pub fn from_estimate(x: f64, est: &BernoulliEstimate) -> Self {
+        YieldPoint {
+            x,
+            y: est.point(),
+            ci95: est.wilson95(),
+            trials: est.trials(),
+        }
+    }
+}
+
+/// Splits a worker budget between sweep grid points (outer) and trials
+/// within a point (inner) so no cores idle when the grid is shorter than
+/// the thread count (`0` = one worker per available core). Shared by the
+/// hex front-end and the scheme-generic engine so the orchestration
+/// policy cannot drift between them; results are never affected because
+/// every estimate is thread-count-invariant by construction.
+pub(crate) fn sweep_thread_split(threads: usize, points: usize) -> (usize, usize) {
+    let total = if threads == 0 {
+        dmfb_sim::auto_threads()
+    } else {
+        threads
+    };
+    let outer = total.min(points.max(1));
+    let inner = (total / outer.max(1)).max(1);
+    (outer, inner)
 }
 
 /// Monte-Carlo yield estimator for a defect-tolerant array under a success
@@ -110,10 +141,23 @@ impl MonteCarloYield {
         mc.run_parallel(self.threads, trial)
     }
 
+    /// The scheme-generic fast engine for this array and policy: the
+    /// neighbour structure precomputed once, trials running through
+    /// reusable bitset matching buffers.
+    fn fast_engine(&self) -> SchemeYield {
+        let label = self
+            .array
+            .kind()
+            .map_or("no-redundancy".to_string(), |k| k.to_string());
+        SchemeYield::from_evaluator(label, TrialEvaluator::new(&self.array, &self.policy))
+            .with_threads(self.threads)
+    }
+
     /// Estimates survival-mode yield with the incremental
-    /// [`TrialEvaluator`] engine: the array's neighbour structure is
-    /// precomputed once and every trial runs through reusable bitset
-    /// matching buffers — no per-trial graph or defect-map construction.
+    /// [`TrialEvaluator`] engine (via the scheme-generic [`SchemeYield`]):
+    /// the array's neighbour structure is precomputed once and every trial
+    /// runs through reusable bitset matching buffers — no per-trial graph
+    /// or defect-map construction.
     ///
     /// The estimate is drawn from the same distribution as
     /// [`MonteCarloYield::estimate_survival`] but from an independent
@@ -123,12 +167,7 @@ impl MonteCarloYield {
     /// `(trials, seed)` and independent of thread count.
     #[must_use]
     pub fn estimate_survival_fast(&self, p: f64, trials: u32, seed: u64) -> BernoulliEstimate {
-        let evaluator = TrialEvaluator::new(&self.array, &self.policy);
-        MonteCarlo::new(trials, seed).run_parallel_with(
-            self.threads,
-            || evaluator.scratch(),
-            |rng, scratch| evaluator.survival_trial(p, rng, scratch),
-        )
+        self.fast_engine().estimate_survival(p, trials, seed)
     }
 
     /// Sweeps an **ascending** survival grid in one batched Monte-Carlo
@@ -148,57 +187,23 @@ impl MonteCarloYield {
     /// Panics if `ps` is not sorted ascending.
     #[must_use]
     pub fn sweep_survival_batched(&self, ps: &[f64], trials: u32, seed: u64) -> Vec<YieldPoint> {
-        let evaluator = TrialEvaluator::new(&self.array, &self.policy);
-        let estimates = MonteCarlo::new(trials, seed).tally_parallel(
-            self.threads,
-            ps.len(),
-            || evaluator.scratch(),
-            |rng, scratch, out| evaluator.survival_trial_grid(ps, rng, scratch, out),
-        );
-        ps.iter()
-            .zip(estimates)
-            .map(|(&p, est)| YieldPoint {
-                x: p,
-                y: est.point(),
-                ci95: est.wilson95(),
-                trials: est.trials(),
-            })
-            .collect()
-    }
-
-    /// Splits the configured worker budget between grid points (outer)
-    /// and trials within a point (inner) so no cores idle when the grid
-    /// is shorter than the thread count. Results are unaffected: every
-    /// estimate is thread-count-invariant by construction.
-    fn sweep_thread_split(&self, points: usize) -> (usize, usize) {
-        let total = if self.threads == 0 {
-            dmfb_sim::auto_threads()
-        } else {
-            self.threads
-        };
-        let outer = total.min(points.max(1));
-        let inner = (total / outer.max(1)).max(1);
-        (outer, inner)
+        self.fast_engine().sweep_survival_batched(ps, trials, seed)
     }
 
     /// Sweeps survival probabilities into a list of [`YieldPoint`]s.
     ///
-    /// Grid points are distributed across the configured worker threads,
-    /// and any leftover parallelism runs inside each point's trial loop;
-    /// per-point results are identical to a fully sequential sweep
-    /// because every point is seeded by its grid index alone.
+    /// Grid points are distributed across the configured worker threads
+    /// (via `sweep_thread_split`), and any leftover parallelism runs
+    /// inside each point's trial loop; per-point results are identical to
+    /// a fully sequential sweep because every point is seeded by its grid
+    /// index alone.
     #[must_use]
     pub fn sweep_survival(&self, ps: &[f64], trials: u32, seed: u64) -> Vec<YieldPoint> {
-        let (outer, inner) = self.sweep_thread_split(ps.len());
+        let (outer, inner) = sweep_thread_split(self.threads, ps.len());
         let point = self.clone().with_threads(inner);
         parallel_map(outer, ps, |i, &p| {
             let est = point.estimate_survival(p, trials, seed.wrapping_add(i as u64));
-            YieldPoint {
-                x: p,
-                y: est.point(),
-                ci95: est.wilson95(),
-                trials: est.trials(),
-            }
+            YieldPoint::from_estimate(p, &est)
         })
     }
 
@@ -206,16 +211,11 @@ impl MonteCarloYield {
     /// same orchestration as [`MonteCarloYield::sweep_survival`].
     #[must_use]
     pub fn sweep_exact_faults(&self, ms: &[usize], trials: u32, seed: u64) -> Vec<YieldPoint> {
-        let (outer, inner) = self.sweep_thread_split(ms.len());
+        let (outer, inner) = sweep_thread_split(self.threads, ms.len());
         let point = self.clone().with_threads(inner);
         parallel_map(outer, ms, |i, &m| {
             let est = point.estimate_exact_faults(m, trials, seed.wrapping_add(i as u64));
-            YieldPoint {
-                x: m as f64,
-                y: est.point(),
-                ci95: est.wilson95(),
-                trials: est.trials(),
-            }
+            YieldPoint::from_estimate(m as f64, &est)
         })
     }
 }

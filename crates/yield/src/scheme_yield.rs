@@ -1,0 +1,274 @@
+//! Scheme-generic Monte-Carlo yield estimation.
+//!
+//! [`SchemeYield`] is the yield engine behind *every* redundancy design:
+//! it owns a compiled [`TrialEvaluator`] (hex DTMB, square DTMB or
+//! spare-row — anything implementing [`RedundancyScheme`]) and runs the
+//! incremental bitset-matching fast path through the deterministic
+//! parallel Monte-Carlo machinery of `dmfb-sim`. Estimates depend only on
+//! `(trials, seed)`, never on thread count, and the batched sweep shares
+//! common random numbers across the whole survival grid so each curve is
+//! monotone trial-by-trial.
+//!
+//! The hexagonal [`MonteCarloYield`](crate::MonteCarloYield) front-end
+//! delegates its `estimate_survival_fast` / `sweep_survival_batched`
+//! methods here; non-hex schemes use this type directly (as the CLI
+//! `--scheme` flag does).
+
+use crate::monte_carlo::YieldPoint;
+use dmfb_grid::{HexCoord, Topology};
+use dmfb_reconfig::{RedundancyScheme, TrialEvaluator};
+use dmfb_sim::{parallel_map, BernoulliEstimate, MonteCarlo};
+
+/// Monte-Carlo yield estimator generic over the redundancy scheme.
+///
+/// # Example
+///
+/// ```
+/// use dmfb_grid::SquareRegion;
+/// use dmfb_reconfig::SquarePattern;
+/// use dmfb_yield::SchemeYield;
+///
+/// let region = SquareRegion::rect(12, 12);
+/// let est = SchemeYield::from_scheme(&region, &SquarePattern::Checkerboard);
+/// let y = est.estimate_survival(0.95, 2_000, 7);
+/// assert!(y.point() > 0.5);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SchemeYield<C: Copy + Ord = HexCoord> {
+    label: String,
+    evaluator: TrialEvaluator<C>,
+    threads: usize,
+}
+
+impl<C: Copy + Ord + Send + Sync> SchemeYield<C> {
+    /// Compiles `scheme` over `topo` into the fast evaluator. Defaults to
+    /// single-threaded execution; see [`SchemeYield::with_threads`].
+    #[must_use]
+    pub fn from_scheme<T>(topo: &T, scheme: &impl RedundancyScheme<T>) -> Self
+    where
+        T: Topology<Coord = C>,
+    {
+        SchemeYield {
+            label: scheme.label(),
+            evaluator: TrialEvaluator::for_scheme(topo, scheme),
+            threads: 1,
+        }
+    }
+
+    /// Wraps an already-built evaluator (the hex front-end's path, where
+    /// the evaluator carries a reconfiguration policy).
+    #[must_use]
+    pub fn from_evaluator(label: impl Into<String>, evaluator: TrialEvaluator<C>) -> Self {
+        SchemeYield {
+            label: label.into(),
+            evaluator,
+            threads: 1,
+        }
+    }
+
+    /// Distributes trials across `threads` worker threads (`0` = one
+    /// worker per available core). Results are identical regardless of
+    /// thread count.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The scheme label (used in reports and bench artifacts).
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The compiled evaluator.
+    #[must_use]
+    pub fn evaluator(&self) -> &TrialEvaluator<C> {
+        &self.evaluator
+    }
+
+    /// Estimates yield when every relevant cell survives independently
+    /// with probability `p`, via the incremental engine: one uniform per
+    /// cell, reusable bitset-matching buffers, no per-trial allocation.
+    #[must_use]
+    pub fn estimate_survival(&self, p: f64, trials: u32, seed: u64) -> BernoulliEstimate {
+        MonteCarlo::new(trials, seed).run_parallel_with(
+            self.threads,
+            || self.evaluator.scratch(),
+            |rng, scratch| self.evaluator.survival_trial(p, rng, scratch),
+        )
+    }
+
+    /// Sweeps an **ascending** survival grid in one batched Monte-Carlo
+    /// pass: each trial draws a single random chip (common random numbers
+    /// across the grid) and reports tolerability at every `p` at once via
+    /// the monotone threshold search in
+    /// [`TrialEvaluator::survival_trial_grid`]. Results are byte-identical
+    /// for any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ps` is not sorted ascending.
+    #[must_use]
+    pub fn sweep_survival_batched(&self, ps: &[f64], trials: u32, seed: u64) -> Vec<YieldPoint> {
+        let estimates = MonteCarlo::new(trials, seed).tally_parallel(
+            self.threads,
+            ps.len(),
+            || self.evaluator.scratch(),
+            |rng, scratch, out| self.evaluator.survival_trial_grid(ps, rng, scratch, out),
+        );
+        ps.iter()
+            .zip(estimates)
+            .map(|(&p, est)| YieldPoint::from_estimate(p, &est))
+            .collect()
+    }
+
+    /// Sweeps survival probabilities with an **independent** experiment
+    /// per grid point (each point seeded by its index), parallelised over
+    /// points with leftover workers running inside each point's trial
+    /// loop (the same `sweep_thread_split` policy as the hex front-end).
+    /// Per-point results are identical to a sequential sweep.
+    #[must_use]
+    pub fn sweep_survival(&self, ps: &[f64], trials: u32, seed: u64) -> Vec<YieldPoint> {
+        let (outer, inner) = crate::monte_carlo::sweep_thread_split(self.threads, ps.len());
+        let point = self.clone().with_threads(inner);
+        parallel_map(outer, ps, |i, &p| {
+            let est = point.estimate_survival(p, trials, seed.wrapping_add(i as u64));
+            YieldPoint::from_estimate(p, &est)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmfb_grid::SquareRegion;
+    use dmfb_reconfig::shifted::{ModuleBand, SpareRowArray};
+    use dmfb_reconfig::SquarePattern;
+
+    fn square(pattern: SquarePattern) -> SchemeYield<dmfb_grid::SquareCoord> {
+        SchemeYield::from_scheme(&SquareRegion::rect(10, 10), &pattern)
+    }
+
+    fn spare_rows() -> SchemeYield<dmfb_grid::SquareCoord> {
+        let array = SpareRowArray::new(
+            8,
+            vec![ModuleBand {
+                name: "M".into(),
+                rows: 6,
+            }],
+            2,
+        );
+        SchemeYield::from_scheme(&array.region(), &array)
+    }
+
+    #[test]
+    fn extremes_for_every_scheme() {
+        for est in [
+            square(SquarePattern::PerfectCode),
+            square(SquarePattern::Checkerboard),
+            spare_rows(),
+        ] {
+            assert_eq!(est.estimate_survival(1.0, 200, 1).point(), 1.0);
+            assert!(est.estimate_survival(0.0, 200, 1).point() < 1.0);
+        }
+        // Zero survival with the quarter pattern is always fatal (odd/odd
+        // cells have no spare at all).
+        assert_eq!(
+            square(SquarePattern::Quarter)
+                .estimate_survival(0.0, 200, 1)
+                .point(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn redundancy_order_on_the_square_lattice() {
+        // More spares per primary tolerate more faults: checkerboard
+        // (s = 4) beats stripes (s = 2) beats perfect code (s = 1).
+        let p = 0.93;
+        let y1 = square(SquarePattern::PerfectCode)
+            .estimate_survival(p, 3_000, 5)
+            .point();
+        let y2 = square(SquarePattern::Stripes)
+            .estimate_survival(p, 3_000, 5)
+            .point();
+        let y4 = square(SquarePattern::Checkerboard)
+            .estimate_survival(p, 3_000, 5)
+            .point();
+        assert!(y4 >= y2 - 0.02, "checkerboard {y4} vs stripes {y2}");
+        assert!(y2 >= y1 - 0.02, "stripes {y2} vs perfect-code {y1}");
+    }
+
+    #[test]
+    fn batched_sweep_is_monotone_and_thread_invariant() {
+        let ps = [0.85, 0.92, 0.97, 1.0];
+        for est in [square(SquarePattern::Stripes), spare_rows()] {
+            let seq = est.sweep_survival_batched(&ps, 1_000, 47);
+            for w in seq.windows(2) {
+                assert!(w[1].y >= w[0].y, "batched curve must be monotone");
+            }
+            assert_eq!(seq.last().unwrap().y, 1.0, "p = 1 never fails");
+            for threads in [0, 2, 5] {
+                let par = est
+                    .clone()
+                    .with_threads(threads)
+                    .sweep_survival_batched(&ps, 1_000, 47);
+                assert_eq!(par, seq, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn per_point_sweep_matches_batched_statistically() {
+        let est = square(SquarePattern::Checkerboard);
+        let ps = [0.90, 0.96];
+        let a = est.sweep_survival(&ps, 4_000, 9);
+        let b = est.sweep_survival_batched(&ps, 4_000, 9);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.x, y.x);
+            assert!((x.y - y.y).abs() < 0.04, "{} vs {}", x.y, y.y);
+        }
+    }
+
+    #[test]
+    fn spare_row_yield_matches_closed_form() {
+        // P(tolerable) = P(#faulty rows <= spares); rows fail
+        // independently with probability 1 - p^width. With one band of r
+        // rows and s spares this is a binomial tail — check against it.
+        let width = 6u32;
+        let rows = 5u32;
+        let spares = 1u32;
+        let array = SpareRowArray::new(
+            width,
+            vec![ModuleBand {
+                name: "M".into(),
+                rows,
+            }],
+            spares,
+        );
+        let est = SchemeYield::from_scheme(&array.region(), &array);
+        let p: f64 = 0.97;
+        let row_ok = p.powi(width as i32);
+        let mut expected = 0.0;
+        for k in 0..=spares {
+            let comb = match k {
+                0 => 1.0,
+                1 => f64::from(rows),
+                _ => unreachable!("spares = 1"),
+            };
+            expected += comb * (1.0 - row_ok).powi(k as i32) * row_ok.powi((rows - k) as i32);
+        }
+        let got = est.estimate_survival(p, 20_000, 3).point();
+        assert!(
+            (got - expected).abs() < 0.02,
+            "mc {got} vs closed {expected}"
+        );
+    }
+
+    #[test]
+    fn label_flows_through() {
+        assert!(square(SquarePattern::Stripes).label().contains("stripes"));
+        assert!(spare_rows().label().contains("spare-rows"));
+    }
+}
