@@ -23,11 +23,18 @@
 //!       "grid_points": 1,
 //!       "wall_ms": 12.5,
 //!       "trials_per_sec": 160000.0,
-//!       "yield_estimate": 0.9435
+//!       "yield_estimate": 0.9435,
+//!       "assay": null,
+//!       "operational_yield": null
 //!     }
 //!   ]
 //! }
 //! ```
+//!
+//! Assay-aware (operational-yield) workloads fill the last two columns:
+//! `"assay"` carries the panel label (`"ivd-panel"`/`"metabolic-panel"`)
+//! and `"operational_yield"` the third-tier yield, with `yield_estimate`
+//! holding the reconfigured (second-tier) yield for comparability.
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -61,8 +68,17 @@ pub struct BenchEntry {
     /// `trials × grid_points / wall seconds`.
     pub trials_per_sec: f64,
     /// The yield estimate the workload produced (a cross-engine sanity
-    /// anchor for report consumers).
+    /// anchor for report consumers). For assay workloads this is the
+    /// *reconfigured* yield, so it stays comparable with the non-assay
+    /// entries.
     pub yield_estimate: f64,
+    /// Assay-panel label (`ivd-panel`, `metabolic-panel`) for operational
+    /// workloads; `None` (JSON `null`) for pure matching workloads.
+    pub assay: Option<String>,
+    /// Operational (assay-aware) yield for assay workloads; `None` (JSON
+    /// `null`) otherwise. By construction
+    /// `operational_yield <= yield_estimate` on assay entries.
+    pub operational_yield: Option<f64>,
 }
 
 impl BenchEntry {
@@ -85,6 +101,14 @@ impl BenchEntry {
             ",\"yield_estimate\":{}",
             json_number(self.yield_estimate)
         );
+        let _ = match &self.assay {
+            Some(a) => write!(out, ",\"assay\":{}", json_string(a)),
+            None => write!(out, ",\"assay\":null"),
+        };
+        let _ = match self.operational_yield {
+            Some(y) => write!(out, ",\"operational_yield\":{}", json_number(y)),
+            None => write!(out, ",\"operational_yield\":null"),
+        };
         out.push('}');
     }
 }
@@ -107,6 +131,8 @@ impl BenchEntry {
 ///     wall_ms: 12.5,
 ///     trials_per_sec: 160_000.0,
 ///     yield_estimate: 0.94,
+///     assay: None,
+///     operational_yield: None,
 /// });
 /// let json = report.to_json();
 /// assert!(json.contains("\"schema\":\"dmfb-bench/1\""));
@@ -372,6 +398,8 @@ mod tests {
             wall_ms: 42.75,
             trials_per_sec: 514_619.88,
             yield_estimate: 0.9435,
+            assay: None,
+            operational_yield: None,
         }
     }
 
@@ -391,6 +419,23 @@ mod tests {
         assert!(json.contains("\"entries\":[{"));
         assert!(json.contains("\"yield_estimate\":null"), "NaN → null");
         assert!(json.contains("\\\"label\\\""), "escaped quotes");
+        assert!(json.contains("\"assay\":null"), "no-assay entries are null");
+        assert!(json.contains("\"operational_yield\":null"));
+    }
+
+    #[test]
+    fn assay_entries_fill_the_operational_columns() {
+        let mut r = BenchReport::new("assay", 2, true);
+        r.push(BenchEntry {
+            name: "ivd/operational".into(),
+            assay: Some("ivd-panel".into()),
+            operational_yield: Some(0.8812),
+            ..sample_entry()
+        });
+        let json = r.to_json();
+        validate_json(&json).unwrap();
+        assert!(json.contains("\"assay\":\"ivd-panel\""));
+        assert!(json.contains("\"operational_yield\":0.8812"));
     }
 
     #[test]

@@ -21,6 +21,11 @@
 //! * [`layout`] — the fabricated-chip layout (108 assay cells, no spares)
 //!   and its DTMB(2,6) mapping with 252 primary and 91 spare cells
 //!   (Figure 12(a)).
+//! * [`feasibility`] — the operational question: does a *reconfigured*
+//!   chip still schedule the protocol within its timing budget? This is
+//!   what the operational-yield engine in `dmfb-yield` asks per
+//!   Monte-Carlo trial.
+//! * [`online`] — online reconfiguration when cells fail mid-protocol.
 //!
 //! # Example
 //!
@@ -34,12 +39,13 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod assay;
 pub mod chip;
 pub mod dilution;
 pub mod droplet;
+pub mod feasibility;
 pub mod kinetics;
 pub mod layout;
 pub mod online;
@@ -49,3 +55,5 @@ pub mod schedule;
 pub use assay::{Analyte, AssayOutcome, MultiplexedIvd};
 pub use chip::ChipDescription;
 pub use droplet::Droplet;
+pub use feasibility::{FeasibilityChecker, Infeasibility, TimingBudget};
+pub use schedule::{plan_protocol, ProtocolSchedule, ScheduledOp};

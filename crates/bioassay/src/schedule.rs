@@ -73,6 +73,212 @@ impl fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
+/// One scheduled assay operation: the physical cells it runs on (after
+/// reconfiguration remapping), its transport cost, and its timing under
+/// per-resource reservation.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ScheduledOp {
+    /// Index into the batch's request list.
+    pub request_index: usize,
+    /// Physical cell the sample droplet is dispensed on.
+    pub sample_cell: HexCoord,
+    /// Physical cell the reagent droplet is dispensed on.
+    pub reagent_cell: HexCoord,
+    /// Physical rendezvous cell where the droplets merge and mix.
+    pub rendezvous: HexCoord,
+    /// Physical optical-detection cell.
+    pub detector_cell: HexCoord,
+    /// Droplet moves spent on the three transports.
+    pub transport_moves: usize,
+    /// When the operation's resources all become free, seconds.
+    pub start_s: f64,
+    /// Reaction window (mixing + transport to detector + integration), s.
+    pub reaction_s: f64,
+    /// Completion time within the protocol, seconds.
+    pub completion_s: f64,
+}
+
+/// A complete feasible schedule for one protocol batch — the proof that
+/// every requested assay can claim live resources and routes on this chip
+/// instance, and the timing the feasibility check compares against its
+/// budget.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct ProtocolSchedule {
+    /// Scheduled operations in request order.
+    pub ops: Vec<ScheduledOp>,
+}
+
+impl ProtocolSchedule {
+    /// Protocol makespan: the latest completion time, or `0.0` for an
+    /// empty batch.
+    #[must_use]
+    pub fn makespan_s(&self) -> f64 {
+        self.ops.iter().map(|o| o.completion_s).fold(0.0, f64::max)
+    }
+
+    /// Total droplet moves across all operations.
+    #[must_use]
+    pub fn total_moves(&self) -> usize {
+        self.ops.iter().map(|o| o.transport_moves).sum()
+    }
+}
+
+/// Plans a batch on a chip instance without running any chemistry: checks
+/// that every referenced resource exists and (after remapping through
+/// `plan`) sits on a live cell, routes the three transports of each assay
+/// around catastrophic faults, and serialises operations that share
+/// dispensers, mixers or detectors.
+///
+/// This is the scheduling core shared by [`Executor::run`] (which layers
+/// reaction chemistry on top) and the operational-yield feasibility check
+/// in [`crate::feasibility`] (which only needs the verdict and the
+/// makespan).
+///
+/// # Errors
+///
+/// Returns the first [`ExecError`] that makes the batch unexecutable.
+///
+/// # Example
+///
+/// ```
+/// use dmfb_bioassay::layout::fabricated_ivd_chip;
+/// use dmfb_bioassay::schedule::plan_protocol;
+/// use dmfb_bioassay::droplet::ElectrowettingModel;
+/// use dmfb_bioassay::MultiplexedIvd;
+/// use dmfb_defects::DefectMap;
+///
+/// let chip = fabricated_ivd_chip();
+/// let schedule = plan_protocol(
+///     &chip,
+///     &DefectMap::new(),
+///     None,
+///     &ElectrowettingModel::default(),
+///     &MultiplexedIvd::standard_panel(),
+/// )
+/// .expect("fault-free chip schedules its own protocol");
+/// assert_eq!(schedule.ops.len(), 4);
+/// assert!(schedule.makespan_s() > 0.0);
+/// ```
+pub fn plan_protocol(
+    chip: &ChipDescription,
+    defects: &DefectMap,
+    plan: Option<&ReconfigPlan>,
+    actuation: &ElectrowettingModel,
+    batch: &MultiplexedIvd,
+) -> Result<ProtocolSchedule, ExecError> {
+    /// Reservation key of one shared resource. Borrowing the names from
+    /// the batch (and building error labels lazily) keeps the per-request
+    /// success path allocation-free — this function now runs once per
+    /// Monte-Carlo trial per grid point in the operational-yield engine.
+    #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+    enum ResourceKey<'a> {
+        Port(&'a str),
+        Mixer(&'a str),
+        Detector(usize),
+    }
+
+    fn require_usable(
+        defects: &DefectMap,
+        plan: Option<&ReconfigPlan>,
+        resource: impl FnOnce() -> String,
+        logical: HexCoord,
+    ) -> Result<HexCoord, ExecError> {
+        let cell = match plan {
+            Some(p) => p.remap(logical),
+            None => logical,
+        };
+        if defects.is_faulty(cell) {
+            return Err(ExecError::FaultyResource {
+                resource: resource(),
+                cell,
+            });
+        }
+        Ok(cell)
+    }
+
+    let step_ms = actuation.step_time_ms().ok_or(ExecError::VoltageTooLow)?;
+    let router = Router::new(chip.array.region(), defects);
+    // Resource reservation clocks, seconds.
+    let mut free_at: BTreeMap<ResourceKey, f64> = BTreeMap::new();
+    let mut ops = Vec::with_capacity(batch.requests.len());
+
+    for (request_index, req) in batch.requests.iter().enumerate() {
+        let sample = chip
+            .dispenser(&req.sample_port)
+            .ok_or_else(|| ExecError::UnknownPort(req.sample_port.clone()))?;
+        let reagent = chip
+            .dispenser(&req.reagent_port)
+            .ok_or_else(|| ExecError::UnknownPort(req.reagent_port.clone()))?;
+        let mixer = chip
+            .mixer(&req.mixer)
+            .ok_or_else(|| ExecError::UnknownMixer(req.mixer.clone()))?;
+        let detector = chip
+            .detectors
+            .get(req.detector)
+            .ok_or(ExecError::UnknownDetector(req.detector))?;
+
+        // Resolve physical cells through the reconfiguration plan.
+        let dispenser = || "dispenser".to_string();
+        let mixer_label = || format!("mixer {}", mixer.name);
+        let sample_cell = require_usable(defects, plan, dispenser, sample.cell)?;
+        let reagent_cell = require_usable(defects, plan, dispenser, reagent.cell)?;
+        let rendezvous = require_usable(defects, plan, mixer_label, mixer.rendezvous())?;
+        for &c in &mixer.cells {
+            require_usable(defects, plan, mixer_label, c)?;
+        }
+        let detector_cell = require_usable(
+            defects,
+            plan,
+            || format!("detector {}", req.detector),
+            detector.cell,
+        )?;
+
+        // Plan the three transports.
+        let route = |from: HexCoord, to: HexCoord| {
+            router
+                .route(from, to, &[])
+                .ok_or(ExecError::Unroutable { from, to })
+        };
+        let sample_route = route(sample_cell, rendezvous)?;
+        let reagent_route = route(reagent_cell, rendezvous)?;
+        let detect_route = route(rendezvous, detector_cell)?;
+        let moves = (sample_route.len() - 1) + (reagent_route.len() - 1) + (detect_route.len() - 1);
+
+        // Timing: start when all four resources are free.
+        let keys = [
+            ResourceKey::Port(req.sample_port.as_str()),
+            ResourceKey::Port(req.reagent_port.as_str()),
+            ResourceKey::Mixer(req.mixer.as_str()),
+            ResourceKey::Detector(req.detector),
+        ];
+        let ready = keys
+            .iter()
+            .map(|k| free_at.get(k).copied().unwrap_or(0.0))
+            .fold(0.0f64, f64::max);
+        let transport_s = moves as f64 * step_ms / 1e3;
+        let detect_s = f64::from(detector.integration_ms) / 1e3;
+        let reaction_s =
+            mixer.mix_time_s() + (detect_route.len() - 1) as f64 * step_ms / 1e3 + detect_s;
+        let completion = ready + transport_s + mixer.mix_time_s() + detect_s;
+        for k in keys {
+            free_at.insert(k, completion);
+        }
+
+        ops.push(ScheduledOp {
+            request_index,
+            sample_cell,
+            reagent_cell,
+            rendezvous,
+            detector_cell,
+            transport_moves: moves,
+            start_s: ready,
+            reaction_s,
+            completion_s: completion,
+        });
+    }
+    Ok(ProtocolSchedule { ops })
+}
+
 /// Executes assay protocols on one chip instance.
 #[derive(Clone, Debug)]
 pub struct Executor {
@@ -111,24 +317,20 @@ impl Executor {
         self
     }
 
-    /// The physical cell implementing a logical cell under the plan.
-    fn physical(&self, logical: HexCoord) -> HexCoord {
-        match &self.plan {
-            Some(plan) => plan.remap(logical),
-            None => logical,
-        }
-    }
-
-    /// Ensures a resource's physical cell is usable; errors otherwise.
-    fn require_usable(&self, resource: &str, logical: HexCoord) -> Result<HexCoord, ExecError> {
-        let physical = self.physical(logical);
-        if self.defects.is_faulty(physical) {
-            return Err(ExecError::FaultyResource {
-                resource: resource.to_string(),
-                cell: physical,
-            });
-        }
-        Ok(physical)
+    /// Plans the batch's schedule — resource resolution, routing, timing —
+    /// without running any chemistry. See [`plan_protocol`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ExecError`] that makes the batch unexecutable.
+    pub fn plan_schedule(&self, batch: &MultiplexedIvd) -> Result<ProtocolSchedule, ExecError> {
+        plan_protocol(
+            &self.chip,
+            &self.defects,
+            self.plan.as_ref(),
+            &self.actuation,
+            batch,
+        )
     }
 
     /// Runs the batch, drawing per-patient analyte concentrations uniformly
@@ -145,80 +347,14 @@ impl Executor {
         batch: &MultiplexedIvd,
         rng: &mut impl Rng,
     ) -> Result<Vec<AssayOutcome>, ExecError> {
-        let step_ms = self
-            .actuation
-            .step_time_ms()
-            .ok_or(ExecError::VoltageTooLow)?;
-        let router = Router::new(self.chip.array.region(), &self.defects);
-        // Resource reservation clocks, seconds.
-        let mut free_at: BTreeMap<String, f64> = BTreeMap::new();
-        let mut outcomes = Vec::with_capacity(batch.requests.len());
+        let schedule = self.plan_schedule(batch)?;
+        let mut outcomes = Vec::with_capacity(schedule.ops.len());
 
-        for req in &batch.requests {
-            let sample = self
-                .chip
-                .dispenser(&req.sample_port)
-                .ok_or_else(|| ExecError::UnknownPort(req.sample_port.clone()))?;
-            let reagent = self
-                .chip
-                .dispenser(&req.reagent_port)
-                .ok_or_else(|| ExecError::UnknownPort(req.reagent_port.clone()))?;
-            let mixer = self
-                .chip
-                .mixer(&req.mixer)
-                .ok_or_else(|| ExecError::UnknownMixer(req.mixer.clone()))?;
-            let detector = self
-                .chip
-                .detectors
-                .get(req.detector)
-                .ok_or(ExecError::UnknownDetector(req.detector))?;
-
-            // Resolve physical cells through the reconfiguration plan.
-            let sample_cell = self.require_usable("dispenser", sample.cell)?;
-            let reagent_cell = self.require_usable("dispenser", reagent.cell)?;
-            let rendezvous =
-                self.require_usable(&format!("mixer {}", mixer.name), mixer.rendezvous())?;
-            for &c in &mixer.cells {
-                self.require_usable(&format!("mixer {}", mixer.name), c)?;
-            }
-            let detector_cell =
-                self.require_usable(&format!("detector {}", req.detector), detector.cell)?;
-
-            // Plan the three transports.
-            let route = |from: HexCoord, to: HexCoord| {
-                router
-                    .route(from, to, &[])
-                    .ok_or(ExecError::Unroutable { from, to })
-            };
-            let sample_route = route(sample_cell, rendezvous)?;
-            let reagent_route = route(reagent_cell, rendezvous)?;
-            let detect_route = route(rendezvous, detector_cell)?;
-            let moves =
-                (sample_route.len() - 1) + (reagent_route.len() - 1) + (detect_route.len() - 1);
-
-            // Timing: start when all three resources are free.
-            let ready = [
-                req.sample_port.clone(),
-                req.reagent_port.clone(),
-                req.mixer.clone(),
-                format!("detector{}", req.detector),
-            ]
-            .iter()
-            .map(|k| free_at.get(k).copied().unwrap_or(0.0))
-            .fold(0.0f64, f64::max);
-            let transport_s = moves as f64 * step_ms / 1e3;
-            let detect_s = f64::from(detector.integration_ms) / 1e3;
-            let reaction_s =
-                mixer.mix_time_s() + (detect_route.len() - 1) as f64 * step_ms / 1e3 + detect_s;
-            let completion = ready + transport_s + mixer.mix_time_s() + detect_s;
-            for k in [
-                req.sample_port.clone(),
-                req.reagent_port.clone(),
-                req.mixer.clone(),
-                format!("detector{}", req.detector),
-            ] {
-                free_at.insert(k, completion);
-            }
+        for op in &schedule.ops {
+            let req = &batch.requests[op.request_index];
+            // The lookups cannot fail: `plan_schedule` resolved them.
+            let sample = self.chip.dispenser(&req.sample_port).expect("scheduled");
+            let reagent = self.chip.dispenser(&req.reagent_port).expect("scheduled");
 
             // Chemistry: draw the patient's true concentration, run the
             // cascade for the actual reaction window, read absorbance.
@@ -234,7 +370,7 @@ impl Executor {
             let diluted = true_in_droplet * sample.droplet_volume_nl
                 / (sample.droplet_volume_nl + reagent.droplet_volume_nl);
             let kinetics = req.analyte.kinetics();
-            let state = kinetics.integrate(diluted, reaction_s, 0.05);
+            let state = kinetics.integrate(diluted, op.reaction_s, 0.05);
             let clean_absorbance =
                 absorbance_545nm(state.quinoneimine_mm, DROPLET_PATH_CM, QUINONEIMINE_EPSILON);
             let absorbance = self.photodiode.measure(clean_absorbance, rng);
@@ -248,7 +384,7 @@ impl Executor {
                 .iter()
                 .map(|c| c * dilution)
                 .collect();
-            let curve = CalibrationCurve::build(&kinetics, &standards, reaction_s);
+            let curve = CalibrationCurve::build(&kinetics, &standards, op.reaction_s);
             let measured = curve.concentration(absorbance) / dilution;
 
             outcomes.push(AssayOutcome {
@@ -256,8 +392,8 @@ impl Executor {
                 true_concentration_mm: true_in_droplet,
                 measured_concentration_mm: measured,
                 absorbance,
-                transport_moves: moves,
-                completion_time_s: completion,
+                transport_moves: op.transport_moves,
+                completion_time_s: op.completion_s,
             });
         }
         Ok(outcomes)

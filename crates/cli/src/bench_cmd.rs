@@ -38,6 +38,9 @@ pub struct BenchConfig {
     pub label: String,
     /// Redundancy scheme whose workloads to run.
     pub scheme: SchemeChoice,
+    /// When set, run the operational-yield assay suite on the IVD
+    /// case-study chip instead of the matching-only scheme suite.
+    pub assay: Option<AssayPanel>,
 }
 
 /// One benchmarked hex workload: `(design, primaries, trials)`.
@@ -115,6 +118,8 @@ fn entry(
             f64::INFINITY
         },
         yield_estimate,
+        assay: None,
+        operational_yield: None,
     }
 }
 
@@ -172,6 +177,10 @@ pub fn run(config: &BenchConfig) -> BenchReport {
         config.threads
     };
     let mut report = BenchReport::new(config.label.clone(), threads, config.quick);
+    if let Some(panel) = config.assay {
+        run_assay(&mut report, panel, config.quick, threads);
+        return report;
+    }
     match &config.scheme {
         SchemeChoice::HexDtmb => run_hex(&mut report, config.quick, threads),
         SchemeChoice::SquareDtmb { .. } => {
@@ -214,6 +223,56 @@ pub fn run(config: &BenchConfig) -> BenchReport {
         }
     }
     report
+}
+
+/// The assay suite: the operational-yield engine on the DTMB(2,6) IVD
+/// case-study chip — one single-point workload (the paper's p = 0.95
+/// anchor) and one three-tier sweep sharing each trial across a small
+/// grid. Entries carry the assay label and the operational-yield column;
+/// `yield_estimate` stays the reconfigured (second-tier) yield so the
+/// entries remain comparable with the matching-only suites.
+fn run_assay(report: &mut BenchReport, panel: AssayPanel, quick: bool, threads: usize) {
+    let trials: u32 = if quick { 300 } else { 2_000 };
+    let engine = OperationalYield::ivd(panel).with_threads(threads);
+    let primaries = engine.chip().array.primary_count();
+    let stem = panel.label();
+
+    let t0 = Instant::now();
+    let e = engine.estimate(BENCH_P, trials, BENCH_SEED);
+    let mut point = entry(
+        format!("{stem}/operational-point"),
+        "hex-dtmb",
+        "DTMB(2,6) IVD".to_string(),
+        primaries,
+        trials,
+        1,
+        t0.elapsed().as_secs_f64() * 1_000.0,
+        e.reconfigured.point(),
+    );
+    point.assay = Some(stem.to_string());
+    point.operational_yield = Some(e.operational.point());
+    report.push(point);
+
+    let grid = [0.90, 0.925, BENCH_P, 0.975, 1.00];
+    let t0 = Instant::now();
+    let rows = engine.sweep(&grid, trials, BENCH_SEED);
+    let at_bench_p = rows
+        .iter()
+        .find(|r| (r.p - BENCH_P).abs() < 1e-9)
+        .expect("the grid contains the bench anchor");
+    let mut sweep = entry(
+        format!("{stem}/operational-sweep"),
+        "hex-dtmb",
+        "DTMB(2,6) IVD".to_string(),
+        primaries,
+        trials,
+        grid.len(),
+        t0.elapsed().as_secs_f64() * 1_000.0,
+        at_bench_p.reconfigured.point(),
+    );
+    sweep.assay = Some(stem.to_string());
+    sweep.operational_yield = Some(at_bench_p.operational.point());
+    report.push(sweep);
 }
 
 /// The hexagonal suite keeps the historic three-engine comparison
@@ -284,6 +343,8 @@ pub fn render_table(report: &BenchReport) -> String {
         "wall_ms".into(),
         "point-trials/s".into(),
         "yield@0.95".into(),
+        "assay".into(),
+        "op-yield@0.95".into(),
     ]);
     for e in &report.entries {
         table.row(vec![
@@ -295,6 +356,9 @@ pub fn render_table(report: &BenchReport) -> String {
             format!("{:.1}", e.wall_ms),
             format!("{:.0}", e.trials_per_sec),
             format!("{:.4}", e.yield_estimate),
+            e.assay.clone().unwrap_or_else(|| "-".into()),
+            e.operational_yield
+                .map_or_else(|| "-".into(), |y| format!("{y:.4}")),
         ]);
     }
     table.render()

@@ -80,13 +80,18 @@ dmfb — yield enhancement for digital microfluidic biochips (DATE 2005)
 USAGE:
   dmfb yield  [--scheme SCHEME] --design <D> --primaries <N> --p <P> [--trials T] [--seed S]
               [--threads K]
+  dmfb yield  --scheme hex-dtmb --assay ivd-panel|metabolic-panel --p <P> [--trials T]
+              [--seed S] [--threads K]   (raw vs reconfigured vs operational yield)
   dmfb sweep  [--scheme SCHEME] --design <D> --primaries <N> [--from P] [--to P] [--steps K]
               [--effective] [--batched] [--trials T] [--seed S] [--threads K]
+  dmfb sweep  --scheme hex-dtmb --assay PANEL [--from P] [--to P] [--steps K] [--trials T]
+              [--seed S] [--threads K]   (three-tier CSV on the IVD case-study chip)
   dmfb faults (--casestudy | --design <D> --primaries <N>) [--max-m M] [--trials T]
   dmfb render --design <D> --primaries <N> [--inject P] [--seed S]
   dmfb assay  [--faults M] [--seed S]
   dmfb profile (--casestudy | --design <D> --primaries <N>) [--trials T]
-  dmfb bench  [--scheme SCHEME] [--quick] [--json] [--out DIR] [--label L] [--threads K]
+  dmfb bench  [--scheme SCHEME] [--assay PANEL] [--quick] [--json] [--out DIR] [--label L]
+              [--threads K]
               (fixed workload suite per scheme; scheme sub-parameters are rejected)
   dmfb help
 
@@ -97,6 +102,9 @@ SCHEMES: hex-dtmb (default) | square-dtmb | spare-rows
                        --width W --height H (default 16x16)
   --scheme spare-rows  boundary spare-row baseline (shifted replacement);
                        sub-parameters: --width W --module-rows R --spare-rows S
+ASSAYS (hex-dtmb only; fixes the chip to the DTMB(2,6) IVD case study):
+  --assay ivd-panel        four concurrent measurements (paper Figure 11)
+  --assay metabolic-panel  eight measurements across all four metabolites
 DESIGNS: none | dtmb16 | dtmb26 | dtmb26b | dtmb36 | dtmb44
 THREADS: --threads 0 (default) = one worker per available core";
 
@@ -216,6 +224,13 @@ impl Options {
         }
     }
 
+    fn assay(&self) -> Result<Option<AssayPanel>, String> {
+        match self.map.get("assay") {
+            None => Ok(None),
+            Some(v) => v.parse().map(Some),
+        }
+    }
+
     fn biochip(&self) -> Result<Biochip, String> {
         let n: usize = self.get("primaries", 100)?;
         // 0 = one worker per available core (the default).
@@ -262,11 +277,37 @@ fn reject_foreign_subparams(opts: &Options, choice: &SchemeChoice) -> Result<(),
     Ok(())
 }
 
+/// Validates an `--assay` request: hexagonal scheme only (the IVD
+/// case-study chip is a hex DTMB(2,6) array), and since the assay workload
+/// *fixes* the chip, every array-shaping sub-parameter is rejected rather
+/// than silently ignored — the same discipline as
+/// [`reject_foreign_subparams`].
+fn check_assay_subparams(opts: &Options, choice: &SchemeChoice) -> Result<(), String> {
+    if !matches!(choice, SchemeChoice::HexDtmb) {
+        return Err(
+            "--assay requires --scheme hex-dtmb (the IVD case-study chip is hexagonal)".into(),
+        );
+    }
+    for key in SCHEME_SUBPARAMS {
+        if opts.flag(key) {
+            return Err(format!(
+                "--{key} does not apply with --assay: the assay workload fixes the chip \
+                 to the DTMB(2,6) IVD case-study layout"
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Rejects a non-hex `--scheme` (and stray non-hex sub-parameters) on
 /// commands that only model hexagonal arrays (faults, render, assay,
 /// profile) — silently running hex under a square-dtmb/spare-rows label
-/// would misattribute the numbers.
+/// would misattribute the numbers. The same commands run fixed workloads
+/// that `--assay` does not parameterise, so it is rejected too.
 fn require_hex_scheme(opts: &Options) -> Result<(), String> {
+    if opts.flag("assay") {
+        return Err("--assay is supported by yield, sweep and bench only".into());
+    }
     if matches!(opts.scheme()?, SchemeChoice::HexDtmb) {
         reject_foreign_subparams(opts, &SchemeChoice::HexDtmb)
     } else {
@@ -337,6 +378,38 @@ fn cmd_yield(opts: &Options) -> Result<(), String> {
     let trials: u32 = opts.get("trials", 10_000)?;
     let seed: u64 = opts.get("seed", 1)?;
     let choice = opts.scheme()?;
+    if let Some(panel) = opts.assay()? {
+        check_assay_subparams(opts, &choice)?;
+        let engine = OperationalYield::ivd(panel).with_threads(opts.get("threads", 0)?);
+        let chip = engine.chip();
+        outln!(
+            "assay: {} ({} measurements) | chip: DTMB(2,6) IVD case study | \
+             {} primaries + {} spares | {} assay cells",
+            panel.label(),
+            panel.batch().requests.len(),
+            chip.array.primary_count(),
+            chip.array.spare_count(),
+            chip.assay_cells.len()
+        );
+        outln!(
+            "timing budget     : {:.1}s protocol makespan",
+            engine.budget().max_makespan_s
+        );
+        outln!("survival p        : {p:.4}");
+        let e = engine.estimate(p, trials, seed);
+        let line = |name: &str, est: &BernoulliEstimate| {
+            let (lo, hi) = est.wilson95();
+            outln!(
+                "{name}: {:.4}  (95% CI [{lo:.4}, {hi:.4}], {} trials)",
+                est.point(),
+                est.trials()
+            );
+        };
+        line("raw yield         ", &e.raw);
+        line("reconfigured yield", &e.reconfigured);
+        line("operational yield ", &e.operational);
+        return Ok(());
+    }
     reject_foreign_subparams(opts, &choice)?;
     if !matches!(choice, SchemeChoice::HexDtmb) {
         let est = generic_engine(&choice, opts.get("threads", 0)?)?;
@@ -391,6 +464,32 @@ fn cmd_sweep(opts: &Options) -> Result<(), String> {
         .map(|i| from + (to - from) * i as f64 / (steps - 1) as f64)
         .collect();
     let choice = opts.scheme()?;
+    if let Some(panel) = opts.assay()? {
+        check_assay_subparams(opts, &choice)?;
+        if effective {
+            return Err("--effective does not apply with --assay".into());
+        }
+        if opts.flag("batched") {
+            return Err(
+                "--batched does not apply with --assay: the operational sweep always \
+                 shares each trial's random chip across the whole grid"
+                    .into(),
+            );
+        }
+        let engine = OperationalYield::ivd(panel).with_threads(opts.get("threads", 0)?);
+        outln!("p,raw,reconfigured,operational,op_ci_lo,op_ci_hi");
+        for row in engine.sweep(&ps, trials, seed) {
+            let (lo, hi) = row.operational.wilson95();
+            outln!(
+                "{:.4},{:.4},{:.4},{:.4},{lo:.4},{hi:.4}",
+                row.p,
+                row.raw.point(),
+                row.reconfigured.point(),
+                row.operational.point()
+            );
+        }
+        return Ok(());
+    }
     reject_foreign_subparams(opts, &choice)?;
     if !matches!(choice, SchemeChoice::HexDtmb) {
         // Non-hex schemes always ride the generic fast engine; the
@@ -454,6 +553,12 @@ fn cmd_bench(opts: &Options) -> Result<(), String> {
             ));
         }
     }
+    let assay = opts.assay()?;
+    if assay.is_some() && !matches!(opts.scheme()?, SchemeChoice::HexDtmb) {
+        return Err(
+            "--assay requires --scheme hex-dtmb (the IVD case-study chip is hexagonal)".into(),
+        );
+    }
     let quick = opts.flag("quick");
     let config = bench_cmd::BenchConfig {
         quick,
@@ -462,6 +567,7 @@ fn cmd_bench(opts: &Options) -> Result<(), String> {
         out_dir: opts.get("out", ".".to_string())?,
         label: opts.get("label", if quick { "quick" } else { "full" }.to_string())?,
         scheme: opts.scheme()?,
+        assay,
     };
     let report = bench_cmd::run(&config);
     out!("{}", bench_cmd::render_table(&report));

@@ -343,3 +343,194 @@ fn bench_json_quick_writes_valid_report() {
     }
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn assay_yield_reports_three_tiers() {
+    let out = dmfb(&[
+        "yield",
+        "--scheme",
+        "hex-dtmb",
+        "--assay",
+        "ivd-panel",
+        "--p",
+        "0.95",
+        "--trials",
+        "200",
+        "--seed",
+        "3",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("raw yield"), "report missing:\n{text}");
+    assert!(
+        text.contains("reconfigured yield"),
+        "report missing:\n{text}"
+    );
+    assert!(
+        text.contains("operational yield"),
+        "report missing:\n{text}"
+    );
+    assert!(text.contains("ivd-panel"), "panel label missing:\n{text}");
+    // Parse the three points and check the tier ordering.
+    let point = |name: &str| -> f64 {
+        text.lines()
+            .find(|l| l.starts_with(name))
+            .unwrap_or_else(|| panic!("line '{name}' missing:\n{text}"))
+            .split(':')
+            .nth(1)
+            .unwrap()
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+    let raw = point("raw yield");
+    let rec = point("reconfigured yield");
+    let op = point("operational yield");
+    assert!(op <= rec, "operational {op} > reconfigured {rec}");
+    assert!(raw <= rec, "raw {raw} > reconfigured {rec}");
+    assert!(rec > raw, "three tiers should be distinct at p = 0.95");
+}
+
+#[test]
+fn assay_results_are_byte_identical_across_thread_counts() {
+    let run = |threads: &str| {
+        let out = dmfb(&[
+            "yield",
+            "--assay",
+            "metabolic-panel",
+            "--trials",
+            "150",
+            "--seed",
+            "11",
+            "--threads",
+            threads,
+        ]);
+        assert!(
+            out.status.success(),
+            "threads={threads} stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    let one = run("1");
+    assert_eq!(one, run("2"), "--threads 2 must match --threads 1");
+    assert_eq!(one, run("0"), "--threads 0 (auto) must match --threads 1");
+}
+
+#[test]
+fn assay_sweep_emits_three_tier_csv() {
+    let out = dmfb(&[
+        "sweep",
+        "--assay",
+        "ivd-panel",
+        "--from",
+        "0.92",
+        "--to",
+        "1.0",
+        "--steps",
+        "3",
+        "--trials",
+        "150",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    let mut lines = text.lines();
+    assert_eq!(
+        lines.next(),
+        Some("p,raw,reconfigured,operational,op_ci_lo,op_ci_hi")
+    );
+    let mut rows = 0;
+    for line in lines {
+        let cols: Vec<f64> = line.split(',').map(|c| c.parse().unwrap()).collect();
+        assert_eq!(cols.len(), 6, "bad row: {line}");
+        let (raw, rec, op) = (cols[1], cols[2], cols[3]);
+        assert!(op <= rec, "operational above reconfigured in: {line}");
+        assert!(raw <= rec, "raw above reconfigured in: {line}");
+        rows += 1;
+    }
+    assert_eq!(rows, 3);
+    // p = 1.0: all three tiers at 1.
+    assert!(text
+        .lines()
+        .last()
+        .unwrap()
+        .starts_with("1.0000,1.0000,1.0000,1.0000"));
+}
+
+#[test]
+fn assay_rejections_cover_every_command() {
+    // Non-hex schemes cannot carry the assay workload.
+    let out = dmfb(&["yield", "--scheme", "square-dtmb", "--assay", "ivd-panel"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("--assay requires --scheme hex-dtmb"));
+    // The assay chip is fixed: array-shaping sub-parameters are rejected.
+    let out = dmfb(&["yield", "--assay", "ivd-panel", "--primaries", "60"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("fixes the chip"));
+    // Commands without an assay mode say so instead of ignoring the flag.
+    for cmd in ["faults", "render", "assay", "profile"] {
+        let out = dmfb(&[cmd, "--assay", "ivd-panel"]);
+        assert!(!out.status.success(), "{cmd} must reject --assay");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(
+            err.contains("yield, sweep and bench"),
+            "{cmd} stderr:\n{err}"
+        );
+    }
+    // Sweep-only modifiers that conflict with the assay engine.
+    for flag in ["--batched", "--effective"] {
+        let out = dmfb(&["sweep", "--assay", "ivd-panel", flag]);
+        assert!(!out.status.success(), "{flag} must be rejected");
+    }
+    // Unknown panels list the valid choices.
+    let out = dmfb(&["yield", "--assay", "nope"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("ivd-panel") && err.contains("metabolic-panel"));
+}
+
+#[test]
+fn bench_assay_records_operational_columns() {
+    let dir = std::env::temp_dir().join(format!("dmfb-bench-assay-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dmfb(&[
+        "bench",
+        "--quick",
+        "--json",
+        "--assay",
+        "ivd-panel",
+        "--out",
+        dir.to_str().unwrap(),
+        "--label",
+        "assay-smoke",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        text.contains("ivd-panel/operational-point")
+            && text.contains("ivd-panel/operational-sweep"),
+        "workloads missing:\n{text}"
+    );
+    let json = std::fs::read_to_string(dir.join("BENCH_assay-smoke.json")).expect("report written");
+    assert!(json.contains("\"assay\":\"ivd-panel\""), "{json}");
+    assert!(json.contains("\"operational_yield\":0"), "{json}");
+    std::fs::remove_dir_all(&dir).ok();
+}

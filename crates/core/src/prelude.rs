@@ -27,11 +27,14 @@ pub use dmfb_sim::{auto_threads, parallel_map, BernoulliEstimate, MonteCarlo, Su
 
 pub use dmfb_yield::analytical::{dtmb16_yield, independent_repair_yield, no_redundancy_yield};
 pub use dmfb_yield::{
-    effective_yield, tolerance_profile, MonteCarloYield, SchemeYield, ToleranceProfile, YieldCurve,
-    YieldPoint,
+    effective_yield, tolerance_profile, AssayPanel, MonteCarloYield, OperationalEstimate,
+    OperationalYield, SchemeYield, ToleranceProfile, TrialVerdict, YieldCurve, YieldPoint,
 };
 
 pub use dmfb_bioassay::layout::{fabricated_ivd_chip, ivd_dtmb26_chip, used_cells_policy};
 pub use dmfb_bioassay::online::{OnlineExecutor, OperationalFault};
 pub use dmfb_bioassay::schedule::Executor;
-pub use dmfb_bioassay::{Analyte, ChipDescription, MultiplexedIvd};
+pub use dmfb_bioassay::{
+    Analyte, ChipDescription, FeasibilityChecker, Infeasibility, MultiplexedIvd, ProtocolSchedule,
+    TimingBudget,
+};

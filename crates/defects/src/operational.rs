@@ -12,6 +12,8 @@
 //! with actuation stress; the first arrival per cell is exponentially
 //! distributed with the cell's MTBF.
 
+use crate::fault::{CatastrophicDefect, DefectCause};
+use crate::map::DefectMap;
 use dmfb_grid::{HexCoord, Region};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -43,6 +45,19 @@ pub struct FailureEvent {
     pub at_hours: f64,
     /// The failing cell.
     pub cell: HexCoord,
+}
+
+impl FailureEvent {
+    /// The defect cause recorded when this in-service failure is folded
+    /// into a [`DefectMap`]: dielectric breakdown, the wear-out mechanism
+    /// of repeated actuation near the drive-voltage limit (the paper's
+    /// Section 2 operational-fault class). Breakdown is catastrophic, so
+    /// routed faults block droplet transport exactly like manufacturing
+    /// opens do.
+    #[must_use]
+    pub fn cause(&self) -> DefectCause {
+        DefectCause::Catastrophic(CatastrophicDefect::DielectricBreakdown)
+    }
 }
 
 impl MtbfModel {
@@ -111,6 +126,27 @@ impl MtbfModel {
         events.sort_by(|a, b| a.at_hours.total_cmp(&b.at_hours));
         events
     }
+
+    /// Samples the failures within `horizon_hours` and folds them into a
+    /// [`DefectMap`] with their operational fault class
+    /// ([`FailureEvent::cause`]) — the bridge that routes in-service wear
+    /// into the same reconfiguration/remapping pipeline as manufacturing
+    /// defects. The operational-yield engine merges this map on top of the
+    /// manufacturing fault draw to model a chip after `horizon_hours` in
+    /// the field.
+    #[must_use]
+    pub fn inject_service_faults(
+        &self,
+        region: &Region,
+        horizon_hours: f64,
+        rng: &mut impl Rng,
+    ) -> DefectMap {
+        let mut map = DefectMap::new();
+        for ev in self.sample_failures(region, horizon_hours, rng) {
+            map.mark(ev.cell, ev.cause());
+        }
+        map
+    }
 }
 
 #[cfg(test)]
@@ -161,6 +197,24 @@ mod tests {
         for e in &events {
             assert!(e.at_hours <= 50.0 && e.at_hours >= 0.0);
             assert!(region.contains(e.cell));
+        }
+    }
+
+    #[test]
+    fn service_faults_carry_the_operational_class() {
+        use crate::fault::FaultClass;
+        let model = MtbfModel::new(50.0, 1.0);
+        let region = Region::parallelogram(8, 8);
+        let mut rng = StdRng::seed_from_u64(3);
+        let map = model.inject_service_faults(&region, 100.0, &mut rng);
+        assert!(!map.is_fault_free());
+        for (cell, cause) in map.iter() {
+            assert!(region.contains(cell));
+            assert_eq!(cause.class(), FaultClass::Catastrophic);
+            assert_eq!(
+                *cause,
+                DefectCause::Catastrophic(CatastrophicDefect::DielectricBreakdown)
+            );
         }
     }
 

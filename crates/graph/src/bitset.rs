@@ -383,13 +383,44 @@ impl BitsetMatcher {
     /// [`BitsetGraph::hall_infeasible`] before searching, and stops
     /// augmenting as soon as the left side is saturated.
     pub fn covers_all_left(&mut self, graph: &BitsetGraph) -> bool {
-        if graph.left_count() == 0 {
-            return true;
-        }
-        if graph.hall_infeasible() {
-            return false;
+        if graph.left_count() == 0 || graph.hall_infeasible() {
+            // Early exits bypass `solve`; drop any pairs left over from a
+            // previous run so `left_pairs` never reports a stale matching.
+            self.pair_left.clear();
+            self.pair_right.clear();
+            return graph.left_count() == 0;
         }
         self.solve(graph, true) == graph.left_count()
+    }
+
+    /// The `(left, right)` pairs of the matching computed by the most
+    /// recent [`BitsetMatcher::covers_all_left`] or
+    /// [`BitsetMatcher::max_matching`] call, in ascending left order.
+    ///
+    /// This is how callers that need the *assignment* — not just the
+    /// yes/no cover verdict — read it back without paying for a fresh
+    /// [`Matching`] allocation: `covers_all_left` first, then iterate the
+    /// pairs. Empty when no solve has run (or the left side was empty).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dmfb_graph::{BitsetGraph, BitsetMatcher};
+    ///
+    /// let mut g = BitsetGraph::new(2, 2);
+    /// g.add_edge(0, 1);
+    /// g.add_edge(1, 0);
+    /// let mut matcher = BitsetMatcher::new();
+    /// assert!(matcher.covers_all_left(&g));
+    /// let pairs: Vec<_> = matcher.left_pairs().collect();
+    /// assert_eq!(pairs, vec![(0, 1), (1, 0)]);
+    /// ```
+    pub fn left_pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.pair_left
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b != UNMATCHED)
+            .map(|(a, &b)| (a, b as usize))
     }
 
     /// Computes a maximum matching, reusing this matcher's buffers.

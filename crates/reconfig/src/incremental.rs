@@ -30,7 +30,7 @@
 //! scheme alike.
 
 use crate::array::DefectTolerantArray;
-use crate::local::ReconfigPolicy;
+use crate::local::{ReconfigPlan, ReconfigPolicy};
 use crate::scheme::{RedundancyScheme, SchemeStructure};
 use dmfb_defects::DefectMap;
 use dmfb_graph::{BitsetGraph, BitsetMatcher};
@@ -113,6 +113,9 @@ pub struct TrialScratch {
     col_of_res: Vec<u32>,
     col_gen: Vec<u32>,
     generation: u32,
+    /// Inverse of `col_of_res` for the current trial: the resource index
+    /// behind each compacted column (needed to read assignments back).
+    res_of_col: Vec<u32>,
     graph: BitsetGraph,
     matcher: BitsetMatcher,
 }
@@ -141,6 +144,38 @@ impl TrialEvaluator<HexCoord> {
             }
         }
         TrialEvaluator::from_structure(&s)
+    }
+
+    /// Evaluates `defects` and, when the chip is tolerable, returns the
+    /// concrete [`ReconfigPlan`] behind the verdict — the per-trial
+    /// assignment consumers like the operational-yield engine need to
+    /// remap chip resources onto spares. Distribution-identical to
+    /// [`crate::local::attempt_reconfiguration`] succeeding (both read a
+    /// maximum matching of the same bipartite model), but runs through the
+    /// evaluator's reusable buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the evaluator was built from a structure with multi-cell
+    /// units or resources (hex evaluators from [`TrialEvaluator::new`] and
+    /// DTMB [`RedundancyScheme`]s are always cell-level).
+    pub fn reconfigure(
+        &self,
+        defects: &DefectMap,
+        scratch: &mut TrialScratch,
+    ) -> Option<ReconfigPlan> {
+        let pairs = self.evaluate_defects_assignment(defects, scratch)?;
+        Some(ReconfigPlan::from_assignments(pairs.into_iter().map(
+            |(u, r)| {
+                let unit = self.unit_members(u);
+                let res = self.res_members(r);
+                assert!(
+                    unit.len() == 1 && res.len() == 1,
+                    "reconfigure requires a cell-level scheme structure"
+                );
+                (self.cells[unit[0] as usize], self.cells[res[0] as usize])
+            },
+        )))
     }
 }
 
@@ -255,6 +290,7 @@ impl<C: Copy + Ord> TrialEvaluator<C> {
             col_of_res: vec![0; self.resource_count()],
             col_gen: vec![0; self.resource_count()],
             generation: 0,
+            res_of_col: Vec::with_capacity(self.resource_count()),
             graph: BitsetGraph::new(0, 0),
             matcher: BitsetMatcher::new(),
         }
@@ -313,6 +349,7 @@ impl<C: Copy + Ord> TrialEvaluator<C> {
     fn solve(&self, scratch: &mut TrialScratch) -> bool {
         scratch.rows.clear();
         scratch.edges.clear();
+        scratch.res_of_col.clear();
         scratch.generation = scratch.generation.wrapping_add(1);
         if scratch.generation == 0 {
             // u32 wrap-around: stamps from 2^32 solves ago would alias the
@@ -337,6 +374,7 @@ impl<C: Copy + Ord> TrialEvaluator<C> {
                 } else {
                     scratch.col_gen[r as usize] = generation;
                     scratch.col_of_res[r as usize] = cols;
+                    scratch.res_of_col.push(r);
                     cols += 1;
                     cols - 1
                 };
@@ -440,6 +478,68 @@ impl<C: Copy + Ord> TrialEvaluator<C> {
         sorted.sort_unstable();
         self.stage_cell_faults(scratch, |c| sorted.binary_search(&c).is_ok());
         self.solve(scratch)
+    }
+
+    /// Like [`TrialEvaluator::evaluate_defects`], but on success returns
+    /// the **assignment** the matcher found: one `(unit, resource)` index
+    /// pair per faulty unit, in ascending unit order. `None` means the
+    /// fault set is not tolerable. Map the indices back to lattice cells
+    /// with [`TrialEvaluator::unit_coords`] /
+    /// [`TrialEvaluator::resource_coords`], or — for hexagonal cell-level
+    /// evaluators — use [`TrialEvaluator::reconfigure`] to get a
+    /// [`ReconfigPlan`] directly.
+    pub fn evaluate_defects_assignment(
+        &self,
+        defects: &DefectMap<C>,
+        scratch: &mut TrialScratch,
+    ) -> Option<Vec<(usize, usize)>> {
+        self.stage_cell_faults(scratch, |c| defects.is_faulty(c));
+        self.solve_assignment(scratch)
+    }
+
+    /// Assignment-returning variant of
+    /// [`TrialEvaluator::evaluate_faulty_cells`].
+    pub fn evaluate_faulty_cells_assignment(
+        &self,
+        faulty: &[C],
+        scratch: &mut TrialScratch,
+    ) -> Option<Vec<(usize, usize)>> {
+        let mut sorted: Vec<C> = faulty.to_vec();
+        sorted.sort_unstable();
+        self.stage_cell_faults(scratch, |c| sorted.binary_search(&c).is_ok());
+        self.solve_assignment(scratch)
+    }
+
+    /// Runs the matcher on the staged fault flags and reads the assignment
+    /// back through the trial's row/column compaction tables.
+    fn solve_assignment(&self, scratch: &mut TrialScratch) -> Option<Vec<(usize, usize)>> {
+        if !self.solve(scratch) {
+            return None;
+        }
+        if scratch.rows.is_empty() {
+            // Fault-free (or out-of-scope) trial: `solve` succeeded without
+            // consulting the matcher, whose pairs may be stale.
+            return Some(Vec::new());
+        }
+        let mut pairs: Vec<(usize, usize)> = scratch
+            .matcher
+            .left_pairs()
+            .map(|(row, col)| (scratch.rows[row] as usize, scratch.res_of_col[col] as usize))
+            .collect();
+        pairs.sort_unstable();
+        Some(pairs)
+    }
+
+    /// The lattice cells making up unit `i` (one cell for interstitial
+    /// schemes; a whole module row for the spare-row baseline).
+    pub fn unit_coords(&self, i: usize) -> impl Iterator<Item = C> + '_ {
+        self.unit_members(i).iter().map(|&c| self.cells[c as usize])
+    }
+
+    /// The lattice cells making up resource `j` (empty for indestructible
+    /// resources such as legacy spare rows).
+    pub fn resource_coords(&self, j: usize) -> impl Iterator<Item = C> + '_ {
+        self.res_members(j).iter().map(|&c| self.cells[c as usize])
     }
 
     /// Stages per-unit/per-resource fault flags from a per-cell fault
@@ -586,6 +686,92 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn reconfigure_returns_valid_plans() {
+        use rand::seq::SliceRandom;
+        let array = DtmbKind::Dtmb26A.with_primary_count(80);
+        let eval = TrialEvaluator::new(&array, &ReconfigPolicy::AllPrimaries);
+        let mut scratch = eval.scratch();
+        let cells: Vec<HexCoord> = array.region().iter().collect();
+        let mut rng = StdRng::seed_from_u64(0xA55A);
+        for faults in [0usize, 1, 4, 12, 30] {
+            for _ in 0..15 {
+                let mut pick = cells.clone();
+                pick.shuffle(&mut rng);
+                let defects = DefectMap::from_cells(pick.into_iter().take(faults));
+                let plan = eval.reconfigure(&defects, &mut scratch);
+                assert_eq!(
+                    plan.is_some(),
+                    local::is_reconfigurable(&array, &defects, &ReconfigPolicy::AllPrimaries),
+                    "verdict must match the reference engine"
+                );
+                let Some(plan) = plan else { continue };
+                // Every faulty primary is assigned; assignments are local,
+                // land on live spares, and use each spare once.
+                let faulty: Vec<HexCoord> = defects
+                    .faulty_cells()
+                    .filter(|c| array.is_primary(*c))
+                    .collect();
+                assert_eq!(plan.len(), faulty.len());
+                let mut used: Vec<HexCoord> = Vec::new();
+                for (cell, spare) in plan.iter() {
+                    assert!(faulty.contains(&cell));
+                    assert!(cell.is_adjacent(spare), "{cell} -> {spare} not local");
+                    assert!(array.is_spare(spare));
+                    assert!(!defects.is_faulty(spare), "dead spare used");
+                    used.push(spare);
+                }
+                used.sort();
+                used.dedup();
+                assert_eq!(used.len(), plan.len(), "spares must be distinct");
+            }
+        }
+    }
+
+    #[test]
+    fn assignment_indices_map_back_to_cells() {
+        let (array, eval) = evaluator(DtmbKind::Dtmb44, 40);
+        let mut scratch = eval.scratch();
+        let faulty: Vec<HexCoord> = array.primaries().take(3).collect();
+        let pairs = eval
+            .evaluate_faulty_cells_assignment(&faulty, &mut scratch)
+            .expect("three scattered faults are tolerable on DTMB(4,4)");
+        assert_eq!(pairs.len(), 3);
+        for (u, r) in pairs {
+            let unit: Vec<HexCoord> = eval.unit_coords(u).collect();
+            let res: Vec<HexCoord> = eval.resource_coords(r).collect();
+            assert_eq!(unit.len(), 1);
+            assert_eq!(res.len(), 1);
+            assert!(faulty.contains(&unit[0]));
+            assert!(unit[0].is_adjacent(res[0]));
+        }
+        // Fault-free: an empty assignment, not a stale one.
+        assert_eq!(
+            eval.evaluate_defects_assignment(&DefectMap::new(), &mut scratch),
+            Some(Vec::new())
+        );
+    }
+
+    #[test]
+    fn spare_row_assignments_use_indestructible_resources() {
+        use crate::shifted::SpareRowArray;
+        use dmfb_grid::SquareCoord;
+        let array = SpareRowArray::figure2_example();
+        let eval = TrialEvaluator::for_scheme(&array.region(), &array);
+        let mut scratch = eval.scratch();
+        let pairs = eval
+            .evaluate_faulty_cells_assignment(&[SquareCoord::new(3, 4)], &mut scratch)
+            .expect("one faulty row fits the spare row");
+        assert_eq!(pairs.len(), 1);
+        let (u, r) = pairs[0];
+        assert_eq!(eval.unit_coords(u).count(), array.width() as usize);
+        assert_eq!(
+            eval.resource_coords(r).count(),
+            0,
+            "spare rows are indestructible"
+        );
     }
 
     #[test]

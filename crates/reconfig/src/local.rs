@@ -51,6 +51,22 @@ pub struct ReconfigPlan {
 }
 
 impl ReconfigPlan {
+    /// Builds a plan from explicit `(faulty_primary, replacing_spare)`
+    /// pairs, sorted by faulty cell for deterministic iteration order.
+    ///
+    /// This is the constructor used by engines that compute the matching
+    /// elsewhere (e.g. [`crate::TrialEvaluator::reconfigure`], whose
+    /// bitset matcher works on compiled unit/resource indices) and only
+    /// need to surface the assignment as a plan. The caller is
+    /// responsible for the pairs actually being a valid matching —
+    /// distinct spares, each adjacent to its faulty cell.
+    #[must_use]
+    pub fn from_assignments<I: IntoIterator<Item = (HexCoord, HexCoord)>>(pairs: I) -> Self {
+        let mut assignments: Vec<(HexCoord, HexCoord)> = pairs.into_iter().collect();
+        assignments.sort_unstable();
+        ReconfigPlan { assignments }
+    }
+
     /// Number of replacements performed.
     #[must_use]
     pub fn len(&self) -> usize {

@@ -15,6 +15,11 @@
 //! * [`scheme_yield`] — [`SchemeYield`]: the same fast Monte-Carlo engine
 //!   generic over the redundancy scheme (hex DTMB, square DTMB,
 //!   spare-row), so the paper's cross-scheme comparisons are one sweep.
+//! * [`operational`] — [`OperationalYield`]: the Section 7 case study's
+//!   third tier. Per trial, the defect map and the reconfiguration
+//!   assignment are pushed through the bioassay router/scheduler to ask
+//!   whether the *reconfigured* chip still runs the multiplexed IVD panel
+//!   in budget — raw, reconfigured and operational yield side by side.
 //! * [`sweep`] — parameter sweeps producing the curves behind each figure.
 //!
 //! # Example
@@ -29,17 +34,19 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod analytical;
 pub mod effective;
 pub mod monte_carlo;
+pub mod operational;
 pub mod profile;
 pub mod scheme_yield;
 pub mod sweep;
 
 pub use effective::effective_yield;
 pub use monte_carlo::{MonteCarloYield, YieldPoint};
+pub use operational::{AssayPanel, OperationalEstimate, OperationalYield, TrialVerdict};
 pub use profile::{tolerance_profile, ToleranceProfile};
 pub use scheme_yield::SchemeYield;
 pub use sweep::YieldCurve;

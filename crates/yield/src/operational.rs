@@ -1,0 +1,511 @@
+//! Operational (assay-aware) yield: the paper's three-tier story.
+//!
+//! The manufacturing-yield machinery in this crate answers "*can the chip
+//! be reconfigured?*". The paper's case study (Section 7) asks one
+//! question more: after reconfiguration, does the chip still **run the
+//! multiplexed in-vitro-diagnostics bioassay** — every dispenser, mixer
+//! and detector remapped onto a live cell, every droplet route intact
+//! around the faults, the whole protocol finishing within its timing
+//! budget? A chip can be matching-feasible and operationally dead.
+//!
+//! [`OperationalYield`] reports all three tiers side by side, per
+//! Monte-Carlo trial on the same random chip:
+//!
+//! 1. **raw** — no in-scope (assay) cell is faulty at all: the
+//!    no-reconfiguration baseline;
+//! 2. **reconfigured** — every faulty assay cell gets a distinct adjacent
+//!    live spare (bipartite matching, via
+//!    [`TrialEvaluator::reconfigure`]);
+//! 3. **operational** — the reconfigured chip's remapped resources still
+//!    schedule the assay panel within budget
+//!    ([`FeasibilityChecker`]).
+//!
+//! Per trial, operational ⟹ reconfigured ⟸ raw, so the estimates always
+//! satisfy `operational ≤ reconfigured` and `raw ≤ reconfigured` — the
+//! ordering the property tests pin down. Estimates ride the deterministic
+//! parallel tally engine of `dmfb-sim`: results depend only on
+//! `(trials, seed)`, never on thread count, and sweeps share each trial's
+//! random chip across the whole survival grid (common random numbers).
+//!
+//! # Example
+//!
+//! ```
+//! use dmfb_yield::operational::{AssayPanel, OperationalYield};
+//!
+//! let engine = OperationalYield::ivd(AssayPanel::StandardIvd);
+//! let e = engine.estimate(0.95, 60, 7);
+//! assert!(e.operational.point() <= e.reconfigured.point());
+//! assert!(e.raw.point() <= e.reconfigured.point());
+//! ```
+
+use crate::monte_carlo::YieldPoint;
+use dmfb_bioassay::feasibility::{FeasibilityChecker, TimingBudget};
+use dmfb_bioassay::layout::{ivd_dtmb26_chip, used_cells_policy};
+use dmfb_bioassay::{ChipDescription, MultiplexedIvd};
+use dmfb_defects::operational::MtbfModel;
+use dmfb_defects::DefectMap;
+use dmfb_grid::HexCoord;
+use dmfb_reconfig::{ReconfigPolicy, TrialEvaluator, TrialScratch};
+use dmfb_sim::{BernoulliEstimate, MonteCarlo};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::BTreeSet;
+
+/// Which assay workload the operational check runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AssayPanel {
+    /// The paper's Figure 11 configuration: two samples × two reagents,
+    /// four concurrent measurements ([`MultiplexedIvd::standard_panel`]).
+    StandardIvd,
+    /// The extended eight-measurement panel covering all four metabolites
+    /// ([`MultiplexedIvd::full_metabolic_panel`]).
+    FullMetabolic,
+}
+
+impl AssayPanel {
+    /// Both panels, in CLI listing order.
+    pub const ALL: [AssayPanel; 2] = [AssayPanel::StandardIvd, AssayPanel::FullMetabolic];
+
+    /// The CLI tag for this panel (`--assay <label>`).
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            AssayPanel::StandardIvd => "ivd-panel",
+            AssayPanel::FullMetabolic => "metabolic-panel",
+        }
+    }
+
+    /// Builds the panel's request batch.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dmfb_yield::operational::AssayPanel;
+    ///
+    /// assert_eq!(AssayPanel::StandardIvd.batch().requests.len(), 4);
+    /// assert_eq!(AssayPanel::FullMetabolic.batch().requests.len(), 8);
+    /// ```
+    #[must_use]
+    pub fn batch(&self) -> MultiplexedIvd {
+        match self {
+            AssayPanel::StandardIvd => MultiplexedIvd::standard_panel(),
+            AssayPanel::FullMetabolic => MultiplexedIvd::full_metabolic_panel(),
+        }
+    }
+}
+
+impl std::fmt::Display for AssayPanel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for AssayPanel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        AssayPanel::ALL
+            .into_iter()
+            .find(|p| p.label() == s)
+            .ok_or_else(|| format!("unknown assay '{s}' (valid: ivd-panel, metabolic-panel)"))
+    }
+}
+
+/// Default timing slack for the relative budget: the reconfigured chip may
+/// spend up to 50% more protocol time than the fault-free chip before it
+/// counts as operationally dead.
+pub const DEFAULT_SLACK: f64 = 1.5;
+
+/// In-service wear configuration: an MTBF model plus the service horizon
+/// after which the chip is evaluated.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct Wear {
+    model: MtbfModel,
+    horizon_hours: f64,
+}
+
+/// The three-tier verdict for one explicit chip instance.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TrialVerdict {
+    /// No in-scope (assay) cell is faulty: good without reconfiguration.
+    pub raw: bool,
+    /// Necessary condition for reconfigurability: every faulty in-scope
+    /// cell has at least one live adjacent spare (the singleton Hall
+    /// bound). `reconfigured` implies this.
+    pub survivor_bound: bool,
+    /// A full primary→spare matching covers the faulty in-scope cells.
+    pub reconfigured: bool,
+    /// The reconfigured chip still schedules the assay panel in budget.
+    pub operational: bool,
+}
+
+/// One `(p, raw, reconfigured, operational)` estimate row.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OperationalEstimate {
+    /// The cell-survival probability evaluated.
+    pub p: f64,
+    /// Tier 1: yield without any reconfiguration.
+    pub raw: BernoulliEstimate,
+    /// Tier 2: yield with local reconfiguration (matching feasibility).
+    pub reconfigured: BernoulliEstimate,
+    /// Tier 3: yield with reconfiguration *and* assay-level feasibility.
+    pub operational: BernoulliEstimate,
+}
+
+impl OperationalEstimate {
+    /// The operational tier as a plottable [`YieldPoint`].
+    #[must_use]
+    pub fn operational_point(&self) -> YieldPoint {
+        YieldPoint::from_estimate(self.p, &self.operational)
+    }
+}
+
+/// Monte-Carlo estimator of raw, reconfigured and operational yield on one
+/// chip description — the engine behind `dmfb yield --assay`.
+///
+/// # Example
+///
+/// ```
+/// use dmfb_yield::operational::{AssayPanel, OperationalYield};
+/// use dmfb_defects::DefectMap;
+///
+/// let engine = OperationalYield::ivd(AssayPanel::StandardIvd);
+/// // A fault-free chip passes all three tiers.
+/// let v = engine.evaluate_map(&DefectMap::new());
+/// assert!(v.raw && v.reconfigured && v.operational);
+/// ```
+#[derive(Clone, Debug)]
+pub struct OperationalYield {
+    checker: FeasibilityChecker,
+    evaluator: TrialEvaluator<HexCoord>,
+    /// The in-scope cells whose faults matter (the assay cells).
+    scope: BTreeSet<HexCoord>,
+    /// All array cells in deterministic order — the fault-draw index space
+    /// (faults *outside* the scope still block droplet routes).
+    cells: Vec<HexCoord>,
+    /// Whether the fault-free chip meets the budget (the shortcut verdict
+    /// for fault-free trials).
+    clean_feasible: bool,
+    wear: Option<Wear>,
+    threads: usize,
+}
+
+impl OperationalYield {
+    /// The paper's case study: the DTMB(2,6) in-vitro-diagnostics chip
+    /// (252 primaries + 91 spares, 108 assay cells) running `panel` under
+    /// the used-cells policy and the [`DEFAULT_SLACK`] relative budget.
+    #[must_use]
+    pub fn ivd(panel: AssayPanel) -> Self {
+        let chip = ivd_dtmb26_chip();
+        let batch = panel.batch();
+        let budget = TimingBudget::with_slack(&chip, &batch, DEFAULT_SLACK)
+            .expect("the case-study chip runs its own panels");
+        OperationalYield::new(chip, batch, budget)
+    }
+
+    /// Builds an engine for an arbitrary chip description and batch. The
+    /// reconfiguration scope is the chip's `assay_cells` (the used-cells
+    /// policy of the paper's case study).
+    #[must_use]
+    pub fn new(chip: ChipDescription, batch: MultiplexedIvd, budget: TimingBudget) -> Self {
+        let policy: ReconfigPolicy = used_cells_policy(&chip);
+        let evaluator = TrialEvaluator::new(&chip.array, &policy);
+        let scope: BTreeSet<HexCoord> = chip.assay_cells.iter().collect();
+        let cells: Vec<HexCoord> = chip.array.region().iter().collect();
+        let checker = FeasibilityChecker::new(chip, batch, budget);
+        let clean_feasible = checker.is_feasible(&DefectMap::new(), None);
+        OperationalYield {
+            checker,
+            evaluator,
+            scope,
+            cells,
+            clean_feasible,
+            wear: None,
+            threads: 1,
+        }
+    }
+
+    /// Distributes trials across `threads` worker threads (`0` = one
+    /// worker per available core). Results are identical regardless of
+    /// thread count.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Adds in-service wear on top of the manufacturing fault draw: each
+    /// trial also samples `model`'s dielectric-breakdown failures over
+    /// `horizon_hours` of operation and folds them into the chip's defect
+    /// map — the chip is evaluated *as fielded*, not as fabricated.
+    #[must_use]
+    pub fn with_wear(mut self, model: MtbfModel, horizon_hours: f64) -> Self {
+        self.wear = Some(Wear {
+            model,
+            horizon_hours,
+        });
+        self
+    }
+
+    /// The chip under evaluation.
+    #[must_use]
+    pub fn chip(&self) -> &ChipDescription {
+        self.checker.chip()
+    }
+
+    /// The timing budget the operational tier enforces.
+    #[must_use]
+    pub fn budget(&self) -> TimingBudget {
+        self.checker.budget()
+    }
+
+    /// Evaluates one explicit chip instance through all three tiers (plus
+    /// the survivor bound the property tests sandwich `reconfigured`
+    /// against). Allocates its own scratch; the Monte-Carlo paths reuse
+    /// per-worker scratches instead.
+    #[must_use]
+    pub fn evaluate_map(&self, defects: &DefectMap) -> TrialVerdict {
+        let mut scratch = self.evaluator.scratch();
+        self.verdict(defects, &mut scratch)
+    }
+
+    /// The three-tier verdict for `defects`, using caller-owned scratch.
+    fn verdict(&self, defects: &DefectMap, scratch: &mut TrialScratch) -> TrialVerdict {
+        let array = &self.checker.chip().array;
+        let mut raw = true;
+        let mut survivor_bound = true;
+        for cell in defects.faulty_cells() {
+            if !self.scope.contains(&cell) {
+                continue;
+            }
+            raw = false;
+            if !array.adjacent_spares(cell).any(|s| !defects.is_faulty(s)) {
+                survivor_bound = false;
+                break;
+            }
+        }
+        let plan = if survivor_bound {
+            self.evaluator.reconfigure(defects, scratch)
+        } else {
+            // A faulty cell with no live spare can never be matched.
+            None
+        };
+        let reconfigured = plan.is_some();
+        let operational = match &plan {
+            None => false,
+            Some(_) if defects.is_fault_free() => self.clean_feasible,
+            Some(plan) => self.checker.is_feasible(defects, Some(plan)),
+        };
+        TrialVerdict {
+            raw,
+            survivor_bound,
+            reconfigured,
+            operational,
+        }
+    }
+
+    /// One trial against an ascending survival grid: a single uniform per
+    /// cell is shared across every `p` (common random numbers), then each
+    /// grid point's chip instance runs through the three tiers. Slots
+    /// `3j..3j+3` of `out` receive `(raw, reconfigured, operational)` for
+    /// `ps[j]`.
+    fn trial_grid(&self, ps: &[f64], rng: &mut StdRng, state: &mut TrialState, out: &mut [bool]) {
+        for u in state.uniforms.iter_mut() {
+            *u = rng.gen();
+        }
+        let wear_map = self.wear.as_ref().map(|w| {
+            w.model
+                .inject_service_faults(self.checker.chip().array.region(), w.horizon_hours, rng)
+        });
+        for (j, &p) in ps.iter().enumerate() {
+            let mut defects = DefectMap::from_cells(
+                self.cells
+                    .iter()
+                    .zip(&state.uniforms)
+                    .filter(|(_, &u)| u >= p)
+                    .map(|(&c, _)| c),
+            );
+            if let Some(wear) = &wear_map {
+                defects = defects.merged(wear);
+            }
+            let v = self.verdict(&defects, &mut state.scratch);
+            out[3 * j] = v.raw;
+            out[3 * j + 1] = v.reconfigured;
+            out[3 * j + 2] = v.operational;
+        }
+    }
+
+    /// Estimates all three tiers at survival probability `p`. Thread-count
+    /// invariant; depends only on `(trials, seed)`.
+    #[must_use]
+    pub fn estimate(&self, p: f64, trials: u32, seed: u64) -> OperationalEstimate {
+        self.sweep(&[p], trials, seed)
+            .pop()
+            .expect("one grid point in, one estimate out")
+    }
+
+    /// Sweeps an **ascending** survival grid in one batched Monte-Carlo
+    /// pass: each trial draws one random chip and reports all three tiers
+    /// at every `p` (common random numbers across the grid). Results are
+    /// byte-identical for any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ps` is not sorted ascending.
+    #[must_use]
+    pub fn sweep(&self, ps: &[f64], trials: u32, seed: u64) -> Vec<OperationalEstimate> {
+        assert!(
+            ps.windows(2).all(|w| w[0] <= w[1]),
+            "survival grid must be ascending"
+        );
+        let estimates = MonteCarlo::new(trials, seed).tally_parallel(
+            self.threads,
+            3 * ps.len(),
+            || TrialState {
+                uniforms: vec![0.0; self.cells.len()],
+                scratch: self.evaluator.scratch(),
+            },
+            |rng, state, out| self.trial_grid(ps, rng, state, out),
+        );
+        ps.iter()
+            .enumerate()
+            .map(|(j, &p)| OperationalEstimate {
+                p,
+                raw: estimates[3 * j],
+                reconfigured: estimates[3 * j + 1],
+                operational: estimates[3 * j + 2],
+            })
+            .collect()
+    }
+}
+
+/// Per-worker trial buffers: the per-cell uniform draw plus the matcher
+/// scratch.
+struct TrialState {
+    uniforms: Vec<f64>,
+    scratch: TrialScratch,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> OperationalYield {
+        OperationalYield::ivd(AssayPanel::StandardIvd)
+    }
+
+    #[test]
+    fn panel_metadata_round_trips() {
+        for p in AssayPanel::ALL {
+            assert_eq!(p.label().parse::<AssayPanel>().unwrap(), p);
+            assert_eq!(p.to_string(), p.label());
+            assert!(!p.batch().requests.is_empty());
+        }
+        assert!("nope".parse::<AssayPanel>().is_err());
+    }
+
+    #[test]
+    fn extremes() {
+        let eng = engine();
+        let perfect = eng.estimate(1.0, 100, 1);
+        assert_eq!(perfect.raw.point(), 1.0);
+        assert_eq!(perfect.reconfigured.point(), 1.0);
+        assert_eq!(perfect.operational.point(), 1.0);
+        let dead = eng.estimate(0.0, 50, 1);
+        assert_eq!(dead.raw.point(), 0.0);
+        assert_eq!(dead.reconfigured.point(), 0.0);
+        assert_eq!(dead.operational.point(), 0.0);
+    }
+
+    #[test]
+    fn tier_ordering_holds_at_moderate_survival() {
+        let eng = engine();
+        let e = eng.estimate(0.95, 400, 9);
+        assert!(e.operational.successes() <= e.reconfigured.successes());
+        assert!(e.raw.successes() <= e.reconfigured.successes());
+        // The paper's story: reconfiguration rescues far more chips than
+        // survive raw at p = 0.95 (raw ≈ 0.95^108 ≈ 0.004).
+        assert!(e.reconfigured.point() > e.raw.point() + 0.3);
+    }
+
+    #[test]
+    fn estimates_are_thread_invariant() {
+        let eng = engine();
+        let seq = eng.estimate(0.96, 300, 21);
+        for threads in [0, 2, 5] {
+            let par = eng.clone().with_threads(threads).estimate(0.96, 300, 21);
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sweep_shares_trials_and_is_monotone_per_tier() {
+        let eng = engine();
+        let ps = [0.93, 0.97, 1.0];
+        let rows = eng.sweep(&ps, 300, 5);
+        assert_eq!(rows.len(), 3);
+        for w in rows.windows(2) {
+            // Common random numbers: each tier's fault sets shrink as p
+            // grows, and raw/reconfigured are monotone in the fault set.
+            assert!(w[1].raw.successes() >= w[0].raw.successes());
+            assert!(w[1].reconfigured.successes() >= w[0].reconfigured.successes());
+        }
+        for r in &rows {
+            assert!(r.operational.successes() <= r.reconfigured.successes());
+        }
+        assert_eq!(rows.last().unwrap().operational.point(), 1.0);
+        // Single-point estimate is the sweep's column.
+        let single = eng.estimate(0.93, 300, 5);
+        assert_eq!(single, rows[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn sweep_rejects_unsorted_grids() {
+        let _ = engine().sweep(&[0.9, 0.5], 10, 1);
+    }
+
+    #[test]
+    fn wear_only_reduces_yield() {
+        let eng = engine();
+        let base = eng.estimate(0.97, 200, 13);
+        let worn = eng
+            .clone()
+            .with_wear(MtbfModel::new(2_000.0, 1.0), 1_000.0)
+            .estimate(0.97, 200, 13);
+        assert!(worn.operational.successes() <= base.operational.successes());
+        assert!(worn.reconfigured.successes() <= base.reconfigured.successes());
+        assert!(worn.raw.successes() <= base.raw.successes());
+    }
+
+    #[test]
+    fn verdict_on_explicit_single_fault() {
+        let eng = engine();
+        let mixer_cell = eng.chip().mixers[0].rendezvous();
+        let v = eng.evaluate_map(&DefectMap::from_cells([mixer_cell]));
+        assert!(!v.raw, "an assay-cell fault kills the raw tier");
+        assert!(v.survivor_bound && v.reconfigured);
+        assert!(v.operational, "one fault reconfigures and still schedules");
+    }
+
+    #[test]
+    fn operational_point_conversion() {
+        let e = engine().estimate(1.0, 10, 1);
+        let pt = e.operational_point();
+        assert_eq!(pt.x, 1.0);
+        assert_eq!(pt.y, 1.0);
+        assert_eq!(pt.trials, 10);
+    }
+
+    #[test]
+    fn wear_trial_rng_keeps_grid_deterministic() {
+        // The wear draw happens once per trial, after the uniforms; the
+        // sweep must stay identical to single-point estimates per column.
+        let eng = engine().with_wear(MtbfModel::new(5_000.0, 1.0), 500.0);
+        let ps = [0.94, 0.99];
+        let rows = eng.sweep(&ps, 150, 3);
+        for (j, &p) in ps.iter().enumerate() {
+            assert_eq!(rows[j], eng.estimate(p, 150, 3), "p={p}");
+        }
+    }
+}

@@ -87,6 +87,32 @@ impl<C: Copy + Ord + Send + Sync> SchemeYield<C> {
         &self.evaluator
     }
 
+    /// Evaluates one explicit fault set and, when it is tolerable, returns
+    /// the **assignment** behind the verdict — one `(unit, resource)`
+    /// index pair per faulty unit — instead of a bare bool. `None` means
+    /// the chip cannot be reconfigured. Map indices to lattice cells with
+    /// [`TrialEvaluator::unit_coords`] / [`TrialEvaluator::resource_coords`].
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use dmfb_grid::{SquareCoord, SquareRegion};
+    /// use dmfb_reconfig::SquarePattern;
+    /// use dmfb_yield::SchemeYield;
+    ///
+    /// let est = SchemeYield::from_scheme(&SquareRegion::rect(8, 8), &SquarePattern::Checkerboard);
+    /// let pairs = est
+    ///     .assignment(&[SquareCoord::new(1, 0)])
+    ///     .expect("one fault on a checkerboard is tolerable");
+    /// assert_eq!(pairs.len(), 1);
+    /// ```
+    #[must_use]
+    pub fn assignment(&self, faulty: &[C]) -> Option<Vec<(usize, usize)>> {
+        let mut scratch = self.evaluator.scratch();
+        self.evaluator
+            .evaluate_faulty_cells_assignment(faulty, &mut scratch)
+    }
+
     /// Estimates yield when every relevant cell survives independently
     /// with probability `p`, via the incremental engine: one uniform per
     /// cell, reusable bitset-matching buffers, no per-trial allocation.
@@ -264,6 +290,30 @@ mod tests {
             (got - expected).abs() < 0.02,
             "mc {got} vs closed {expected}"
         );
+    }
+
+    #[test]
+    fn assignment_exposes_the_matching_behind_the_verdict() {
+        use dmfb_grid::SquareCoord;
+        let est = spare_rows();
+        // One faulty cell faults its whole module row; the assignment maps
+        // that row onto one of the two indestructible spare rows.
+        let pairs = est.assignment(&[SquareCoord::new(2, 1)]).unwrap();
+        assert_eq!(pairs.len(), 1);
+        let (unit, resource) = pairs[0];
+        let row: Vec<SquareCoord> = est.evaluator().unit_coords(unit).collect();
+        assert!(row.contains(&SquareCoord::new(2, 1)));
+        assert_eq!(est.evaluator().resource_coords(resource).count(), 0);
+        // Exceeding the spare rows: no assignment exists.
+        assert!(est
+            .assignment(&[
+                SquareCoord::new(0, 0),
+                SquareCoord::new(0, 1),
+                SquareCoord::new(0, 2),
+            ])
+            .is_none());
+        // Fault-free: an empty assignment, not a stale one.
+        assert_eq!(est.assignment(&[]), Some(Vec::new()));
     }
 
     #[test]

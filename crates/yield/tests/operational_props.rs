@@ -1,0 +1,96 @@
+//! Property-based tests for the operational-yield engine: the three-tier
+//! ordering on random defect maps, and thread-count determinism.
+
+use dmfb_defects::DefectMap;
+use dmfb_grid::HexCoord;
+use dmfb_yield::operational::{AssayPanel, OperationalYield};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One shared engine: construction walks the 343-cell case-study chip, so
+/// building it per proptest case would dominate the suite.
+fn engine() -> &'static OperationalYield {
+    static ENGINE: OnceLock<OperationalYield> = OnceLock::new();
+    ENGINE.get_or_init(|| OperationalYield::ivd(AssayPanel::StandardIvd))
+}
+
+fn chip_cells() -> &'static [HexCoord] {
+    static CELLS: OnceLock<Vec<HexCoord>> = OnceLock::new();
+    CELLS.get_or_init(|| engine().chip().array.region().iter().collect())
+}
+
+/// A random fault set over the whole case-study array (primaries, spares
+/// and unused cells alike), biased across the interesting size range.
+fn arb_fault_set() -> impl Strategy<Value = Vec<HexCoord>> {
+    let n = chip_cells().len();
+    prop::collection::vec(0..n, 0..60)
+        .prop_map(|idx| idx.into_iter().map(|i| chip_cells()[i]).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Per chip instance the tiers are nested: an operational chip is
+    /// reconfigurable, a reconfigurable chip satisfies the raw-survivor
+    /// bound (every faulty assay cell keeps a live adjacent spare), and a
+    /// raw-good chip is trivially reconfigurable. Over any trial set this
+    /// forces operational yield ≤ reconfigured yield ≤ the raw-survivor
+    /// bound, with raw yield below reconfigured as well.
+    #[test]
+    fn tiers_are_nested_on_random_defect_maps(faults in arb_fault_set()) {
+        let v = engine().evaluate_map(&DefectMap::from_cells(faults));
+        prop_assert!(!v.operational || v.reconfigured, "operational ⇒ reconfigured");
+        prop_assert!(!v.reconfigured || v.survivor_bound, "reconfigured ⇒ survivor bound");
+        prop_assert!(!v.raw || v.reconfigured, "raw ⇒ reconfigured");
+    }
+}
+
+proptest! {
+    // Monte-Carlo cases are expensive (hundreds of matching + routing
+    // trials each); a handful still covers the seed/grid space.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Estimates are reproducible in `(trials, seed)` and identical for
+    /// any thread count, and the estimate-level ordering holds.
+    #[test]
+    fn estimates_thread_invariant_and_ordered(seed in 0u64..1000, p in 0.9f64..1.0) {
+        let eng = engine();
+        let one = eng.clone().with_threads(1).estimate(p, 120, seed);
+        for threads in [0usize, 2, 3] {
+            let other = eng.clone().with_threads(threads).estimate(p, 120, seed);
+            prop_assert_eq!(other, one, "threads={}", threads);
+        }
+        prop_assert!(one.operational.successes() <= one.reconfigured.successes());
+        prop_assert!(one.raw.successes() <= one.reconfigured.successes());
+    }
+}
+
+#[test]
+fn survivor_bound_upper_bounds_reconfigured_yield_on_a_sweep() {
+    // Count the bound explicitly over a fixed trial set: the estimate-level
+    // sandwich the proptest establishes per trial, demonstrated end to end.
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let eng = engine();
+    let cells = chip_cells();
+    let mut rng = StdRng::seed_from_u64(99);
+    let trials = 150;
+    let p = 0.94;
+    let (mut raw, mut bound, mut rec, mut op) = (0u32, 0u32, 0u32, 0u32);
+    for _ in 0..trials {
+        let faults: Vec<HexCoord> = cells
+            .iter()
+            .filter(|_| rng.gen::<f64>() >= p)
+            .copied()
+            .collect();
+        let v = eng.evaluate_map(&DefectMap::from_cells(faults));
+        raw += u32::from(v.raw);
+        bound += u32::from(v.survivor_bound);
+        rec += u32::from(v.reconfigured);
+        op += u32::from(v.operational);
+    }
+    assert!(op <= rec, "operational {op} > reconfigured {rec}");
+    assert!(rec <= bound, "reconfigured {rec} > survivor bound {bound}");
+    assert!(raw <= rec, "raw {raw} > reconfigured {rec}");
+    assert!(rec > raw, "at p=0.94 reconfiguration must rescue chips");
+}
