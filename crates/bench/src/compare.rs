@@ -1,0 +1,338 @@
+//! Perf-trajectory comparison: diff two `dmfb-bench/1` reports and gate
+//! on throughput regressions.
+//!
+//! This is the logic behind `dmfb bench --compare <baseline.json>` and the
+//! CI `perf-gate` job: the repo commits baseline `BENCH_*.json` files
+//! under `benchmarks/`, every CI run re-measures the same workloads, and
+//! this module decides whether any workload's throughput regressed by more
+//! than the threshold (25% by default).
+//!
+//! **Hardware normalisation.** Raw trials-per-second numbers are not
+//! comparable across machines (a laptop baseline vs a CI runner differs by
+//! a constant factor), so the gate normalises: it computes the *median*
+//! current/baseline throughput ratio across all matched workloads — the
+//! machine-speed factor — and flags only workloads that fall more than the
+//! threshold below that factor. A uniform slowdown of every workload
+//! (different hardware) passes; a single workload losing ground against
+//! the rest of the suite (a real hot-path regression) fails. The
+//! un-normalised ratios are still reported for eyeballing.
+//!
+//! # Example
+//!
+//! ```
+//! use dmfb_bench::{compare, BenchEntry, BenchReport};
+//!
+//! let entry = |name: &str, tps: f64| BenchEntry {
+//!     name: name.into(),
+//!     scheme: "hex-dtmb".into(),
+//!     design: "DTMB(2,6)".into(),
+//!     primaries: 120,
+//!     trials: 2_000,
+//!     grid_points: 1,
+//!     wall_ms: 1.0,
+//!     trials_per_sec: tps,
+//!     yield_estimate: 0.9,
+//!     assay: None,
+//!     operational_yield: None,
+//!     estimator: None,
+//!     defect_model: None,
+//!     variance: None,
+//!     effective_samples: None,
+//! };
+//! let mut baseline = BenchReport::new("base", 1, true);
+//! baseline.push(entry("a", 1_000.0));
+//! baseline.push(entry("b", 1_000.0));
+//! let mut current = BenchReport::new("now", 1, true);
+//! current.push(entry("a", 500.0)); // half speed vs...
+//! current.push(entry("b", 510.0)); // ...the same factor suite-wide
+//! let outcome = compare(&baseline, &current, 0.25);
+//! // A uniform slowdown is hardware, not a regression.
+//! assert!(!outcome.has_regression());
+//! ```
+
+use crate::report::{BenchEntry, BenchReport};
+use crate::TextTable;
+
+/// Default regression threshold: a workload fails the gate when its
+/// normalised throughput drops by more than this fraction.
+pub const DEFAULT_REGRESSION_THRESHOLD: f64 = 0.25;
+
+/// One matched workload's throughput delta.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EntryDelta {
+    /// Workload name (`BenchEntry::name`).
+    pub name: String,
+    /// Scheme family, part of the match key.
+    pub scheme: String,
+    /// Baseline trials-per-second.
+    pub baseline_tps: f64,
+    /// Current trials-per-second.
+    pub current_tps: f64,
+    /// Raw `current / baseline` throughput ratio.
+    pub ratio: f64,
+    /// `ratio / machine_factor`: 1.0 means "kept pace with the suite",
+    /// below `1 − threshold` means regression.
+    pub normalized_ratio: f64,
+    /// Whether this workload fails the gate.
+    pub regressed: bool,
+}
+
+/// The outcome of comparing a current report against a baseline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompareOutcome {
+    /// Per-workload deltas for every `(name, scheme)` pair present in
+    /// both reports (with finite, positive throughput on both sides).
+    pub deltas: Vec<EntryDelta>,
+    /// Median current/baseline ratio over the matched workloads — the
+    /// machine-speed factor the gate normalises by. `1.0` when nothing
+    /// matched.
+    pub machine_factor: f64,
+    /// Regression threshold the gate applied.
+    pub threshold: f64,
+    /// Baseline workloads missing from the current run. The gate treats
+    /// these as failures: a silently vanished workload would otherwise
+    /// un-gate itself.
+    pub missing_in_current: Vec<String>,
+    /// Current workloads with no baseline (new benchmarks; informational).
+    pub new_in_current: Vec<String>,
+}
+
+impl CompareOutcome {
+    /// Whether any workload regressed or any baseline workload vanished.
+    #[must_use]
+    pub fn has_regression(&self) -> bool {
+        !self.missing_in_current.is_empty() || self.deltas.iter().any(|d| d.regressed)
+    }
+
+    /// The workloads that failed the gate.
+    #[must_use]
+    pub fn regressions(&self) -> Vec<&EntryDelta> {
+        self.deltas.iter().filter(|d| d.regressed).collect()
+    }
+
+    /// Renders the comparison as an aligned text table plus a verdict
+    /// line.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut table = TextTable::new(vec![
+            "workload".into(),
+            "scheme".into(),
+            "baseline t/s".into(),
+            "current t/s".into(),
+            "ratio".into(),
+            "vs-suite".into(),
+            "verdict".into(),
+        ]);
+        for d in &self.deltas {
+            table.row(vec![
+                d.name.clone(),
+                d.scheme.clone(),
+                format!("{:.0}", d.baseline_tps),
+                format!("{:.0}", d.current_tps),
+                format!("{:.2}x", d.ratio),
+                format!("{:.2}x", d.normalized_ratio),
+                if d.regressed { "REGRESSED" } else { "ok" }.into(),
+            ]);
+        }
+        let mut out = table.render();
+        for name in &self.missing_in_current {
+            out.push_str(&format!(
+                "MISSING: baseline workload '{name}' not in current run\n"
+            ));
+        }
+        for name in &self.new_in_current {
+            out.push_str(&format!("new workload (no baseline): '{name}'\n"));
+        }
+        out.push_str(&format!(
+            "machine factor {:.2}x, threshold {:.0}%: {}\n",
+            self.machine_factor,
+            self.threshold * 100.0,
+            if self.has_regression() {
+                "PERF GATE FAILED"
+            } else {
+                "perf gate passed"
+            }
+        ));
+        out
+    }
+}
+
+/// Match key for a workload across reports.
+fn key(e: &BenchEntry) -> (String, String) {
+    (e.name.clone(), e.scheme.clone())
+}
+
+/// Diffs `current` against `baseline` and applies the normalised
+/// regression gate at `threshold` (e.g. `0.25` for 25%). Workloads whose
+/// throughput is non-finite or non-positive on either side are excluded
+/// from both the deltas and the machine factor.
+#[must_use]
+pub fn compare(baseline: &BenchReport, current: &BenchReport, threshold: f64) -> CompareOutcome {
+    assert!(
+        (0.0..1.0).contains(&threshold),
+        "threshold must be in [0, 1), got {threshold}"
+    );
+    let mut deltas = Vec::new();
+    let mut missing = Vec::new();
+    for b in &baseline.entries {
+        let Some(c) = current.entries.iter().find(|c| key(c) == key(b)) else {
+            missing.push(format!("{}/{}", b.scheme, b.name));
+            continue;
+        };
+        let usable = |x: f64| x.is_finite() && x > 0.0;
+        if !usable(b.trials_per_sec) || !usable(c.trials_per_sec) {
+            continue;
+        }
+        deltas.push(EntryDelta {
+            name: b.name.clone(),
+            scheme: b.scheme.clone(),
+            baseline_tps: b.trials_per_sec,
+            current_tps: c.trials_per_sec,
+            ratio: c.trials_per_sec / b.trials_per_sec,
+            normalized_ratio: 0.0, // filled below
+            regressed: false,      // filled below
+        });
+    }
+    let mut ratios: Vec<f64> = deltas.iter().map(|d| d.ratio).collect();
+    ratios.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let machine_factor = if ratios.is_empty() {
+        1.0
+    } else if ratios.len() % 2 == 1 {
+        ratios[ratios.len() / 2]
+    } else {
+        (ratios[ratios.len() / 2 - 1] + ratios[ratios.len() / 2]) / 2.0
+    };
+    for d in &mut deltas {
+        d.normalized_ratio = d.ratio / machine_factor;
+        d.regressed = d.normalized_ratio < 1.0 - threshold;
+    }
+    let new_in_current = current
+        .entries
+        .iter()
+        .filter(|c| !baseline.entries.iter().any(|b| key(b) == key(c)))
+        .map(|c| format!("{}/{}", c.scheme, c.name))
+        .collect();
+    CompareOutcome {
+        deltas,
+        machine_factor,
+        threshold,
+        missing_in_current: missing,
+        new_in_current,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(name: &str, scheme: &str, tps: f64) -> BenchEntry {
+        BenchEntry {
+            name: name.into(),
+            scheme: scheme.into(),
+            design: "D".into(),
+            primaries: 100,
+            trials: 1_000,
+            grid_points: 1,
+            wall_ms: 1.0,
+            trials_per_sec: tps,
+            yield_estimate: 0.9,
+            assay: None,
+            operational_yield: None,
+            estimator: None,
+            defect_model: None,
+            variance: None,
+            effective_samples: None,
+        }
+    }
+
+    fn report(entries: Vec<BenchEntry>) -> BenchReport {
+        let mut r = BenchReport::new("t", 1, true);
+        for e in entries {
+            r.push(e);
+        }
+        r
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let b = report(vec![entry("a", "s", 100.0), entry("b", "s", 200.0)]);
+        let out = compare(&b, &b.clone(), 0.25);
+        assert!(!out.has_regression());
+        assert_eq!(out.machine_factor, 1.0);
+        assert!(out.regressions().is_empty());
+        assert!(out.render().contains("perf gate passed"));
+    }
+
+    #[test]
+    fn single_workload_regression_is_flagged() {
+        let base = report(vec![
+            entry("a", "s", 1_000.0),
+            entry("b", "s", 1_000.0),
+            entry("c", "s", 1_000.0),
+        ]);
+        let cur = report(vec![
+            entry("a", "s", 1_000.0),
+            entry("b", "s", 1_000.0),
+            entry("c", "s", 500.0), // lost half vs a steady suite
+        ]);
+        let out = compare(&base, &cur, 0.25);
+        assert!(out.has_regression());
+        let regs = out.regressions();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].name, "c");
+        assert!(out.render().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn uniform_hardware_slowdown_passes() {
+        let base = report(vec![entry("a", "s", 1_000.0), entry("b", "s", 2_000.0)]);
+        let cur = report(vec![entry("a", "s", 250.0), entry("b", "s", 500.0)]);
+        let out = compare(&base, &cur, 0.25);
+        assert!((out.machine_factor - 0.25).abs() < 1e-12);
+        assert!(!out.has_regression(), "4x slower hardware is not a bug");
+    }
+
+    #[test]
+    fn missing_baseline_workload_fails_the_gate() {
+        let base = report(vec![entry("a", "s", 100.0), entry("b", "s", 100.0)]);
+        let cur = report(vec![entry("a", "s", 100.0)]);
+        let out = compare(&base, &cur, 0.25);
+        assert!(out.has_regression());
+        assert_eq!(out.missing_in_current, vec!["s/b".to_string()]);
+    }
+
+    #[test]
+    fn new_workloads_are_informational() {
+        let base = report(vec![entry("a", "s", 100.0)]);
+        let cur = report(vec![entry("a", "s", 100.0), entry("z", "s", 50.0)]);
+        let out = compare(&base, &cur, 0.25);
+        assert!(!out.has_regression());
+        assert_eq!(out.new_in_current, vec!["s/z".to_string()]);
+    }
+
+    #[test]
+    fn schemes_disambiguate_equal_names() {
+        let base = report(vec![entry("a", "s1", 100.0), entry("a", "s2", 100.0)]);
+        let cur = report(vec![entry("a", "s1", 100.0), entry("a", "s2", 40.0)]);
+        let out = compare(&base, &cur, 0.25);
+        let regs = out.regressions();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].scheme, "s2");
+    }
+
+    #[test]
+    fn non_finite_throughputs_are_skipped() {
+        let base = report(vec![entry("a", "s", f64::INFINITY), entry("b", "s", 10.0)]);
+        let cur = report(vec![entry("a", "s", 1.0), entry("b", "s", 10.0)]);
+        let out = compare(&base, &cur, 0.25);
+        assert_eq!(out.deltas.len(), 1);
+        assert!(!out.has_regression());
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn rejects_silly_thresholds() {
+        let r = report(vec![]);
+        let _ = compare(&r, &r.clone(), 1.5);
+    }
+}

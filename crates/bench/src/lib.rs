@@ -8,8 +8,10 @@
 //! rendering, and the machine-readable [`BenchReport`] JSON format
 //! (`BENCH_*.json`) that `dmfb bench --json` emits and CI archives.
 
+mod compare;
 mod report;
 
+pub use compare::{compare, CompareOutcome, EntryDelta, DEFAULT_REGRESSION_THRESHOLD};
 pub use report::{BenchEntry, BenchReport, BENCH_SCHEMA};
 
 use std::fmt::Write as _;

@@ -25,16 +25,32 @@
 //!       "trials_per_sec": 160000.0,
 //!       "yield_estimate": 0.9435,
 //!       "assay": null,
-//!       "operational_yield": null
+//!       "operational_yield": null,
+//!       "estimator": "naive",
+//!       "defect_model": "bernoulli",
+//!       "variance": null,
+//!       "effective_samples": null
 //!     }
 //!   ]
 //! }
 //! ```
 //!
-//! Assay-aware (operational-yield) workloads fill the last two columns:
+//! Assay-aware (operational-yield) workloads fill the assay columns:
 //! `"assay"` carries the panel label (`"ivd-panel"`/`"metabolic-panel"`)
 //! and `"operational_yield"` the third-tier yield, with `yield_estimate`
 //! holding the reconfigured (second-tier) yield for comparability.
+//!
+//! **Schema evolution (PR 5).** `dmfb-bench/1` gained four *optional*
+//! columns — `estimator` (`"naive"`/`"stratified"`), `defect_model`
+//! (`"bernoulli"`/`"clustered"`), `variance` (the estimator's variance
+//! estimate) and `effective_samples` (the naive-trial-equivalent sample
+//! count of a stratified run). The schema identifier is unchanged because
+//! the bump is backward-readable both ways: old readers ignore the new
+//! keys, and [`BenchReport::from_json`] defaults every one of them to
+//! `None`/`null` when absent, so pre-bump `BENCH_*.json` artifacts keep
+//! parsing. Since this PR the reports are no longer write-only: the
+//! hand-rolled [`BenchReport::from_json`] reader feeds the
+//! `dmfb bench --compare` regression gate.
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -79,6 +95,21 @@ pub struct BenchEntry {
     /// `null`) otherwise. By construction
     /// `operational_yield <= yield_estimate` on assay entries.
     pub operational_yield: Option<f64>,
+    /// Which yield estimator ran the workload (`"naive"` or
+    /// `"stratified"`); `None` on pre-bump reports.
+    pub estimator: Option<String>,
+    /// Which defect model drove the workload (`"bernoulli"` or
+    /// `"clustered"`); `None` on pre-bump reports.
+    pub defect_model: Option<String>,
+    /// Variance estimate attached to `yield_estimate` (stratified
+    /// workloads report the stratified variance, naive rare-event
+    /// workloads the binomial `ŷ(1−ŷ)/n`); `None` when not recorded.
+    pub variance: Option<f64>,
+    /// Naive-trial-equivalent sample count: how many plain Monte-Carlo
+    /// trials the workload's precision would have cost. For naive
+    /// workloads this equals `trials`; for stratified ones the ratio
+    /// `effective_samples / trials` is the rare-event speed-up.
+    pub effective_samples: Option<f64>,
 }
 
 impl BenchEntry {
@@ -109,6 +140,22 @@ impl BenchEntry {
             Some(y) => write!(out, ",\"operational_yield\":{}", json_number(y)),
             None => write!(out, ",\"operational_yield\":null"),
         };
+        let _ = match &self.estimator {
+            Some(e) => write!(out, ",\"estimator\":{}", json_string(e)),
+            None => write!(out, ",\"estimator\":null"),
+        };
+        let _ = match &self.defect_model {
+            Some(m) => write!(out, ",\"defect_model\":{}", json_string(m)),
+            None => write!(out, ",\"defect_model\":null"),
+        };
+        let _ = match self.variance {
+            Some(v) => write!(out, ",\"variance\":{}", json_number(v)),
+            None => write!(out, ",\"variance\":null"),
+        };
+        let _ = match self.effective_samples {
+            Some(v) => write!(out, ",\"effective_samples\":{}", json_number(v)),
+            None => write!(out, ",\"effective_samples\":null"),
+        };
         out.push('}');
     }
 }
@@ -133,10 +180,17 @@ impl BenchEntry {
 ///     yield_estimate: 0.94,
 ///     assay: None,
 ///     operational_yield: None,
+///     estimator: Some("naive".into()),
+///     defect_model: Some("bernoulli".into()),
+///     variance: None,
+///     effective_samples: None,
 /// });
 /// let json = report.to_json();
 /// assert!(json.contains("\"schema\":\"dmfb-bench/1\""));
 /// assert_eq!(report.file_name(), "BENCH_quick.json");
+/// // Reports round-trip through the hand-rolled reader.
+/// let back = BenchReport::from_json(&json).unwrap();
+/// assert_eq!(back, report);
 /// ```
 #[derive(Clone, Debug, PartialEq)]
 pub struct BenchReport {
@@ -227,6 +281,299 @@ impl BenchReport {
         json.push('\n');
         std::fs::write(&path, json)?;
         Ok(path)
+    }
+
+    /// Parses a `dmfb-bench/1` report back from its JSON serialisation —
+    /// the reader behind `dmfb bench --compare`. Tolerant by design:
+    /// unknown keys are skipped and every post-bump optional column
+    /// (`estimator`, `defect_model`, `variance`, `effective_samples`,
+    /// `assay`, `operational_yield`) defaults to `None` when absent, so
+    /// pre-bump artifacts stay readable.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax error, a wrong or
+    /// missing `schema` identifier, or a missing required field.
+    pub fn from_json(json: &str) -> Result<BenchReport, String> {
+        let value = JsonValue::parse(json)?;
+        let top = value.as_object("top-level report")?;
+        let schema = get(top, "schema")?.as_str("schema")?;
+        if schema != BENCH_SCHEMA {
+            return Err(format!(
+                "unsupported schema '{schema}' (expected '{BENCH_SCHEMA}')"
+            ));
+        }
+        let mut entries = Vec::new();
+        for (i, e) in get(top, "entries")?.as_array("entries")?.iter().enumerate() {
+            let obj = e.as_object(&format!("entries[{i}]"))?;
+            entries.push(BenchEntry {
+                name: get(obj, "name")?.as_str("name")?.to_string(),
+                scheme: get(obj, "scheme")?.as_str("scheme")?.to_string(),
+                design: get(obj, "design")?.as_str("design")?.to_string(),
+                primaries: get(obj, "primaries")?.as_f64("primaries")? as usize,
+                trials: get(obj, "trials")?.as_f64("trials")? as u64,
+                grid_points: get(obj, "grid_points")?.as_f64("grid_points")? as usize,
+                wall_ms: get(obj, "wall_ms")?.as_f64("wall_ms")?,
+                trials_per_sec: get(obj, "trials_per_sec")?.as_f64("trials_per_sec")?,
+                yield_estimate: opt_f64(obj, "yield_estimate")?.unwrap_or(f64::NAN),
+                assay: opt_string(obj, "assay")?,
+                operational_yield: opt_f64(obj, "operational_yield")?,
+                estimator: opt_string(obj, "estimator")?,
+                defect_model: opt_string(obj, "defect_model")?,
+                variance: opt_f64(obj, "variance")?,
+                effective_samples: opt_f64(obj, "effective_samples")?,
+            });
+        }
+        Ok(BenchReport {
+            label: get(top, "label")?.as_str("label")?.to_string(),
+            created_unix_ms: get(top, "created_unix_ms")?.as_f64("created_unix_ms")? as u64,
+            threads: get(top, "threads")?.as_f64("threads")? as usize,
+            quick: get(top, "quick")?.as_bool("quick")?,
+            entries,
+        })
+    }
+}
+
+/// Looks up a required key on a parsed JSON object.
+fn get<'a>(obj: &'a [(String, JsonValue)], key: &str) -> Result<&'a JsonValue, String> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field '{key}'"))
+}
+
+/// Optional string column: absent or `null` → `None`.
+fn opt_string(obj: &[(String, JsonValue)], key: &str) -> Result<Option<String>, String> {
+    match obj.iter().find(|(k, _)| k == key) {
+        None => Ok(None),
+        Some((_, JsonValue::Null)) => Ok(None),
+        Some((_, v)) => Ok(Some(v.as_str(key)?.to_string())),
+    }
+}
+
+/// Optional numeric column: absent or `null` → `None`.
+fn opt_f64(obj: &[(String, JsonValue)], key: &str) -> Result<Option<f64>, String> {
+    match obj.iter().find(|(k, _)| k == key) {
+        None => Ok(None),
+        Some((_, JsonValue::Null)) => Ok(None),
+        Some((_, v)) => Ok(Some(v.as_f64(key)?)),
+    }
+}
+
+/// A minimal JSON value tree — just enough to read the fixed
+/// `dmfb-bench/1` document shape (the environment vendors no JSON
+/// library, matching the hand-rolled writer above).
+#[derive(Clone, Debug, PartialEq)]
+enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`; exact for the magnitudes the
+    /// schema carries).
+    Number(f64),
+    /// A string with escapes decoded.
+    String(String),
+    /// An array of values.
+    Array(Vec<JsonValue>),
+    /// An object as an ordered key/value list (duplicate keys keep the
+    /// first occurrence via [`get`]).
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    fn parse(text: &str) -> Result<JsonValue, String> {
+        let b = text.as_bytes();
+        let mut i = 0usize;
+        let v = JsonValue::value(b, &mut i)?;
+        skip_ws(b, &mut i);
+        if i == b.len() {
+            Ok(v)
+        } else {
+            Err(format!("trailing garbage at byte {i}"))
+        }
+    }
+
+    fn as_object(&self, what: &str) -> Result<&[(String, JsonValue)], String> {
+        match self {
+            JsonValue::Object(o) => Ok(o),
+            _ => Err(format!("{what} must be an object")),
+        }
+    }
+
+    fn as_array(&self, what: &str) -> Result<&[JsonValue], String> {
+        match self {
+            JsonValue::Array(a) => Ok(a),
+            _ => Err(format!("{what} must be an array")),
+        }
+    }
+
+    fn as_str(&self, what: &str) -> Result<&str, String> {
+        match self {
+            JsonValue::String(s) => Ok(s),
+            _ => Err(format!("{what} must be a string")),
+        }
+    }
+
+    fn as_f64(&self, what: &str) -> Result<f64, String> {
+        match self {
+            JsonValue::Number(x) => Ok(*x),
+            _ => Err(format!("{what} must be a number")),
+        }
+    }
+
+    fn as_bool(&self, what: &str) -> Result<bool, String> {
+        match self {
+            JsonValue::Bool(x) => Ok(*x),
+            _ => Err(format!("{what} must be a boolean")),
+        }
+    }
+
+    fn value(b: &[u8], i: &mut usize) -> Result<JsonValue, String> {
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b'{') => {
+                *i += 1;
+                let mut fields = Vec::new();
+                skip_ws(b, i);
+                if b.get(*i) == Some(&b'}') {
+                    *i += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                loop {
+                    skip_ws(b, i);
+                    let key = parse_string(b, i)?;
+                    skip_ws(b, i);
+                    if b.get(*i) != Some(&b':') {
+                        return Err(format!("expected ':' at byte {i}"));
+                    }
+                    *i += 1;
+                    fields.push((key, JsonValue::value(b, i)?));
+                    skip_ws(b, i);
+                    match b.get(*i) {
+                        Some(b',') => *i += 1,
+                        Some(b'}') => {
+                            *i += 1;
+                            return Ok(JsonValue::Object(fields));
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at byte {i}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *i += 1;
+                let mut items = Vec::new();
+                skip_ws(b, i);
+                if b.get(*i) == Some(&b']') {
+                    *i += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                loop {
+                    items.push(JsonValue::value(b, i)?);
+                    skip_ws(b, i);
+                    match b.get(*i) {
+                        Some(b',') => *i += 1,
+                        Some(b']') => {
+                            *i += 1;
+                            return Ok(JsonValue::Array(items));
+                        }
+                        _ => return Err(format!("expected ',' or ']' at byte {i}")),
+                    }
+                }
+            }
+            Some(b'"') => Ok(JsonValue::String(parse_string(b, i)?)),
+            Some(b't') => parse_literal(b, i, "true").map(|()| JsonValue::Bool(true)),
+            Some(b'f') => parse_literal(b, i, "false").map(|()| JsonValue::Bool(false)),
+            Some(b'n') => parse_literal(b, i, "null").map(|()| JsonValue::Null),
+            Some(_) => {
+                let start = *i;
+                while let Some(&c) = b.get(*i) {
+                    if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                        *i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = std::str::from_utf8(&b[start..*i])
+                    .map_err(|_| format!("invalid bytes at {start}"))?;
+                text.parse::<f64>()
+                    .map(JsonValue::Number)
+                    .map_err(|_| format!("bad number '{text}' at byte {start}"))
+            }
+            None => Err("unexpected end of input".into()),
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && (b[*i] as char).is_ascii_whitespace() {
+        *i += 1;
+    }
+}
+
+fn parse_literal(b: &[u8], i: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*i..].starts_with(lit.as_bytes()) {
+        *i += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {i}"))
+    }
+}
+
+fn parse_string(b: &[u8], i: &mut usize) -> Result<String, String> {
+    if b.get(*i) != Some(&b'"') {
+        return Err(format!("expected string at byte {i}"));
+    }
+    *i += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*i) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *i += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *i += 1;
+                match b.get(*i) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*i + 1..*i + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {i}"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape at byte {i}"))?;
+                        // Surrogates degrade to the replacement character —
+                        // the schema never emits them.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *i += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {i}")),
+                }
+                *i += 1;
+            }
+            Some(&c) if c < 0x20 => return Err(format!("raw control char at byte {i}")),
+            Some(_) => {
+                // Copy the full UTF-8 code point.
+                let start = *i;
+                *i += 1;
+                while *i < b.len() && (b[*i] & 0b1100_0000) == 0b1000_0000 {
+                    *i += 1;
+                }
+                out.push_str(
+                    std::str::from_utf8(&b[start..*i])
+                        .map_err(|_| format!("invalid UTF-8 at byte {start}"))?,
+                );
+            }
+        }
     }
 }
 
@@ -400,6 +747,10 @@ mod tests {
             yield_estimate: 0.9435,
             assay: None,
             operational_yield: None,
+            estimator: Some("naive".into()),
+            defect_model: Some("bernoulli".into()),
+            variance: None,
+            effective_samples: None,
         }
     }
 
@@ -453,6 +804,62 @@ mod tests {
         assert!(validate_json("[1 2]").is_err());
         assert!(validate_json("{} trailing").is_err());
         assert!(validate_json("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let mut r = BenchReport::new("roundtrip", 8, true);
+        r.push(sample_entry());
+        r.push(BenchEntry {
+            name: "dtmb26/rare-stratified".into(),
+            estimator: Some("stratified".into()),
+            defect_model: Some("bernoulli".into()),
+            variance: Some(3.1e-9),
+            effective_samples: Some(48_000.0),
+            assay: Some("ivd-panel".into()),
+            operational_yield: Some(0.88),
+            ..sample_entry()
+        });
+        r.push(BenchEntry {
+            name: "weird \"label\"\n\\ ünïcode".into(),
+            ..sample_entry()
+        });
+        let back = BenchReport::from_json(&r.to_json()).expect("round trip");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn reader_accepts_pre_bump_reports() {
+        // A PR 2–4-era report: none of the new optional columns present.
+        let old = r#"{"schema":"dmfb-bench/1","label":"quick","created_unix_ms":1,
+            "threads":4,"quick":true,"entries":[{"name":"dtmb26/incremental",
+            "scheme":"hex-dtmb","design":"DTMB(2,6)","primaries":120,"trials":2000,
+            "grid_points":1,"wall_ms":12.5,"trials_per_sec":160000.0,
+            "yield_estimate":0.9435,"assay":null,"operational_yield":null}]}"#;
+        let r = BenchReport::from_json(old).expect("pre-bump reports stay readable");
+        assert_eq!(r.entries.len(), 1);
+        let e = &r.entries[0];
+        assert_eq!(e.estimator, None);
+        assert_eq!(e.defect_model, None);
+        assert_eq!(e.variance, None);
+        assert_eq!(e.effective_samples, None);
+        assert_eq!(e.trials_per_sec, 160_000.0);
+    }
+
+    #[test]
+    fn reader_skips_unknown_future_fields() {
+        let future = r#"{"schema":"dmfb-bench/1","label":"x","created_unix_ms":0,
+            "threads":1,"quick":false,"future_top":{"a":[1,2]},"entries":[]}"#;
+        let r = BenchReport::from_json(future).unwrap();
+        assert!(r.entries.is_empty());
+    }
+
+    #[test]
+    fn reader_rejects_garbage_and_wrong_schema() {
+        assert!(BenchReport::from_json("not json").is_err());
+        assert!(BenchReport::from_json("{\"schema\":\"dmfb-bench/9\"}").is_err());
+        assert!(BenchReport::from_json("{\"schema\":\"dmfb-bench/1\"}").is_err());
+        assert!(BenchReport::from_json("{} garbage").is_err());
     }
 
     #[test]

@@ -16,6 +16,24 @@ use dmfb_bench::{BenchEntry, BenchReport, TextTable, FIG7_9_SURVIVAL_GRID};
 use dmfb_core::prelude::*;
 use std::time::Instant;
 
+/// Runs the configured suite, then diffs it against the committed
+/// baseline report at `baseline_path` with the default 25% normalised
+/// regression threshold. Returns the rendered comparison and whether the
+/// gate failed.
+pub fn run_compare(
+    config: &BenchConfig,
+    baseline_path: &str,
+) -> Result<(BenchReport, String, bool), String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline '{baseline_path}': {e}"))?;
+    let baseline = dmfb_bench::BenchReport::from_json(text.trim_end())
+        .map_err(|e| format!("cannot parse baseline '{baseline_path}': {e}"))?;
+    let report = run(config);
+    let outcome = dmfb_bench::compare(&baseline, &report, dmfb_bench::DEFAULT_REGRESSION_THRESHOLD);
+    let failed = outcome.has_regression();
+    Ok((report, outcome.render(), failed))
+}
+
 /// Survival probability used for the single-point engine comparisons.
 const BENCH_P: f64 = 0.95;
 
@@ -120,6 +138,10 @@ fn entry(
         yield_estimate,
         assay: None,
         operational_yield: None,
+        estimator: Some("naive".to_string()),
+        defect_model: Some("bernoulli".to_string()),
+        variance: None,
+        effective_samples: None,
     }
 }
 
@@ -182,7 +204,10 @@ pub fn run(config: &BenchConfig) -> BenchReport {
         return report;
     }
     match &config.scheme {
-        SchemeChoice::HexDtmb => run_hex(&mut report, config.quick, threads),
+        SchemeChoice::HexDtmb => {
+            run_hex(&mut report, config.quick, threads);
+            run_rare_event(&mut report, config.quick, threads);
+        }
         SchemeChoice::SquareDtmb { .. } => {
             for (pattern, side, trials) in square_cases(config.quick) {
                 let est = SchemeYield::from_scheme(&SquareRegion::rect(side, side), &pattern)
@@ -275,6 +300,77 @@ fn run_assay(report: &mut BenchReport, panel: AssayPanel, quick: bool, threads: 
     report.push(sweep);
 }
 
+/// Survival probability of the rare-event (stratified-vs-naive) showcase:
+/// the DTMB(2,6) case study at `p = 0.999`, where naive Monte-Carlo
+/// wastes ~85% of its trials on defect-free chips.
+const RARE_P: f64 = 0.999;
+
+/// The rare-event workload pair on the DTMB(2,6) case study: the naive
+/// incremental engine with a full trial budget, then the stratified
+/// estimator with **one tenth** of it. Both entries record variance and
+/// effective samples, so the committed baseline carries the acceptance
+/// evidence: the stratified run's `effective_samples` must beat the naive
+/// run's actual trial count despite spending 10× fewer evaluations.
+fn run_rare_event(report: &mut BenchReport, quick: bool, threads: usize) {
+    // The full case-study array in both modes (the failure event is too
+    // rare to observe at all on smaller chips); quick mode only trims the
+    // trial budget.
+    let (primaries, naive_trials) = if quick { (240, 40_000) } else { (240, 400_000) };
+    let strat_budget = naive_trials / 10;
+    let mc = MonteCarloYield::new(
+        DtmbKind::Dtmb26A.with_primary_count(primaries),
+        ReconfigPolicy::AllPrimaries,
+    )
+    .with_threads(threads);
+
+    let t0 = Instant::now();
+    let naive = mc.estimate_survival_fast(RARE_P, naive_trials, BENCH_SEED);
+    let mut naive_entry = entry(
+        "dtmb26/rare-naive".to_string(),
+        "hex-dtmb",
+        DtmbKind::Dtmb26A.to_string(),
+        primaries,
+        naive_trials,
+        1,
+        t0.elapsed().as_secs_f64() * 1_000.0,
+        naive.point(),
+    );
+    // Same Agresti–Coull smoothing as the stratified estimator's
+    // variance, so an all-success run still admits the failure its trial
+    // count cannot exclude and the two entries stay comparable.
+    let s = (naive.successes() as f64 + 1.0) / (naive.trials() as f64 + 2.0);
+    naive_entry.variance = Some(s * (1.0 - s) / f64::from(naive_trials));
+    naive_entry.effective_samples = Some(f64::from(naive_trials));
+    report.push(naive_entry);
+
+    let t0 = Instant::now();
+    let strat = mc.estimate_survival_stratified(
+        RARE_P,
+        strat_budget,
+        BENCH_SEED,
+        &StratifiedConfig::default(),
+    );
+    let wall_ms = t0.elapsed().as_secs_f64() * 1_000.0;
+    let mut strat_entry = entry(
+        "dtmb26/rare-stratified".to_string(),
+        "hex-dtmb",
+        DtmbKind::Dtmb26A.to_string(),
+        primaries,
+        u32::try_from(strat.trials).unwrap_or(u32::MAX),
+        1,
+        wall_ms,
+        strat.point,
+    );
+    strat_entry.estimator = Some("stratified".to_string());
+    strat_entry.variance = Some(strat.variance);
+    let effective = strat.effective_trials();
+    // Measured, never fabricated. Infinity (nothing sampled at all —
+    // only possible when every stratum resolved exactly) cannot ride in
+    // JSON and is reported as the absent column.
+    strat_entry.effective_samples = effective.is_finite().then_some(effective);
+    report.push(strat_entry);
+}
+
 /// The hexagonal suite keeps the historic three-engine comparison
 /// (per-trial rebuild vs incremental vs batched sweep).
 fn run_hex(report: &mut BenchReport, quick: bool, threads: usize) {
@@ -337,25 +433,30 @@ pub fn render_table(report: &BenchReport) -> String {
     let mut table = TextTable::new(vec![
         "workload".into(),
         "scheme".into(),
+        "estimator".into(),
         "primaries".into(),
         "trials".into(),
         "grid".into(),
         "wall_ms".into(),
         "point-trials/s".into(),
-        "yield@0.95".into(),
+        "yield".into(),
+        "eff-samples".into(),
         "assay".into(),
-        "op-yield@0.95".into(),
+        "op-yield".into(),
     ]);
     for e in &report.entries {
         table.row(vec![
             e.name.clone(),
             e.scheme.clone(),
+            e.estimator.clone().unwrap_or_else(|| "-".into()),
             e.primaries.to_string(),
             e.trials.to_string(),
             e.grid_points.to_string(),
             format!("{:.1}", e.wall_ms),
             format!("{:.0}", e.trials_per_sec),
             format!("{:.4}", e.yield_estimate),
+            e.effective_samples
+                .map_or_else(|| "-".into(), |x| format!("{x:.0}")),
             e.assay.clone().unwrap_or_else(|| "-".into()),
             e.operational_yield
                 .map_or_else(|| "-".into(), |y| format!("{y:.4}")),

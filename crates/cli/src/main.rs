@@ -79,20 +79,24 @@ dmfb — yield enhancement for digital microfluidic biochips (DATE 2005)
 
 USAGE:
   dmfb yield  [--scheme SCHEME] --design <D> --primaries <N> --p <P> [--trials T] [--seed S]
-              [--threads K]
+              [--threads K] [--estimator E] [--defect-model M]
   dmfb yield  --scheme hex-dtmb --assay ivd-panel|metabolic-panel --p <P> [--trials T]
-              [--seed S] [--threads K]   (raw vs reconfigured vs operational yield)
+              [--seed S] [--threads K] [--estimator E] [--defect-model M]
+              (raw vs reconfigured vs operational yield)
   dmfb sweep  [--scheme SCHEME] --design <D> --primaries <N> [--from P] [--to P] [--steps K]
-              [--effective] [--batched] [--trials T] [--seed S] [--threads K]
+              [--effective] [--batched] [--trials T] [--seed S] [--threads K] [--estimator E]
   dmfb sweep  --scheme hex-dtmb --assay PANEL [--from P] [--to P] [--steps K] [--trials T]
-              [--seed S] [--threads K]   (three-tier CSV on the IVD case-study chip)
+              [--seed S] [--threads K] [--estimator E]
+              (three-tier CSV on the IVD case-study chip)
   dmfb faults (--casestudy | --design <D> --primaries <N>) [--max-m M] [--trials T]
   dmfb render --design <D> --primaries <N> [--inject P] [--seed S]
   dmfb assay  [--faults M] [--seed S]
   dmfb profile (--casestudy | --design <D> --primaries <N>) [--trials T]
   dmfb bench  [--scheme SCHEME] [--assay PANEL] [--quick] [--json] [--out DIR] [--label L]
-              [--threads K]
-              (fixed workload suite per scheme; scheme sub-parameters are rejected)
+              [--threads K] [--compare BASELINE.json]
+              (fixed workload suite per scheme; scheme sub-parameters are rejected;
+               --compare diffs against a committed dmfb-bench/1 report and exits
+               non-zero on a >25% normalised throughput regression)
   dmfb help
 
 SCHEMES: hex-dtmb (default) | square-dtmb | spare-rows
@@ -102,6 +106,16 @@ SCHEMES: hex-dtmb (default) | square-dtmb | spare-rows
                        --width W --height H (default 16x16)
   --scheme spare-rows  boundary spare-row baseline (shifted replacement);
                        sub-parameters: --width W --module-rows R --spare-rows S
+ESTIMATORS (yield and sweep): --estimator naive (default) | stratified
+  stratified = defect-count-stratified rare-event estimator: exact at p near 1
+               with 10x+ fewer trials; sub-parameters:
+               --tolerance T (truncated binomial mass, default 1e-6)
+               --pilot N     (pilot trials per stratum, default 64)
+DEFECT MODELS (yield): --defect-model bernoulli (default) | clustered
+  clustered = negative-binomial cluster seeds spreading over the lattice;
+              sub-parameters: --cluster-mean F (default 1.0)
+              --cluster-dispersion R (default 1) --cluster-radius D (default 2)
+              --cluster-peak P (default 0.8)
 ASSAYS (hex-dtmb only; fixes the chip to the DTMB(2,6) IVD case study):
   --assay ivd-panel        four concurrent measurements (paper Figure 11)
   --assay metabolic-panel  eight measurements across all four metabolites
@@ -231,6 +245,63 @@ impl Options {
         }
     }
 
+    fn estimator(&self) -> Result<EstimatorChoice, String> {
+        match self.map.get("estimator").map(String::as_str) {
+            None | Some("naive") => Ok(EstimatorChoice::Naive),
+            Some("stratified") => Ok(EstimatorChoice::Stratified),
+            Some(other) => Err(format!(
+                "unknown estimator '{other}' (valid: naive, stratified)"
+            )),
+        }
+    }
+
+    /// Tuning for the stratified estimator (`--tolerance`, `--pilot`).
+    fn stratified_config(&self) -> Result<StratifiedConfig, String> {
+        let tolerance: f64 = self.get("tolerance", 1e-6)?;
+        let pilot: u32 = self.get("pilot", 64)?;
+        if !(0.0..1.0).contains(&tolerance) {
+            return Err("need 0 <= --tolerance < 1".into());
+        }
+        if pilot == 0 {
+            return Err("--pilot must be at least 1".into());
+        }
+        Ok(StratifiedConfig {
+            tolerance,
+            pilot,
+            ..StratifiedConfig::default()
+        })
+    }
+
+    fn defect_model(&self) -> Result<DefectModelChoice, String> {
+        match self.map.get("defect-model").map(String::as_str) {
+            None | Some("bernoulli") => Ok(DefectModelChoice::Bernoulli),
+            Some("clustered") => {
+                let mean: f64 = self.get("cluster-mean", 1.0)?;
+                let dispersion: u32 = self.get("cluster-dispersion", 1)?;
+                let radius: u32 = self.get("cluster-radius", 2)?;
+                let peak: f64 = self.get("cluster-peak", 0.8)?;
+                if !(mean >= 0.0 && mean.is_finite()) {
+                    return Err("--cluster-mean must be non-negative and finite".into());
+                }
+                if dispersion == 0 {
+                    return Err("--cluster-dispersion must be at least 1".into());
+                }
+                if radius > 64 {
+                    return Err("need --cluster-radius <= 64".into());
+                }
+                if !(0.0..=1.0).contains(&peak) {
+                    return Err("need 0 <= --cluster-peak <= 1".into());
+                }
+                Ok(DefectModelChoice::Clustered(ClusteredDefects::new(
+                    mean, dispersion, radius, peak,
+                )))
+            }
+            Some(other) => Err(format!(
+                "unknown defect model '{other}' (valid: bernoulli, clustered)"
+            )),
+        }
+    }
+
     fn biochip(&self) -> Result<Biochip, String> {
         let n: usize = self.get("primaries", 100)?;
         // 0 = one worker per available core (the default).
@@ -241,6 +312,22 @@ impl Options {
         };
         Ok(chip.with_threads(threads))
     }
+}
+
+/// Which yield estimator a command runs.
+pub(crate) enum EstimatorChoice {
+    /// Plain Monte-Carlo (the default): one Bernoulli chip per trial.
+    Naive,
+    /// Defect-count-stratified rare-event estimator.
+    Stratified,
+}
+
+/// Which defect model drives the random chips.
+pub(crate) enum DefectModelChoice {
+    /// The paper's i.i.d. cell-failure assumption (the default).
+    Bernoulli,
+    /// Negative-binomial clustered wafer defects.
+    Clustered(ClusteredDefects),
 }
 
 /// Every scheme-selecting sub-parameter any scheme understands. A new
@@ -255,6 +342,53 @@ const SCHEME_SUBPARAMS: [&str; 7] = [
     "module-rows",
     "spare-rows",
 ];
+
+/// Sub-parameters of `--estimator stratified`; rejected under the naive
+/// estimator rather than silently ignored.
+const ESTIMATOR_SUBPARAMS: [&str; 2] = ["tolerance", "pilot"];
+
+/// Sub-parameters of `--defect-model clustered`; rejected under the
+/// Bernoulli model rather than silently ignored.
+const CLUSTER_SUBPARAMS: [&str; 4] = [
+    "cluster-mean",
+    "cluster-dispersion",
+    "cluster-radius",
+    "cluster-peak",
+];
+
+/// Rejects estimator/defect-model sub-parameters that the selected
+/// estimator or model would silently ignore, and the one combination that
+/// is statistically incoherent: the stratified estimator conditions on the
+/// i.i.d. Bernoulli defect count, so it cannot run under the clustered
+/// model.
+fn reject_foreign_estimator_params(opts: &Options) -> Result<(), String> {
+    let estimator = opts.estimator()?;
+    let model = opts.defect_model()?;
+    if matches!(estimator, EstimatorChoice::Naive) {
+        for key in ESTIMATOR_SUBPARAMS {
+            if opts.flag(key) {
+                return Err(format!("--{key} requires --estimator stratified"));
+            }
+        }
+    }
+    if matches!(model, DefectModelChoice::Bernoulli) {
+        for key in CLUSTER_SUBPARAMS {
+            if opts.flag(key) {
+                return Err(format!("--{key} requires --defect-model clustered"));
+            }
+        }
+    }
+    if matches!(estimator, EstimatorChoice::Stratified)
+        && matches!(model, DefectModelChoice::Clustered(_))
+    {
+        return Err(
+            "--estimator stratified conditions on the i.i.d. Bernoulli defect count; \
+             it cannot run under --defect-model clustered"
+                .into(),
+        );
+    }
+    Ok(())
+}
 
 /// Rejects scheme sub-parameters that the selected scheme would silently
 /// ignore (`yield --pattern checkerboard` without `--scheme square-dtmb`
@@ -308,6 +442,17 @@ fn require_hex_scheme(opts: &Options) -> Result<(), String> {
     if opts.flag("assay") {
         return Err("--assay is supported by yield, sweep and bench only".into());
     }
+    if opts.flag("estimator") || opts.flag("defect-model") {
+        return Err("--estimator/--defect-model are supported by yield and sweep only".into());
+    }
+    for key in ESTIMATOR_SUBPARAMS.iter().chain(&CLUSTER_SUBPARAMS) {
+        if opts.flag(key) {
+            return Err(format!(
+                "--{key} is an estimator/defect-model sub-parameter; \
+                 it is supported by yield and sweep only"
+            ));
+        }
+    }
     if matches!(opts.scheme()?, SchemeChoice::HexDtmb) {
         reject_foreign_subparams(opts, &SchemeChoice::HexDtmb)
     } else {
@@ -323,11 +468,13 @@ fn require_hex_scheme(opts: &Options) -> Result<(), String> {
 const MAX_DIM: u32 = 4096;
 
 /// Builds the generic fast engine for a square-lattice (square-dtmb or
-/// spare-rows) scheme choice.
+/// spare-rows) scheme choice, returning the engine together with the
+/// lattice region it was compiled over (the defect-sampler hook needs
+/// the topology).
 fn generic_engine(
     choice: &SchemeChoice,
     threads: usize,
-) -> Result<SchemeYield<SquareCoord>, String> {
+) -> Result<(SchemeYield<SquareCoord>, SquareRegion), String> {
     let check_dim = |name: &str, value: u32, min: u32| -> Result<(), String> {
         if value < min || value > MAX_DIM {
             Err(format!("need {min} <= --{name} <= {MAX_DIM}, got {value}"))
@@ -335,7 +482,7 @@ fn generic_engine(
             Ok(())
         }
     };
-    let est = match choice {
+    let (est, region) = match choice {
         SchemeChoice::HexDtmb => {
             return Err("hex-dtmb runs through the --design path, not the generic engine".into())
         }
@@ -346,7 +493,8 @@ fn generic_engine(
         } => {
             check_dim("width", *width, 1)?;
             check_dim("height", *height, 1)?;
-            SchemeYield::from_scheme(&SquareRegion::rect(*width, *height), pattern)
+            let region = SquareRegion::rect(*width, *height);
+            (SchemeYield::from_scheme(&region, pattern), region)
         }
         SchemeChoice::SpareRows {
             width,
@@ -364,10 +512,54 @@ fn generic_engine(
                 }],
                 *spare_rows,
             );
-            SchemeYield::from_scheme(&array.region(), &array)
+            let region = array.region();
+            (SchemeYield::from_scheme(&region, &array), region)
         }
     };
-    Ok(est.with_threads(threads))
+    Ok((est.with_threads(threads), region))
+}
+
+/// Prints the hex design header line shared by every `dmfb yield`
+/// report variant; `rr` appends the redundancy-ratio column when known.
+fn print_design_header(chip: &Biochip, rr: Option<f64>) {
+    let design = chip
+        .array()
+        .kind()
+        .map_or("none".to_string(), |k| k.to_string());
+    let (primaries, spares) = (chip.array().primary_count(), chip.array().spare_count());
+    match rr {
+        Some(rr) => {
+            outln!("design: {design} | primaries {primaries} | spares {spares} | RR {rr:.4}")
+        }
+        None => outln!("design: {design} | primaries {primaries} | spares {spares}"),
+    }
+}
+
+/// Prints one stratified estimate line plus its rare-event bookkeeping.
+fn print_stratified(name: &str, est: &StratifiedEstimate) {
+    let (lo, hi) = est.ci95();
+    outln!(
+        "{name}: {:.6}  (95% CI [{lo:.6}, {hi:.6}], {} trials over {} strata)",
+        est.point,
+        est.trials,
+        est.strata.len()
+    );
+    let eff = est.effective_trials();
+    outln!(
+        "  std error {:.3e} | truncated mass {:.1e} | effective samples {} ({}x speed-up)",
+        est.std_error(),
+        est.truncated_mass,
+        if eff.is_finite() {
+            format!("{eff:.0}")
+        } else {
+            "inf".to_string()
+        },
+        if eff.is_finite() {
+            format!("{:.1}", eff / est.trials.max(1) as f64)
+        } else {
+            "inf".to_string()
+        }
+    );
 }
 
 fn cmd_yield(opts: &Options) -> Result<(), String> {
@@ -378,6 +570,14 @@ fn cmd_yield(opts: &Options) -> Result<(), String> {
     let trials: u32 = opts.get("trials", 10_000)?;
     let seed: u64 = opts.get("seed", 1)?;
     let choice = opts.scheme()?;
+    reject_foreign_estimator_params(opts)?;
+    let estimator = opts.estimator()?;
+    let model = opts.defect_model()?;
+    if matches!(model, DefectModelChoice::Clustered(_)) && opts.flag("p") {
+        return Err("--p does not apply with --defect-model clustered \
+             (the cluster parameters set the defect intensity)"
+            .into());
+    }
     if let Some(panel) = opts.assay()? {
         check_assay_subparams(opts, &choice)?;
         let engine = OperationalYield::ivd(panel).with_threads(opts.get("threads", 0)?);
@@ -395,7 +595,39 @@ fn cmd_yield(opts: &Options) -> Result<(), String> {
             "timing budget     : {:.1}s protocol makespan",
             engine.budget().max_makespan_s
         );
+        if let DefectModelChoice::Clustered(cluster) = &model {
+            let region = engine.chip().array.region().clone();
+            outln!(
+                "defect model      : clustered (mean {:.2} clusters, dispersion {}, \
+                 radius {}, peak {:.2}; ~{:.2} expected failures/chip)",
+                cluster.mean_clusters(),
+                cluster.dispersion(),
+                cluster.spread_radius(),
+                cluster.peak_probability(),
+                cluster.expected_failures_in(&region)
+            );
+            let e = engine.estimate_with(trials, seed, |rng| cluster.inject_in(&region, rng));
+            let line = |name: &str, est: &BernoulliEstimate| {
+                let (lo, hi) = est.wilson95();
+                outln!(
+                    "{name}: {:.4}  (95% CI [{lo:.4}, {hi:.4}], {} trials)",
+                    est.point(),
+                    est.trials()
+                );
+            };
+            line("raw yield         ", &e.raw);
+            line("reconfigured yield", &e.reconfigured);
+            line("operational yield ", &e.operational);
+            return Ok(());
+        }
         outln!("survival p        : {p:.4}");
+        if matches!(estimator, EstimatorChoice::Stratified) {
+            let e = engine.estimate_stratified(p, trials, seed, &opts.stratified_config()?);
+            print_stratified("raw yield         ", &e.raw);
+            print_stratified("reconfigured yield", &e.reconfigured);
+            print_stratified("operational yield ", &e.operational);
+            return Ok(());
+        }
         let e = engine.estimate(p, trials, seed);
         let line = |name: &str, est: &BernoulliEstimate| {
             let (lo, hi) = est.wilson95();
@@ -412,16 +644,35 @@ fn cmd_yield(opts: &Options) -> Result<(), String> {
     }
     reject_foreign_subparams(opts, &choice)?;
     if !matches!(choice, SchemeChoice::HexDtmb) {
-        let est = generic_engine(&choice, opts.get("threads", 0)?)?;
-        let e = est.estimate_survival(p, trials, seed);
-        let (lo, hi) = e.wilson95();
+        let (est, region) = generic_engine(&choice, opts.get("threads", 0)?)?;
         outln!(
             "scheme: {} | units {} | spare resources {}",
             est.label(),
             est.evaluator().unit_count(),
             est.evaluator().resource_count()
         );
+        if let DefectModelChoice::Clustered(cluster) = &model {
+            outln!(
+                "defect model      : clustered (~{:.2} expected failures/chip)",
+                cluster.expected_failures_in(&region)
+            );
+            let e = est.estimate_with_defects(trials, seed, |rng| cluster.inject_in(&region, rng));
+            let (lo, hi) = e.wilson95();
+            outln!(
+                "reconfigured yield: {:.4}  (95% CI [{lo:.4}, {hi:.4}], {} trials)",
+                e.point(),
+                e.trials()
+            );
+            return Ok(());
+        }
         outln!("survival p        : {p:.4}");
+        if matches!(estimator, EstimatorChoice::Stratified) {
+            let e = est.estimate_survival_stratified(p, trials, seed, &opts.stratified_config()?);
+            print_stratified("reconfigured yield", &e);
+            return Ok(());
+        }
+        let e = est.estimate_survival(p, trials, seed);
+        let (lo, hi) = e.wilson95();
         outln!(
             "reconfigured yield: {:.4}  (95% CI [{lo:.4}, {hi:.4}], {} trials)",
             e.point(),
@@ -430,16 +681,40 @@ fn cmd_yield(opts: &Options) -> Result<(), String> {
         return Ok(());
     }
     let chip = opts.biochip()?;
+    if let DefectModelChoice::Clustered(cluster) = &model {
+        let mc = MonteCarloYield::new(chip.array().clone(), chip.policy().clone())
+            .with_threads(opts.get("threads", 0)?);
+        print_design_header(&chip, None);
+        outln!(
+            "defect model      : clustered (mean {:.2} clusters, dispersion {}, \
+             radius {}, peak {:.2}; ~{:.2} expected failures/chip)",
+            cluster.mean_clusters(),
+            cluster.dispersion(),
+            cluster.spread_radius(),
+            cluster.peak_probability(),
+            cluster.expected_failures_in(chip.array().region())
+        );
+        let region = chip.array().region().clone();
+        let e = mc.estimate_with_defects(trials, seed, |rng| cluster.inject_in(&region, rng));
+        let (lo, hi) = e.wilson95();
+        outln!(
+            "reconfigured yield: {:.4}  (95% CI [{lo:.4}, {hi:.4}], {} trials)",
+            e.point(),
+            e.trials()
+        );
+        return Ok(());
+    }
+    if matches!(estimator, EstimatorChoice::Stratified) {
+        let mc = MonteCarloYield::new(chip.array().clone(), chip.policy().clone())
+            .with_threads(opts.get("threads", 0)?);
+        print_design_header(&chip, None);
+        outln!("survival p        : {p:.4}");
+        let e = mc.estimate_survival_stratified(p, trials, seed, &opts.stratified_config()?);
+        print_stratified("reconfigured yield", &e);
+        return Ok(());
+    }
     let r = chip.yield_report(p, trials, seed);
-    outln!(
-        "design: {} | primaries {} | spares {} | RR {:.4}",
-        chip.array()
-            .kind()
-            .map_or("none".to_string(), |k| k.to_string()),
-        chip.array().primary_count(),
-        chip.array().spare_count(),
-        r.redundancy_ratio
-    );
+    print_design_header(&chip, Some(r.redundancy_ratio));
     outln!("survival p        : {:.4}", r.survival_p);
     outln!("raw yield         : {}", r.raw_yield);
     outln!("reconfigured yield: {}", r.reconfigured_yield);
@@ -464,6 +739,52 @@ fn cmd_sweep(opts: &Options) -> Result<(), String> {
         .map(|i| from + (to - from) * i as f64 / (steps - 1) as f64)
         .collect();
     let choice = opts.scheme()?;
+    reject_foreign_estimator_params(opts)?;
+    let estimator = opts.estimator()?;
+    if matches!(opts.defect_model()?, DefectModelChoice::Clustered(_)) {
+        return Err(
+            "--defect-model clustered has no survival probability to sweep; \
+             use dmfb yield --defect-model clustered for a point estimate"
+                .into(),
+        );
+    }
+    if matches!(estimator, EstimatorChoice::Stratified) && opts.flag("batched") {
+        return Err(
+            "--batched does not apply with --estimator stratified: the stratified \
+             estimator allocates its trial budget per grid point"
+                .into(),
+        );
+    }
+    let stratified_csv = |pts: &[StratifiedPoint], ey: Option<&dyn Fn(f64) -> f64>| {
+        outln!(
+            "p,yield,ci_lo,ci_hi,std_err,eff_samples{}",
+            if ey.is_some() { ",effective_yield" } else { "" }
+        );
+        for pt in pts {
+            let (lo, hi) = pt.estimate.ci95();
+            let eff = pt.estimate.effective_trials();
+            let eff = if eff.is_finite() {
+                format!("{eff:.0}")
+            } else {
+                "inf".to_string()
+            };
+            match ey {
+                Some(f) => outln!(
+                    "{:.4},{:.6},{lo:.6},{hi:.6},{:.3e},{eff},{:.4}",
+                    pt.x,
+                    pt.estimate.point,
+                    pt.estimate.std_error(),
+                    f(pt.estimate.point)
+                ),
+                None => outln!(
+                    "{:.4},{:.6},{lo:.6},{hi:.6},{:.3e},{eff}",
+                    pt.x,
+                    pt.estimate.point,
+                    pt.estimate.std_error()
+                ),
+            }
+        }
+    };
     if let Some(panel) = opts.assay()? {
         check_assay_subparams(opts, &choice)?;
         if effective {
@@ -477,6 +798,28 @@ fn cmd_sweep(opts: &Options) -> Result<(), String> {
             );
         }
         let engine = OperationalYield::ivd(panel).with_threads(opts.get("threads", 0)?);
+        if matches!(estimator, EstimatorChoice::Stratified) {
+            let config = opts.stratified_config()?;
+            outln!("p,raw,reconfigured,operational,op_std_err,op_eff_samples");
+            for (j, &p) in ps.iter().enumerate() {
+                let e = engine.estimate_stratified(p, trials, seed.wrapping_add(j as u64), &config);
+                let eff = e.operational.effective_trials();
+                let eff = if eff.is_finite() {
+                    format!("{eff:.0}")
+                } else {
+                    "inf".to_string()
+                };
+                outln!(
+                    "{:.4},{:.6},{:.6},{:.6},{:.3e},{eff}",
+                    p,
+                    e.raw.point,
+                    e.reconfigured.point,
+                    e.operational.point,
+                    e.operational.std_error()
+                );
+            }
+            return Ok(());
+        }
         outln!("p,raw,reconfigured,operational,op_ci_lo,op_ci_hi");
         for row in engine.sweep(&ps, trials, seed) {
             let (lo, hi) = row.operational.wilson95();
@@ -497,7 +840,12 @@ fn cmd_sweep(opts: &Options) -> Result<(), String> {
         if effective {
             return Err("--effective requires --scheme hex-dtmb".into());
         }
-        let est = generic_engine(&choice, opts.get("threads", 0)?)?;
+        let (est, _) = generic_engine(&choice, opts.get("threads", 0)?)?;
+        if matches!(estimator, EstimatorChoice::Stratified) {
+            let pts = est.sweep_survival_stratified(&ps, trials, seed, &opts.stratified_config()?);
+            stratified_csv(&pts, None);
+            return Ok(());
+        }
         let pts = if opts.flag("batched") {
             est.sweep_survival_batched(&ps, trials, seed)
         } else {
@@ -510,6 +858,16 @@ fn cmd_sweep(opts: &Options) -> Result<(), String> {
         return Ok(());
     }
     let chip = opts.biochip()?;
+    if matches!(estimator, EstimatorChoice::Stratified) {
+        let threads: usize = opts.get("threads", 0)?;
+        let mc =
+            MonteCarloYield::new(chip.array().clone(), chip.policy().clone()).with_threads(threads);
+        let pts = mc.sweep_survival_stratified(&ps, trials, seed, &opts.stratified_config()?);
+        let array = chip.array();
+        let ey = |y: f64| effective::effective_yield_of(array, y);
+        stratified_csv(&pts, if effective { Some(&ey) } else { None });
+        return Ok(());
+    }
     outln!(
         "p,yield,ci_lo,ci_hi{}",
         if effective { ",effective_yield" } else { "" }
@@ -553,6 +911,21 @@ fn cmd_bench(opts: &Options) -> Result<(), String> {
             ));
         }
     }
+    // Likewise the estimator/defect-model knobs: the suite pins both per
+    // workload (including the naive-vs-stratified rare-event pair) so the
+    // perf trajectory stays comparable.
+    for key in ["estimator", "defect-model"]
+        .iter()
+        .chain(&ESTIMATOR_SUBPARAMS)
+        .chain(&CLUSTER_SUBPARAMS)
+    {
+        if opts.flag(key) {
+            return Err(format!(
+                "--{key} is not supported by bench: the workload suite pins the \
+                 estimator and defect model per entry (use yield/sweep instead)"
+            ));
+        }
+    }
     let assay = opts.assay()?;
     if assay.is_some() && !matches!(opts.scheme()?, SchemeChoice::HexDtmb) {
         return Err(
@@ -569,6 +942,24 @@ fn cmd_bench(opts: &Options) -> Result<(), String> {
         scheme: opts.scheme()?,
         assay,
     };
+    if let Some(baseline) = opts.map.get("compare") {
+        let (report, rendered, failed) = bench_cmd::run_compare(&config, baseline)?;
+        out!("{}", bench_cmd::render_table(&report));
+        if config.json {
+            let path = report
+                .write_to_dir(std::path::Path::new(&config.out_dir))
+                .map_err(|e| format!("cannot write bench report: {e}"))?;
+            outln!("wrote {}", path.display());
+        }
+        out!("{rendered}");
+        if failed {
+            return Err(format!(
+                "perf gate failed against baseline '{baseline}' \
+                 (>25% normalised throughput regression)"
+            ));
+        }
+        return Ok(());
+    }
     let report = bench_cmd::run(&config);
     out!("{}", bench_cmd::render_table(&report));
     if config.json {

@@ -534,3 +534,274 @@ fn bench_assay_records_operational_columns() {
     assert!(json.contains("\"operational_yield\":0"), "{json}");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn stratified_yield_reports_rare_event_bookkeeping() {
+    let out = dmfb(&[
+        "yield",
+        "--design",
+        "dtmb26",
+        "--primaries",
+        "60",
+        "--p",
+        "0.999",
+        "--estimator",
+        "stratified",
+        "--trials",
+        "500",
+        "--seed",
+        "3",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("strata"), "strata count missing:\n{text}");
+    assert!(text.contains("effective samples"), "{text}");
+    assert!(text.contains("truncated mass"), "{text}");
+}
+
+#[test]
+fn stratified_sweep_is_thread_invariant_and_carries_new_columns() {
+    let run = |threads: &str| {
+        let out = dmfb(&[
+            "sweep",
+            "--design",
+            "dtmb26",
+            "--primaries",
+            "60",
+            "--from",
+            "0.99",
+            "--to",
+            "1.0",
+            "--steps",
+            "3",
+            "--estimator",
+            "stratified",
+            "--trials",
+            "400",
+            "--seed",
+            "5",
+            "--threads",
+            threads,
+        ]);
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let one = run("1");
+    assert!(
+        one.starts_with("p,yield,ci_lo,ci_hi,std_err,eff_samples"),
+        "{one}"
+    );
+    assert_eq!(one, run("0"), "--threads 0 must be byte-identical");
+    assert_eq!(one, run("3"), "--threads 3 must be byte-identical");
+}
+
+#[test]
+fn clustered_defect_model_runs_on_every_scheme() {
+    // Hex.
+    let out = dmfb(&[
+        "yield",
+        "--design",
+        "dtmb26",
+        "--primaries",
+        "60",
+        "--defect-model",
+        "clustered",
+        "--cluster-mean",
+        "2",
+        "--trials",
+        "300",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("clustered"), "{text}");
+    assert!(text.contains("expected failures/chip"), "{text}");
+    // Square scheme through the generic engine.
+    let out = dmfb(&[
+        "yield",
+        "--scheme",
+        "square-dtmb",
+        "--pattern",
+        "checkerboard",
+        "--defect-model",
+        "clustered",
+        "--trials",
+        "300",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Assay (three tiers under clustered defects).
+    let out = dmfb(&[
+        "yield",
+        "--assay",
+        "ivd-panel",
+        "--defect-model",
+        "clustered",
+        "--trials",
+        "100",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("operational yield"), "{text}");
+}
+
+#[test]
+fn estimator_and_model_flags_reject_foreign_parameters() {
+    for (args, needle) in [
+        (
+            vec!["yield", "--tolerance", "0.1"],
+            "--tolerance requires --estimator stratified",
+        ),
+        (
+            vec!["yield", "--cluster-radius", "3"],
+            "requires --defect-model clustered",
+        ),
+        (
+            vec![
+                "yield",
+                "--estimator",
+                "stratified",
+                "--defect-model",
+                "clustered",
+            ],
+            "cannot run under --defect-model clustered",
+        ),
+        (
+            vec!["sweep", "--defect-model", "clustered"],
+            "no survival probability to sweep",
+        ),
+        (
+            vec!["sweep", "--estimator", "stratified", "--batched"],
+            "--batched does not apply with --estimator stratified",
+        ),
+        (
+            vec!["faults", "--casestudy", "--estimator", "stratified"],
+            "yield and sweep only",
+        ),
+        (
+            vec!["bench", "--estimator", "stratified"],
+            "not supported by bench",
+        ),
+        (
+            vec!["yield", "--defect-model", "clustered", "--p", "0.9"],
+            "--p does not apply",
+        ),
+        (vec!["yield", "--estimator", "bogus"], "unknown estimator"),
+        (
+            vec!["yield", "--defect-model", "bogus"],
+            "unknown defect model",
+        ),
+    ] {
+        let out = dmfb(&args);
+        assert!(!out.status.success(), "{args:?} must fail");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(err.contains(needle), "{args:?}: stderr {err}");
+    }
+}
+
+#[test]
+fn bench_compare_gates_on_committed_baselines() {
+    let dir = std::env::temp_dir().join(format!("dmfb-bench-compare-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    // Produce a baseline with the cheap spare-rows suite, then compare a
+    // fresh identical run against it: same machine, same workloads — the
+    // gate must pass.
+    let out = dmfb(&[
+        "bench",
+        "--quick",
+        "--json",
+        "--scheme",
+        "spare-rows",
+        "--out",
+        dir.to_str().unwrap(),
+        "--label",
+        "compare-base",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let baseline = dir.join("BENCH_compare-base.json");
+    let out = dmfb(&[
+        "bench",
+        "--quick",
+        "--scheme",
+        "spare-rows",
+        "--compare",
+        baseline.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "gate must pass on a same-machine rerun; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("perf gate passed"), "{text}");
+    assert!(text.contains("machine factor"), "{text}");
+    // Comparing the wrong scheme's run against the baseline loses every
+    // baseline workload: the gate must fail non-zero.
+    let out = dmfb(&[
+        "bench",
+        "--quick",
+        "--scheme",
+        "square-dtmb",
+        "--compare",
+        baseline.to_str().unwrap(),
+    ]);
+    assert!(
+        !out.status.success(),
+        "vanished workloads must fail the gate"
+    );
+    // A missing baseline file is a clean error.
+    let out = dmfb(&["bench", "--quick", "--compare", "/nonexistent/base.json"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("cannot read baseline"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bench_json_records_estimator_columns() {
+    let dir = std::env::temp_dir().join(format!("dmfb-bench-est-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dmfb(&[
+        "bench",
+        "--quick",
+        "--json",
+        "--out",
+        dir.to_str().unwrap(),
+        "--label",
+        "est-smoke",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(dir.join("BENCH_est-smoke.json")).unwrap();
+    assert!(json.contains("\"estimator\":\"stratified\""), "{json}");
+    assert!(json.contains("\"estimator\":\"naive\""), "{json}");
+    assert!(json.contains("\"defect_model\":\"bernoulli\""), "{json}");
+    assert!(json.contains("rare-stratified"), "{json}");
+    assert!(json.contains("\"effective_samples\":"), "{json}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -14,6 +14,7 @@ pub use dmfb_grid::{CellMap, HexCoord, HexDir, Region, SquareCoord, SquareRegion
 
 pub use dmfb_defects::injection::{Bernoulli, ClusteredSpot, ExactCount, InjectionModel};
 pub use dmfb_defects::testing::{covering_walk, diagnose, MeasurementModel};
+pub use dmfb_defects::ClusteredDefects;
 pub use dmfb_defects::{CatastrophicDefect, DefectCause, DefectMap, FaultClass};
 
 pub use dmfb_reconfig::dtmb::DtmbKind;
@@ -23,12 +24,16 @@ pub use dmfb_reconfig::{
     ReconfigPolicy, RedundancyScheme, SchemeStructure, SquarePattern, TrialEvaluator,
 };
 
-pub use dmfb_sim::{auto_threads, parallel_map, BernoulliEstimate, MonteCarlo, Summary};
+pub use dmfb_sim::{
+    auto_threads, parallel_map, BernoulliEstimate, MonteCarlo, StratifiedConfig,
+    StratifiedEstimate, StratifiedMonteCarlo, Summary,
+};
 
 pub use dmfb_yield::analytical::{dtmb16_yield, independent_repair_yield, no_redundancy_yield};
 pub use dmfb_yield::{
     effective_yield, tolerance_profile, AssayPanel, MonteCarloYield, OperationalEstimate,
-    OperationalYield, SchemeYield, ToleranceProfile, TrialVerdict, YieldCurve, YieldPoint,
+    OperationalYield, SchemeYield, StratifiedOperationalEstimate, StratifiedPoint,
+    ToleranceProfile, TrialVerdict, YieldCurve, YieldPoint,
 };
 
 pub use dmfb_bioassay::layout::{fabricated_ivd_chip, ivd_dtmb26_chip, used_cells_policy};

@@ -14,6 +14,10 @@
 //!   assumption ([`injection::Bernoulli`]), the exact-`m`-failures mode used
 //!   for the Figure 13 case study ([`injection::ExactCount`]), and a
 //!   clustered-spot extension used only for ablation studies.
+//! * Clustered wafer defects ([`clustered`]): negative-binomial cluster
+//!   seeds spreading over any lattice [`dmfb_grid::Topology`] — the
+//!   "real wafers cluster" model the scheme-generic yield engines accept
+//!   as a drop-in defect sampler.
 //! * Test and diagnosis ([`testing`]): simulation of the electrostatic
 //!   droplet-trace test methodology the paper cites (its refs 10 and 11) — a test
 //!   droplet traverses the cells; catastrophic faults block it; bisection
@@ -35,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod clustered;
 pub mod fault;
 pub mod injection;
 pub mod map;
@@ -42,5 +47,6 @@ pub mod operational;
 pub mod parametric;
 pub mod testing;
 
+pub use clustered::ClusteredDefects;
 pub use fault::{CatastrophicDefect, DefectCause, FaultClass, ParametricDefect};
 pub use map::DefectMap;

@@ -116,6 +116,11 @@ pub struct TrialScratch {
     /// Inverse of `col_of_res` for the current trial: the resource index
     /// behind each compacted column (needed to read assignments back).
     res_of_col: Vec<u32>,
+    /// Cell-index permutation buffer for exact-`k` fault sampling
+    /// ([`TrialEvaluator::exact_fault_trial`]); reset to the identity at
+    /// the start of every such trial so results never depend on which
+    /// trials a worker ran before.
+    perm: Vec<u32>,
     graph: BitsetGraph,
     matcher: BitsetMatcher,
 }
@@ -275,6 +280,41 @@ impl<C: Copy + Ord> TrialEvaluator<C> {
         self.adj_res.len()
     }
 
+    /// Largest fault count that is **provably** tolerable on this
+    /// structure, placement-independent: any fault set of at most this
+    /// many cells can always be reconfigured.
+    ///
+    /// The bound is Hall-theoretic. Let `d_min` be the minimum number of
+    /// candidate resources over all units. For any fault set `F` with
+    /// `|F| ≤ d_min` (unit and resource member cells being disjoint), the
+    /// faulty units `A` and dead resources `R` satisfy `|A| + |R| ≤ d_min`,
+    /// and every subset `B ⊆ A` has `|N(B) \ R| ≥ d_min − |R| ≥ |B|` — so
+    /// Hall's condition holds and a full matching exists. Degenerate
+    /// cases: no units at all means *every* fault set is tolerable (the
+    /// cell count is returned); a unit sharing a member cell with a
+    /// resource voids the disjointness argument and the bound collapses
+    /// to 0 (none of the shipped schemes do this).
+    ///
+    /// The defect-count-stratified estimator uses this to resolve
+    /// low-count strata exactly instead of sampling them.
+    #[must_use]
+    pub fn guaranteed_tolerable_faults(&self) -> usize {
+        if self.unit_count() == 0 {
+            return self.cells.len();
+        }
+        let mut in_unit = vec![false; self.cells.len()];
+        for &c in &self.unit_cells {
+            in_unit[c as usize] = true;
+        }
+        if self.res_cells.iter().any(|&c| in_unit[c as usize]) {
+            return 0;
+        }
+        (0..self.unit_count())
+            .map(|i| self.adjacent(i).len())
+            .min()
+            .unwrap_or(0)
+    }
+
     /// Allocates a scratch sized for this evaluator. One per worker
     /// thread; reused across all of that worker's trials.
     #[must_use]
@@ -291,6 +331,7 @@ impl<C: Copy + Ord> TrialEvaluator<C> {
             col_gen: vec![0; self.resource_count()],
             generation: 0,
             res_of_col: Vec::with_capacity(self.resource_count()),
+            perm: (0..self.cells.len() as u32).collect(),
             graph: BitsetGraph::new(0, 0),
             matcher: BitsetMatcher::new(),
         }
@@ -461,6 +502,50 @@ impl<C: Copy + Ord> TrialEvaluator<C> {
         }
     }
 
+    /// Runs one **exact-fault-count** trial: exactly `faults` of the
+    /// evaluator's relevant cells fail, chosen uniformly without
+    /// replacement; returns whether the resulting chip is tolerable.
+    ///
+    /// This is the per-stratum sampler behind the defect-count-stratified
+    /// rare-event estimator: conditioning on `K = k` failures turns the
+    /// survival probability into `Σₖ P(K=k)·P(survive | K=k)`, and this
+    /// method samples the conditional term. The verdict distribution
+    /// matches `ExactCount::inject_in` over the evaluator's cell set,
+    /// but the placement is drawn by a partial Fisher–Yates shuffle over
+    /// a reusable scratch permutation — no per-trial allocation. The
+    /// permutation is reset to the identity each call, so results depend
+    /// only on the RNG state, never on scratch history (thread-count
+    /// invariance).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `faults` exceeds the evaluator's relevant-cell count.
+    pub fn exact_fault_trial(
+        &self,
+        faults: usize,
+        rng: &mut StdRng,
+        scratch: &mut TrialScratch,
+    ) -> bool {
+        let n = self.cells.len();
+        assert!(
+            faults <= n,
+            "cannot inject {faults} faults into a {n}-cell structure"
+        );
+        for (i, slot) in scratch.perm.iter_mut().enumerate() {
+            *slot = i as u32;
+        }
+        for u in scratch.u_cell.iter_mut() {
+            *u = 0.0;
+        }
+        for i in 0..faults {
+            let j = rng.gen_range(i..n);
+            scratch.perm.swap(i, j);
+            scratch.u_cell[scratch.perm[i] as usize] = 1.0;
+        }
+        self.stage_marked_cells(scratch);
+        self.solve(scratch)
+    }
+
     /// Evaluates an explicit defect map. For hex arrays this gives the
     /// same verdict as [`crate::local::is_reconfigurable`] on the
     /// evaluator's array and policy — used by the equivalence tests and by
@@ -548,6 +633,12 @@ impl<C: Copy + Ord> TrialEvaluator<C> {
         for (u, &c) in scratch.u_cell.iter_mut().zip(&self.cells) {
             *u = if is_faulty(c) { 1.0 } else { 0.0 };
         }
+        self.stage_marked_cells(scratch);
+    }
+
+    /// Folds the 0/1 fault markers currently in `scratch.u_cell` into the
+    /// per-unit/per-resource fault flags.
+    fn stage_marked_cells(&self, scratch: &mut TrialScratch) {
         for i in 0..self.unit_count() {
             scratch.faulty_unit[i] = self
                 .unit_members(i)
@@ -662,6 +753,119 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let mut out = [false; 2];
         eval.survival_trial_grid(&[0.9, 0.5], &mut rng, &mut scratch, &mut out);
+    }
+
+    #[test]
+    fn exact_fault_trials_hit_extremes_and_match_oracle_rates() {
+        let (_, eval) = evaluator(DtmbKind::Dtmb26A, 60);
+        let mut scratch = eval.scratch();
+        let n = eval.cell_count();
+        let mut rng = StdRng::seed_from_u64(0xEF);
+        // Zero faults always tolerable; every cell faulty never is (the
+        // structure has required units).
+        assert!(eval.exact_fault_trial(0, &mut rng, &mut scratch));
+        assert!(!eval.exact_fault_trial(n, &mut rng, &mut scratch));
+        // The per-k success rate must match evaluate_faulty_cells over
+        // ExactCount-style draws (same distribution, different streams).
+        use rand::seq::SliceRandom;
+        for k in [1usize, 3, 6] {
+            let trials = 400;
+            let mut fast = 0u32;
+            for _ in 0..trials {
+                fast += u32::from(eval.exact_fault_trial(k, &mut rng, &mut scratch));
+            }
+            // Reference: shuffle the evaluator's cell universe directly.
+            let universe: Vec<HexCoord> = (0..eval.unit_count())
+                .flat_map(|i| eval.unit_coords(i))
+                .chain((0..eval.resource_count()).flat_map(|j| eval.resource_coords(j)))
+                .collect();
+            let mut slow = 0u32;
+            for _ in 0..trials {
+                let mut pick = universe.clone();
+                pick.shuffle(&mut rng);
+                pick.truncate(k);
+                slow += u32::from(eval.evaluate_faulty_cells(&pick, &mut scratch));
+            }
+            let (f, s) = (f64::from(fast) / 400.0, f64::from(slow) / 400.0);
+            assert!((f - s).abs() < 0.12, "k={k}: fast {f} vs slow {s}");
+        }
+    }
+
+    #[test]
+    fn exact_fault_trial_is_scratch_history_independent() {
+        // The same RNG state must produce the same verdict regardless of
+        // what the scratch was used for before.
+        let (_, eval) = evaluator(DtmbKind::Dtmb36, 50);
+        let mut fresh = eval.scratch();
+        let mut used = eval.scratch();
+        let mut rng_warm = StdRng::seed_from_u64(1);
+        for k in [0usize, 2, 9, 5] {
+            let _ = eval.exact_fault_trial(k, &mut rng_warm, &mut used);
+        }
+        for seed in 0..20 {
+            let mut a = StdRng::seed_from_u64(seed);
+            let mut b = StdRng::seed_from_u64(seed);
+            assert_eq!(
+                eval.exact_fault_trial(4, &mut a, &mut fresh),
+                eval.exact_fault_trial(4, &mut b, &mut used),
+                "seed={seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn guaranteed_tolerable_bound_is_sound() {
+        use crate::square_dtmb::SquarePattern;
+        use dmfb_grid::SquareRegion;
+        // Every scheme: any fault set of size <= bound must be tolerable.
+        let check = |eval: &TrialEvaluator<dmfb_grid::SquareCoord>, label: &str| {
+            let bound = eval.guaranteed_tolerable_faults();
+            let mut scratch = eval.scratch();
+            let mut rng = StdRng::seed_from_u64(0xB0);
+            for k in 0..=bound.min(eval.cell_count()) {
+                for _ in 0..200 {
+                    assert!(
+                        eval.exact_fault_trial(k, &mut rng, &mut scratch),
+                        "{label}: {k} faults must be tolerable (bound {bound})"
+                    );
+                }
+            }
+        };
+        let region = SquareRegion::rect(8, 8);
+        for pattern in SquarePattern::ALL {
+            let eval = TrialEvaluator::for_scheme(&region, &pattern);
+            check(&eval, &format!("{pattern}"));
+        }
+        // Hex DTMB designs through the policy constructor.
+        for kind in DtmbKind::ALL {
+            let (_, eval) = evaluator(kind, 60);
+            let bound = eval.guaranteed_tolerable_faults();
+            let mut scratch = eval.scratch();
+            let mut rng = StdRng::seed_from_u64(0xB1);
+            for k in 0..=bound {
+                for _ in 0..200 {
+                    assert!(
+                        eval.exact_fault_trial(k, &mut rng, &mut scratch),
+                        "{kind}: {k} faults must be tolerable (bound {bound})"
+                    );
+                }
+            }
+            assert!(bound >= 1, "{kind}: every primary borders a spare");
+        }
+        // No units at all: everything is tolerable.
+        use std::collections::BTreeSet;
+        let array = DtmbKind::Dtmb26A.with_primary_count(30);
+        let empty = TrialEvaluator::new(&array, &ReconfigPolicy::UsedCells(BTreeSet::new()));
+        assert_eq!(empty.guaranteed_tolerable_faults(), empty.cell_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot inject")]
+    fn exact_fault_trial_rejects_overfull() {
+        let (_, eval) = evaluator(DtmbKind::Dtmb44, 20);
+        let mut scratch = eval.scratch();
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = eval.exact_fault_trial(eval.cell_count() + 1, &mut rng, &mut scratch);
     }
 
     #[test]

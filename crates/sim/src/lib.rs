@@ -14,6 +14,10 @@
 //!   confidence intervals.
 //! * [`Summary`] — streaming mean/variance for real-valued observables.
 //! * [`SeedSequence`] — SplitMix64 stream of decorrelated sub-seeds.
+//! * [`stratified`] — the defect-count-stratified rare-event estimator
+//!   ([`StratifiedMonteCarlo`]): conditions on the binomial defect count,
+//!   spends trials only where the verdict is uncertain, and reports a
+//!   variance plus the equivalent naive trial count.
 //! * [`sweep`] — deterministic parallel job orchestration
 //!   ([`parallel_map`]) and the [`auto_threads`] core-count default used
 //!   wherever a thread count is optional (`0` = one worker per core).
@@ -36,9 +40,11 @@
 mod mc;
 mod seeds;
 mod stats;
+pub mod stratified;
 pub mod sweep;
 
 pub use mc::MonteCarlo;
 pub use seeds::SeedSequence;
 pub use stats::{wilson_interval, BernoulliEstimate, Summary};
+pub use stratified::{StratifiedConfig, StratifiedEstimate, StratifiedMonteCarlo, StratumEstimate};
 pub use sweep::{auto_threads, parallel_map};

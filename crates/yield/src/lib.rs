@@ -22,6 +22,15 @@
 //!   in budget — raw, reconfigured and operational yield side by side.
 //! * [`sweep`] — parameter sweeps producing the curves behind each figure.
 //!
+//! Two orthogonal extensions ride on every engine above: the
+//! **defect-count-stratified rare-event estimator**
+//! (`estimate_survival_stratified` on [`SchemeYield`],
+//! [`MonteCarloYield`] and [`OperationalYield`]), which conditions on the
+//! binomial defect count so the high-survival regime no longer wastes
+//! trials on defect-free chips, and **arbitrary defect samplers**
+//! (`estimate_with_defects` / `estimate_with`), which let the clustered
+//! wafer-defect model from `dmfb-defects` drive any scheme.
+//!
 //! # Example
 //!
 //! ```
@@ -46,7 +55,9 @@ pub mod sweep;
 
 pub use effective::effective_yield;
 pub use monte_carlo::{MonteCarloYield, YieldPoint};
-pub use operational::{AssayPanel, OperationalEstimate, OperationalYield, TrialVerdict};
+pub use operational::{
+    AssayPanel, OperationalEstimate, OperationalYield, StratifiedOperationalEstimate, TrialVerdict,
+};
 pub use profile::{tolerance_profile, ToleranceProfile};
-pub use scheme_yield::SchemeYield;
+pub use scheme_yield::{SchemeYield, StratifiedPoint};
 pub use sweep::YieldCurve;

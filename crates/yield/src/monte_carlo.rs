@@ -170,6 +170,60 @@ impl MonteCarloYield {
         self.fast_engine().estimate_survival(p, trials, seed)
     }
 
+    /// Estimates survival-mode yield with the defect-count-stratified
+    /// rare-event estimator (via the scheme-generic
+    /// [`SchemeYield::estimate_survival_stratified`]): the survival
+    /// probability is written as `Σₖ P(K=k)·P(survive | K=k)` and only
+    /// the uncertain strata are sampled — at `p ≥ 0.999` this reaches a
+    /// naive-MC confidence interval with an order of magnitude fewer
+    /// array evaluations. Deterministic in `(budget, seed)` and
+    /// independent of thread count.
+    #[must_use]
+    pub fn estimate_survival_stratified(
+        &self,
+        p: f64,
+        budget: u32,
+        seed: u64,
+        config: &dmfb_sim::StratifiedConfig,
+    ) -> dmfb_sim::StratifiedEstimate {
+        self.fast_engine()
+            .estimate_survival_stratified(p, budget, seed, config)
+    }
+
+    /// Estimates yield under an arbitrary defect sampler through the
+    /// **fast engine** (via [`SchemeYield::estimate_with_defects`]): the
+    /// evaluator's precompiled structure and reusable matching buffers,
+    /// with only the defect draw per trial — the clustered-defect path
+    /// for hex arrays, an order of magnitude faster than routing the
+    /// sampler through the legacy per-trial rebuild of
+    /// [`MonteCarloYield::estimate_with`]. Faults outside the evaluator's
+    /// structure cannot change the verdict and are ignored.
+    #[must_use]
+    pub fn estimate_with_defects(
+        &self,
+        trials: u32,
+        seed: u64,
+        sample: impl Fn(&mut rand::rngs::StdRng) -> dmfb_defects::DefectMap + Sync,
+    ) -> BernoulliEstimate {
+        self.fast_engine()
+            .estimate_with_defects(trials, seed, sample)
+    }
+
+    /// Sweeps survival probabilities through the stratified estimator,
+    /// one independent experiment per grid point (see
+    /// [`SchemeYield::sweep_survival_stratified`]).
+    #[must_use]
+    pub fn sweep_survival_stratified(
+        &self,
+        ps: &[f64],
+        budget: u32,
+        seed: u64,
+        config: &dmfb_sim::StratifiedConfig,
+    ) -> Vec<crate::scheme_yield::StratifiedPoint> {
+        self.fast_engine()
+            .sweep_survival_stratified(ps, budget, seed, config)
+    }
+
     /// Sweeps an **ascending** survival grid in one batched Monte-Carlo
     /// pass: each trial draws a single random chip (common random numbers
     /// across the grid) and reports tolerability at every `p` at once,

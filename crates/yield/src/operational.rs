@@ -46,7 +46,9 @@ use dmfb_defects::operational::MtbfModel;
 use dmfb_defects::DefectMap;
 use dmfb_grid::HexCoord;
 use dmfb_reconfig::{ReconfigPolicy, TrialEvaluator, TrialScratch};
-use dmfb_sim::{BernoulliEstimate, MonteCarlo};
+use dmfb_sim::{
+    BernoulliEstimate, MonteCarlo, StratifiedConfig, StratifiedEstimate, StratifiedMonteCarlo,
+};
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::collections::BTreeSet;
@@ -158,6 +160,21 @@ impl OperationalEstimate {
     pub fn operational_point(&self) -> YieldPoint {
         YieldPoint::from_estimate(self.p, &self.operational)
     }
+}
+
+/// The three-tier estimate from the defect-count-stratified rare-event
+/// estimator: one [`StratifiedEstimate`] per tier, all drawn from the same
+/// shared per-stratum trial placements.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StratifiedOperationalEstimate {
+    /// The cell-survival probability evaluated.
+    pub p: f64,
+    /// Tier 1: yield without any reconfiguration.
+    pub raw: StratifiedEstimate,
+    /// Tier 2: yield with local reconfiguration (matching feasibility).
+    pub reconfigured: StratifiedEstimate,
+    /// Tier 3: yield with reconfiguration *and* assay-level feasibility.
+    pub operational: StratifiedEstimate,
 }
 
 /// Monte-Carlo estimator of raw, reconfigured and operational yield on one
@@ -344,6 +361,121 @@ impl OperationalYield {
             .expect("one grid point in, one estimate out")
     }
 
+    /// Estimates all three tiers under an **arbitrary defect sampler** —
+    /// the hook the clustered wafer-defect model rides: `sample` draws one
+    /// chip instance's defect map per trial (all randomness from the
+    /// provided RNG). The reported `p` is [`f64::NAN`] because no single
+    /// survival probability parameterises the model. In-service wear, when
+    /// configured, is drawn after the manufacturing sample, as in the
+    /// Bernoulli paths. Thread-count invariant; depends only on
+    /// `(trials, seed)`.
+    #[must_use]
+    pub fn estimate_with(
+        &self,
+        trials: u32,
+        seed: u64,
+        sample: impl Fn(&mut StdRng) -> DefectMap + Sync,
+    ) -> OperationalEstimate {
+        let estimates = MonteCarlo::new(trials, seed).tally_parallel(
+            self.threads,
+            3,
+            || self.evaluator.scratch(),
+            |rng, scratch, out| {
+                let mut defects = sample(rng);
+                if let Some(w) = &self.wear {
+                    defects = defects.merged(&w.model.inject_service_faults(
+                        self.checker.chip().array.region(),
+                        w.horizon_hours,
+                        rng,
+                    ));
+                }
+                let v = self.verdict(&defects, scratch);
+                out[0] = v.raw;
+                out[1] = v.reconfigured;
+                out[2] = v.operational;
+            },
+        );
+        OperationalEstimate {
+            p: f64::NAN,
+            raw: estimates[0],
+            reconfigured: estimates[1],
+            operational: estimates[2],
+        }
+    }
+
+    /// Estimates all three tiers with the **defect-count-stratified**
+    /// rare-event estimator: the chip's fault count `K` is binomial over
+    /// all array cells, so each tier's yield decomposes as
+    /// `Σₖ P(K=k)·P(tier | K=k)`; every stratum places exactly `k` faults
+    /// uniformly and pushes the same random chip through all three tiers.
+    /// The assay pipeline makes each trial expensive, which is precisely
+    /// where skipping the defect-free bulk pays the most.
+    ///
+    /// Thread-count invariant; depends only on `(budget, seed)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if in-service wear is configured (stratification conditions
+    /// on the *manufacturing* defect count alone) or `p` is outside
+    /// `[0, 1]`.
+    #[must_use]
+    pub fn estimate_stratified(
+        &self,
+        p: f64,
+        budget: u32,
+        seed: u64,
+        config: &StratifiedConfig,
+    ) -> StratifiedOperationalEstimate {
+        assert!(
+            self.wear.is_none(),
+            "stratified estimation conditions on the manufacturing defect count; \
+             in-service wear is not supported"
+        );
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "survival probability must be in [0, 1], got {p}"
+        );
+        let cells = &self.cells;
+        let mut tiers = StratifiedMonteCarlo::new(cells.len(), budget, seed)
+            .with_threads(self.threads)
+            .with_config(*config)
+            .estimate_multi(
+                1.0 - p,
+                3,
+                || StratifiedState {
+                    perm: (0..cells.len() as u32).collect(),
+                    scratch: self.evaluator.scratch(),
+                },
+                |k, rng, state, out| {
+                    // Exactly-k placement over all array cells: partial
+                    // Fisher–Yates on an identity-reset index buffer, so
+                    // the draw never depends on scratch history.
+                    for (i, slot) in state.perm.iter_mut().enumerate() {
+                        *slot = i as u32;
+                    }
+                    for i in 0..k {
+                        let j = rng.gen_range(i..cells.len());
+                        state.perm.swap(i, j);
+                    }
+                    let defects =
+                        DefectMap::from_cells(state.perm[..k].iter().map(|&i| cells[i as usize]));
+                    let v = self.verdict(&defects, &mut state.scratch);
+                    out[0] = v.raw;
+                    out[1] = v.reconfigured;
+                    out[2] = v.operational;
+                },
+            );
+        let operational = tiers.pop().expect("three outcomes");
+        let reconfigured = tiers.pop().expect("three outcomes");
+        let raw = tiers.pop().expect("three outcomes");
+        StratifiedOperationalEstimate {
+            p,
+            raw,
+            reconfigured,
+            operational,
+        }
+    }
+
     /// Sweeps an **ascending** survival grid in one batched Monte-Carlo
     /// pass: each trial draws one random chip and reports all three tiers
     /// at every `p` (common random numbers across the grid). Results are
@@ -383,6 +515,13 @@ impl OperationalYield {
 /// scratch.
 struct TrialState {
     uniforms: Vec<f64>,
+    scratch: TrialScratch,
+}
+
+/// Per-worker buffers for the stratified path: the exact-`k` placement
+/// permutation plus the matcher scratch.
+struct StratifiedState {
+    perm: Vec<u32>,
     scratch: TrialScratch,
 }
 
@@ -476,6 +615,99 @@ mod tests {
         assert!(worn.operational.successes() <= base.operational.successes());
         assert!(worn.reconfigured.successes() <= base.reconfigured.successes());
         assert!(worn.raw.successes() <= base.raw.successes());
+    }
+
+    #[test]
+    fn stratified_tiers_keep_their_ordering() {
+        let eng = engine();
+        let e = eng.estimate_stratified(0.999, 400, 11, &StratifiedConfig::default());
+        assert!(e.operational.point <= e.reconfigured.point + 1e-12);
+        assert!(e.raw.point <= e.reconfigured.point + 1e-12);
+        // All tiers share one allocation, so the spent trials agree.
+        assert_eq!(e.raw.trials, e.operational.trials);
+        // The raw tier varies with fault placement for every k >= 1, so
+        // no structural bound applies: all non-unique strata are sampled
+        // and the honest (smoothed) variance is strictly positive.
+        assert!(e.raw.variance > 0.0);
+        assert!(e.operational.variance > 0.0);
+        // The defect-free stratum still dominates at p = 0.999, so the
+        // estimator cannot do *worse* than naive sampling would.
+        assert!(
+            e.reconfigured.effective_trials() >= 0.5 * e.reconfigured.trials as f64,
+            "effective {} vs spent {}",
+            e.reconfigured.effective_trials(),
+            e.reconfigured.trials
+        );
+    }
+
+    #[test]
+    fn stratified_agrees_with_naive_tiers() {
+        let eng = engine();
+        let p = 0.99;
+        let naive = eng.estimate(p, 800, 19);
+        let strat = eng.estimate_stratified(p, 800, 19, &StratifiedConfig::default());
+        for (name, n, s) in [
+            ("raw", &naive.raw, &strat.raw),
+            ("reconfigured", &naive.reconfigured, &strat.reconfigured),
+            ("operational", &naive.operational, &strat.operational),
+        ] {
+            let slack = 4.0 * (s.std_error() + n.margin95() / 1.96) + s.truncated_mass + 0.01;
+            assert!(
+                (n.point() - s.point).abs() < slack,
+                "{name}: naive {} vs stratified {}",
+                n.point(),
+                s.point
+            );
+        }
+    }
+
+    #[test]
+    fn stratified_is_thread_invariant() {
+        let eng = engine();
+        let seq = eng.estimate_stratified(0.995, 300, 23, &StratifiedConfig::default());
+        for threads in [0, 3] {
+            let par = eng.clone().with_threads(threads).estimate_stratified(
+                0.995,
+                300,
+                23,
+                &StratifiedConfig::default(),
+            );
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wear is not supported")]
+    fn stratified_rejects_wear() {
+        let eng = engine().with_wear(MtbfModel::new(2_000.0, 1.0), 100.0);
+        let _ = eng.estimate_stratified(0.99, 100, 1, &StratifiedConfig::default());
+    }
+
+    #[test]
+    fn defect_sampler_hook_runs_the_three_tiers() {
+        use dmfb_defects::injection::{Bernoulli, InjectionModel};
+        let eng = engine();
+        let region = eng.chip().array.region().clone();
+        let model = Bernoulli::from_survival(0.97);
+        let e = eng.estimate_with(300, 7, |rng| model.inject(&region, rng));
+        assert!(e.p.is_nan(), "no single p parameterises a sampler");
+        assert!(e.operational.successes() <= e.reconfigured.successes());
+        assert!(e.raw.successes() <= e.reconfigured.successes());
+        // Matches the Bernoulli engine statistically.
+        let direct = eng.estimate(0.97, 300, 7);
+        assert!(
+            (e.reconfigured.point() - direct.reconfigured.point()).abs() < 0.1,
+            "{} vs {}",
+            e.reconfigured.point(),
+            direct.reconfigured.point()
+        );
+        // Thread invariance.
+        let par = eng
+            .clone()
+            .with_threads(4)
+            .estimate_with(300, 7, |rng| model.inject(&region, rng));
+        assert_eq!(par.reconfigured, e.reconfigured);
+        assert_eq!(par.operational, e.operational);
     }
 
     #[test]
