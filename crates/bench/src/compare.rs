@@ -36,6 +36,7 @@
 //!     operational_yield: None,
 //!     estimator: None,
 //!     defect_model: None,
+//!     engine: None,
 //!     variance: None,
 //!     effective_samples: None,
 //! };
@@ -240,6 +241,7 @@ mod tests {
             operational_yield: None,
             estimator: None,
             defect_model: None,
+            engine: None,
             variance: None,
             effective_samples: None,
         }

@@ -28,6 +28,7 @@
 //!       "operational_yield": null,
 //!       "estimator": "naive",
 //!       "defect_model": "bernoulli",
+//!       "engine": "block",
 //!       "variance": null,
 //!       "effective_samples": null
 //!     }
@@ -51,6 +52,11 @@
 //! parsing. Since this PR the reports are no longer write-only: the
 //! hand-rolled [`BenchReport::from_json`] reader feeds the
 //! `dmfb bench --compare` regression gate.
+//!
+//! **Schema evolution (PR 6).** One more optional column, same rules:
+//! `engine` records which trial engine ran the workload — `"scalar"`
+//! (one trial at a time) or `"block"` (the word-parallel 64-trials-per-
+//! word batch pipeline) — and defaults to `None` on pre-bump reports.
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -101,6 +107,11 @@ pub struct BenchEntry {
     /// Which defect model drove the workload (`"bernoulli"` or
     /// `"clustered"`); `None` on pre-bump reports.
     pub defect_model: Option<String>,
+    /// Which trial engine ran the workload: `"scalar"` (one trial at a
+    /// time) or `"block"` (word-parallel, 64 trials per machine word);
+    /// `None` on pre-bump reports and on workloads the engine axis does
+    /// not apply to (e.g. the per-trial graph-rebuild reference).
+    pub engine: Option<String>,
     /// Variance estimate attached to `yield_estimate` (stratified
     /// workloads report the stratified variance, naive rare-event
     /// workloads the binomial `ŷ(1−ŷ)/n`); `None` when not recorded.
@@ -148,6 +159,10 @@ impl BenchEntry {
             Some(m) => write!(out, ",\"defect_model\":{}", json_string(m)),
             None => write!(out, ",\"defect_model\":null"),
         };
+        let _ = match &self.engine {
+            Some(e) => write!(out, ",\"engine\":{}", json_string(e)),
+            None => write!(out, ",\"engine\":null"),
+        };
         let _ = match self.variance {
             Some(v) => write!(out, ",\"variance\":{}", json_number(v)),
             None => write!(out, ",\"variance\":null"),
@@ -182,6 +197,7 @@ impl BenchEntry {
 ///     operational_yield: None,
 ///     estimator: Some("naive".into()),
 ///     defect_model: Some("bernoulli".into()),
+///     engine: Some("block".into()),
 ///     variance: None,
 ///     effective_samples: None,
 /// });
@@ -286,9 +302,9 @@ impl BenchReport {
     /// Parses a `dmfb-bench/1` report back from its JSON serialisation —
     /// the reader behind `dmfb bench --compare`. Tolerant by design:
     /// unknown keys are skipped and every post-bump optional column
-    /// (`estimator`, `defect_model`, `variance`, `effective_samples`,
-    /// `assay`, `operational_yield`) defaults to `None` when absent, so
-    /// pre-bump artifacts stay readable.
+    /// (`estimator`, `defect_model`, `engine`, `variance`,
+    /// `effective_samples`, `assay`, `operational_yield`) defaults to
+    /// `None` when absent, so pre-bump artifacts stay readable.
     ///
     /// # Errors
     ///
@@ -320,6 +336,7 @@ impl BenchReport {
                 operational_yield: opt_f64(obj, "operational_yield")?,
                 estimator: opt_string(obj, "estimator")?,
                 defect_model: opt_string(obj, "defect_model")?,
+                engine: opt_string(obj, "engine")?,
                 variance: opt_f64(obj, "variance")?,
                 effective_samples: opt_f64(obj, "effective_samples")?,
             });
@@ -749,6 +766,7 @@ mod tests {
             operational_yield: None,
             estimator: Some("naive".into()),
             defect_model: Some("bernoulli".into()),
+            engine: Some("scalar".into()),
             variance: None,
             effective_samples: None,
         }
@@ -841,6 +859,7 @@ mod tests {
         let e = &r.entries[0];
         assert_eq!(e.estimator, None);
         assert_eq!(e.defect_model, None);
+        assert_eq!(e.engine, None);
         assert_eq!(e.variance, None);
         assert_eq!(e.effective_samples, None);
         assert_eq!(e.trials_per_sec, 160_000.0);

@@ -3,7 +3,8 @@
 //!
 //! Runs the Monte-Carlo yield workload through each engine generation —
 //! the per-trial graph-rebuild path (hex only), the incremental bitset
-//! evaluator, and the batched whole-curve sweep — for the selected
+//! evaluator (scalar), the word-parallel block pipeline (64 trials per
+//! machine word), and the batched whole-curve sweep — for the selected
 //! redundancy scheme (`--scheme hex-dtmb | square-dtmb | spare-rows`),
 //! and reports wall time plus effective trial throughput. Every scheme
 //! rides the same generic engine, so the per-scheme `BENCH_*.json`
@@ -18,20 +19,27 @@ use std::time::Instant;
 
 /// Runs the configured suite, then diffs it against the committed
 /// baseline report at `baseline_path` with the default 25% normalised
-/// regression threshold. Returns the rendered comparison and whether the
-/// gate failed.
+/// regression threshold. Returns the rendered comparison plus the full
+/// list of gate failures — every regressed workload and every baseline
+/// workload missing from the current run — so the caller can enumerate
+/// all of them instead of stopping at the first.
 pub fn run_compare(
     config: &BenchConfig,
     baseline_path: &str,
-) -> Result<(BenchReport, String, bool), String> {
+) -> Result<(BenchReport, String, Vec<String>), String> {
     let text = std::fs::read_to_string(baseline_path)
         .map_err(|e| format!("cannot read baseline '{baseline_path}': {e}"))?;
     let baseline = dmfb_bench::BenchReport::from_json(text.trim_end())
         .map_err(|e| format!("cannot parse baseline '{baseline_path}': {e}"))?;
     let report = run(config);
     let outcome = dmfb_bench::compare(&baseline, &report, dmfb_bench::DEFAULT_REGRESSION_THRESHOLD);
-    let failed = outcome.has_regression();
-    Ok((report, outcome.render(), failed))
+    let mut failures: Vec<String> = outcome
+        .regressions()
+        .iter()
+        .map(|d| format!("{}/{}", d.scheme, d.name))
+        .collect();
+    failures.extend(outcome.missing_in_current.iter().cloned());
+    Ok((report, outcome.render(), failures))
 }
 
 /// Survival probability used for the single-point engine comparisons.
@@ -59,6 +67,10 @@ pub struct BenchConfig {
     /// When set, run the operational-yield assay suite on the IVD
     /// case-study chip instead of the matching-only scheme suite.
     pub assay: Option<AssayPanel>,
+    /// Batch width for the block-engine workloads (`None` = the library
+    /// default). `Some(0)` is rejected upstream: the suite pins the
+    /// scalar and block engines per workload.
+    pub block_trials: Option<usize>,
 }
 
 /// One benchmarked hex workload: `(design, primaries, trials)`.
@@ -140,12 +152,15 @@ fn entry(
         operational_yield: None,
         estimator: Some("naive".to_string()),
         defect_model: Some("bernoulli".to_string()),
+        engine: None,
         variance: None,
         effective_samples: None,
     }
 }
 
-/// Runs `incremental` + `batched-sweep` workloads for one scheme-generic
+/// Runs `incremental` (scalar engine, pinned for baseline continuity),
+/// `block` (the word-parallel batch pipeline on the same workload) and
+/// `batched-sweep` (block engine) workloads for one scheme-generic
 /// engine and appends the entries. `primaries` is the primary-*cell*
 /// count of the array (for the spare-row scheme that is cells, not the
 /// coarser module-row units the matcher works on — `BenchEntry.primaries`
@@ -157,10 +172,14 @@ fn run_generic_engine(
     name_stem: &str,
     primaries: usize,
     trials: u32,
+    block_trials: Option<usize>,
 ) {
+    let scalar = est.clone().with_block_trials(Some(0));
+    let block = est.clone().with_block_trials(block_trials);
+
     let t0 = Instant::now();
-    let fast = est.estimate_survival(BENCH_P, trials, BENCH_SEED);
-    report.push(entry(
+    let fast = scalar.estimate_survival(BENCH_P, trials, BENCH_SEED);
+    let mut e = entry(
         format!("{name_stem}/incremental"),
         scheme,
         est.label().to_string(),
@@ -169,16 +188,34 @@ fn run_generic_engine(
         1,
         t0.elapsed().as_secs_f64() * 1_000.0,
         fast.point(),
-    ));
+    );
+    e.engine = Some("scalar".to_string());
+    report.push(e);
+
+    let t0 = Instant::now();
+    let batch = block.estimate_survival(BENCH_P, trials, BENCH_SEED);
+    debug_assert_eq!(batch, fast, "engines must be byte-identical");
+    let mut e = entry(
+        format!("{name_stem}/block"),
+        scheme,
+        est.label().to_string(),
+        primaries,
+        trials,
+        1,
+        t0.elapsed().as_secs_f64() * 1_000.0,
+        batch.point(),
+    );
+    e.engine = Some("block".to_string());
+    report.push(e);
 
     let grid = FIG7_9_SURVIVAL_GRID;
     let t0 = Instant::now();
-    let curve = est.sweep_survival_batched(&grid, trials, BENCH_SEED);
+    let curve = block.sweep_survival_batched(&grid, trials, BENCH_SEED);
     let at_bench_p = curve
         .iter()
         .find(|pt| (pt.x - BENCH_P).abs() < 1e-9)
         .map_or(f64::NAN, |pt| pt.y);
-    report.push(entry(
+    let mut e = entry(
         format!("{name_stem}/batched-sweep"),
         scheme,
         est.label().to_string(),
@@ -187,7 +224,9 @@ fn run_generic_engine(
         grid.len(),
         t0.elapsed().as_secs_f64() * 1_000.0,
         at_bench_p,
-    ));
+    );
+    e.engine = Some("block".to_string());
+    report.push(e);
 }
 
 /// Runs the suite and returns the filled report.
@@ -200,12 +239,18 @@ pub fn run(config: &BenchConfig) -> BenchReport {
     };
     let mut report = BenchReport::new(config.label.clone(), threads, config.quick);
     if let Some(panel) = config.assay {
-        run_assay(&mut report, panel, config.quick, threads);
+        run_assay(
+            &mut report,
+            panel,
+            config.quick,
+            threads,
+            config.block_trials,
+        );
         return report;
     }
     match &config.scheme {
         SchemeChoice::HexDtmb => {
-            run_hex(&mut report, config.quick, threads);
+            run_hex(&mut report, config.quick, threads, config.block_trials);
             run_rare_event(&mut report, config.quick, threads);
         }
         SchemeChoice::SquareDtmb { .. } => {
@@ -219,6 +264,7 @@ pub fn run(config: &BenchConfig) -> BenchReport {
                     &format!("square-{}", pattern_tag(pattern)),
                     est.evaluator().unit_count(),
                     trials,
+                    config.block_trials,
                 );
             }
         }
@@ -244,6 +290,7 @@ pub fn run(config: &BenchConfig) -> BenchReport {
                 &format!("spare-rows-{width}x{rows}+{spares}"),
                 (width * rows) as usize,
                 trials,
+                config.block_trials,
             );
         }
     }
@@ -256,9 +303,17 @@ pub fn run(config: &BenchConfig) -> BenchReport {
 /// grid. Entries carry the assay label and the operational-yield column;
 /// `yield_estimate` stays the reconfigured (second-tier) yield so the
 /// entries remain comparable with the matching-only suites.
-fn run_assay(report: &mut BenchReport, panel: AssayPanel, quick: bool, threads: usize) {
+fn run_assay(
+    report: &mut BenchReport,
+    panel: AssayPanel,
+    quick: bool,
+    threads: usize,
+    block_trials: Option<usize>,
+) {
     let trials: u32 = if quick { 300 } else { 2_000 };
-    let engine = OperationalYield::ivd(panel).with_threads(threads);
+    let engine = OperationalYield::ivd(panel)
+        .with_threads(threads)
+        .with_block_trials(block_trials);
     let primaries = engine.chip().array.primary_count();
     let stem = panel.label();
 
@@ -276,6 +331,7 @@ fn run_assay(report: &mut BenchReport, panel: AssayPanel, quick: bool, threads: 
     );
     point.assay = Some(stem.to_string());
     point.operational_yield = Some(e.operational.point());
+    point.engine = Some("block".to_string());
     report.push(point);
 
     let grid = [0.90, 0.925, BENCH_P, 0.975, 1.00];
@@ -297,6 +353,7 @@ fn run_assay(report: &mut BenchReport, panel: AssayPanel, quick: bool, threads: 
     );
     sweep.assay = Some(stem.to_string());
     sweep.operational_yield = Some(at_bench_p.operational.point());
+    sweep.engine = Some("block".to_string());
     report.push(sweep);
 }
 
@@ -341,6 +398,7 @@ fn run_rare_event(report: &mut BenchReport, quick: bool, threads: usize) {
     let s = (naive.successes() as f64 + 1.0) / (naive.trials() as f64 + 2.0);
     naive_entry.variance = Some(s * (1.0 - s) / f64::from(naive_trials));
     naive_entry.effective_samples = Some(f64::from(naive_trials));
+    naive_entry.engine = Some("block".to_string());
     report.push(naive_entry);
 
     let t0 = Instant::now();
@@ -368,18 +426,30 @@ fn run_rare_event(report: &mut BenchReport, quick: bool, threads: usize) {
     // only possible when every stratum resolved exactly) cannot ride in
     // JSON and is reported as the absent column.
     strat_entry.effective_samples = effective.is_finite().then_some(effective);
+    strat_entry.engine = Some("block".to_string());
     report.push(strat_entry);
 }
 
-/// The hexagonal suite keeps the historic three-engine comparison
-/// (per-trial rebuild vs incremental vs batched sweep).
-fn run_hex(report: &mut BenchReport, quick: bool, threads: usize) {
+/// Survival probability of the scalar-vs-block acceptance pair: the
+/// high-survival regime where the Hall-bound classifier retires most
+/// lanes without the matcher.
+const PAIR_P: f64 = 0.99;
+
+/// The hexagonal suite keeps the historic engine comparison — per-trial
+/// rebuild, the incremental evaluator (pinned to the scalar engine for
+/// baseline continuity), the word-parallel block pipeline on the same
+/// workload, and the batched sweep (block engine) — plus the
+/// `dtmb26/p99-scalar`/`dtmb26/p99-block` acceptance pair whose
+/// committed throughput ratio documents the block-engine speed-up.
+fn run_hex(report: &mut BenchReport, quick: bool, threads: usize, block_trials: Option<usize>) {
     for (kind, primaries, trials) in hex_cases(quick) {
         let mc = MonteCarloYield::new(
             kind.with_primary_count(primaries),
             ReconfigPolicy::AllPrimaries,
         )
         .with_threads(threads);
+        let scalar = mc.clone().with_block_trials(Some(0));
+        let block = mc.clone().with_block_trials(block_trials);
 
         let t0 = Instant::now();
         let rebuild = mc.estimate_survival(BENCH_P, trials, BENCH_SEED);
@@ -395,8 +465,8 @@ fn run_hex(report: &mut BenchReport, quick: bool, threads: usize) {
         ));
 
         let t0 = Instant::now();
-        let fast = mc.estimate_survival_fast(BENCH_P, trials, BENCH_SEED);
-        report.push(entry(
+        let fast = scalar.estimate_survival_fast(BENCH_P, trials, BENCH_SEED);
+        let mut e = entry(
             format!("{}/incremental", tag(kind)),
             "hex-dtmb",
             kind.to_string(),
@@ -405,16 +475,34 @@ fn run_hex(report: &mut BenchReport, quick: bool, threads: usize) {
             1,
             t0.elapsed().as_secs_f64() * 1_000.0,
             fast.point(),
-        ));
+        );
+        e.engine = Some("scalar".to_string());
+        report.push(e);
+
+        let t0 = Instant::now();
+        let batch = block.estimate_survival_fast(BENCH_P, trials, BENCH_SEED);
+        debug_assert_eq!(batch, fast, "engines must be byte-identical");
+        let mut e = entry(
+            format!("{}/block", tag(kind)),
+            "hex-dtmb",
+            kind.to_string(),
+            primaries,
+            trials,
+            1,
+            t0.elapsed().as_secs_f64() * 1_000.0,
+            batch.point(),
+        );
+        e.engine = Some("block".to_string());
+        report.push(e);
 
         let grid = FIG7_9_SURVIVAL_GRID;
         let t0 = Instant::now();
-        let curve = mc.sweep_survival_batched(&grid, trials, BENCH_SEED);
+        let curve = block.sweep_survival_batched(&grid, trials, BENCH_SEED);
         let at_bench_p = curve
             .iter()
             .find(|pt| (pt.x - BENCH_P).abs() < 1e-9)
             .map_or(f64::NAN, |pt| pt.y);
-        report.push(entry(
+        let mut e = entry(
             format!("{}/batched-sweep", tag(kind)),
             "hex-dtmb",
             kind.to_string(),
@@ -423,7 +511,35 @@ fn run_hex(report: &mut BenchReport, quick: bool, threads: usize) {
             grid.len(),
             t0.elapsed().as_secs_f64() * 1_000.0,
             at_bench_p,
-        ));
+        );
+        e.engine = Some("block".to_string());
+        report.push(e);
+    }
+
+    // The acceptance pair: one workload, both engines, p = 0.99 on the
+    // DTMB(2,6) case study — the regime the classifier tiers target.
+    let (primaries, trials) = if quick { (120, 20_000) } else { (240, 100_000) };
+    let mc = MonteCarloYield::new(
+        DtmbKind::Dtmb26A.with_primary_count(primaries),
+        ReconfigPolicy::AllPrimaries,
+    )
+    .with_threads(threads);
+    for (engine_tag, block_sel) in [("scalar", Some(0)), ("block", block_trials)] {
+        let engine = mc.clone().with_block_trials(block_sel);
+        let t0 = Instant::now();
+        let est = engine.estimate_survival_fast(PAIR_P, trials, BENCH_SEED);
+        let mut e = entry(
+            format!("dtmb26/p99-{engine_tag}"),
+            "hex-dtmb",
+            DtmbKind::Dtmb26A.to_string(),
+            primaries,
+            trials,
+            1,
+            t0.elapsed().as_secs_f64() * 1_000.0,
+            est.point(),
+        );
+        e.engine = Some(engine_tag.to_string());
+        report.push(e);
     }
 }
 
@@ -434,6 +550,7 @@ pub fn render_table(report: &BenchReport) -> String {
         "workload".into(),
         "scheme".into(),
         "estimator".into(),
+        "engine".into(),
         "primaries".into(),
         "trials".into(),
         "grid".into(),
@@ -449,6 +566,7 @@ pub fn render_table(report: &BenchReport) -> String {
             e.name.clone(),
             e.scheme.clone(),
             e.estimator.clone().unwrap_or_else(|| "-".into()),
+            e.engine.clone().unwrap_or_else(|| "-".into()),
             e.primaries.to_string(),
             e.trials.to_string(),
             e.grid_points.to_string(),

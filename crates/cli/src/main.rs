@@ -79,12 +79,13 @@ dmfb — yield enhancement for digital microfluidic biochips (DATE 2005)
 
 USAGE:
   dmfb yield  [--scheme SCHEME] --design <D> --primaries <N> --p <P> [--trials T] [--seed S]
-              [--threads K] [--estimator E] [--defect-model M]
+              [--threads K] [--estimator E] [--defect-model M] [--block-trials N]
   dmfb yield  --scheme hex-dtmb --assay ivd-panel|metabolic-panel --p <P> [--trials T]
-              [--seed S] [--threads K] [--estimator E] [--defect-model M]
+              [--seed S] [--threads K] [--estimator E] [--defect-model M] [--block-trials N]
               (raw vs reconfigured vs operational yield)
   dmfb sweep  [--scheme SCHEME] --design <D> --primaries <N> [--from P] [--to P] [--steps K]
               [--effective] [--batched] [--trials T] [--seed S] [--threads K] [--estimator E]
+              [--block-trials N]
   dmfb sweep  --scheme hex-dtmb --assay PANEL [--from P] [--to P] [--steps K] [--trials T]
               [--seed S] [--threads K] [--estimator E]
               (three-tier CSV on the IVD case-study chip)
@@ -93,10 +94,10 @@ USAGE:
   dmfb assay  [--faults M] [--seed S]
   dmfb profile (--casestudy | --design <D> --primaries <N>) [--trials T]
   dmfb bench  [--scheme SCHEME] [--assay PANEL] [--quick] [--json] [--out DIR] [--label L]
-              [--threads K] [--compare BASELINE.json]
+              [--threads K] [--block-trials N] [--compare BASELINE.json]
               (fixed workload suite per scheme; scheme sub-parameters are rejected;
-               --compare diffs against a committed dmfb-bench/1 report and exits
-               non-zero on a >25% normalised throughput regression)
+               --compare diffs against a committed dmfb-bench/1 report, lists every
+               workload past the >25% normalised regression gate, then exits non-zero)
   dmfb help
 
 SCHEMES: hex-dtmb (default) | square-dtmb | spare-rows
@@ -111,6 +112,12 @@ ESTIMATORS (yield and sweep): --estimator naive (default) | stratified
                with 10x+ fewer trials; sub-parameters:
                --tolerance T (truncated binomial mass, default 1e-6)
                --pilot N     (pilot trials per stratum, default 64)
+ENGINES (yield, sweep, bench): --block-trials N picks the trial engine
+  absent = auto (word-parallel block pipeline, 256 trials per batch);
+  0 = force the scalar one-trial-at-a-time engine; N >= 1 = block engine
+  with N-trial batches. Both engines are byte-identical at any width and
+  thread count. Per-trial-only paths (clustered defects, hex naive
+  reports, assay stratified) reject the flag rather than ignore it.
 DEFECT MODELS (yield): --defect-model bernoulli (default) | clustered
   clustered = negative-binomial cluster seeds spreading over the lattice;
               sub-parameters: --cluster-mean F (default 1.0)
@@ -302,6 +309,27 @@ impl Options {
         }
     }
 
+    /// Trial-engine selection (`--block-trials`): `None` = auto (block
+    /// engine at the default width), `Some(0)` = scalar, `Some(n)` =
+    /// block engine with `n`-trial batches.
+    fn block_trials(&self) -> Result<Option<usize>, String> {
+        match self.map.get("block-trials") {
+            None => Ok(None),
+            Some(v) => {
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("invalid value '{v}' for --block-trials"))?;
+                if n > MAX_BLOCK_TRIALS {
+                    return Err(format!(
+                        "need --block-trials <= {MAX_BLOCK_TRIALS}, got {n} \
+                         (wider batches only grow the per-worker scratch state)"
+                    ));
+                }
+                Ok(Some(n))
+            }
+        }
+    }
+
     fn biochip(&self) -> Result<Biochip, String> {
         let n: usize = self.get("primaries", 100)?;
         // 0 = one worker per available core (the default).
@@ -445,6 +473,9 @@ fn require_hex_scheme(opts: &Options) -> Result<(), String> {
     if opts.flag("estimator") || opts.flag("defect-model") {
         return Err("--estimator/--defect-model are supported by yield and sweep only".into());
     }
+    if opts.flag("block-trials") {
+        return Err("--block-trials is supported by yield, sweep and bench only".into());
+    }
     for key in ESTIMATOR_SUBPARAMS.iter().chain(&CLUSTER_SUBPARAMS) {
         if opts.flag(key) {
             return Err(format!(
@@ -460,6 +491,23 @@ fn require_hex_scheme(opts: &Options) -> Result<(), String> {
              --scheme square-dtmb/spare-rows is supported by yield, sweep and bench"
             .into())
     }
+}
+
+/// Upper bound on `--block-trials`. A batch is rounded up to whole
+/// 64-lane words, so widths beyond this only inflate per-worker scratch
+/// buffers without adding parallelism; the cap keeps a typo like
+/// `--block-trials 1000000000` from allocating gigabytes of lane state.
+const MAX_BLOCK_TRIALS: usize = 65_536;
+
+/// Rejects `--block-trials` on a path that can only run one trial at a
+/// time (`why` names the reason and, where one exists, the block-capable
+/// alternative). Silently ignoring the flag would mislabel what engine
+/// produced the numbers.
+fn reject_block_trials(opts: &Options, why: &str) -> Result<(), String> {
+    if opts.flag("block-trials") {
+        return Err(format!("--block-trials does not apply here: {why}"));
+    }
+    Ok(())
 }
 
 /// Upper bound on user-supplied array dimensions. Beyond this the region
@@ -573,6 +621,14 @@ fn cmd_yield(opts: &Options) -> Result<(), String> {
     reject_foreign_estimator_params(opts)?;
     let estimator = opts.estimator()?;
     let model = opts.defect_model()?;
+    let block_trials = opts.block_trials()?;
+    if matches!(model, DefectModelChoice::Clustered(_)) {
+        reject_block_trials(
+            opts,
+            "the clustered defect sampler draws a variable-length stream per trial \
+             that cannot be transposed into lanes; it always runs the scalar engine",
+        )?;
+    }
     if matches!(model, DefectModelChoice::Clustered(_)) && opts.flag("p") {
         return Err("--p does not apply with --defect-model clustered \
              (the cluster parameters set the defect intensity)"
@@ -580,7 +636,9 @@ fn cmd_yield(opts: &Options) -> Result<(), String> {
     }
     if let Some(panel) = opts.assay()? {
         check_assay_subparams(opts, &choice)?;
-        let engine = OperationalYield::ivd(panel).with_threads(opts.get("threads", 0)?);
+        let engine = OperationalYield::ivd(panel)
+            .with_threads(opts.get("threads", 0)?)
+            .with_block_trials(block_trials);
         let chip = engine.chip();
         outln!(
             "assay: {} ({} measurements) | chip: DTMB(2,6) IVD case study | \
@@ -622,6 +680,12 @@ fn cmd_yield(opts: &Options) -> Result<(), String> {
         }
         outln!("survival p        : {p:.4}");
         if matches!(estimator, EstimatorChoice::Stratified) {
+            reject_block_trials(
+                opts,
+                "the operational stratified estimator conditions each stratum on its \
+                 defect count, already skipping the defect-free bulk the block engine \
+                 short-circuits; it runs the scalar engine",
+            )?;
             let e = engine.estimate_stratified(p, trials, seed, &opts.stratified_config()?);
             print_stratified("raw yield         ", &e.raw);
             print_stratified("reconfigured yield", &e.reconfigured);
@@ -645,6 +709,7 @@ fn cmd_yield(opts: &Options) -> Result<(), String> {
     reject_foreign_subparams(opts, &choice)?;
     if !matches!(choice, SchemeChoice::HexDtmb) {
         let (est, region) = generic_engine(&choice, opts.get("threads", 0)?)?;
+        let est = est.with_block_trials(block_trials);
         outln!(
             "scheme: {} | units {} | spare resources {}",
             est.label(),
@@ -706,13 +771,19 @@ fn cmd_yield(opts: &Options) -> Result<(), String> {
     }
     if matches!(estimator, EstimatorChoice::Stratified) {
         let mc = MonteCarloYield::new(chip.array().clone(), chip.policy().clone())
-            .with_threads(opts.get("threads", 0)?);
+            .with_threads(opts.get("threads", 0)?)
+            .with_block_trials(block_trials);
         print_design_header(&chip, None);
         outln!("survival p        : {p:.4}");
         let e = mc.estimate_survival_stratified(p, trials, seed, &opts.stratified_config()?);
         print_stratified("reconfigured yield", &e);
         return Ok(());
     }
+    reject_block_trials(
+        opts,
+        "the hex yield report cross-checks the per-trial rebuild engine; \
+         use --estimator stratified or sweep --batched for the block engine",
+    )?;
     let r = chip.yield_report(p, trials, seed);
     print_design_header(&chip, Some(r.redundancy_ratio));
     outln!("survival p        : {:.4}", r.survival_p);
@@ -741,6 +812,7 @@ fn cmd_sweep(opts: &Options) -> Result<(), String> {
     let choice = opts.scheme()?;
     reject_foreign_estimator_params(opts)?;
     let estimator = opts.estimator()?;
+    let block_trials = opts.block_trials()?;
     if matches!(opts.defect_model()?, DefectModelChoice::Clustered(_)) {
         return Err(
             "--defect-model clustered has no survival probability to sweep; \
@@ -797,8 +869,16 @@ fn cmd_sweep(opts: &Options) -> Result<(), String> {
                     .into(),
             );
         }
-        let engine = OperationalYield::ivd(panel).with_threads(opts.get("threads", 0)?);
+        let engine = OperationalYield::ivd(panel)
+            .with_threads(opts.get("threads", 0)?)
+            .with_block_trials(block_trials);
         if matches!(estimator, EstimatorChoice::Stratified) {
+            reject_block_trials(
+                opts,
+                "the operational stratified estimator conditions each stratum on its \
+                 defect count, already skipping the defect-free bulk the block engine \
+                 short-circuits; it runs the scalar engine",
+            )?;
             let config = opts.stratified_config()?;
             outln!("p,raw,reconfigured,operational,op_std_err,op_eff_samples");
             for (j, &p) in ps.iter().enumerate() {
@@ -841,6 +921,7 @@ fn cmd_sweep(opts: &Options) -> Result<(), String> {
             return Err("--effective requires --scheme hex-dtmb".into());
         }
         let (est, _) = generic_engine(&choice, opts.get("threads", 0)?)?;
+        let est = est.with_block_trials(block_trials);
         if matches!(estimator, EstimatorChoice::Stratified) {
             let pts = est.sweep_survival_stratified(&ps, trials, seed, &opts.stratified_config()?);
             stratified_csv(&pts, None);
@@ -860,8 +941,9 @@ fn cmd_sweep(opts: &Options) -> Result<(), String> {
     let chip = opts.biochip()?;
     if matches!(estimator, EstimatorChoice::Stratified) {
         let threads: usize = opts.get("threads", 0)?;
-        let mc =
-            MonteCarloYield::new(chip.array().clone(), chip.policy().clone()).with_threads(threads);
+        let mc = MonteCarloYield::new(chip.array().clone(), chip.policy().clone())
+            .with_threads(threads)
+            .with_block_trials(block_trials);
         let pts = mc.sweep_survival_stratified(&ps, trials, seed, &opts.stratified_config()?);
         let array = chip.array();
         let ey = |y: f64| effective::effective_yield_of(array, y);
@@ -883,14 +965,20 @@ fn cmd_sweep(opts: &Options) -> Result<(), String> {
         // Batched engine: one Monte-Carlo pass serves the whole curve
         // (common random numbers across the grid; single master seed).
         let threads: usize = opts.get("threads", 0)?;
-        let mc =
-            MonteCarloYield::new(chip.array().clone(), chip.policy().clone()).with_threads(threads);
+        let mc = MonteCarloYield::new(chip.array().clone(), chip.policy().clone())
+            .with_threads(threads)
+            .with_block_trials(block_trials);
         for pt in mc.sweep_survival_batched(&ps, trials, seed) {
             let ey = effective::effective_yield_of(chip.array(), pt.y);
             emit(pt.x, pt.y, pt.ci95.0, pt.ci95.1, ey);
         }
         return Ok(());
     }
+    reject_block_trials(
+        opts,
+        "the non-batched hex sweep rebuilds a full yield report per grid point; \
+         use --batched (or --estimator stratified) for the block engine",
+    )?;
     for (i, &p) in ps.iter().enumerate() {
         let r = chip.yield_report(p, trials, seed.wrapping_add(i as u64));
         let (lo, hi) = r.reconfigured_yield.wilson95();
@@ -932,6 +1020,14 @@ fn cmd_bench(opts: &Options) -> Result<(), String> {
             "--assay requires --scheme hex-dtmb (the IVD case-study chip is hexagonal)".into(),
         );
     }
+    let block_trials = opts.block_trials()?;
+    if block_trials == Some(0) {
+        return Err(
+            "--block-trials 0 is not supported by bench: the suite pins the scalar \
+             and block engines per workload so both columns stay populated"
+                .into(),
+        );
+    }
     let quick = opts.flag("quick");
     let config = bench_cmd::BenchConfig {
         quick,
@@ -941,9 +1037,10 @@ fn cmd_bench(opts: &Options) -> Result<(), String> {
         label: opts.get("label", if quick { "quick" } else { "full" }.to_string())?,
         scheme: opts.scheme()?,
         assay,
+        block_trials,
     };
     if let Some(baseline) = opts.map.get("compare") {
-        let (report, rendered, failed) = bench_cmd::run_compare(&config, baseline)?;
+        let (report, rendered, regressed) = bench_cmd::run_compare(&config, baseline)?;
         out!("{}", bench_cmd::render_table(&report));
         if config.json {
             let path = report
@@ -952,10 +1049,12 @@ fn cmd_bench(opts: &Options) -> Result<(), String> {
             outln!("wrote {}", path.display());
         }
         out!("{rendered}");
-        if failed {
+        if !regressed.is_empty() {
             return Err(format!(
-                "perf gate failed against baseline '{baseline}' \
-                 (>25% normalised throughput regression)"
+                "perf gate failed against baseline '{baseline}': {} workload(s) \
+                 regressed or vanished: {}",
+                regressed.len(),
+                regressed.join(", ")
             ));
         }
         return Ok(());
@@ -1245,6 +1344,41 @@ mod tests {
             "2",
         ]);
         assert!(reject_foreign_subparams(&o, &o.scheme().unwrap()).is_ok());
+    }
+
+    #[test]
+    fn block_trials_parsing() {
+        // Absent = auto; explicit values parse; 0 (scalar) is a valid
+        // engine choice at the Options layer (bench rejects it itself).
+        assert_eq!(opts(&[]).block_trials().unwrap(), None);
+        assert_eq!(
+            opts(&["--block-trials", "0"]).block_trials().unwrap(),
+            Some(0)
+        );
+        assert_eq!(
+            opts(&["--block-trials", "512"]).block_trials().unwrap(),
+            Some(512)
+        );
+        assert_eq!(
+            opts(&["--block-trials", &MAX_BLOCK_TRIALS.to_string()])
+                .block_trials()
+                .unwrap(),
+            Some(MAX_BLOCK_TRIALS)
+        );
+        assert!(opts(&["--block-trials", "65537"]).block_trials().is_err());
+        assert!(opts(&["--block-trials", "-1"]).block_trials().is_err());
+        assert!(opts(&["--block-trials", "many"]).block_trials().is_err());
+    }
+
+    #[test]
+    fn block_trials_rejected_on_scalar_only_paths() {
+        let o = opts(&["--block-trials", "64"]);
+        assert!(reject_block_trials(&o, "per-trial path").is_err());
+        assert!(reject_block_trials(&opts(&[]), "per-trial path").is_ok());
+        // Commands without an engine axis refuse the flag outright.
+        assert!(require_hex_scheme(&o)
+            .unwrap_err()
+            .contains("yield, sweep and bench"));
     }
 
     #[test]

@@ -1,0 +1,254 @@
+//! Transposed Bernoulli defect sampling: 64 independent trials per word.
+//!
+//! The scalar injection path ([`crate::injection::Bernoulli`]) draws one
+//! uniform per cell per trial. [`BlockSampler`] transposes that loop: it
+//! runs up to 64 per-trial generators in lock-step (one *lane* per trial)
+//! and emits, for each cell, a single `u64` **fault word** whose bit `L`
+//! is the fault flag of lane `L` — the bit-sliced Bernoulli draw the
+//! word-parallel classifier tiers consume directly.
+//!
+//! Two properties make the transposition safe to rely on:
+//!
+//! * **Byte identity.** Lane `L` seeded with `seeds[L]` replays exactly
+//!   the stream of `StdRng::seed_from_u64(seeds[L])`, and
+//!   [`fault_threshold`] turns the scalar `u >= p` float compare into an
+//!   equivalent integer mantissa compare. A trial's verdict therefore
+//!   never depends on which lane, block, or thread evaluated it — the
+//!   caller keeps the scalar engine's `SeedSequence` trial→seed mapping
+//!   and gets bit-identical results at any block width.
+//! * **Stream hand-off.** [`BlockSampler::resume_lane`] reconstructs a
+//!   scalar [`StdRng`] from a lane's mid-stream state, so stages that
+//!   need scalar draws *after* the transposed cell sweep (e.g. the
+//!   operational engine's wear-model injection) continue the exact
+//!   stream the scalar engine would have used.
+//!
+//! # Example
+//!
+//! ```
+//! use dmfb_defects::block::{fault_threshold, BlockSampler};
+//! use rand::{rngs::StdRng, Rng, SeedableRng};
+//!
+//! let seeds = [11u64, 22, 33];
+//! let mut sampler = BlockSampler::new(&seeds);
+//! let t = fault_threshold(0.95);
+//! let word = sampler.fault_word(t); // one cell, three trials
+//! let mut scalar = StdRng::seed_from_u64(22);
+//! let u: f64 = scalar.gen();
+//! assert_eq!((word >> 1) & 1 == 1, u >= 0.95);
+//! ```
+
+use dmfb_graph::words::{lane_mask, mantissa_threshold, LaneRngs, LANES};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Integer mantissa threshold equivalent to the scalar fault test
+/// `rng.gen::<f64>() >= p` for survival probability `p` — defect-model
+/// alias of [`dmfb_graph::words::mantissa_threshold`].
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]`.
+#[must_use]
+pub fn fault_threshold(p: f64) -> u64 {
+    mantissa_threshold(p)
+}
+
+/// Up to 64 lock-step per-trial generators emitting one fault word per
+/// cell draw.
+///
+/// Construction order is the contract: the caller draws cells in the
+/// same order as the scalar engine (the evaluator's sorted cell order),
+/// one [`BlockSampler::fault_word`] or [`BlockSampler::mantissas`] call
+/// per cell, so each lane consumes its stream exactly like
+/// `survival_trial`'s per-cell loop.
+#[derive(Clone, Debug)]
+pub struct BlockSampler {
+    rngs: LaneRngs,
+    lanes: usize,
+}
+
+impl BlockSampler {
+    /// Creates a sampler with one lane per seed (at most 64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 64 seeds are supplied.
+    #[must_use]
+    pub fn new(seeds: &[u64]) -> Self {
+        BlockSampler {
+            rngs: LaneRngs::new(seeds),
+            lanes: seeds.len(),
+        }
+    }
+
+    /// Reseeds in place for the next block of trials, reusing the state
+    /// arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 64 seeds are supplied.
+    pub fn reseed(&mut self, seeds: &[u64]) {
+        self.rngs.reseed(seeds);
+        self.lanes = seeds.len();
+    }
+
+    /// Number of live lanes (trials) in the current block.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// All-ones mask over the live lanes; idle lanes read as zero in
+    /// every fault word, so they never contribute faults.
+    #[must_use]
+    pub fn live_mask(&self) -> u64 {
+        lane_mask(self.lanes)
+    }
+
+    /// Draws one cell for all lanes: bit `L` of the result is lane `L`'s
+    /// fault flag under mantissa `threshold` (see [`fault_threshold`]).
+    /// Idle lanes are masked to zero.
+    #[must_use]
+    pub fn fault_word(&mut self, threshold: u64) -> u64 {
+        self.rngs.next_ge(threshold) & self.live_mask()
+    }
+
+    /// Draws one cell per `out` slot for all lanes — byte-identical to
+    /// `out.len()` successive [`BlockSampler::fault_word`] calls but
+    /// batched so lane RNG state stays in registers across the sweep
+    /// (the survival engine's whole-structure sampling pass).
+    pub fn fill_fault_words(&mut self, threshold: u64, out: &mut [u64]) {
+        self.rngs.fill_ge(threshold, out);
+        let live = self.live_mask();
+        for word in out.iter_mut() {
+            *word &= live;
+        }
+    }
+
+    /// Draws one cell for all lanes and stores the raw 53-bit mantissas
+    /// (`out[L]` = lane `L`'s draw) — the transposed common-random-number
+    /// form used when one draw must be thresholded at many survival
+    /// probabilities (grid sweeps). `mantissa >= fault_threshold(p)` is
+    /// the fault test.
+    pub fn mantissas(&mut self, out: &mut [u64; LANES]) {
+        self.rngs.next_mantissas(out);
+    }
+
+    /// Reconstructs a scalar [`StdRng`] that continues lane `lane`'s
+    /// stream from its current position — for per-trial follow-on draws
+    /// after the transposed cell sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is not a live lane.
+    #[must_use]
+    pub fn resume_lane(&self, lane: usize) -> StdRng {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        let state = self.rngs.state(lane);
+        let mut bytes = [0u8; 32];
+        for (chunk, word) in bytes.chunks_mut(8).zip(state) {
+            chunk.copy_from_slice(&word.to_le_bytes());
+        }
+        StdRng::from_seed(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn fault_words_replay_scalar_bernoulli() {
+        let seeds: Vec<u64> = (0..64).map(|i| 0x5EED + i * 131).collect();
+        for &p in &[0.0, 0.5, 0.95, 0.99, 1.0] {
+            let mut sampler = BlockSampler::new(&seeds);
+            let t = fault_threshold(p);
+            let mut scalars: Vec<StdRng> =
+                seeds.iter().map(|&s| StdRng::seed_from_u64(s)).collect();
+            for cell in 0..40 {
+                let word = sampler.fault_word(t);
+                for (lane, rng) in scalars.iter_mut().enumerate() {
+                    let u: f64 = rng.gen();
+                    assert_eq!(
+                        (word >> lane) & 1 == 1,
+                        u >= p,
+                        "p={p} cell={cell} lane={lane}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fill_fault_words_matches_per_cell_calls() {
+        let seeds: Vec<u64> = (0..23).map(|i| 0xFA_57 + i * 13).collect();
+        for &p in &[0.0, 0.9, 0.99, 1.0] {
+            let t = fault_threshold(p);
+            let mut batched = BlockSampler::new(&seeds);
+            let mut reference = BlockSampler::new(&seeds);
+            let mut words = vec![u64::MAX; 150];
+            batched.fill_fault_words(t, &mut words);
+            for (cell, &word) in words.iter().enumerate() {
+                assert_eq!(word, reference.fault_word(t), "p={p} cell={cell}");
+            }
+            // Idle lanes masked, and resumable states still in step.
+            for &word in &words {
+                assert_eq!(word & !batched.live_mask(), 0);
+            }
+            for lane in 0..seeds.len() {
+                let a: f64 = batched.resume_lane(lane).gen();
+                let b: f64 = reference.resume_lane(lane).gen();
+                assert_eq!(a, b, "lane={lane}");
+            }
+        }
+    }
+
+    #[test]
+    fn idle_lanes_stay_silent() {
+        let mut sampler = BlockSampler::new(&[1, 2, 3]);
+        assert_eq!(sampler.lanes(), 3);
+        assert_eq!(sampler.live_mask(), 0b111);
+        // p = 0 faults every live lane; idle lanes must still read zero.
+        let word = sampler.fault_word(fault_threshold(0.0));
+        assert_eq!(word, 0b111);
+    }
+
+    #[test]
+    fn resume_lane_continues_the_scalar_stream() {
+        let seeds = [41u64, 42, 43];
+        let mut sampler = BlockSampler::new(&seeds);
+        let t = fault_threshold(0.9);
+        for _ in 0..17 {
+            let _ = sampler.fault_word(t);
+        }
+        for (lane, &seed) in seeds.iter().enumerate() {
+            let mut reference = StdRng::seed_from_u64(seed);
+            for _ in 0..17 {
+                let _: f64 = reference.gen();
+            }
+            let mut resumed = sampler.resume_lane(lane);
+            for _ in 0..8 {
+                let a: f64 = resumed.gen();
+                let b: f64 = reference.gen();
+                assert_eq!(a, b, "lane={lane}");
+            }
+        }
+    }
+
+    #[test]
+    fn reseed_resets_all_lanes() {
+        let mut sampler = BlockSampler::new(&[5, 6]);
+        let t = fault_threshold(0.5);
+        let first = sampler.fault_word(t);
+        sampler.reseed(&[5, 6]);
+        assert_eq!(sampler.fault_word(t), first);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn resume_rejects_idle_lane() {
+        let sampler = BlockSampler::new(&[1]);
+        let _ = sampler.resume_lane(1);
+    }
+}

@@ -14,6 +14,10 @@
 //!   assumption ([`injection::Bernoulli`]), the exact-`m`-failures mode used
 //!   for the Figure 13 case study ([`injection::ExactCount`]), and a
 //!   clustered-spot extension used only for ablation studies.
+//! * Transposed block sampling ([`block`]): up to 64 lock-step per-trial
+//!   generators emitting one bit-sliced fault word per cell — the sampler
+//!   tier of the word-parallel trial engine, byte-identical to the scalar
+//!   per-trial streams.
 //! * Clustered wafer defects ([`clustered`]): negative-binomial cluster
 //!   seeds spreading over any lattice [`dmfb_grid::Topology`] — the
 //!   "real wafers cluster" model the scheme-generic yield engines accept
@@ -39,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod block;
 pub mod clustered;
 pub mod fault;
 pub mod injection;

@@ -1,0 +1,114 @@
+//! Microbenchmarks for the word-level kernels under the tiered block
+//! trial engine: the lock-step lane RNG, the transposed pack, the
+//! bit-sliced lane counter, and the unrolled bitset matcher they feed.
+//! These are the per-word costs that multiply into the macro trials/s
+//! numbers `dmfb bench` reports.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmfb_graph::words::{lane_mask, mantissa_threshold, LaneCounter, LaneRngs, LANES};
+use dmfb_graph::{BipartiteGraph, BitsetGraph, BitsetMatcher};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn seeds(n: usize) -> Vec<u64> {
+    (0..n as u64).map(|i| 0xBE7C_2005 ^ (i * 0x9E37)).collect()
+}
+
+/// One word group of the sampler tier: 64 lanes drawing one mantissa
+/// column per cell, with and without the packed ≥-threshold compare.
+fn bench_sampler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("word_sampler");
+    let threshold = mantissa_threshold(0.99);
+    for &cells in &[64usize, 256, 1024] {
+        group.bench_with_input(BenchmarkId::new("next_ge", cells), &cells, |b, &cells| {
+            let mut rngs = LaneRngs::new(&seeds(LANES));
+            b.iter(|| {
+                let mut acc = 0u64;
+                for _ in 0..cells {
+                    acc ^= rngs.next_ge(threshold);
+                }
+                black_box(acc)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("fill_ge", cells), &cells, |b, &cells| {
+            let mut rngs = LaneRngs::new(&seeds(LANES));
+            let mut words = vec![0u64; cells];
+            b.iter(|| {
+                rngs.fill_ge(threshold, &mut words);
+                black_box(words[cells - 1])
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("next_mantissas", cells),
+            &cells,
+            |b, &cells| {
+                let mut rngs = LaneRngs::new(&seeds(LANES));
+                let mut column = [0u64; LANES];
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for _ in 0..cells {
+                        rngs.next_mantissas(&mut column);
+                        acc ^= column[0] ^ column[LANES - 1];
+                    }
+                    black_box(acc)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The classifier tier's Hall counter: saturating bit-sliced adds over a
+/// cell-fault word stream, then the ≤-bound mask extraction.
+fn bench_counter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lane_counter");
+    for &cells in &[64usize, 256, 1024] {
+        let words: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(7);
+            // ~2% set bits: the fault density the counter sees in practice.
+            (0..cells)
+                .map(|_| (0..LANES).fold(0u64, |w, l| w | (u64::from(rng.gen_bool(0.02)) << l)))
+                .collect()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("add_le_mask", cells),
+            &words,
+            |b, words| {
+                let mut counter = LaneCounter::new(2);
+                b.iter(|| {
+                    counter.reset();
+                    for &w in words {
+                        counter.add(w);
+                    }
+                    black_box(counter.le_mask(2) & lane_mask(LANES))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The residue tier's matcher on reconfiguration-shaped instances: the
+/// 4-wide unrolled BFS/DFS word loop inside `BitsetMatcher`.
+fn bench_matcher(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitset_matcher");
+    for &size in &[32usize, 128, 512] {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut g = BipartiteGraph::new(size, size / 2 + 8);
+        for a in 0..size {
+            for _ in 0..2 {
+                g.add_edge(a, rng.gen_range(0..size / 2 + 8));
+            }
+        }
+        let bg = BitsetGraph::from_graph(&g);
+        group.bench_with_input(BenchmarkId::new("covers_all_left", size), &bg, |b, bg| {
+            let mut matcher = BitsetMatcher::new();
+            b.iter(|| black_box(matcher.covers_all_left(bg)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampler, bench_counter, bench_matcher);
+criterion_main!(benches);

@@ -202,12 +202,32 @@ impl BitsetGraph {
         if self.left_count > self.right_count {
             return true;
         }
-        // Single pass: OR all rows while watching for an empty one.
-        let mut union = vec![0u64; self.words_per_row];
+        // Single pass: OR all rows while watching for an empty one. The
+        // per-trial graphs are narrow, so the union lives on the stack
+        // unless the right side exceeds 512 nodes.
+        let mut stack = [0u64; 8];
+        let mut heap;
+        let union: &mut [u64] = if self.words_per_row <= stack.len() {
+            &mut stack[..self.words_per_row]
+        } else {
+            heap = vec![0u64; self.words_per_row];
+            &mut heap
+        };
         for a in 0..self.left_count {
             let row = self.row(a);
             let mut any = 0u64;
-            for (u, &w) in union.iter_mut().zip(row) {
+            // 4-wide unroll: four independent OR accumuland updates per
+            // iteration keep wide rows off a serial dependency chain.
+            let mut quads = union.chunks_exact_mut(4);
+            let mut row_quads = row.chunks_exact(4);
+            for (u, w) in (&mut quads).zip(&mut row_quads) {
+                u[0] |= w[0];
+                u[1] |= w[1];
+                u[2] |= w[2];
+                u[3] |= w[3];
+                any |= (w[0] | w[1]) | (w[2] | w[3]);
+            }
+            for (u, &w) in quads.into_remainder().iter_mut().zip(row_quads.remainder()) {
                 *u |= w;
                 any |= w;
             }
@@ -298,7 +318,27 @@ impl BitsetMatcher {
         self.queue.clear();
     }
 
-    /// One BFS layering phase. Returns `true` if an augmenting path exists.
+    /// Scans one adjacency word during the BFS layering phase: every set
+    /// bit is a right node to relax through its current partner.
+    #[inline(always)]
+    fn bfs_word(&mut self, mut w: u64, base: usize, next: u32, found: &mut bool) {
+        while w != 0 {
+            let b = base + w.trailing_zeros() as usize;
+            w &= w - 1;
+            let a2 = self.pair_right[b];
+            if a2 == UNMATCHED {
+                *found = true;
+            } else if self.dist[a2 as usize] == INF {
+                self.dist[a2 as usize] = next;
+                self.queue.push(a2);
+            }
+        }
+    }
+
+    /// One BFS layering phase. Returns `true` if an augmenting path
+    /// exists. The adjacency-word loop is manually unrolled 4-wide: one
+    /// OR dismisses four empty words at a time, which is the common case
+    /// on the simulator's sparse per-trial rows.
     fn bfs(&mut self, graph: &BitsetGraph) -> bool {
         self.queue.clear();
         for a in 0..graph.left_count() {
@@ -315,41 +355,77 @@ impl BitsetMatcher {
             let a = self.queue[head] as usize;
             head += 1;
             let next = self.dist[a] + 1;
-            for (wi, &word) in graph.row(a).iter().enumerate() {
-                let mut w = word;
-                while w != 0 {
-                    let b = wi * 64 + w.trailing_zeros() as usize;
-                    w &= w - 1;
-                    let a2 = self.pair_right[b];
-                    if a2 == UNMATCHED {
-                        found = true;
-                    } else if self.dist[a2 as usize] == INF {
-                        self.dist[a2 as usize] = next;
-                        self.queue.push(a2);
-                    }
+            let row = graph.row(a);
+            let mut wi = 0;
+            while wi + 4 <= row.len() {
+                let (w0, w1, w2, w3) = (row[wi], row[wi + 1], row[wi + 2], row[wi + 3]);
+                if (w0 | w1) | (w2 | w3) != 0 {
+                    self.bfs_word(w0, wi * 64, next, &mut found);
+                    self.bfs_word(w1, (wi + 1) * 64, next, &mut found);
+                    self.bfs_word(w2, (wi + 2) * 64, next, &mut found);
+                    self.bfs_word(w3, (wi + 3) * 64, next, &mut found);
                 }
+                wi += 4;
+            }
+            while wi < row.len() {
+                self.bfs_word(row[wi], wi * 64, next, &mut found);
+                wi += 1;
             }
         }
         found
     }
 
+    /// Scans one adjacency word during the layered DFS; returns `true`
+    /// as soon as an augmenting path through one of its bits succeeds.
+    #[inline(always)]
+    fn dfs_word(
+        &mut self,
+        graph: &BitsetGraph,
+        a: usize,
+        mut w: u64,
+        base: usize,
+        next: u32,
+    ) -> bool {
+        while w != 0 {
+            let b = base + w.trailing_zeros() as usize;
+            w &= w - 1;
+            let a2 = self.pair_right[b];
+            let advance =
+                a2 == UNMATCHED || (self.dist[a2 as usize] == next && self.dfs(graph, a2 as usize));
+            if advance {
+                self.pair_left[a] = b as u32;
+                self.pair_right[b] = a as u32;
+                return true;
+            }
+        }
+        false
+    }
+
     /// Layered DFS from left node `a`, augmenting along a shortest path.
+    /// Same 4-wide word unrolling as [`BitsetMatcher::bfs`]; bit visit
+    /// order (ascending) is unchanged, so matchings are byte-identical
+    /// to the rolled loop's.
     fn dfs(&mut self, graph: &BitsetGraph, a: usize) -> bool {
         let next = self.dist[a] + 1;
-        for (wi, &word) in graph.row(a).iter().enumerate() {
-            let mut w = word;
-            while w != 0 {
-                let b = wi * 64 + w.trailing_zeros() as usize;
-                w &= w - 1;
-                let a2 = self.pair_right[b];
-                let advance = a2 == UNMATCHED
-                    || (self.dist[a2 as usize] == next && self.dfs(graph, a2 as usize));
-                if advance {
-                    self.pair_left[a] = b as u32;
-                    self.pair_right[b] = a as u32;
-                    return true;
-                }
+        let row = graph.row(a);
+        let mut wi = 0;
+        while wi + 4 <= row.len() {
+            let (w0, w1, w2, w3) = (row[wi], row[wi + 1], row[wi + 2], row[wi + 3]);
+            if (w0 | w1) | (w2 | w3) != 0
+                && (self.dfs_word(graph, a, w0, wi * 64, next)
+                    || self.dfs_word(graph, a, w1, (wi + 1) * 64, next)
+                    || self.dfs_word(graph, a, w2, (wi + 2) * 64, next)
+                    || self.dfs_word(graph, a, w3, (wi + 3) * 64, next))
+            {
+                return true;
             }
+            wi += 4;
+        }
+        while wi < row.len() {
+            if self.dfs_word(graph, a, row[wi], wi * 64, next) {
+                return true;
+            }
+            wi += 1;
         }
         self.dist[a] = INF;
         false

@@ -20,7 +20,11 @@
 //! * [`hall_violation`] — a Hall-theorem deficiency witness explaining *why*
 //!   a defect pattern is untolerable,
 //! * [`UnionFind`] — used to model shorted-electrode clusters,
-//! * [`Matching`] — a validated matching with coverage queries.
+//! * [`Matching`] — a validated matching with coverage queries,
+//! * [`words`] — word-level SWAR kernels for the transposed
+//!   64-trials-per-word Monte-Carlo engine: lane-parallel xoshiro256++
+//!   sampling ([`words::LaneRngs`]) and bit-sliced popcount
+//!   classification ([`words::LaneCounter`]).
 //!
 //! # Example
 //!
@@ -38,7 +42,10 @@
 //! assert!(m.covers_all_left(&g));
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide and allowed back in exactly one place: the
+// runtime-dispatched AVX2 kernels in `words::x86`, where `std::arch`
+// intrinsics are unavoidably `unsafe fn`. Everything else stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod bipartite;
@@ -46,6 +53,7 @@ mod bitset;
 mod hall;
 mod matching;
 mod union_find;
+pub mod words;
 
 pub use bipartite::BipartiteGraph;
 pub use bitset::{hopcroft_karp_bitset, BitsetGraph, BitsetMatcher};

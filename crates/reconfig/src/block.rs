@@ -1,0 +1,510 @@
+//! The tiered bit-parallel trial engine: sample → classify → match, 64
+//! trials per word.
+//!
+//! The scalar hot path ([`TrialEvaluator::survival_trial`]) evaluates one
+//! trial at a time: draw a uniform per cell, aggregate to unit/resource
+//! fault flags, run the bitset matcher. At realistic survival
+//! probabilities most trials carry 0–2 faults and never needed a matching
+//! at all — the matcher call is pure overhead. This module restructures
+//! the path into three explicit tiers over a [`TrialBlock`] of up to 64
+//! lanes (one trial per bit of a `u64` word):
+//!
+//! 1. **Sample** — a transposed [`BlockSampler`] draws one fault *word*
+//!    per cell (bit `L` = lane `L`'s fault flag), bit-identical to the
+//!    scalar per-trial streams for the same seeds.
+//! 2. **Classify** — cell-fault words are OR-folded to per-unit and
+//!    per-resource fault words through the evaluator's CSR structure;
+//!    whole lanes retire without touching the matcher when they have no
+//!    faulty unit, when their total fault popcount is within the
+//!    placement-independent Hall bound
+//!    ([`TrialEvaluator::guaranteed_tolerable_faults`], counted by a
+//!    bit-sliced [`LaneCounter`]), or — in the other direction — when
+//!    some faulty unit has every candidate resource dead (provably
+//!    intolerable, the scalar engine's early-false).
+//! 3. **Match** — only the residue lanes fall back to the per-trial
+//!    bitset matcher, through the same [`TrialScratch::solve`] path as
+//!    the scalar engine (Hall early-exit included).
+//!
+//! Because tier 1 replays the scalar RNG streams exactly and tiers 2–3
+//! decide exactly the verdicts the scalar `solve` would have produced,
+//! every block method is **byte-identical** to its scalar counterpart:
+//! same seeds in, same verdicts out, at any block width and any thread
+//! count.
+//!
+//! [`TrialScratch::solve`]: TrialEvaluator::scratch
+
+use crate::incremental::{TrialEvaluator, TrialScratch};
+use dmfb_defects::block::{fault_threshold, BlockSampler};
+use dmfb_graph::words::{pack_ge, LaneCounter, LANES};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Cumulative tier counters of a [`TrialBlock`] — how much work each
+/// tier retired, for skip-rate reporting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BlockStats {
+    /// Live lane-verdicts produced (one per trial, or per trial × grid
+    /// point in grid mode).
+    pub lanes: u64,
+    /// Verdicts decided by the classifier tier alone (no matcher call).
+    pub classified: u64,
+    /// Verdicts that reached the residue matcher.
+    pub matched: u64,
+}
+
+impl BlockStats {
+    /// Fraction of verdicts the classifier retired before the matcher
+    /// (`0.0` when nothing ran yet).
+    #[must_use]
+    pub fn skip_rate(&self) -> f64 {
+        if self.lanes == 0 {
+            0.0
+        } else {
+            self.classified as f64 / self.lanes as f64
+        }
+    }
+}
+
+/// Reusable per-worker scratch for the tiered block engine — the
+/// word-parallel counterpart of [`TrialScratch`]. Create one per worker
+/// thread via [`TrialEvaluator::block_scratch`]; any number of block
+/// calls reuse its buffers allocation-free.
+#[derive(Clone, Debug)]
+pub struct TrialBlock {
+    /// Transposed sampler (reseeded per 64-lane group).
+    sampler: BlockSampler,
+    /// Fault word per relevant cell for the current group.
+    cell_words: Vec<u64>,
+    /// OR-fold of member-cell fault words per unit.
+    unit_words: Vec<u64>,
+    /// OR-fold of member-cell fault words per resource (indestructible
+    /// resources stay zero).
+    res_words: Vec<u64>,
+    /// Stored transposed mantissas, `[cell × LANES]`, grid mode only
+    /// (sized lazily on first grid call).
+    mantissa: Vec<u64>,
+    /// Bit-sliced per-lane fault counter for the Hall tier.
+    counter: LaneCounter,
+    /// Hall bound usable by the counter tier (`None` when the structure
+    /// has no units, a zero bound, or a bound beyond counter capacity —
+    /// the other tiers already cover those cases).
+    hall_bound: Option<u64>,
+    /// Scalar scratch for the residue matcher tier.
+    scratch: TrialScratch,
+    stats: BlockStats,
+}
+
+impl TrialBlock {
+    /// Cumulative tier counters since construction (or the last
+    /// [`TrialBlock::reset_stats`]).
+    #[must_use]
+    pub fn stats(&self) -> BlockStats {
+        self.stats
+    }
+
+    /// Zeroes the tier counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = BlockStats::default();
+    }
+
+    /// Ensures the mantissa store holds `cells × LANES` words.
+    fn ensure_mantissa(&mut self, cells: usize) {
+        if self.mantissa.len() < cells * LANES {
+            self.mantissa.resize(cells * LANES, 0);
+        }
+    }
+}
+
+impl<C: Copy + Ord> TrialEvaluator<C> {
+    /// Allocates a block scratch sized for this evaluator — one per
+    /// worker thread, reused across all of that worker's blocks.
+    #[must_use]
+    pub fn block_scratch(&self) -> TrialBlock {
+        let bound = self.guaranteed_tolerable_faults();
+        let usable = self.unit_count() > 0 && (1..=255).contains(&bound);
+        TrialBlock {
+            sampler: BlockSampler::new(&[]),
+            cell_words: vec![0; self.cell_count()],
+            unit_words: vec![0; self.unit_count()],
+            res_words: vec![0; self.resource_count()],
+            mantissa: Vec::new(),
+            counter: LaneCounter::new(if usable { bound } else { 1 }),
+            hall_bound: usable.then_some(bound as u64),
+            scratch: self.scratch(),
+            stats: BlockStats::default(),
+        }
+    }
+
+    /// Survival-mode block trial: evaluates one trial per seed (64 per
+    /// word group) at survival probability `p` and returns how many were
+    /// tolerable. Byte-identical to running
+    /// [`TrialEvaluator::survival_trial`] with
+    /// `StdRng::seed_from_u64(seed)` for each seed, at any seed-slice
+    /// length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn survival_block(&self, p: f64, seeds: &[u64], block: &mut TrialBlock) -> u32 {
+        let threshold = fault_threshold(p);
+        let mut successes = 0u32;
+        for group in seeds.chunks(LANES) {
+            block.sampler.reseed(group);
+            block
+                .sampler
+                .fill_fault_words(threshold, &mut block.cell_words);
+            successes += self.decide_group(block).count_ones();
+        }
+        successes
+    }
+
+    /// Grid-mode block trial: evaluates one trial per seed against an
+    /// entire ascending survival grid, adding each point's tolerable-lane
+    /// count to `counts`. Byte-identical (in per-point totals) to running
+    /// [`TrialEvaluator::survival_trial_grid`] per seed.
+    ///
+    /// One transposed draw per cell is shared across the grid (common
+    /// random numbers), so per-lane tolerability is monotone along the
+    /// grid; a lane found tolerable at point `j` is retired and counted
+    /// tolerable for every point after `j` without re-evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ps` is not sorted ascending, lengths mismatch, or any
+    /// `p` is outside `[0, 1]`.
+    pub fn survival_grid_block(
+        &self,
+        ps: &[f64],
+        seeds: &[u64],
+        block: &mut TrialBlock,
+        counts: &mut [u64],
+    ) {
+        assert_eq!(ps.len(), counts.len(), "grid and output lengths differ");
+        assert!(
+            ps.windows(2).all(|w| w[0] <= w[1]),
+            "survival grid must be ascending"
+        );
+        let cells = self.cell_count();
+        block.ensure_mantissa(cells);
+        for group in seeds.chunks(LANES) {
+            block.sampler.reseed(group);
+            let live = block.sampler.live_mask();
+            for cell in 0..cells {
+                let column: &mut [u64; LANES] = (&mut block.mantissa
+                    [cell * LANES..(cell + 1) * LANES])
+                    .try_into()
+                    .expect("mantissa store is sized for LANES per cell");
+                block.sampler.mantissas(column);
+            }
+            // Ascending scan: tolerability is monotone in p under common
+            // random numbers, so resolved lanes stay tolerable.
+            let mut resolved = 0u64;
+            for (&p, count) in ps.iter().zip(counts.iter_mut()) {
+                if resolved != live {
+                    let threshold = fault_threshold(p);
+                    for (cell, word) in block.cell_words.iter_mut().enumerate() {
+                        let column: &[u64; LANES] = block.mantissa
+                            [cell * LANES..(cell + 1) * LANES]
+                            .try_into()
+                            .expect("mantissa store is sized for LANES per cell");
+                        *word = pack_ge(column, threshold) & live;
+                    }
+                    resolved |= self.decide_group_masked(block, live & !resolved);
+                }
+                *count += u64::from(resolved.count_ones());
+            }
+        }
+    }
+
+    /// Exact-fault-count block trial: evaluates one trial per seed with
+    /// exactly `faults` faulty cells (drawn per lane by the same partial
+    /// Fisher–Yates as the scalar path) and returns how many were
+    /// tolerable. Byte-identical to running
+    /// [`TrialEvaluator::exact_fault_trial`] per seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `faults` exceeds the evaluator's relevant-cell count.
+    pub fn exact_fault_block(&self, faults: usize, seeds: &[u64], block: &mut TrialBlock) -> u32 {
+        let n = self.cell_count();
+        assert!(
+            faults <= n,
+            "cannot inject {faults} faults into a {n}-cell structure"
+        );
+        let mut successes = 0u32;
+        for group in seeds.chunks(LANES) {
+            block.sampler.reseed(group); // keeps live_mask in step
+            block.cell_words.iter_mut().for_each(|w| *w = 0);
+            for (lane, &seed) in group.iter().enumerate() {
+                let mut rng = StdRng::seed_from_u64(seed);
+                for (i, slot) in block.scratch.perm.iter_mut().enumerate() {
+                    *slot = i as u32;
+                }
+                for i in 0..faults {
+                    let j = rng.gen_range(i..n);
+                    block.scratch.perm.swap(i, j);
+                    block.cell_words[block.scratch.perm[i] as usize] |= 1u64 << lane;
+                }
+            }
+            successes += self.decide_group(block).count_ones();
+        }
+        successes
+    }
+
+    /// Classifies and (for the residue) matches every live lane of the
+    /// fault words currently staged in `block.cell_words`; returns the
+    /// tolerable-lane mask.
+    fn decide_group(&self, block: &mut TrialBlock) -> u64 {
+        let live = block.sampler.live_mask();
+        self.decide_group_masked(block, live)
+    }
+
+    /// [`Self::decide_group`] restricted to the lanes in `mask` (grid
+    /// mode re-decides only unresolved lanes).
+    fn decide_group_masked(&self, block: &mut TrialBlock, mask: u64) -> u64 {
+        let (tolerable, intolerable) = self.classify_words(block);
+        let undecided = mask & !tolerable & !intolerable;
+        let verdicts = (tolerable & mask) | self.match_residue(block, undecided);
+        block.stats.lanes += u64::from(mask.count_ones());
+        block.stats.matched += u64::from(undecided.count_ones());
+        block.stats.classified += u64::from((mask & !undecided).count_ones());
+        verdicts
+    }
+
+    /// Tier 2: folds cell-fault words to unit/resource fault words
+    /// through the CSR structure and returns the
+    /// `(provably tolerable, provably intolerable)` lane masks.
+    ///
+    /// * tolerable — no faulty unit at all (the scalar `solve`'s empty
+    ///   row set), or total cell-fault popcount within the Hall bound;
+    /// * intolerable — some faulty unit whose candidate resources are
+    ///   all dead (the scalar `solve`'s early `false`; units with no
+    ///   candidates at all fold to the same verdict).
+    fn classify_words(&self, block: &mut TrialBlock) -> (u64, u64) {
+        for (i, word) in block.unit_words.iter_mut().enumerate() {
+            *word = self
+                .unit_members(i)
+                .iter()
+                .fold(0u64, |w, &c| w | block.cell_words[c as usize]);
+        }
+        for (j, word) in block.res_words.iter_mut().enumerate() {
+            *word = self
+                .res_members(j)
+                .iter()
+                .fold(0u64, |w, &c| w | block.cell_words[c as usize]);
+        }
+        let any_faulty_unit = block.unit_words.iter().fold(0u64, |w, &u| w | u);
+        let mut tolerable = !any_faulty_unit;
+        if let Some(bound) = block.hall_bound {
+            block.counter.reset();
+            for &word in &block.cell_words {
+                block.counter.add(word);
+            }
+            tolerable |= block.counter.le_mask(bound);
+        }
+        let mut intolerable = 0u64;
+        for (i, &unit_word) in block.unit_words.iter().enumerate() {
+            let all_dead = self
+                .adjacent(i)
+                .iter()
+                .fold(u64::MAX, |w, &r| w & block.res_words[r as usize]);
+            intolerable |= unit_word & all_dead;
+        }
+        // The Hall bound guarantees the tiers cannot disagree; mask
+        // defensively anyway so a verdict is never double-booked.
+        debug_assert_eq!(tolerable & intolerable, 0, "classifier tiers disagree");
+        (tolerable, intolerable & !tolerable)
+    }
+
+    /// Tier 3: runs the scalar matcher path for each lane in
+    /// `undecided`, returning the mask of lanes it found tolerable.
+    fn match_residue(&self, block: &mut TrialBlock, mut undecided: u64) -> u64 {
+        let mut verdicts = 0u64;
+        while undecided != 0 {
+            let lane = undecided.trailing_zeros() as usize;
+            undecided &= undecided - 1;
+            for (flag, &word) in block.scratch.faulty_unit.iter_mut().zip(&block.unit_words) {
+                *flag = (word >> lane) & 1 == 1;
+            }
+            for (flag, &word) in block.scratch.dead_res.iter_mut().zip(&block.res_words) {
+                *flag = (word >> lane) & 1 == 1;
+            }
+            if self.solve(&mut block.scratch) {
+                verdicts |= 1u64 << lane;
+            }
+        }
+        verdicts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtmb::DtmbKind;
+    use crate::local::ReconfigPolicy;
+    use crate::shifted::SpareRowArray;
+    use crate::square_dtmb::SquarePattern;
+    use dmfb_grid::SquareRegion;
+
+    fn hex_eval(n: usize) -> TrialEvaluator {
+        let array = DtmbKind::Dtmb26A.with_primary_count(n);
+        TrialEvaluator::new(&array, &ReconfigPolicy::AllPrimaries)
+    }
+
+    fn seeds(base: u64, n: usize) -> Vec<u64> {
+        (0..n as u64)
+            .map(|i| base.wrapping_add(i * 0x9E37))
+            .collect()
+    }
+
+    #[test]
+    fn survival_block_matches_scalar_verdicts() {
+        let eval = hex_eval(80);
+        let mut block = eval.block_scratch();
+        let mut scratch = eval.scratch();
+        for &p in &[0.0, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            for width in [1usize, 3, 64, 65, 150] {
+                let s = seeds(0xC0FFEE ^ (width as u64), width);
+                let got = eval.survival_block(p, &s, &mut block);
+                let mut expected = 0u32;
+                for &seed in &s {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    expected += u32::from(eval.survival_trial(p, &mut rng, &mut scratch));
+                }
+                assert_eq!(got, expected, "p={p} width={width}");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_block_matches_scalar_grid_counts() {
+        let eval = hex_eval(60);
+        let mut block = eval.block_scratch();
+        let mut scratch = eval.scratch();
+        let ps = [0.0, 0.5, 0.8, 0.9, 0.95, 0.99, 1.0];
+        let s = seeds(0xBEEF, 130);
+        let mut counts = vec![0u64; ps.len()];
+        eval.survival_grid_block(&ps, &s, &mut block, &mut counts);
+        let mut expected = vec![0u64; ps.len()];
+        let mut out = [false; 7];
+        for &seed in &s {
+            let mut rng = StdRng::seed_from_u64(seed);
+            eval.survival_trial_grid(&ps, &mut rng, &mut scratch, &mut out);
+            for (e, &o) in expected.iter_mut().zip(&out) {
+                *e += u64::from(o);
+            }
+        }
+        assert_eq!(counts, expected);
+    }
+
+    #[test]
+    fn exact_fault_block_matches_scalar() {
+        let eval = hex_eval(50);
+        let mut block = eval.block_scratch();
+        let mut scratch = eval.scratch();
+        for k in [0usize, 1, 3, 8, 20, eval.cell_count()] {
+            let s = seeds(0xAB00 + k as u64, 90);
+            let got = eval.exact_fault_block(k, &s, &mut block);
+            let mut expected = 0u32;
+            for &seed in &s {
+                let mut rng = StdRng::seed_from_u64(seed);
+                expected += u32::from(eval.exact_fault_trial(k, &mut rng, &mut scratch));
+            }
+            assert_eq!(got, expected, "k={k}");
+        }
+    }
+
+    #[test]
+    fn all_three_schemes_agree_with_scalar() {
+        let region = SquareRegion::rect(10, 10);
+        let mut evals: Vec<TrialEvaluator<dmfb_grid::SquareCoord>> = SquarePattern::ALL
+            .iter()
+            .map(|p| TrialEvaluator::for_scheme(&region, p))
+            .collect();
+        let rows = SpareRowArray::figure2_example();
+        evals.push(TrialEvaluator::for_scheme(&rows.region(), &rows));
+        for (idx, eval) in evals.iter().enumerate() {
+            let mut block = eval.block_scratch();
+            let mut scratch = eval.scratch();
+            for &p in &[0.8, 0.95, 0.995] {
+                let s = seeds(0xD00D + idx as u64, 96);
+                let got = eval.survival_block(p, &s, &mut block);
+                let mut expected = 0u32;
+                for &seed in &s {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    expected += u32::from(eval.survival_trial(p, &mut rng, &mut scratch));
+                }
+                assert_eq!(got, expected, "scheme={idx} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_width_does_not_change_totals() {
+        let eval = hex_eval(70);
+        let mut block = eval.block_scratch();
+        let s = seeds(0xFEED, 200);
+        let whole = eval.survival_block(0.97, &s, &mut block);
+        for chunk in [1usize, 7, 64, 128] {
+            let split: u32 = s
+                .chunks(chunk)
+                .map(|c| eval.survival_block(0.97, c, &mut block))
+                .sum();
+            assert_eq!(split, whole, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn classifier_skip_rate_is_high_at_high_survival() {
+        // Measured regimes on DTMB(2,6) @ 120 primaries (Hall bound 2):
+        // ~76% of lanes retire without a matcher call at p = 0.99 and
+        // ~95% at p = 0.995; guard against regressions below those tiers.
+        let eval = hex_eval(120);
+        let mut block = eval.block_scratch();
+        let s = seeds(0x99, 2048);
+        let _ = eval.survival_block(0.99, &s, &mut block);
+        let stats = block.stats();
+        assert_eq!(stats.lanes, 2048);
+        assert_eq!(stats.classified + stats.matched, stats.lanes);
+        assert!(
+            stats.skip_rate() > 0.7,
+            "classifier should retire >70% of lanes at p=0.99, got {}",
+            stats.skip_rate()
+        );
+        block.reset_stats();
+        let _ = eval.survival_block(0.995, &s, &mut block);
+        assert!(
+            block.stats().skip_rate() > 0.9,
+            "classifier should retire >90% of lanes at p=0.995, got {}",
+            block.stats().skip_rate()
+        );
+    }
+
+    #[test]
+    fn empty_seed_slice_is_a_no_op() {
+        let eval = hex_eval(30);
+        let mut block = eval.block_scratch();
+        assert_eq!(eval.survival_block(0.9, &[], &mut block), 0);
+        assert_eq!(eval.exact_fault_block(2, &[], &mut block), 0);
+        let mut counts = [0u64; 2];
+        eval.survival_grid_block(&[0.5, 0.9], &[], &mut block, &mut counts);
+        assert_eq!(counts, [0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn grid_block_rejects_unsorted_grid() {
+        let eval = hex_eval(20);
+        let mut block = eval.block_scratch();
+        let mut counts = [0u64; 2];
+        eval.survival_grid_block(&[0.9, 0.5], &[1], &mut block, &mut counts);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot inject")]
+    fn exact_block_rejects_overfull() {
+        let eval = hex_eval(20);
+        let mut block = eval.block_scratch();
+        let _ = eval.exact_fault_block(eval.cell_count() + 1, &[1], &mut block);
+    }
+}

@@ -75,20 +75,20 @@ use rand::Rng;
 #[derive(Clone, Debug)]
 pub struct TrialEvaluator<C = HexCoord> {
     /// Distinct relevant cells, sorted; index space for fault draws.
-    cells: Vec<C>,
+    pub(crate) cells: Vec<C>,
     /// CSR offsets into `unit_cells`, length `unit_count + 1`.
-    unit_offsets: Vec<u32>,
+    pub(crate) unit_offsets: Vec<u32>,
     /// Concatenated member-cell indices per unit.
-    unit_cells: Vec<u32>,
+    pub(crate) unit_cells: Vec<u32>,
     /// CSR offsets into `res_cells`, length `resource_count + 1`.
-    res_offsets: Vec<u32>,
+    pub(crate) res_offsets: Vec<u32>,
     /// Concatenated member-cell indices per resource (an empty slice means
     /// the resource is indestructible).
-    res_cells: Vec<u32>,
+    pub(crate) res_cells: Vec<u32>,
     /// CSR offsets into `adj_res`, length `unit_count + 1`.
-    adj_offsets: Vec<u32>,
+    pub(crate) adj_offsets: Vec<u32>,
     /// Concatenated candidate-resource indices per unit.
-    adj_res: Vec<u32>,
+    pub(crate) adj_res: Vec<u32>,
 }
 
 /// Reusable per-trial buffers for a [`TrialEvaluator`]. Create one per
@@ -96,33 +96,33 @@ pub struct TrialEvaluator<C = HexCoord> {
 #[derive(Clone, Debug)]
 pub struct TrialScratch {
     /// Uniform draw per relevant cell (grid and survival modes).
-    u_cell: Vec<f64>,
+    pub(crate) u_cell: Vec<f64>,
     /// Max member-cell uniform per unit: the unit is faulty at survival
     /// `p` iff this is `>= p`.
-    unit_u: Vec<f64>,
+    pub(crate) unit_u: Vec<f64>,
     /// Max member-cell uniform per resource (`-1.0` for indestructible
     /// resources, which never fail).
-    res_u: Vec<f64>,
-    faulty_unit: Vec<bool>,
-    dead_res: Vec<bool>,
+    pub(crate) res_u: Vec<f64>,
+    pub(crate) faulty_unit: Vec<bool>,
+    pub(crate) dead_res: Vec<bool>,
     /// Faulty units of the current trial (indices into the unit space).
-    rows: Vec<u32>,
+    pub(crate) rows: Vec<u32>,
     /// Edge list of the current trial's compacted graph.
-    edges: Vec<(u32, u32)>,
+    pub(crate) edges: Vec<(u32, u32)>,
     /// Generation-stamped resource→column compaction (avoids clearing).
-    col_of_res: Vec<u32>,
-    col_gen: Vec<u32>,
-    generation: u32,
+    pub(crate) col_of_res: Vec<u32>,
+    pub(crate) col_gen: Vec<u32>,
+    pub(crate) generation: u32,
     /// Inverse of `col_of_res` for the current trial: the resource index
     /// behind each compacted column (needed to read assignments back).
-    res_of_col: Vec<u32>,
+    pub(crate) res_of_col: Vec<u32>,
     /// Cell-index permutation buffer for exact-`k` fault sampling
     /// ([`TrialEvaluator::exact_fault_trial`]); reset to the identity at
     /// the start of every such trial so results never depend on which
     /// trials a worker ran before.
-    perm: Vec<u32>,
-    graph: BitsetGraph,
-    matcher: BitsetMatcher,
+    pub(crate) perm: Vec<u32>,
+    pub(crate) graph: BitsetGraph,
+    pub(crate) matcher: BitsetMatcher,
 }
 
 impl TrialEvaluator<HexCoord> {
@@ -338,17 +338,17 @@ impl<C: Copy + Ord> TrialEvaluator<C> {
     }
 
     /// Member-cell indices of unit `i`.
-    fn unit_members(&self, i: usize) -> &[u32] {
+    pub(crate) fn unit_members(&self, i: usize) -> &[u32] {
         &self.unit_cells[self.unit_offsets[i] as usize..self.unit_offsets[i + 1] as usize]
     }
 
     /// Member-cell indices of resource `j`.
-    fn res_members(&self, j: usize) -> &[u32] {
+    pub(crate) fn res_members(&self, j: usize) -> &[u32] {
         &self.res_cells[self.res_offsets[j] as usize..self.res_offsets[j + 1] as usize]
     }
 
     /// Candidate resource indices of unit `i`.
-    fn adjacent(&self, i: usize) -> &[u32] {
+    pub(crate) fn adjacent(&self, i: usize) -> &[u32] {
         &self.adj_res[self.adj_offsets[i] as usize..self.adj_offsets[i + 1] as usize]
     }
 
@@ -387,7 +387,7 @@ impl<C: Copy + Ord> TrialEvaluator<C> {
 
     /// Decides tolerability for the fault flags currently staged in
     /// `scratch.faulty_unit` / `scratch.dead_res`.
-    fn solve(&self, scratch: &mut TrialScratch) -> bool {
+    pub(crate) fn solve(&self, scratch: &mut TrialScratch) -> bool {
         scratch.rows.clear();
         scratch.edges.clear();
         scratch.res_of_col.clear();

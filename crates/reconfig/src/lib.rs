@@ -21,6 +21,10 @@
 //!   precomputes the primary↔spare neighbour structure once per array and
 //!   evaluates each trial (or a whole survival-probability grid per trial)
 //!   with reusable bitset-matching buffers.
+//! * [`block`](mod@crate::block) — the tiered bit-parallel trial engine:
+//!   64 trials per word through sample → classify → match tiers
+//!   ([`TrialBlock`]), byte-identical to the scalar path at any block
+//!   width or thread count.
 //! * [`scheme`] — the cross-cutting [`RedundancyScheme`] abstraction:
 //!   every design (hex DTMB, square DTMB, spare rows) compiled into one
 //!   assignment-under-adjacency-conflicts structure so all of them ride
@@ -46,6 +50,7 @@
 
 pub mod app_aware;
 pub mod array;
+pub mod block;
 pub mod dtmb;
 pub mod incremental;
 pub mod local;
@@ -54,6 +59,7 @@ pub mod shifted;
 pub mod square_dtmb;
 
 pub use array::{CellRole, DefectTolerantArray, DegreeAudit};
+pub use block::{BlockStats, TrialBlock};
 pub use incremental::{TrialEvaluator, TrialScratch};
 pub use local::{attempt_reconfiguration, ReconfigFailure, ReconfigPlan, ReconfigPolicy};
 pub use scheme::{scheme_audit, RedundancyScheme, SchemeStructure};

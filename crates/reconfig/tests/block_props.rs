@@ -1,0 +1,172 @@
+//! Property tests for the tiered bit-parallel trial engine: on random
+//! structures, survival probabilities and seed sets, every block method
+//! must be **byte-identical** to its scalar counterpart — not just equal
+//! in aggregate, but verdict-for-verdict per seed — and invariant under
+//! how the seed slice is chunked into word groups. This is the contract
+//! `dmfb --block-trials` advertises, checked adversarially.
+
+use dmfb_grid::SquareRegion;
+use dmfb_reconfig::dtmb::DtmbKind;
+use dmfb_reconfig::shifted::{ModuleBand, SpareRowArray};
+use dmfb_reconfig::{ReconfigPolicy, SquarePattern, TrialEvaluator};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn seeds(base: u64, n: usize) -> Vec<u64> {
+    (0..n as u64)
+        .map(|i| base.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i))
+        .collect()
+}
+
+/// Runs the byte-identity check for one concrete evaluator: per-seed
+/// scalar verdicts equal per-seed block verdicts (width-1 calls), the
+/// whole-slice block count equals the scalar sum, and chunking the slice
+/// any way leaves the total unchanged.
+fn check_survival<C: Copy + Ord>(eval: &TrialEvaluator<C>, p: f64, s: &[u64], chunk: usize) {
+    let mut block = eval.block_scratch();
+    let mut scratch = eval.scratch();
+    let mut scalar_total = 0u32;
+    for &seed in s {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scalar = eval.survival_trial(p, &mut rng, &mut scratch);
+        let lane = eval.survival_block(p, &[seed], &mut block);
+        prop_assert_eq!(lane, u32::from(scalar), "verdict differs for seed {seed}");
+        scalar_total += u32::from(scalar);
+    }
+    prop_assert_eq!(eval.survival_block(p, s, &mut block), scalar_total);
+    let split: u32 = s
+        .chunks(chunk.max(1))
+        .map(|c| eval.survival_block(p, c, &mut block))
+        .sum();
+    prop_assert_eq!(split, scalar_total, "chunk width {chunk} changed the total");
+    let stats = block.stats();
+    prop_assert_eq!(stats.classified + stats.matched, stats.lanes);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Block survival trials are byte-identical to scalar trials on any
+    /// structure — hex DTMB, square interstitial or spare rows, chosen
+    /// by `kind` — at any survival probability, seed set and chunking.
+    #[test]
+    fn survival_block_is_byte_identical(
+        kind in 0usize..7,
+        p in 0.0f64..=1.0,
+        dim_a in 3u32..12,
+        dim_b in 1u32..8,
+        base in 0u64..u64::MAX,
+        n in 1usize..100,
+        chunk in 1usize..130,
+    ) {
+        let s = seeds(base, n);
+        if kind < 5 {
+            let hex = [
+                DtmbKind::Dtmb16,
+                DtmbKind::Dtmb26A,
+                DtmbKind::Dtmb26B,
+                DtmbKind::Dtmb36,
+                DtmbKind::Dtmb44,
+            ][kind];
+            let primaries = 8 + (dim_a as usize) * (dim_b as usize);
+            let array = hex.with_primary_count(primaries);
+            let eval = TrialEvaluator::new(&array, &ReconfigPolicy::AllPrimaries);
+            check_survival(&eval, p, &s, chunk);
+        } else if kind == 5 {
+            let pattern = SquarePattern::ALL[(dim_a as usize) % SquarePattern::ALL.len()];
+            let region = SquareRegion::rect(dim_a, 3 + dim_b);
+            let eval = TrialEvaluator::for_scheme(&region, &pattern);
+            check_survival(&eval, p, &s, chunk);
+        } else {
+            let array = SpareRowArray::new(
+                dim_a,
+                vec![ModuleBand { name: "M".into(), rows: dim_b }],
+                dim_b / 2,
+            );
+            let eval = TrialEvaluator::for_scheme(&array.region(), &array);
+            check_survival(&eval, p, &s, chunk);
+        }
+    }
+
+    /// Grid-mode block trials reproduce the scalar grid per point, and
+    /// stay monotone along the ascending grid (the common-random-numbers
+    /// invariant the retire-early scan exploits).
+    #[test]
+    fn grid_block_is_byte_identical(
+        primaries in 8usize..70,
+        base in 0u64..u64::MAX,
+        n in 1usize..90,
+    ) {
+        let array = DtmbKind::Dtmb26A.with_primary_count(primaries);
+        let eval = TrialEvaluator::new(&array, &ReconfigPolicy::AllPrimaries);
+        let ps = [0.0, 0.55, 0.85, 0.95, 0.99, 1.0];
+        let s = seeds(base, n);
+        let mut block = eval.block_scratch();
+        let mut counts = vec![0u64; ps.len()];
+        eval.survival_grid_block(&ps, &s, &mut block, &mut counts);
+        let mut scratch = eval.scratch();
+        let mut expected = vec![0u64; ps.len()];
+        let mut out = [false; 6];
+        for &seed in &s {
+            let mut rng = StdRng::seed_from_u64(seed);
+            eval.survival_trial_grid(&ps, &mut rng, &mut scratch, &mut out);
+            prop_assert!(out.windows(2).all(|w| w[1] || !w[0]), "non-monotone: {out:?}");
+            for (e, &o) in expected.iter_mut().zip(&out) {
+                *e += u64::from(o);
+            }
+        }
+        prop_assert_eq!(counts, expected);
+    }
+
+    /// Exact-fault-count block trials replay the scalar partial
+    /// Fisher–Yates stream lane for lane.
+    #[test]
+    fn exact_fault_block_is_byte_identical(
+        primaries in 8usize..60,
+        fault_frac in 0.0f64..=1.0,
+        base in 0u64..u64::MAX,
+        n in 1usize..90,
+    ) {
+        let array = DtmbKind::Dtmb44.with_primary_count(primaries);
+        let eval = TrialEvaluator::new(&array, &ReconfigPolicy::AllPrimaries);
+        let faults = ((eval.cell_count() as f64) * fault_frac) as usize;
+        let s = seeds(base, n);
+        let mut block = eval.block_scratch();
+        let mut scratch = eval.scratch();
+        let mut expected = 0u32;
+        for &seed in &s {
+            let mut rng = StdRng::seed_from_u64(seed);
+            expected += u32::from(eval.exact_fault_trial(faults, &mut rng, &mut scratch));
+        }
+        prop_assert_eq!(eval.exact_fault_block(faults, &s, &mut block), expected);
+        // Per-lane agreement, not just in aggregate.
+        for &seed in s.iter().take(8) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let scalar = eval.exact_fault_trial(faults, &mut rng, &mut scratch);
+            prop_assert_eq!(
+                eval.exact_fault_block(faults, &[seed], &mut block),
+                u32::from(scalar)
+            );
+        }
+    }
+
+    /// A shared scratch carries no state between calls: interleaving
+    /// unrelated block work does not perturb later verdicts.
+    #[test]
+    fn block_scratch_reuse_is_stateless(
+        primaries in 8usize..60,
+        p in 0.5f64..=1.0,
+        base in 0u64..u64::MAX,
+    ) {
+        let array = DtmbKind::Dtmb26B.with_primary_count(primaries);
+        let eval = TrialEvaluator::new(&array, &ReconfigPolicy::AllPrimaries);
+        let mut block = eval.block_scratch();
+        let s = seeds(base, 70);
+        let first = eval.survival_block(p, &s, &mut block);
+        let _ = eval.exact_fault_block(1.min(eval.cell_count()), &seeds(!base, 40), &mut block);
+        let mut counts = [0u64; 2];
+        eval.survival_grid_block(&[0.5, 0.9], &seeds(base ^ 0xA5, 30), &mut block, &mut counts);
+        prop_assert_eq!(eval.survival_block(p, &s, &mut block), first);
+    }
+}

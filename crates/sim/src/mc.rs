@@ -152,6 +152,146 @@ impl MonteCarlo {
         BernoulliEstimate::new(successes, total)
     }
 
+    /// Block-parallel counterpart of [`MonteCarlo::run_parallel_with`]:
+    /// trials are handed to `block` in groups of up to `width` *seeds*
+    /// (the same `SeedSequence` seeds the scalar engine would have used,
+    /// in trial order), and `block` returns how many of them succeeded.
+    ///
+    /// Because each trial's seed depends only on its global index, the
+    /// result is identical for any `width`, any `threads`, and to the
+    /// scalar runners — provided `block` gives each seed the verdict the
+    /// scalar `trial` closure would (the contract the `dmfb-reconfig`
+    /// word-parallel engine upholds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0` or a worker thread panics.
+    pub fn run_blocks_with<S>(
+        &self,
+        threads: usize,
+        width: usize,
+        init: impl Fn() -> S + Sync,
+        block: impl Fn(&[u64], &mut S) -> u32 + Sync,
+    ) -> BernoulliEstimate {
+        assert!(width > 0, "block width must be positive");
+        let total = u64::from(self.trials);
+        let blocks = total.div_ceil(width as u64);
+        let threads = resolve_threads(threads);
+        let master = self.master_seed;
+        let fill_seeds = |seeds: &mut Vec<u64>, b: u64| {
+            seeds.clear();
+            seeds.extend(
+                (b * width as u64..total.min((b + 1) * width as u64))
+                    .map(|i| SeedSequence::nth_seed(master, i)),
+            );
+        };
+        if threads == 1 || blocks < 2 {
+            let mut state = init();
+            let mut seeds = Vec::with_capacity(width);
+            let mut successes = 0u64;
+            for b in 0..blocks {
+                fill_seeds(&mut seeds, b);
+                successes += u64::from(block(&seeds, &mut state));
+            }
+            return BernoulliEstimate::new(successes, total);
+        }
+        let successes = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for t in 0..threads as u64 {
+                let block = &block;
+                let init = &init;
+                let fill_seeds = &fill_seeds;
+                handles.push(scope.spawn(move || {
+                    let mut state = init();
+                    let mut seeds = Vec::with_capacity(width);
+                    let mut local = 0u64;
+                    let mut b = t;
+                    while b < blocks {
+                        fill_seeds(&mut seeds, b);
+                        local += u64::from(block(&seeds, &mut state));
+                        b += threads as u64;
+                    }
+                    local
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("worker")).sum()
+        });
+        BernoulliEstimate::new(successes, total)
+    }
+
+    /// Block-parallel counterpart of [`MonteCarlo::tally_parallel`]:
+    /// `block` receives a group of up to `width` trial seeds and *adds*
+    /// each slot's success count for those trials into the `k`-slot
+    /// count vector. Per-worker counts are summed element-wise, so the
+    /// estimates are identical for any `width` and `threads`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0` or a worker thread panics.
+    pub fn tally_blocks_with<S>(
+        &self,
+        threads: usize,
+        width: usize,
+        k: usize,
+        init: impl Fn() -> S + Sync,
+        block: impl Fn(&[u64], &mut S, &mut [u64]) + Sync,
+    ) -> Vec<BernoulliEstimate> {
+        assert!(width > 0, "block width must be positive");
+        let total = u64::from(self.trials);
+        let blocks = total.div_ceil(width as u64);
+        let threads = resolve_threads(threads);
+        let master = self.master_seed;
+        let fill_seeds = |seeds: &mut Vec<u64>, b: u64| {
+            seeds.clear();
+            seeds.extend(
+                (b * width as u64..total.min((b + 1) * width as u64))
+                    .map(|i| SeedSequence::nth_seed(master, i)),
+            );
+        };
+        let counts = if threads == 1 || blocks < 2 {
+            let mut state = init();
+            let mut seeds = Vec::with_capacity(width);
+            let mut counts = vec![0u64; k];
+            for b in 0..blocks {
+                fill_seeds(&mut seeds, b);
+                block(&seeds, &mut state, &mut counts);
+            }
+            counts
+        } else {
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(threads);
+                for t in 0..threads as u64 {
+                    let block = &block;
+                    let init = &init;
+                    let fill_seeds = &fill_seeds;
+                    handles.push(scope.spawn(move || {
+                        let mut state = init();
+                        let mut seeds = Vec::with_capacity(width);
+                        let mut local = vec![0u64; k];
+                        let mut b = t;
+                        while b < blocks {
+                            fill_seeds(&mut seeds, b);
+                            block(&seeds, &mut state, &mut local);
+                            b += threads as u64;
+                        }
+                        local
+                    }));
+                }
+                let mut counts = vec![0u64; k];
+                for h in handles {
+                    for (c, l) in counts.iter_mut().zip(h.join().expect("worker")) {
+                        *c += l;
+                    }
+                }
+                counts
+            })
+        };
+        counts
+            .into_iter()
+            .map(|c| BernoulliEstimate::new(c, total))
+            .collect()
+    }
+
     /// Runs a *vector-valued* experiment: every trial fills a `k`-slot
     /// success vector (one slot per swept parameter value), and the engine
     /// tallies per-slot success counts into `k` estimates.
@@ -444,6 +584,76 @@ mod tests {
     #[should_panic(expected = "batch must be positive")]
     fn precision_mode_rejects_zero_batch() {
         let _ = MonteCarlo::new(10, 1).run_to_precision(0.1, 0, |_| true);
+    }
+
+    #[test]
+    fn blocks_match_scalar_at_any_width_and_thread_count() {
+        let mc = MonteCarlo::new(1_003, 77);
+        let seq = mc.run(|rng| rng.gen_bool(0.42));
+        for width in [1usize, 7, 64, 256, 2048] {
+            for threads in [1usize, 2, 5] {
+                let blocked = mc.run_blocks_with(
+                    threads,
+                    width,
+                    || (),
+                    |seeds, ()| {
+                        seeds
+                            .iter()
+                            .filter(|&&s| StdRng::seed_from_u64(s).gen_bool(0.42))
+                            .count() as u32
+                    },
+                );
+                assert_eq!(blocked, seq, "width={width} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn tally_blocks_match_scalar_tally() {
+        let mc = MonteCarlo::new(997, 31);
+        let grid = [0.2, 0.5, 0.9];
+        let seq = mc.tally(
+            grid.len(),
+            || (),
+            |rng, (), out| {
+                let u: f64 = rng.gen();
+                for (o, &p) in out.iter_mut().zip(&grid) {
+                    *o = u < p;
+                }
+            },
+        );
+        for width in [1usize, 64, 300] {
+            for threads in [1usize, 3] {
+                let blocked = mc.tally_blocks_with(
+                    threads,
+                    width,
+                    grid.len(),
+                    || (),
+                    |seeds, (), counts| {
+                        for &s in seeds {
+                            let u: f64 = StdRng::seed_from_u64(s).gen();
+                            for (c, &p) in counts.iter_mut().zip(&grid) {
+                                *c += u64::from(u < p);
+                            }
+                        }
+                    },
+                );
+                assert_eq!(blocked, seq, "width={width} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_trials_block_runner() {
+        let mc = MonteCarlo::new(0, 9);
+        let est = mc.run_blocks_with(4, 64, || (), |seeds, ()| seeds.len() as u32);
+        assert_eq!(est.trials(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "block width must be positive")]
+    fn block_runner_rejects_zero_width() {
+        let _ = MonteCarlo::new(10, 1).run_blocks_with(1, 0, || (), |_, ()| 0);
     }
 
     #[test]

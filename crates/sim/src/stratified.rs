@@ -417,6 +417,59 @@ impl StratifiedMonteCarlo {
         trial: impl Fn(usize, &mut StdRng, &mut S, &mut [bool]) + Sync,
     ) -> Vec<StratifiedEstimate> {
         assert!(outcomes > 0, "need at least one outcome slot");
+        self.estimate_multi_with(q, outcomes, |faults, trials, stream| {
+            self.run_stratum(faults, trials, stream, outcomes, &init, &trial)
+        })
+    }
+
+    /// Block-engine variant of [`StratifiedMonteCarlo::estimate`]: each
+    /// stratum's exact-`k` trials run through
+    /// [`MonteCarlo::run_blocks_with`] in groups of up to `width` seeds,
+    /// with `block_trial` returning how many of the group's placements
+    /// survived. Every stratum keeps the same trial counts and
+    /// per-stratum seed streams as the scalar path, so the result is
+    /// **byte-identical** to [`StratifiedMonteCarlo::estimate`] whenever
+    /// `block_trial` gives each seed the verdict the scalar `trial`
+    /// closure would (the `dmfb-reconfig` word-parallel contract) — at
+    /// any `width` and any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`, or (like the scalar path) if a
+    /// proven-tolerable stratum's confirming evaluation fails.
+    pub fn estimate_block<S>(
+        &self,
+        q: f64,
+        width: usize,
+        init: impl Fn() -> S + Sync,
+        block_trial: impl Fn(usize, &[u64], &mut S) -> u32 + Sync,
+    ) -> StratifiedEstimate {
+        assert!(width > 0, "block width must be positive");
+        self.estimate_multi_with(q, 1, |faults, trials, stream| {
+            let seed = SeedSequence::nth_seed(self.master_seed, stream);
+            vec![MonteCarlo::new(trials, seed).run_blocks_with(
+                self.threads,
+                width,
+                &init,
+                |s, st| block_trial(faults, s, st),
+            )]
+        })
+        .pop()
+        .expect("one outcome in, one estimate out")
+    }
+
+    /// The shared stratified-estimation body: plans strata, resolves
+    /// exact ones, pilots and Neyman-allocates the stochastic ones, and
+    /// combines — with `runner(faults, trials, stream)` supplying the
+    /// per-outcome estimates of one stratum run. Both the scalar and the
+    /// block engines are thin wrappers over this, which is what keeps
+    /// their allocation decisions (and hence results) identical.
+    fn estimate_multi_with(
+        &self,
+        q: f64,
+        outcomes: usize,
+        runner: impl Fn(usize, u32, u64) -> Vec<BernoulliEstimate>,
+    ) -> Vec<StratifiedEstimate> {
         let (plans, truncated_mass) = plan_strata(self.cells, q, &self.config);
         // Per-stratum outcome counts: `counts[s][o]` successes out of
         // `trials_run[s]` trials.
@@ -442,7 +495,7 @@ impl StratifiedMonteCarlo {
         };
         for (i, plan) in plans.iter().enumerate() {
             let n = if exact[i] { 1 } else { pilot_each };
-            let run = self.run_stratum(plan.faults, n, 2 * i as u64, outcomes, &init, &trial);
+            let run = runner(plan.faults, n, 2 * i as u64);
             if exact[i] && plan.faults > 0 && plan.faults <= self.proven_tolerable {
                 assert!(
                     run.iter().all(|e| e.successes() == e.trials()),
@@ -483,13 +536,10 @@ impl StratifiedMonteCarlo {
             if n == 0 {
                 continue;
             }
-            let run = self.run_stratum(
+            let run = runner(
                 plan.faults,
                 u32::try_from(n).unwrap_or(u32::MAX),
                 2 * i as u64 + 1,
-                outcomes,
-                &init,
-                &trial,
             );
             spent += n;
             for (acc, fresh) in estimates[i].iter_mut().zip(run) {
@@ -771,6 +821,35 @@ mod tests {
         let seq = run(1);
         for threads in [0, 2, 5] {
             assert_eq!(run(threads), seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn block_engine_is_byte_identical_to_scalar() {
+        use rand::SeedableRng;
+        let trial =
+            |k: usize, rng: &mut StdRng, (): &mut ()| k <= 1 || (0..k).all(|_| rng.gen_bool(0.8));
+        let scalar = StratifiedMonteCarlo::new(50, 3_000, 17)
+            .with_proven_tolerable(1)
+            .estimate(0.03, || (), trial);
+        for width in [1usize, 64, 512] {
+            for threads in [1usize, 3] {
+                let block = StratifiedMonteCarlo::new(50, 3_000, 17)
+                    .with_proven_tolerable(1)
+                    .with_threads(threads)
+                    .estimate_block(
+                        0.03,
+                        width,
+                        || (),
+                        |k, seeds, ()| {
+                            seeds
+                                .iter()
+                                .filter(|&&s| trial(k, &mut StdRng::seed_from_u64(s), &mut ()))
+                                .count() as u32
+                        },
+                    );
+                assert_eq!(block, scalar, "width={width} threads={threads}");
+            }
         }
     }
 

@@ -59,5 +59,5 @@ pub use operational::{
     AssayPanel, OperationalEstimate, OperationalYield, StratifiedOperationalEstimate, TrialVerdict,
 };
 pub use profile::{tolerance_profile, ToleranceProfile};
-pub use scheme_yield::{SchemeYield, StratifiedPoint};
+pub use scheme_yield::{SchemeYield, StratifiedPoint, DEFAULT_BLOCK_TRIALS};
 pub use sweep::YieldCurve;

@@ -78,6 +78,9 @@ pub struct MonteCarloYield {
     array: DefectTolerantArray,
     policy: ReconfigPolicy,
     threads: usize,
+    /// Engine selection forwarded to the fast engine: `None` = auto
+    /// block width, `Some(0)` = scalar, `Some(n)` = blocks of `n`.
+    block_trials: Option<usize>,
 }
 
 impl MonteCarloYield {
@@ -89,6 +92,7 @@ impl MonteCarloYield {
             array,
             policy,
             threads: 1,
+            block_trials: None,
         }
     }
 
@@ -98,6 +102,16 @@ impl MonteCarloYield {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Selects the fast engine's trial engine (see
+    /// [`SchemeYield::with_block_trials`]): `None` = auto block width,
+    /// `Some(0)` = scalar, `Some(n)` = blocks of `n` trials. Estimates
+    /// are byte-identical either way; only throughput changes.
+    #[must_use]
+    pub fn with_block_trials(mut self, block_trials: Option<usize>) -> Self {
+        self.block_trials = block_trials;
         self
     }
 
@@ -151,6 +165,7 @@ impl MonteCarloYield {
             .map_or("no-redundancy".to_string(), |k| k.to_string());
         SchemeYield::from_evaluator(label, TrialEvaluator::new(&self.array, &self.policy))
             .with_threads(self.threads)
+            .with_block_trials(self.block_trials)
     }
 
     /// Estimates survival-mode yield with the incremental

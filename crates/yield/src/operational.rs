@@ -39,11 +39,14 @@
 //! ```
 
 use crate::monte_carlo::YieldPoint;
+use crate::scheme_yield::DEFAULT_BLOCK_TRIALS;
 use dmfb_bioassay::feasibility::{FeasibilityChecker, TimingBudget};
 use dmfb_bioassay::layout::{ivd_dtmb26_chip, used_cells_policy};
 use dmfb_bioassay::{ChipDescription, MultiplexedIvd};
+use dmfb_defects::block::{fault_threshold, BlockSampler};
 use dmfb_defects::operational::MtbfModel;
 use dmfb_defects::DefectMap;
+use dmfb_graph::words::{pack_ge, LANES};
 use dmfb_grid::HexCoord;
 use dmfb_reconfig::{ReconfigPolicy, TrialEvaluator, TrialScratch};
 use dmfb_sim::{
@@ -51,6 +54,7 @@ use dmfb_sim::{
 };
 use rand::rngs::StdRng;
 use rand::Rng;
+use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 
 /// Which assay workload the operational check runs.
@@ -205,6 +209,10 @@ pub struct OperationalYield {
     clean_feasible: bool,
     wear: Option<Wear>,
     threads: usize,
+    /// Engine selection for the Bernoulli sweep path: `None` = auto
+    /// (block engine at [`DEFAULT_BLOCK_TRIALS`]), `Some(0)` = scalar,
+    /// `Some(n)` = block engine with `n`-trial batches.
+    block_trials: Option<usize>,
 }
 
 impl OperationalYield {
@@ -239,6 +247,7 @@ impl OperationalYield {
             clean_feasible,
             wear: None,
             threads: 1,
+            block_trials: None,
         }
     }
 
@@ -249,6 +258,29 @@ impl OperationalYield {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
+    }
+
+    /// Selects the trial engine for [`OperationalYield::sweep`] and
+    /// [`OperationalYield::estimate`]: `None` (the default) auto-selects
+    /// the word-parallel block engine at [`DEFAULT_BLOCK_TRIALS`] trials
+    /// per batch, `Some(0)` forces the scalar per-trial engine, and
+    /// `Some(n)` runs the block engine with `n`-trial batches. Engines
+    /// and batch widths are byte-identical; the stratified and
+    /// defect-sampler paths always run scalar.
+    #[must_use]
+    pub fn with_block_trials(mut self, block_trials: Option<usize>) -> Self {
+        self.block_trials = block_trials;
+        self
+    }
+
+    /// The batch width the sweep path should run at, or `None` for the
+    /// scalar engine.
+    fn block_width(&self) -> Option<usize> {
+        match self.block_trials {
+            Some(0) => None,
+            Some(n) => Some(n),
+            None => Some(DEFAULT_BLOCK_TRIALS),
+        }
     }
 
     /// Adds in-service wear on top of the manufacturing fault draw: each
@@ -352,6 +384,153 @@ impl OperationalYield {
         }
     }
 
+    /// Precomputes the word-parallel sweep geometry: where the in-scope
+    /// assay cells sit in the fault-draw index space, and (per scope
+    /// cell, CSR-packed) where their adjacent spares sit — so the block
+    /// engine can evaluate the raw tier and the survivor bound on whole
+    /// fault words without touching a [`DefectMap`].
+    fn block_plan(&self) -> BlockPlan {
+        let index_of: BTreeMap<HexCoord, u32> = self
+            .cells
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (c, i as u32))
+            .collect();
+        let array = &self.checker.chip().array;
+        let mut scope_idx = Vec::new();
+        let mut adj_offsets = vec![0u32];
+        let mut adj_idx = Vec::new();
+        for (i, cell) in self.cells.iter().enumerate() {
+            if !self.scope.contains(cell) {
+                continue;
+            }
+            scope_idx.push(i as u32);
+            for s in array.adjacent_spares(*cell) {
+                adj_idx.push(index_of[&s]);
+            }
+            adj_offsets.push(u32::try_from(adj_idx.len()).expect("adjacency fits u32"));
+        }
+        BlockPlan {
+            scope_idx,
+            adj_offsets,
+            adj_idx,
+            index_of,
+        }
+    }
+
+    /// One batch of up-to-64-lane trial groups against the ascending
+    /// grid. Per 64-lane group the sampler draws every cell's mantissa
+    /// column once (common random numbers across the grid), the wear
+    /// model (if any) continues each lane's stream exactly where the
+    /// scalar engine would, and each grid point is then decided in three
+    /// word-parallel tiers:
+    ///
+    /// 1. **fault-free lanes** — no fault anywhere: raw, reconfigured
+    ///    and (iff the clean chip meets budget) operational, no matcher
+    ///    or router invoked;
+    /// 2. **survivor-bound failures** — some in-scope faulty cell has
+    ///    every adjacent spare faulty: all three tiers false, decided by
+    ///    an AND-fold over the spare columns;
+    /// 3. **residue lanes** — faults present, survivor bound holds: the
+    ///    defect map is rebuilt from the lane's bit column and runs the
+    ///    scalar verdict (matcher + assay feasibility). The raw tier is
+    ///    always counted word-parallel (`!scope_fault`).
+    fn sweep_block(
+        &self,
+        plan: &BlockPlan,
+        ps: &[f64],
+        seeds: &[u64],
+        state: &mut BlockState,
+        out: &mut [u64],
+    ) {
+        let n = self.cells.len();
+        for chunk in seeds.chunks(LANES) {
+            state.sampler.reseed(chunk);
+            let live = state.sampler.live_mask();
+            for i in 0..n {
+                let col: &mut [u64; LANES] = (&mut state.mantissa[i * LANES..(i + 1) * LANES])
+                    .try_into()
+                    .expect("column is LANES wide");
+                state.sampler.mantissas(col);
+            }
+            state.wear_maps.clear();
+            state.wear_words.iter_mut().for_each(|w| *w = 0);
+            if let Some(w) = &self.wear {
+                for lane in 0..chunk.len() {
+                    let mut rng = state.sampler.resume_lane(lane);
+                    let map = w.model.inject_service_faults(
+                        self.checker.chip().array.region(),
+                        w.horizon_hours,
+                        &mut rng,
+                    );
+                    for cell in map.faulty_cells() {
+                        state.wear_words[plan.index_of[&cell] as usize] |= 1u64 << lane;
+                    }
+                    state.wear_maps.push(map);
+                }
+            }
+            for (j, &p) in ps.iter().enumerate() {
+                let threshold = fault_threshold(p);
+                let mut fault_any = 0u64;
+                for i in 0..n {
+                    let col: &[u64; LANES] = (&state.mantissa[i * LANES..(i + 1) * LANES])
+                        .try_into()
+                        .expect("column is LANES wide");
+                    let mfg = pack_ge(col, threshold) & live;
+                    state.mfg_words[i] = mfg;
+                    let all = mfg | state.wear_words[i];
+                    state.all_words[i] = all;
+                    fault_any |= all;
+                }
+                let mut scope_fault = 0u64;
+                let mut survivor_fail = 0u64;
+                for (k, &sc) in plan.scope_idx.iter().enumerate() {
+                    let w = state.all_words[sc as usize];
+                    scope_fault |= w;
+                    let spares = &plan.adj_idx
+                        [plan.adj_offsets[k] as usize..plan.adj_offsets[k + 1] as usize];
+                    // All-ones when the scope cell has no adjacent spare:
+                    // any fault there is then an automatic bound failure,
+                    // matching the scalar `any()` over an empty iterator.
+                    let all_dead = spares
+                        .iter()
+                        .fold(u64::MAX, |acc, &s| acc & state.all_words[s as usize]);
+                    survivor_fail |= w & all_dead;
+                }
+                let fault_free = live & !fault_any;
+                let raw = live & !scope_fault;
+                out[3 * j] += u64::from(raw.count_ones());
+                out[3 * j + 1] += u64::from(fault_free.count_ones());
+                if self.clean_feasible {
+                    out[3 * j + 2] += u64::from(fault_free.count_ones());
+                }
+                let mut gray = live & fault_any & !survivor_fail;
+                while gray != 0 {
+                    let lane = gray.trailing_zeros() as usize;
+                    gray &= gray - 1;
+                    let bit = 1u64 << lane;
+                    let mut defects = DefectMap::from_cells(
+                        (0..n)
+                            .filter(|&i| state.mfg_words[i] & bit != 0)
+                            .map(|i| self.cells[i]),
+                    );
+                    if let Some(wear) = state.wear_maps.get(lane) {
+                        defects = defects.merged(wear);
+                    }
+                    let v = self.verdict(&defects, &mut state.scratch);
+                    debug_assert_eq!(
+                        v.raw,
+                        raw & bit != 0,
+                        "word-parallel raw tier disagrees with the scalar verdict"
+                    );
+                    debug_assert!(v.survivor_bound, "survivor prefilter missed a failing lane");
+                    out[3 * j + 1] += u64::from(v.reconfigured);
+                    out[3 * j + 2] += u64::from(v.operational);
+                }
+            }
+        }
+    }
+
     /// Estimates all three tiers at survival probability `p`. Thread-count
     /// invariant; depends only on `(trials, seed)`.
     #[must_use]
@@ -368,7 +547,8 @@ impl OperationalYield {
     /// survival probability parameterises the model. In-service wear, when
     /// configured, is drawn after the manufacturing sample, as in the
     /// Bernoulli paths. Thread-count invariant; depends only on
-    /// `(trials, seed)`.
+    /// `(trials, seed)`. Always runs the scalar engine — an arbitrary
+    /// sampler's draw stream cannot be transposed into lanes.
     #[must_use]
     pub fn estimate_with(
         &self,
@@ -411,7 +591,9 @@ impl OperationalYield {
     /// The assay pipeline makes each trial expensive, which is precisely
     /// where skipping the defect-free bulk pays the most.
     ///
-    /// Thread-count invariant; depends only on `(budget, seed)`.
+    /// Thread-count invariant; depends only on `(budget, seed)`. Always
+    /// runs the scalar engine: the strata already skip the defect-free
+    /// bulk, which is where the block tiers earn their keep.
     ///
     /// # Panics
     ///
@@ -479,7 +661,8 @@ impl OperationalYield {
     /// Sweeps an **ascending** survival grid in one batched Monte-Carlo
     /// pass: each trial draws one random chip and reports all three tiers
     /// at every `p` (common random numbers across the grid). Results are
-    /// byte-identical for any thread count.
+    /// byte-identical for any thread count, and for any engine or batch
+    /// width selected via [`OperationalYield::with_block_trials`].
     ///
     /// # Panics
     ///
@@ -490,15 +673,36 @@ impl OperationalYield {
             ps.windows(2).all(|w| w[0] <= w[1]),
             "survival grid must be ascending"
         );
-        let estimates = MonteCarlo::new(trials, seed).tally_parallel(
-            self.threads,
-            3 * ps.len(),
-            || TrialState {
-                uniforms: vec![0.0; self.cells.len()],
-                scratch: self.evaluator.scratch(),
-            },
-            |rng, state, out| self.trial_grid(ps, rng, state, out),
-        );
+        let mc = MonteCarlo::new(trials, seed);
+        let estimates = match self.block_width() {
+            Some(width) => {
+                let plan = self.block_plan();
+                mc.tally_blocks_with(
+                    self.threads,
+                    width,
+                    3 * ps.len(),
+                    || BlockState {
+                        sampler: BlockSampler::new(&[]),
+                        mantissa: vec![0; self.cells.len() * LANES],
+                        mfg_words: vec![0; self.cells.len()],
+                        all_words: vec![0; self.cells.len()],
+                        wear_words: vec![0; self.cells.len()],
+                        wear_maps: Vec::new(),
+                        scratch: self.evaluator.scratch(),
+                    },
+                    |seeds, state, out| self.sweep_block(&plan, ps, seeds, state, out),
+                )
+            }
+            None => mc.tally_parallel(
+                self.threads,
+                3 * ps.len(),
+                || TrialState {
+                    uniforms: vec![0.0; self.cells.len()],
+                    scratch: self.evaluator.scratch(),
+                },
+                |rng, state, out| self.trial_grid(ps, rng, state, out),
+            ),
+        };
         ps.iter()
             .enumerate()
             .map(|(j, &p)| OperationalEstimate {
@@ -515,6 +719,33 @@ impl OperationalYield {
 /// scratch.
 struct TrialState {
     uniforms: Vec<f64>,
+    scratch: TrialScratch,
+}
+
+/// Word-parallel sweep geometry, precomputed once per sweep. All indices
+/// are positions in the fault-draw cell order (`OperationalYield::cells`).
+struct BlockPlan {
+    /// Positions of the in-scope assay cells.
+    scope_idx: Vec<u32>,
+    /// CSR offsets into `adj_idx`, aligned with `scope_idx`.
+    adj_offsets: Vec<u32>,
+    /// Each scope cell's adjacent-spare positions, CSR-packed.
+    adj_idx: Vec<u32>,
+    /// `cells[i] → i`, for folding wear maps into lane bit columns.
+    index_of: BTreeMap<HexCoord, u32>,
+}
+
+/// Per-worker buffers for the block engine: the lock-step sampler, the
+/// per-cell mantissa columns shared across the grid, the per-cell
+/// manufacturing/wear/combined fault words, the per-lane wear maps (for
+/// residue-lane defect-map reconstruction) and the matcher scratch.
+struct BlockState {
+    sampler: BlockSampler,
+    mantissa: Vec<u64>,
+    mfg_words: Vec<u64>,
+    all_words: Vec<u64>,
+    wear_words: Vec<u64>,
+    wear_maps: Vec<DefectMap>,
     scratch: TrialScratch,
 }
 
@@ -727,6 +958,43 @@ mod tests {
         assert_eq!(pt.x, 1.0);
         assert_eq!(pt.y, 1.0);
         assert_eq!(pt.trials, 10);
+    }
+
+    #[test]
+    fn block_engine_is_byte_identical_to_scalar() {
+        let eng = engine();
+        let ps = [0.93, 0.97, 1.0];
+        let scalar = eng.clone().with_block_trials(Some(0)).sweep(&ps, 200, 5);
+        for block_trials in [None, Some(1), Some(64), Some(150)] {
+            let block = eng
+                .clone()
+                .with_block_trials(block_trials)
+                .sweep(&ps, 200, 5);
+            assert_eq!(block, scalar, "block_trials={block_trials:?}");
+        }
+        // Thread invariance holds inside the block engine too.
+        let threaded = eng
+            .clone()
+            .with_block_trials(Some(64))
+            .with_threads(3)
+            .sweep(&ps, 200, 5);
+        assert_eq!(threaded, scalar);
+    }
+
+    #[test]
+    fn block_engine_matches_scalar_under_wear() {
+        // Wear draws must continue each lane's stream exactly where the
+        // scalar engine's per-trial RNG left it after the cell uniforms.
+        let eng = engine().with_wear(MtbfModel::new(2_000.0, 1.0), 1_000.0);
+        let ps = [0.94, 0.99];
+        let scalar = eng.clone().with_block_trials(Some(0)).sweep(&ps, 150, 3);
+        for block_trials in [None, Some(33), Some(64)] {
+            let block = eng
+                .clone()
+                .with_block_trials(block_trials)
+                .sweep(&ps, 150, 3);
+            assert_eq!(block, scalar, "block_trials={block_trials:?}");
+        }
     }
 
     #[test]

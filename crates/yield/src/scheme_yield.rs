@@ -50,6 +50,12 @@ impl StratifiedPoint {
     }
 }
 
+/// Default block width (trials per [`MonteCarlo::run_blocks_with`] seed
+/// group) when the engine is left on auto — a few word groups per block
+/// keeps the per-block seed-derivation overhead negligible without
+/// starving the thread scheduler of blocks.
+pub const DEFAULT_BLOCK_TRIALS: usize = 256;
+
 /// Monte-Carlo yield estimator generic over the redundancy scheme.
 ///
 /// # Example
@@ -69,6 +75,9 @@ pub struct SchemeYield<C: Copy + Ord = HexCoord> {
     label: String,
     evaluator: TrialEvaluator<C>,
     threads: usize,
+    /// `None` = auto ([`DEFAULT_BLOCK_TRIALS`]); `Some(0)` = scalar
+    /// engine; `Some(n)` = block engine with width `n`.
+    block_trials: Option<usize>,
 }
 
 impl<C: Copy + Ord + Send + Sync> SchemeYield<C> {
@@ -83,6 +92,7 @@ impl<C: Copy + Ord + Send + Sync> SchemeYield<C> {
             label: scheme.label(),
             evaluator: TrialEvaluator::for_scheme(topo, scheme),
             threads: 1,
+            block_trials: None,
         }
     }
 
@@ -94,6 +104,7 @@ impl<C: Copy + Ord + Send + Sync> SchemeYield<C> {
             label: label.into(),
             evaluator,
             threads: 1,
+            block_trials: None,
         }
     }
 
@@ -104,6 +115,27 @@ impl<C: Copy + Ord + Send + Sync> SchemeYield<C> {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
+    }
+
+    /// Selects the trial engine: `None` leaves the word-parallel block
+    /// engine on auto ([`DEFAULT_BLOCK_TRIALS`] trials per block),
+    /// `Some(0)` forces the scalar per-trial engine, and `Some(n)` runs
+    /// blocks of `n` trials. The choice never changes any estimate — the
+    /// block engine is byte-identical to the scalar one at every width —
+    /// only how fast it is computed.
+    #[must_use]
+    pub fn with_block_trials(mut self, block_trials: Option<usize>) -> Self {
+        self.block_trials = block_trials;
+        self
+    }
+
+    /// The effective block width: `None` means the scalar engine.
+    fn block_width(&self) -> Option<usize> {
+        match self.block_trials {
+            Some(0) => None,
+            Some(n) => Some(n),
+            None => Some(DEFAULT_BLOCK_TRIALS),
+        }
     }
 
     /// The scheme label (used in reports and bench artifacts).
@@ -145,15 +177,28 @@ impl<C: Copy + Ord + Send + Sync> SchemeYield<C> {
     }
 
     /// Estimates yield when every relevant cell survives independently
-    /// with probability `p`, via the incremental engine: one uniform per
-    /// cell, reusable bitset-matching buffers, no per-trial allocation.
+    /// with probability `p`. On the (default) block engine, trials run 64
+    /// per word through the tiered sample → classify → match pipeline of
+    /// [`dmfb_reconfig::block`]; on the scalar engine
+    /// ([`SchemeYield::with_block_trials`]`(Some(0))`), one at a time
+    /// through [`TrialEvaluator::survival_trial`]. Both give byte-identical
+    /// estimates for any thread count.
     #[must_use]
     pub fn estimate_survival(&self, p: f64, trials: u32, seed: u64) -> BernoulliEstimate {
-        MonteCarlo::new(trials, seed).run_parallel_with(
-            self.threads,
-            || self.evaluator.scratch(),
-            |rng, scratch| self.evaluator.survival_trial(p, rng, scratch),
-        )
+        let mc = MonteCarlo::new(trials, seed);
+        match self.block_width() {
+            Some(width) => mc.run_blocks_with(
+                self.threads,
+                width,
+                || self.evaluator.block_scratch(),
+                |seeds, block| self.evaluator.survival_block(p, seeds, block),
+            ),
+            None => mc.run_parallel_with(
+                self.threads,
+                || self.evaluator.scratch(),
+                |rng, scratch| self.evaluator.survival_trial(p, rng, scratch),
+            ),
+        }
     }
 
     /// Estimates yield with the **defect-count-stratified** rare-event
@@ -185,19 +230,27 @@ impl<C: Copy + Ord + Send + Sync> SchemeYield<C> {
             (0.0..=1.0).contains(&p),
             "survival probability must be in [0, 1], got {p}"
         );
-        StratifiedMonteCarlo::new(self.evaluator.cell_count(), budget, seed)
+        let strat = StratifiedMonteCarlo::new(self.evaluator.cell_count(), budget, seed)
             .with_threads(self.threads)
             .with_config(*config)
             // Hall-type structural bound: strata at or below it are
             // provably tolerable and resolve exactly instead of being
             // sampled — the k = 1 stratum usually carries most of the
             // non-defect-free mass at p → 1.
-            .with_proven_tolerable(self.evaluator.guaranteed_tolerable_faults())
-            .estimate(
+            .with_proven_tolerable(self.evaluator.guaranteed_tolerable_faults());
+        match self.block_width() {
+            Some(width) => strat.estimate_block(
+                1.0 - p,
+                width,
+                || self.evaluator.block_scratch(),
+                |k, seeds, block| self.evaluator.exact_fault_block(k, seeds, block),
+            ),
+            None => strat.estimate(
                 1.0 - p,
                 || self.evaluator.scratch(),
                 |k, rng, scratch| self.evaluator.exact_fault_trial(k, rng, scratch),
-            )
+            ),
+        }
     }
 
     /// Sweeps survival probabilities through the stratified estimator,
@@ -231,6 +284,10 @@ impl<C: Copy + Ord + Send + Sync> SchemeYield<C> {
     /// one chip instance's defect map per trial (all randomness from the
     /// provided RNG), and the evaluator decides tolerability. Results are
     /// deterministic in `(trials, seed)` and independent of thread count.
+    ///
+    /// Always runs the scalar engine: an arbitrary sampler's draw stream
+    /// cannot be transposed into fault words without changing it, so
+    /// [`SchemeYield::with_block_trials`] has no effect here.
     #[must_use]
     pub fn estimate_with_defects(
         &self,
@@ -260,12 +317,24 @@ impl<C: Copy + Ord + Send + Sync> SchemeYield<C> {
     /// Panics if `ps` is not sorted ascending.
     #[must_use]
     pub fn sweep_survival_batched(&self, ps: &[f64], trials: u32, seed: u64) -> Vec<YieldPoint> {
-        let estimates = MonteCarlo::new(trials, seed).tally_parallel(
-            self.threads,
-            ps.len(),
-            || self.evaluator.scratch(),
-            |rng, scratch, out| self.evaluator.survival_trial_grid(ps, rng, scratch, out),
-        );
+        let mc = MonteCarlo::new(trials, seed);
+        let estimates = match self.block_width() {
+            Some(width) => mc.tally_blocks_with(
+                self.threads,
+                width,
+                ps.len(),
+                || self.evaluator.block_scratch(),
+                |seeds, block, counts| {
+                    self.evaluator.survival_grid_block(ps, seeds, block, counts);
+                },
+            ),
+            None => mc.tally_parallel(
+                self.threads,
+                ps.len(),
+                || self.evaluator.scratch(),
+                |rng, scratch, out| self.evaluator.survival_trial_grid(ps, rng, scratch, out),
+            ),
+        };
         ps.iter()
             .zip(estimates)
             .map(|(&p, est)| YieldPoint::from_estimate(p, &est))
@@ -364,6 +433,48 @@ mod tests {
                     .with_threads(threads)
                     .sweep_survival_batched(&ps, 1_000, 47);
                 assert_eq!(par, seq, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_engine_is_byte_identical_to_scalar() {
+        let ps = [0.85, 0.92, 0.97, 1.0];
+        for est in [
+            square(SquarePattern::PerfectCode),
+            square(SquarePattern::Checkerboard),
+            square(SquarePattern::Stripes),
+            spare_rows(),
+        ] {
+            let scalar = est.clone().with_block_trials(Some(0));
+            let survival = scalar.estimate_survival(0.95, 1_500, 11);
+            let sweep = scalar.sweep_survival_batched(&ps, 800, 3);
+            let strat =
+                scalar.estimate_survival_stratified(0.995, 1_200, 7, &StratifiedConfig::default());
+            // None = auto (the default engine) plus explicit widths that
+            // split trials across partial and multiple 64-lane groups.
+            for block_trials in [None, Some(1), Some(64), Some(333)] {
+                let block = est.clone().with_block_trials(block_trials);
+                assert_eq!(
+                    block.estimate_survival(0.95, 1_500, 11),
+                    survival,
+                    "survival, block_trials={block_trials:?}"
+                );
+                assert_eq!(
+                    block.sweep_survival_batched(&ps, 800, 3),
+                    sweep,
+                    "sweep, block_trials={block_trials:?}"
+                );
+                assert_eq!(
+                    block.estimate_survival_stratified(
+                        0.995,
+                        1_200,
+                        7,
+                        &StratifiedConfig::default()
+                    ),
+                    strat,
+                    "stratified, block_trials={block_trials:?}"
+                );
             }
         }
     }
