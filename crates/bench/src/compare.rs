@@ -1,5 +1,5 @@
 //! Perf-trajectory comparison: diff two `dmfb-bench/1` reports and gate
-//! on throughput regressions.
+//! on throughput (and, where recorded, latency-percentile) regressions.
 //!
 //! This is the logic behind `dmfb bench --compare <baseline.json>` and the
 //! CI `perf-gate` job: the repo commits baseline `BENCH_*.json` files
@@ -16,6 +16,15 @@
 //! (different hardware) passes; a single workload losing ground against
 //! the rest of the suite (a real hot-path regression) fails. The
 //! un-normalised ratios are still reported for eyeballing.
+//!
+//! **Latency gating (PR 7).** Workloads carrying the soak latency
+//! columns (`p50_ms`/`p95_ms`/`p99_ms`) on *both* sides are additionally
+//! gated on latency, with the same suite-median normalisation but in the
+//! opposite direction: latency regresses *upward*, so a workload fails
+//! when any percentile's normalised current/baseline ratio exceeds
+//! `1 + threshold`. A baseline entry with a latency profile whose
+//! current counterpart lost it fails the gate outright, for the same
+//! reason vanished workloads do.
 //!
 //! # Example
 //!
@@ -39,6 +48,10 @@
 //!     engine: None,
 //!     variance: None,
 //!     effective_samples: None,
+//!     p50_ms: None,
+//!     p95_ms: None,
+//!     p99_ms: None,
+//!     cache_hit_rate: None,
 //! };
 //! let mut baseline = BenchReport::new("base", 1, true);
 //! baseline.push(entry("a", 1_000.0));
@@ -74,7 +87,28 @@ pub struct EntryDelta {
     /// `ratio / machine_factor`: 1.0 means "kept pace with the suite",
     /// below `1 − threshold` means regression.
     pub normalized_ratio: f64,
-    /// Whether this workload fails the gate.
+    /// Whether this workload fails the throughput gate.
+    pub regressed: bool,
+    /// Latency-percentile delta, for workloads that carry the full
+    /// `p50/p95/p99` soak profile on both sides; `None` otherwise.
+    pub latency: Option<LatencyDelta>,
+}
+
+/// A matched workload's latency-percentile delta (`p50`, `p95`, `p99`
+/// in that order throughout).
+#[derive(Clone, Debug, PartialEq)]
+pub struct LatencyDelta {
+    /// Baseline percentile latencies in milliseconds.
+    pub baseline_ms: [f64; 3],
+    /// Current percentile latencies in milliseconds.
+    pub current_ms: [f64; 3],
+    /// Raw `current / baseline` ratio per percentile (above 1.0 = got
+    /// slower).
+    pub ratios: [f64; 3],
+    /// Worst per-percentile `ratio / latency_machine_factor` — the
+    /// number the gate compares against `1 + threshold`.
+    pub worst_normalized: f64,
+    /// Whether this workload fails the latency gate.
     pub regressed: bool,
 }
 
@@ -88,27 +122,44 @@ pub struct CompareOutcome {
     /// machine-speed factor the gate normalises by. `1.0` when nothing
     /// matched.
     pub machine_factor: f64,
+    /// Median current/baseline latency ratio pooled over every matched
+    /// percentile — the factor the latency gate normalises by. `1.0`
+    /// when no workload carries a latency profile.
+    pub latency_machine_factor: f64,
     /// Regression threshold the gate applied.
     pub threshold: f64,
     /// Baseline workloads missing from the current run. The gate treats
     /// these as failures: a silently vanished workload would otherwise
     /// un-gate itself.
     pub missing_in_current: Vec<String>,
+    /// Baseline workloads whose latency profile the current run dropped
+    /// (matched on throughput but `p50/p95/p99` vanished). Failures, for
+    /// the same reason as `missing_in_current`.
+    pub missing_latency_in_current: Vec<String>,
     /// Current workloads with no baseline (new benchmarks; informational).
     pub new_in_current: Vec<String>,
 }
 
 impl CompareOutcome {
-    /// Whether any workload regressed or any baseline workload vanished.
+    /// Whether any workload regressed (throughput or latency) or any
+    /// baseline workload — or its latency profile — vanished.
     #[must_use]
     pub fn has_regression(&self) -> bool {
-        !self.missing_in_current.is_empty() || self.deltas.iter().any(|d| d.regressed)
+        !self.missing_in_current.is_empty()
+            || !self.missing_latency_in_current.is_empty()
+            || self
+                .deltas
+                .iter()
+                .any(|d| d.regressed || d.latency.as_ref().is_some_and(|l| l.regressed))
     }
 
-    /// The workloads that failed the gate.
+    /// The workloads that failed the gate on either axis.
     #[must_use]
     pub fn regressions(&self) -> Vec<&EntryDelta> {
-        self.deltas.iter().filter(|d| d.regressed).collect()
+        self.deltas
+            .iter()
+            .filter(|d| d.regressed || d.latency.as_ref().is_some_and(|l| l.regressed))
+            .collect()
     }
 
     /// Renders the comparison as an aligned text table plus a verdict
@@ -136,17 +187,45 @@ impl CompareOutcome {
             ]);
         }
         let mut out = table.render();
+        if self.deltas.iter().any(|d| d.latency.is_some()) {
+            let mut lat = TextTable::new(vec![
+                "workload".into(),
+                "p50 ms".into(),
+                "p95 ms".into(),
+                "p99 ms".into(),
+                "worst-vs-suite".into(),
+                "verdict".into(),
+            ]);
+            for d in &self.deltas {
+                let Some(l) = &d.latency else { continue };
+                lat.row(vec![
+                    d.name.clone(),
+                    format!("{:.3}→{:.3}", l.baseline_ms[0], l.current_ms[0]),
+                    format!("{:.3}→{:.3}", l.baseline_ms[1], l.current_ms[1]),
+                    format!("{:.3}→{:.3}", l.baseline_ms[2], l.current_ms[2]),
+                    format!("{:.2}x", l.worst_normalized),
+                    if l.regressed { "REGRESSED" } else { "ok" }.into(),
+                ]);
+            }
+            out.push_str(&lat.render());
+        }
         for name in &self.missing_in_current {
             out.push_str(&format!(
                 "MISSING: baseline workload '{name}' not in current run\n"
+            ));
+        }
+        for name in &self.missing_latency_in_current {
+            out.push_str(&format!(
+                "MISSING: baseline latency profile for '{name}' not in current run\n"
             ));
         }
         for name in &self.new_in_current {
             out.push_str(&format!("new workload (no baseline): '{name}'\n"));
         }
         out.push_str(&format!(
-            "machine factor {:.2}x, threshold {:.0}%: {}\n",
+            "machine factor {:.2}x (latency {:.2}x), threshold {:.0}%: {}\n",
             self.machine_factor,
+            self.latency_machine_factor,
             self.threshold * 100.0,
             if self.has_regression() {
                 "PERF GATE FAILED"
@@ -163,10 +242,31 @@ fn key(e: &BenchEntry) -> (String, String) {
     (e.name.clone(), e.scheme.clone())
 }
 
+/// The `[p50, p95, p99]` triple of an entry, when all three are present
+/// and positive (zero would make ratios meaningless).
+fn latency_triple(e: &BenchEntry) -> Option<[f64; 3]> {
+    let t = [e.p50_ms?, e.p95_ms?, e.p99_ms?];
+    t.iter().all(|x| x.is_finite() && *x > 0.0).then_some(t)
+}
+
+/// Median of an unsorted sample; `1.0` when empty.
+fn median(mut xs: Vec<f64>) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    if xs.len() % 2 == 1 {
+        xs[xs.len() / 2]
+    } else {
+        (xs[xs.len() / 2 - 1] + xs[xs.len() / 2]) / 2.0
+    }
+}
+
 /// Diffs `current` against `baseline` and applies the normalised
-/// regression gate at `threshold` (e.g. `0.25` for 25%). Workloads whose
-/// throughput is non-finite or non-positive on either side are excluded
-/// from both the deltas and the machine factor.
+/// regression gate at `threshold` (e.g. `0.25` for 25%) — downward on
+/// throughput, upward on the latency percentiles of workloads that carry
+/// them. Workloads whose throughput is non-finite or non-positive on
+/// either side are excluded from both the deltas and the machine factor.
 #[must_use]
 pub fn compare(baseline: &BenchReport, current: &BenchReport, threshold: f64) -> CompareOutcome {
     assert!(
@@ -175,6 +275,7 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, threshold: f64) ->
     );
     let mut deltas = Vec::new();
     let mut missing = Vec::new();
+    let mut missing_latency = Vec::new();
     for b in &baseline.entries {
         let Some(c) = current.entries.iter().find(|c| key(c) == key(b)) else {
             missing.push(format!("{}/{}", b.scheme, b.name));
@@ -184,6 +285,20 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, threshold: f64) ->
         if !usable(b.trials_per_sec) || !usable(c.trials_per_sec) {
             continue;
         }
+        let latency = match (latency_triple(b), latency_triple(c)) {
+            (Some(base), Some(cur)) => Some(LatencyDelta {
+                baseline_ms: base,
+                current_ms: cur,
+                ratios: [cur[0] / base[0], cur[1] / base[1], cur[2] / base[2]],
+                worst_normalized: 0.0, // filled below
+                regressed: false,      // filled below
+            }),
+            (Some(_), None) => {
+                missing_latency.push(format!("{}/{}", b.scheme, b.name));
+                None
+            }
+            _ => None,
+        };
         deltas.push(EntryDelta {
             name: b.name.clone(),
             scheme: b.scheme.clone(),
@@ -192,20 +307,28 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, threshold: f64) ->
             ratio: c.trials_per_sec / b.trials_per_sec,
             normalized_ratio: 0.0, // filled below
             regressed: false,      // filled below
+            latency,
         });
     }
-    let mut ratios: Vec<f64> = deltas.iter().map(|d| d.ratio).collect();
-    ratios.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    let machine_factor = if ratios.is_empty() {
-        1.0
-    } else if ratios.len() % 2 == 1 {
-        ratios[ratios.len() / 2]
-    } else {
-        (ratios[ratios.len() / 2 - 1] + ratios[ratios.len() / 2]) / 2.0
-    };
+    let machine_factor = median(deltas.iter().map(|d| d.ratio).collect());
+    let latency_machine_factor = median(
+        deltas
+            .iter()
+            .filter_map(|d| d.latency.as_ref())
+            .flat_map(|l| l.ratios)
+            .collect(),
+    );
     for d in &mut deltas {
         d.normalized_ratio = d.ratio / machine_factor;
         d.regressed = d.normalized_ratio < 1.0 - threshold;
+        if let Some(l) = &mut d.latency {
+            l.worst_normalized = l
+                .ratios
+                .iter()
+                .map(|r| r / latency_machine_factor)
+                .fold(f64::NEG_INFINITY, f64::max);
+            l.regressed = l.worst_normalized > 1.0 + threshold;
+        }
     }
     let new_in_current = current
         .entries
@@ -216,8 +339,10 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, threshold: f64) ->
     CompareOutcome {
         deltas,
         machine_factor,
+        latency_machine_factor,
         threshold,
         missing_in_current: missing,
+        missing_latency_in_current: missing_latency,
         new_in_current,
     }
 }
@@ -244,6 +369,20 @@ mod tests {
             engine: None,
             variance: None,
             effective_samples: None,
+            p50_ms: None,
+            p95_ms: None,
+            p99_ms: None,
+            cache_hit_rate: None,
+        }
+    }
+
+    fn lat_entry(name: &str, tps: f64, p50: f64, p95: f64, p99: f64) -> BenchEntry {
+        BenchEntry {
+            p50_ms: Some(p50),
+            p95_ms: Some(p95),
+            p99_ms: Some(p99),
+            cache_hit_rate: Some(0.9),
+            ..entry(name, "serve", tps)
         }
     }
 
@@ -336,5 +475,81 @@ mod tests {
     fn rejects_silly_thresholds() {
         let r = report(vec![]);
         let _ = compare(&r, &r.clone(), 1.5);
+    }
+
+    #[test]
+    fn latency_regression_is_flagged_even_when_throughput_holds() {
+        let base = report(vec![
+            lat_entry("warm", 1_000.0, 0.5, 1.0, 1.5),
+            lat_entry("cold", 1_000.0, 5.0, 8.0, 10.0),
+            lat_entry("mixed", 1_000.0, 1.0, 2.0, 3.0),
+        ]);
+        let cur = report(vec![
+            lat_entry("warm", 1_000.0, 0.5, 1.0, 6.0), // p99 blew up 4x
+            lat_entry("cold", 1_000.0, 5.0, 8.0, 10.0),
+            lat_entry("mixed", 1_000.0, 1.0, 2.0, 3.0),
+        ]);
+        let out = compare(&base, &cur, 0.25);
+        assert!(out.has_regression());
+        let regs = out.regressions();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].name, "warm");
+        assert!(!regs[0].regressed, "throughput held; latency regressed");
+        assert!(regs[0].latency.as_ref().unwrap().regressed);
+        let rendered = out.render();
+        assert!(rendered.contains("p99 ms"));
+        assert!(rendered.contains("REGRESSED"));
+        assert!(rendered.contains("PERF GATE FAILED"));
+    }
+
+    #[test]
+    fn uniform_latency_slowdown_is_hardware_not_regression() {
+        let base = report(vec![
+            lat_entry("warm", 1_000.0, 0.5, 1.0, 1.5),
+            lat_entry("cold", 1_000.0, 5.0, 8.0, 10.0),
+        ]);
+        // Everything exactly 3x slower: slower machine, steady shape.
+        let cur = report(vec![
+            lat_entry("warm", 1_000.0, 1.5, 3.0, 4.5),
+            lat_entry("cold", 1_000.0, 15.0, 24.0, 30.0),
+        ]);
+        let out = compare(&base, &cur, 0.25);
+        assert!((out.latency_machine_factor - 3.0).abs() < 1e-12);
+        assert!(!out.has_regression());
+    }
+
+    #[test]
+    fn uniform_latency_improvement_passes_and_is_reported() {
+        let base = report(vec![lat_entry("warm", 1_000.0, 1.0, 2.0, 4.0)]);
+        let cur = report(vec![lat_entry("warm", 1_000.0, 0.5, 1.0, 2.0)]);
+        let out = compare(&base, &cur, 0.25);
+        assert!(!out.has_regression());
+        let l = out.deltas[0].latency.as_ref().unwrap();
+        assert_eq!(l.ratios, [0.5, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn dropped_latency_profile_fails_the_gate() {
+        let base = report(vec![lat_entry("warm", 1_000.0, 0.5, 1.0, 1.5)]);
+        let cur = report(vec![entry("warm", "serve", 1_000.0)]);
+        let out = compare(&base, &cur, 0.25);
+        assert!(out.has_regression());
+        assert_eq!(
+            out.missing_latency_in_current,
+            vec!["serve/warm".to_string()]
+        );
+        assert!(out.render().contains("latency profile"));
+    }
+
+    #[test]
+    fn latency_free_baselines_keep_the_old_behaviour() {
+        // A pre-PR 7 baseline against a current run that *gained*
+        // latency columns: informational, never a failure.
+        let base = report(vec![entry("warm", "serve", 1_000.0)]);
+        let cur = report(vec![lat_entry("warm", 1_000.0, 0.5, 1.0, 1.5)]);
+        let out = compare(&base, &cur, 0.25);
+        assert!(!out.has_regression());
+        assert_eq!(out.latency_machine_factor, 1.0);
+        assert!(out.deltas[0].latency.is_none());
     }
 }

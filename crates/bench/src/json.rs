@@ -1,0 +1,444 @@
+//! A minimal hand-rolled JSON reader/writer shared by the report layer
+//! and the serving stack.
+//!
+//! The environment vendors no JSON library, so this module carries just
+//! enough of RFC 8259 to round-trip the fixed `dmfb-bench/1` document
+//! shape and the `dmfb serve` request/reply bodies. Because the serving
+//! daemon parses **untrusted network input**, the parser is bounded on
+//! both axes a recursive-descent reader can be attacked on:
+//!
+//! - **Payload size** — [`JsonValue::parse`] rejects documents larger
+//!   than [`MAX_DOCUMENT_BYTES`] before touching a single byte, so a
+//!   client cannot make the server buffer-and-parse arbitrarily large
+//!   bodies.
+//! - **Nesting depth** — containers deeper than [`MAX_DEPTH`] are
+//!   rejected with a clean error instead of overflowing the parse
+//!   recursion stack (`[[[[…` is a classic stack-exhaustion DoS).
+//!
+//! Both limits are far above anything the schemas legitimately produce;
+//! trusted callers with unusual needs can pick their own bounds via
+//! [`JsonValue::parse_with_limits`].
+
+use std::fmt::Write as _;
+
+/// Largest document [`JsonValue::parse`] accepts, in bytes (1 MiB). A
+/// full-suite bench report is ~10 KiB; serve requests are under 1 KiB.
+pub const MAX_DOCUMENT_BYTES: usize = 1 << 20;
+
+/// Deepest container nesting [`JsonValue::parse`] accepts. The bench
+/// schema needs 3 levels; serve requests need 2.
+pub const MAX_DEPTH: usize = 64;
+
+/// A parsed JSON value tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`; exact for the magnitudes the
+    /// schemas carry).
+    Number(f64),
+    /// A string with escapes decoded.
+    String(String),
+    /// An array of values.
+    Array(Vec<JsonValue>),
+    /// An object as an ordered key/value list (duplicate keys keep the
+    /// first occurrence via [`get`]).
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Parses a complete JSON document under the default
+    /// [`MAX_DOCUMENT_BYTES`] / [`MAX_DEPTH`] limits.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax error, or a limit
+    /// violation (oversized document, over-deep nesting).
+    pub fn parse(text: &str) -> Result<JsonValue, String> {
+        JsonValue::parse_with_limits(text, MAX_DOCUMENT_BYTES, MAX_DEPTH)
+    }
+
+    /// Parses with caller-chosen size and depth bounds.
+    ///
+    /// # Errors
+    ///
+    /// As [`JsonValue::parse`], against the supplied limits.
+    pub fn parse_with_limits(
+        text: &str,
+        max_bytes: usize,
+        max_depth: usize,
+    ) -> Result<JsonValue, String> {
+        if text.len() > max_bytes {
+            return Err(format!(
+                "document too large: {} bytes (limit {max_bytes})",
+                text.len()
+            ));
+        }
+        let b = text.as_bytes();
+        let mut i = 0usize;
+        let v = JsonValue::value(b, &mut i, max_depth)?;
+        skip_ws(b, &mut i);
+        if i == b.len() {
+            Ok(v)
+        } else {
+            Err(format!("trailing garbage at byte {i}"))
+        }
+    }
+
+    /// Borrows the object fields, or errors with `what` for context.
+    ///
+    /// # Errors
+    ///
+    /// When the value is not an object.
+    pub fn as_object(&self, what: &str) -> Result<&[(String, JsonValue)], String> {
+        match self {
+            JsonValue::Object(o) => Ok(o),
+            _ => Err(format!("{what} must be an object")),
+        }
+    }
+
+    /// Borrows the array items, or errors with `what` for context.
+    ///
+    /// # Errors
+    ///
+    /// When the value is not an array.
+    pub fn as_array(&self, what: &str) -> Result<&[JsonValue], String> {
+        match self {
+            JsonValue::Array(a) => Ok(a),
+            _ => Err(format!("{what} must be an array")),
+        }
+    }
+
+    /// Borrows the string contents, or errors with `what` for context.
+    ///
+    /// # Errors
+    ///
+    /// When the value is not a string.
+    pub fn as_str(&self, what: &str) -> Result<&str, String> {
+        match self {
+            JsonValue::String(s) => Ok(s),
+            _ => Err(format!("{what} must be a string")),
+        }
+    }
+
+    /// Returns the number, or errors with `what` for context.
+    ///
+    /// # Errors
+    ///
+    /// When the value is not a number.
+    pub fn as_f64(&self, what: &str) -> Result<f64, String> {
+        match self {
+            JsonValue::Number(x) => Ok(*x),
+            _ => Err(format!("{what} must be a number")),
+        }
+    }
+
+    /// Returns the boolean, or errors with `what` for context.
+    ///
+    /// # Errors
+    ///
+    /// When the value is not a boolean.
+    pub fn as_bool(&self, what: &str) -> Result<bool, String> {
+        match self {
+            JsonValue::Bool(x) => Ok(*x),
+            _ => Err(format!("{what} must be a boolean")),
+        }
+    }
+
+    fn value(b: &[u8], i: &mut usize, depth: usize) -> Result<JsonValue, String> {
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b'{') => {
+                if depth == 0 {
+                    return Err(format!("nesting too deep at byte {i}"));
+                }
+                *i += 1;
+                let mut fields = Vec::new();
+                skip_ws(b, i);
+                if b.get(*i) == Some(&b'}') {
+                    *i += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                loop {
+                    skip_ws(b, i);
+                    let key = parse_string(b, i)?;
+                    skip_ws(b, i);
+                    if b.get(*i) != Some(&b':') {
+                        return Err(format!("expected ':' at byte {i}"));
+                    }
+                    *i += 1;
+                    fields.push((key, JsonValue::value(b, i, depth - 1)?));
+                    skip_ws(b, i);
+                    match b.get(*i) {
+                        Some(b',') => *i += 1,
+                        Some(b'}') => {
+                            *i += 1;
+                            return Ok(JsonValue::Object(fields));
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at byte {i}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                if depth == 0 {
+                    return Err(format!("nesting too deep at byte {i}"));
+                }
+                *i += 1;
+                let mut items = Vec::new();
+                skip_ws(b, i);
+                if b.get(*i) == Some(&b']') {
+                    *i += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                loop {
+                    items.push(JsonValue::value(b, i, depth - 1)?);
+                    skip_ws(b, i);
+                    match b.get(*i) {
+                        Some(b',') => *i += 1,
+                        Some(b']') => {
+                            *i += 1;
+                            return Ok(JsonValue::Array(items));
+                        }
+                        _ => return Err(format!("expected ',' or ']' at byte {i}")),
+                    }
+                }
+            }
+            Some(b'"') => Ok(JsonValue::String(parse_string(b, i)?)),
+            Some(b't') => parse_literal(b, i, "true").map(|()| JsonValue::Bool(true)),
+            Some(b'f') => parse_literal(b, i, "false").map(|()| JsonValue::Bool(false)),
+            Some(b'n') => parse_literal(b, i, "null").map(|()| JsonValue::Null),
+            Some(_) => {
+                let start = *i;
+                while let Some(&c) = b.get(*i) {
+                    if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                        *i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = std::str::from_utf8(&b[start..*i])
+                    .map_err(|_| format!("invalid bytes at {start}"))?;
+                text.parse::<f64>()
+                    .map(JsonValue::Number)
+                    .map_err(|_| format!("bad number '{text}' at byte {start}"))
+            }
+            None => Err("unexpected end of input".into()),
+        }
+    }
+}
+
+/// Looks up a required key on a parsed JSON object.
+///
+/// # Errors
+///
+/// When the key is absent.
+pub fn get<'a>(obj: &'a [(String, JsonValue)], key: &str) -> Result<&'a JsonValue, String> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field '{key}'"))
+}
+
+/// Optional string column: absent or `null` → `None`.
+///
+/// # Errors
+///
+/// When the key is present but not a string.
+pub fn opt_string(obj: &[(String, JsonValue)], key: &str) -> Result<Option<String>, String> {
+    match obj.iter().find(|(k, _)| k == key) {
+        None => Ok(None),
+        Some((_, JsonValue::Null)) => Ok(None),
+        Some((_, v)) => Ok(Some(v.as_str(key)?.to_string())),
+    }
+}
+
+/// Optional numeric column: absent or `null` → `None`.
+///
+/// # Errors
+///
+/// When the key is present but not a number.
+pub fn opt_f64(obj: &[(String, JsonValue)], key: &str) -> Result<Option<f64>, String> {
+    match obj.iter().find(|(k, _)| k == key) {
+        None => Ok(None),
+        Some((_, JsonValue::Null)) => Ok(None),
+        Some((_, v)) => Ok(Some(v.as_f64(key)?)),
+    }
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && (b[*i] as char).is_ascii_whitespace() {
+        *i += 1;
+    }
+}
+
+fn parse_literal(b: &[u8], i: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*i..].starts_with(lit.as_bytes()) {
+        *i += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {i}"))
+    }
+}
+
+fn parse_string(b: &[u8], i: &mut usize) -> Result<String, String> {
+    if b.get(*i) != Some(&b'"') {
+        return Err(format!("expected string at byte {i}"));
+    }
+    *i += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*i) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *i += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *i += 1;
+                match b.get(*i) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*i + 1..*i + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {i}"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape at byte {i}"))?;
+                        // Surrogates degrade to the replacement character —
+                        // the schemas never emit them.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *i += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {i}")),
+                }
+                *i += 1;
+            }
+            Some(&c) if c < 0x20 => return Err(format!("raw control char at byte {i}")),
+            Some(_) => {
+                // Copy the full UTF-8 code point.
+                let start = *i;
+                *i += 1;
+                while *i < b.len() && (b[*i] & 0b1100_0000) == 0b1000_0000 {
+                    *i += 1;
+                }
+                out.push_str(
+                    std::str::from_utf8(&b[start..*i])
+                        .map_err(|_| format!("invalid UTF-8 at byte {start}"))?,
+                );
+            }
+        }
+    }
+}
+
+/// Quotes and escapes `s` as a JSON string literal.
+#[must_use]
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a float as a JSON number; non-finite values (which JSON cannot
+/// represent) degrade to `null`.
+#[must_use]
+pub fn json_number(x: f64) -> String {
+    if x.is_finite() {
+        // `{}` prints integral floats without a fractional part; that is
+        // still a valid JSON number, so pass it through unchanged.
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_usual_shapes() {
+        let v = JsonValue::parse(r#"{"a":[1,2.5,-3e2],"b":"x","c":true,"d":null}"#).unwrap();
+        let obj = v.as_object("top").unwrap();
+        let arr = get(obj, "a").unwrap().as_array("a").unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[1].as_f64("a[1]").unwrap(), 2.5);
+        assert_eq!(get(obj, "b").unwrap().as_str("b").unwrap(), "x");
+        assert!(get(obj, "c").unwrap().as_bool("c").unwrap());
+        assert_eq!(opt_f64(obj, "d").unwrap(), None);
+        assert_eq!(opt_string(obj, "missing").unwrap(), None);
+    }
+
+    #[test]
+    fn rejects_oversized_documents() {
+        let big = format!("\"{}\"", "x".repeat(32));
+        let err = JsonValue::parse_with_limits(&big, 16, MAX_DEPTH).unwrap_err();
+        assert!(err.contains("too large"), "{err}");
+        // The same document passes under the default limit.
+        JsonValue::parse(&big).unwrap();
+    }
+
+    #[test]
+    fn rejects_overdeep_nesting() {
+        let deep = "[".repeat(MAX_DEPTH + 1) + &"]".repeat(MAX_DEPTH + 1);
+        let err = JsonValue::parse(&deep).unwrap_err();
+        assert!(err.contains("nesting too deep"), "{err}");
+        let ok = "[".repeat(MAX_DEPTH) + &"]".repeat(MAX_DEPTH);
+        JsonValue::parse(&ok).unwrap();
+        let mixed = "{\"k\":".repeat(MAX_DEPTH + 1) + "1" + &"}".repeat(MAX_DEPTH + 1);
+        assert!(JsonValue::parse(&mixed).unwrap_err().contains("too deep"));
+    }
+
+    #[test]
+    fn rejects_syntax_errors() {
+        for bad in [
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "[1 2]",
+            "{} trailing",
+            "\"unterminated",
+            "{'single':1}",
+            "nul",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = "weird \"label\"\n\\ ünïcode\ttab";
+        let doc = format!("[{}]", json_string(original));
+        let v = JsonValue::parse(&doc).unwrap();
+        assert_eq!(v.as_array("doc").unwrap()[0].as_str("s").unwrap(), original);
+    }
+
+    #[test]
+    fn numbers_round_trip_and_nonfinite_degrade() {
+        assert_eq!(json_number(42.75), "42.75");
+        assert_eq!(json_number(-1e-9), "-0.000000001");
+        assert_eq!(json_number(f64::NAN), "null");
+        assert_eq!(json_number(f64::INFINITY), "null");
+    }
+}

@@ -9,9 +9,12 @@
 //! (`BENCH_*.json`) that `dmfb bench --json` emits and CI archives.
 
 mod compare;
+pub mod json;
 mod report;
 
-pub use compare::{compare, CompareOutcome, EntryDelta, DEFAULT_REGRESSION_THRESHOLD};
+pub use compare::{
+    compare, CompareOutcome, EntryDelta, LatencyDelta, DEFAULT_REGRESSION_THRESHOLD,
+};
 pub use report::{BenchEntry, BenchReport, BENCH_SCHEMA};
 
 use std::fmt::Write as _;

@@ -4,7 +4,8 @@
 //! can archive them as workflow artifacts and later PRs can diff
 //! throughput numbers instead of eyeballing log output. The environment
 //! vendors no JSON library, so the writer is a small hand-rolled emitter
-//! for the fixed `dmfb-bench/1` schema:
+//! for the fixed `dmfb-bench/1` schema (reading goes through the shared
+//! bounded parser in [`crate::json`]):
 //!
 //! ```json
 //! {
@@ -30,7 +31,11 @@
 //!       "defect_model": "bernoulli",
 //!       "engine": "block",
 //!       "variance": null,
-//!       "effective_samples": null
+//!       "effective_samples": null,
+//!       "p50_ms": null,
+//!       "p95_ms": null,
+//!       "p99_ms": null,
+//!       "cache_hit_rate": null
 //!     }
 //!   ]
 //! }
@@ -57,7 +62,20 @@
 //! `engine` records which trial engine ran the workload — `"scalar"`
 //! (one trial at a time) or `"block"` (the word-parallel 64-trials-per-
 //! word batch pipeline) — and defaults to `None` on pre-bump reports.
+//!
+//! **Schema evolution (PR 7).** Four more optional columns, same rules,
+//! carrying the `dmfb soak` latency profile: `p50_ms`, `p95_ms`,
+//! `p99_ms` (request-latency percentiles in milliseconds) and
+//! `cache_hit_rate` (the serving daemon's evaluator-cache hit fraction
+//! over the soak window, in `[0, 1]`). Throughput-only workloads leave
+//! all four `null`. In the same PR the reader was hardened for
+//! untrusted input now that `BENCH` documents can arrive over the wire:
+//! oversized or over-deep payloads, duplicate `(name, scheme)` workload
+//! labels, non-finite or negative throughput/latency numbers, and
+//! out-of-range integer fields are rejected with clean errors instead of
+//! being silently accepted.
 
+use crate::json::{get, json_number, json_string, opt_f64, opt_string, JsonValue};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::time::{SystemTime, UNIX_EPOCH};
@@ -121,6 +139,18 @@ pub struct BenchEntry {
     /// workloads this equals `trials`; for stratified ones the ratio
     /// `effective_samples / trials` is the rare-event speed-up.
     pub effective_samples: Option<f64>,
+    /// Median request latency in milliseconds (`dmfb soak` workloads);
+    /// `None` on throughput-only entries and pre-bump reports.
+    pub p50_ms: Option<f64>,
+    /// 95th-percentile request latency in milliseconds; `None` on
+    /// throughput-only entries and pre-bump reports.
+    pub p95_ms: Option<f64>,
+    /// 99th-percentile request latency in milliseconds; `None` on
+    /// throughput-only entries and pre-bump reports.
+    pub p99_ms: Option<f64>,
+    /// Evaluator-cache hit fraction over the soak window, in `[0, 1]`;
+    /// `None` on throughput-only entries and pre-bump reports.
+    pub cache_hit_rate: Option<f64>,
 }
 
 impl BenchEntry {
@@ -171,6 +201,22 @@ impl BenchEntry {
             Some(v) => write!(out, ",\"effective_samples\":{}", json_number(v)),
             None => write!(out, ",\"effective_samples\":null"),
         };
+        let _ = match self.p50_ms {
+            Some(v) => write!(out, ",\"p50_ms\":{}", json_number(v)),
+            None => write!(out, ",\"p50_ms\":null"),
+        };
+        let _ = match self.p95_ms {
+            Some(v) => write!(out, ",\"p95_ms\":{}", json_number(v)),
+            None => write!(out, ",\"p95_ms\":null"),
+        };
+        let _ = match self.p99_ms {
+            Some(v) => write!(out, ",\"p99_ms\":{}", json_number(v)),
+            None => write!(out, ",\"p99_ms\":null"),
+        };
+        let _ = match self.cache_hit_rate {
+            Some(v) => write!(out, ",\"cache_hit_rate\":{}", json_number(v)),
+            None => write!(out, ",\"cache_hit_rate\":null"),
+        };
         out.push('}');
     }
 }
@@ -200,6 +246,10 @@ impl BenchEntry {
 ///     engine: Some("block".into()),
 ///     variance: None,
 ///     effective_samples: None,
+///     p50_ms: None,
+///     p95_ms: None,
+///     p99_ms: None,
+///     cache_hit_rate: None,
 /// });
 /// let json = report.to_json();
 /// assert!(json.contains("\"schema\":\"dmfb-bench/1\""));
@@ -249,7 +299,7 @@ impl BenchReport {
     /// newline).
     #[must_use]
     pub fn to_json(&self) -> String {
-        let mut out = String::with_capacity(256 + 220 * self.entries.len());
+        let mut out = String::with_capacity(256 + 300 * self.entries.len());
         out.push('{');
         let _ = write!(out, "\"schema\":{}", json_string(BENCH_SCHEMA));
         let _ = write!(out, ",\"label\":{}", json_string(&self.label));
@@ -300,16 +350,27 @@ impl BenchReport {
     }
 
     /// Parses a `dmfb-bench/1` report back from its JSON serialisation —
-    /// the reader behind `dmfb bench --compare`. Tolerant by design:
-    /// unknown keys are skipped and every post-bump optional column
-    /// (`estimator`, `defect_model`, `engine`, `variance`,
-    /// `effective_samples`, `assay`, `operational_yield`) defaults to
-    /// `None` when absent, so pre-bump artifacts stay readable.
+    /// the reader behind `dmfb bench --compare` and the soak gate.
+    /// Tolerant where tolerance is safe: unknown keys are skipped and
+    /// every post-bump optional column (`estimator`, `defect_model`,
+    /// `engine`, `variance`, `effective_samples`, `assay`,
+    /// `operational_yield`, `p50_ms`, `p95_ms`, `p99_ms`,
+    /// `cache_hit_rate`) defaults to `None` when absent, so pre-bump
+    /// artifacts stay readable. Strict where the document could be
+    /// hostile (soak baselines can arrive over the wire): payloads over
+    /// [`crate::json::MAX_DOCUMENT_BYTES`] or nested deeper than
+    /// [`crate::json::MAX_DEPTH`] are refused, duplicate
+    /// `(name, scheme)` workload labels are an error (they would make
+    /// the compare gate's match-up ambiguous), `wall_ms`,
+    /// `trials_per_sec`, and the latency percentiles must be finite and
+    /// non-negative, `cache_hit_rate` must lie in `[0, 1]`, and integer
+    /// fields must actually be non-negative integers in range.
     ///
     /// # Errors
     ///
-    /// Returns a description of the first syntax error, a wrong or
-    /// missing `schema` identifier, or a missing required field.
+    /// Returns a description of the first syntax error, limit violation,
+    /// wrong or missing `schema` identifier, missing required field, or
+    /// invalid field value.
     pub fn from_json(json: &str) -> Result<BenchReport, String> {
         let value = JsonValue::parse(json)?;
         let top = value.as_object("top-level report")?;
@@ -319,18 +380,18 @@ impl BenchReport {
                 "unsupported schema '{schema}' (expected '{BENCH_SCHEMA}')"
             ));
         }
-        let mut entries = Vec::new();
+        let mut entries: Vec<BenchEntry> = Vec::new();
         for (i, e) in get(top, "entries")?.as_array("entries")?.iter().enumerate() {
             let obj = e.as_object(&format!("entries[{i}]"))?;
-            entries.push(BenchEntry {
+            let entry = BenchEntry {
                 name: get(obj, "name")?.as_str("name")?.to_string(),
                 scheme: get(obj, "scheme")?.as_str("scheme")?.to_string(),
                 design: get(obj, "design")?.as_str("design")?.to_string(),
-                primaries: get(obj, "primaries")?.as_f64("primaries")? as usize,
-                trials: get(obj, "trials")?.as_f64("trials")? as u64,
-                grid_points: get(obj, "grid_points")?.as_f64("grid_points")? as usize,
-                wall_ms: get(obj, "wall_ms")?.as_f64("wall_ms")?,
-                trials_per_sec: get(obj, "trials_per_sec")?.as_f64("trials_per_sec")?,
+                primaries: req_usize(obj, "primaries")?,
+                trials: req_u64(obj, "trials")?,
+                grid_points: req_usize(obj, "grid_points")?,
+                wall_ms: req_nonneg(obj, "wall_ms")?,
+                trials_per_sec: req_nonneg(obj, "trials_per_sec")?,
                 yield_estimate: opt_f64(obj, "yield_estimate")?.unwrap_or(f64::NAN),
                 assay: opt_string(obj, "assay")?,
                 operational_yield: opt_f64(obj, "operational_yield")?,
@@ -339,293 +400,75 @@ impl BenchReport {
                 engine: opt_string(obj, "engine")?,
                 variance: opt_f64(obj, "variance")?,
                 effective_samples: opt_f64(obj, "effective_samples")?,
-            });
+                p50_ms: opt_nonneg(obj, "p50_ms")?,
+                p95_ms: opt_nonneg(obj, "p95_ms")?,
+                p99_ms: opt_nonneg(obj, "p99_ms")?,
+                cache_hit_rate: opt_unit_fraction(obj, "cache_hit_rate")?,
+            };
+            if let Some(prev) = entries
+                .iter()
+                .find(|p| p.name == entry.name && p.scheme == entry.scheme)
+            {
+                return Err(format!(
+                    "duplicate workload label '{}' for scheme '{}'",
+                    prev.name, prev.scheme
+                ));
+            }
+            entries.push(entry);
         }
         Ok(BenchReport {
             label: get(top, "label")?.as_str("label")?.to_string(),
-            created_unix_ms: get(top, "created_unix_ms")?.as_f64("created_unix_ms")? as u64,
-            threads: get(top, "threads")?.as_f64("threads")? as usize,
+            created_unix_ms: req_u64(top, "created_unix_ms")?,
+            threads: req_usize(top, "threads")?,
             quick: get(top, "quick")?.as_bool("quick")?,
             entries,
         })
     }
 }
 
-/// Looks up a required key on a parsed JSON object.
-fn get<'a>(obj: &'a [(String, JsonValue)], key: &str) -> Result<&'a JsonValue, String> {
-    obj.iter()
-        .find(|(k, _)| k == key)
-        .map(|(_, v)| v)
-        .ok_or_else(|| format!("missing field '{key}'"))
-}
-
-/// Optional string column: absent or `null` → `None`.
-fn opt_string(obj: &[(String, JsonValue)], key: &str) -> Result<Option<String>, String> {
-    match obj.iter().find(|(k, _)| k == key) {
-        None => Ok(None),
-        Some((_, JsonValue::Null)) => Ok(None),
-        Some((_, v)) => Ok(Some(v.as_str(key)?.to_string())),
-    }
-}
-
-/// Optional numeric column: absent or `null` → `None`.
-fn opt_f64(obj: &[(String, JsonValue)], key: &str) -> Result<Option<f64>, String> {
-    match obj.iter().find(|(k, _)| k == key) {
-        None => Ok(None),
-        Some((_, JsonValue::Null)) => Ok(None),
-        Some((_, v)) => Ok(Some(v.as_f64(key)?)),
-    }
-}
-
-/// A minimal JSON value tree — just enough to read the fixed
-/// `dmfb-bench/1` document shape (the environment vendors no JSON
-/// library, matching the hand-rolled writer above).
-#[derive(Clone, Debug, PartialEq)]
-enum JsonValue {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// Any JSON number (parsed as `f64`; exact for the magnitudes the
-    /// schema carries).
-    Number(f64),
-    /// A string with escapes decoded.
-    String(String),
-    /// An array of values.
-    Array(Vec<JsonValue>),
-    /// An object as an ordered key/value list (duplicate keys keep the
-    /// first occurrence via [`get`]).
-    Object(Vec<(String, JsonValue)>),
-}
-
-impl JsonValue {
-    fn parse(text: &str) -> Result<JsonValue, String> {
-        let b = text.as_bytes();
-        let mut i = 0usize;
-        let v = JsonValue::value(b, &mut i)?;
-        skip_ws(b, &mut i);
-        if i == b.len() {
-            Ok(v)
-        } else {
-            Err(format!("trailing garbage at byte {i}"))
-        }
-    }
-
-    fn as_object(&self, what: &str) -> Result<&[(String, JsonValue)], String> {
-        match self {
-            JsonValue::Object(o) => Ok(o),
-            _ => Err(format!("{what} must be an object")),
-        }
-    }
-
-    fn as_array(&self, what: &str) -> Result<&[JsonValue], String> {
-        match self {
-            JsonValue::Array(a) => Ok(a),
-            _ => Err(format!("{what} must be an array")),
-        }
-    }
-
-    fn as_str(&self, what: &str) -> Result<&str, String> {
-        match self {
-            JsonValue::String(s) => Ok(s),
-            _ => Err(format!("{what} must be a string")),
-        }
-    }
-
-    fn as_f64(&self, what: &str) -> Result<f64, String> {
-        match self {
-            JsonValue::Number(x) => Ok(*x),
-            _ => Err(format!("{what} must be a number")),
-        }
-    }
-
-    fn as_bool(&self, what: &str) -> Result<bool, String> {
-        match self {
-            JsonValue::Bool(x) => Ok(*x),
-            _ => Err(format!("{what} must be a boolean")),
-        }
-    }
-
-    fn value(b: &[u8], i: &mut usize) -> Result<JsonValue, String> {
-        skip_ws(b, i);
-        match b.get(*i) {
-            Some(b'{') => {
-                *i += 1;
-                let mut fields = Vec::new();
-                skip_ws(b, i);
-                if b.get(*i) == Some(&b'}') {
-                    *i += 1;
-                    return Ok(JsonValue::Object(fields));
-                }
-                loop {
-                    skip_ws(b, i);
-                    let key = parse_string(b, i)?;
-                    skip_ws(b, i);
-                    if b.get(*i) != Some(&b':') {
-                        return Err(format!("expected ':' at byte {i}"));
-                    }
-                    *i += 1;
-                    fields.push((key, JsonValue::value(b, i)?));
-                    skip_ws(b, i);
-                    match b.get(*i) {
-                        Some(b',') => *i += 1,
-                        Some(b'}') => {
-                            *i += 1;
-                            return Ok(JsonValue::Object(fields));
-                        }
-                        _ => return Err(format!("expected ',' or '}}' at byte {i}")),
-                    }
-                }
-            }
-            Some(b'[') => {
-                *i += 1;
-                let mut items = Vec::new();
-                skip_ws(b, i);
-                if b.get(*i) == Some(&b']') {
-                    *i += 1;
-                    return Ok(JsonValue::Array(items));
-                }
-                loop {
-                    items.push(JsonValue::value(b, i)?);
-                    skip_ws(b, i);
-                    match b.get(*i) {
-                        Some(b',') => *i += 1,
-                        Some(b']') => {
-                            *i += 1;
-                            return Ok(JsonValue::Array(items));
-                        }
-                        _ => return Err(format!("expected ',' or ']' at byte {i}")),
-                    }
-                }
-            }
-            Some(b'"') => Ok(JsonValue::String(parse_string(b, i)?)),
-            Some(b't') => parse_literal(b, i, "true").map(|()| JsonValue::Bool(true)),
-            Some(b'f') => parse_literal(b, i, "false").map(|()| JsonValue::Bool(false)),
-            Some(b'n') => parse_literal(b, i, "null").map(|()| JsonValue::Null),
-            Some(_) => {
-                let start = *i;
-                while let Some(&c) = b.get(*i) {
-                    if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
-                        *i += 1;
-                    } else {
-                        break;
-                    }
-                }
-                let text = std::str::from_utf8(&b[start..*i])
-                    .map_err(|_| format!("invalid bytes at {start}"))?;
-                text.parse::<f64>()
-                    .map(JsonValue::Number)
-                    .map_err(|_| format!("bad number '{text}' at byte {start}"))
-            }
-            None => Err("unexpected end of input".into()),
-        }
-    }
-}
-
-fn skip_ws(b: &[u8], i: &mut usize) {
-    while *i < b.len() && (b[*i] as char).is_ascii_whitespace() {
-        *i += 1;
-    }
-}
-
-fn parse_literal(b: &[u8], i: &mut usize, lit: &str) -> Result<(), String> {
-    if b[*i..].starts_with(lit.as_bytes()) {
-        *i += lit.len();
-        Ok(())
+/// Required finite non-negative float field.
+fn req_nonneg(obj: &[(String, JsonValue)], key: &str) -> Result<f64, String> {
+    let x = get(obj, key)?.as_f64(key)?;
+    if x.is_finite() && x >= 0.0 {
+        Ok(x)
     } else {
-        Err(format!("bad literal at byte {i}"))
+        Err(format!("{key} must be a finite non-negative number"))
     }
 }
 
-fn parse_string(b: &[u8], i: &mut usize) -> Result<String, String> {
-    if b.get(*i) != Some(&b'"') {
-        return Err(format!("expected string at byte {i}"));
-    }
-    *i += 1;
-    let mut out = String::new();
-    loop {
-        match b.get(*i) {
-            None => return Err("unterminated string".into()),
-            Some(b'"') => {
-                *i += 1;
-                return Ok(out);
-            }
-            Some(b'\\') => {
-                *i += 1;
-                match b.get(*i) {
-                    Some(b'"') => out.push('"'),
-                    Some(b'\\') => out.push('\\'),
-                    Some(b'/') => out.push('/'),
-                    Some(b'n') => out.push('\n'),
-                    Some(b'r') => out.push('\r'),
-                    Some(b't') => out.push('\t'),
-                    Some(b'b') => out.push('\u{8}'),
-                    Some(b'f') => out.push('\u{c}'),
-                    Some(b'u') => {
-                        let hex = b
-                            .get(*i + 1..*i + 5)
-                            .and_then(|h| std::str::from_utf8(h).ok())
-                            .ok_or_else(|| format!("bad \\u escape at byte {i}"))?;
-                        let code = u32::from_str_radix(hex, 16)
-                            .map_err(|_| format!("bad \\u escape at byte {i}"))?;
-                        // Surrogates degrade to the replacement character —
-                        // the schema never emits them.
-                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                        *i += 4;
-                    }
-                    _ => return Err(format!("bad escape at byte {i}")),
-                }
-                *i += 1;
-            }
-            Some(&c) if c < 0x20 => return Err(format!("raw control char at byte {i}")),
-            Some(_) => {
-                // Copy the full UTF-8 code point.
-                let start = *i;
-                *i += 1;
-                while *i < b.len() && (b[*i] & 0b1100_0000) == 0b1000_0000 {
-                    *i += 1;
-                }
-                out.push_str(
-                    std::str::from_utf8(&b[start..*i])
-                        .map_err(|_| format!("invalid UTF-8 at byte {start}"))?,
-                );
-            }
-        }
+/// Optional finite non-negative float field (absent/`null` → `None`).
+fn opt_nonneg(obj: &[(String, JsonValue)], key: &str) -> Result<Option<f64>, String> {
+    match opt_f64(obj, key)? {
+        None => Ok(None),
+        Some(x) if x.is_finite() && x >= 0.0 => Ok(Some(x)),
+        Some(_) => Err(format!("{key} must be a finite non-negative number")),
     }
 }
 
-/// Quotes and escapes `s` as a JSON string literal.
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
+/// Optional fraction field in `[0, 1]` (absent/`null` → `None`).
+fn opt_unit_fraction(obj: &[(String, JsonValue)], key: &str) -> Result<Option<f64>, String> {
+    match opt_f64(obj, key)? {
+        None => Ok(None),
+        Some(x) if x.is_finite() && (0.0..=1.0).contains(&x) => Ok(Some(x)),
+        Some(_) => Err(format!("{key} must be a fraction in [0, 1]")),
     }
-    out.push('"');
-    out
 }
 
-/// Formats a float as a JSON number; non-finite values (which JSON cannot
-/// represent) degrade to `null`.
-fn json_number(x: f64) -> String {
-    if x.is_finite() {
-        let s = format!("{x}");
-        // `{}` prints integral floats without a fractional part; that is
-        // still a valid JSON number, so pass it through unchanged.
-        s
+/// Required non-negative integer field, range-checked before the cast
+/// (JSON numbers are `f64`, exact for integers up to 2⁵³).
+fn req_u64(obj: &[(String, JsonValue)], key: &str) -> Result<u64, String> {
+    let x = get(obj, key)?.as_f64(key)?;
+    const MAX_EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
+    if x.is_finite() && x >= 0.0 && x.fract() == 0.0 && x <= MAX_EXACT {
+        Ok(x as u64)
     } else {
-        "null".to_string()
+        Err(format!("{key} must be a non-negative integer"))
     }
+}
+
+/// Required non-negative integer field narrowed to `usize`.
+fn req_usize(obj: &[(String, JsonValue)], key: &str) -> Result<usize, String> {
+    usize::try_from(req_u64(obj, key)?).map_err(|_| format!("{key} out of range"))
 }
 
 #[cfg(test)]
@@ -634,7 +477,7 @@ mod tests {
 
     /// A minimal JSON syntax checker (objects, arrays, strings, numbers,
     /// booleans, null) — enough to prove the emitter produces
-    /// well-formed documents without vendoring a parser.
+    /// well-formed documents without trusting the parser under test.
     fn validate_json(s: &str) -> Result<(), String> {
         let b = s.as_bytes();
         let mut i = 0usize;
@@ -769,6 +612,10 @@ mod tests {
             engine: Some("scalar".into()),
             variance: None,
             effective_samples: None,
+            p50_ms: None,
+            p95_ms: None,
+            p99_ms: None,
+            cache_hit_rate: None,
         }
     }
 
@@ -790,6 +637,8 @@ mod tests {
         assert!(json.contains("\\\"label\\\""), "escaped quotes");
         assert!(json.contains("\"assay\":null"), "no-assay entries are null");
         assert!(json.contains("\"operational_yield\":null"));
+        assert!(json.contains("\"p50_ms\":null"), "latency columns present");
+        assert!(json.contains("\"cache_hit_rate\":null"));
     }
 
     #[test]
@@ -805,6 +654,27 @@ mod tests {
         validate_json(&json).unwrap();
         assert!(json.contains("\"assay\":\"ivd-panel\""));
         assert!(json.contains("\"operational_yield\":0.8812"));
+    }
+
+    #[test]
+    fn soak_entries_fill_the_latency_columns() {
+        let mut r = BenchReport::new("serve", 4, false);
+        r.push(BenchEntry {
+            name: "dtmb26/serve-warm".into(),
+            p50_ms: Some(0.42),
+            p95_ms: Some(0.97),
+            p99_ms: Some(1.31),
+            cache_hit_rate: Some(0.98),
+            ..sample_entry()
+        });
+        let json = r.to_json();
+        validate_json(&json).unwrap();
+        assert!(json.contains("\"p50_ms\":0.42"));
+        assert!(json.contains("\"p95_ms\":0.97"));
+        assert!(json.contains("\"p99_ms\":1.31"));
+        assert!(json.contains("\"cache_hit_rate\":0.98"));
+        let back = BenchReport::from_json(&json).unwrap();
+        assert_eq!(back, r);
     }
 
     #[test]
@@ -836,6 +706,10 @@ mod tests {
             effective_samples: Some(48_000.0),
             assay: Some("ivd-panel".into()),
             operational_yield: Some(0.88),
+            p50_ms: Some(0.5),
+            p95_ms: Some(1.25),
+            p99_ms: Some(2.0),
+            cache_hit_rate: Some(0.75),
             ..sample_entry()
         });
         r.push(BenchEntry {
@@ -862,6 +736,10 @@ mod tests {
         assert_eq!(e.engine, None);
         assert_eq!(e.variance, None);
         assert_eq!(e.effective_samples, None);
+        assert_eq!(e.p50_ms, None);
+        assert_eq!(e.p95_ms, None);
+        assert_eq!(e.p99_ms, None);
+        assert_eq!(e.cache_hit_rate, None);
         assert_eq!(e.trials_per_sec, 160_000.0);
     }
 
@@ -879,6 +757,91 @@ mod tests {
         assert!(BenchReport::from_json("{\"schema\":\"dmfb-bench/9\"}").is_err());
         assert!(BenchReport::from_json("{\"schema\":\"dmfb-bench/1\"}").is_err());
         assert!(BenchReport::from_json("{} garbage").is_err());
+    }
+
+    /// Serialises a report whose single entry has one field overridden
+    /// with raw JSON — the hostile-input helper for the hardening tests.
+    fn doctored(field: &str, raw: &str) -> String {
+        let mut r = BenchReport::new("hostile", 1, true);
+        r.push(sample_entry());
+        let json = r.to_json();
+        let needle = format!("\"{field}\":");
+        let start = json.rfind(&needle).unwrap() + needle.len();
+        let end = start
+            + json[start..]
+                .find([',', '}'])
+                .expect("field value is not a container");
+        format!("{}{raw}{}", &json[..start], &json[end..])
+    }
+
+    #[test]
+    fn reader_rejects_nonfinite_and_negative_throughput() {
+        for (field, raw) in [
+            ("trials_per_sec", "null"),
+            ("trials_per_sec", "-1.0"),
+            ("wall_ms", "-0.5"),
+            ("p50_ms", "-1.0"),
+            ("cache_hit_rate", "1.5"),
+            ("cache_hit_rate", "-0.1"),
+        ] {
+            let doc = doctored(field, raw);
+            let err = BenchReport::from_json(&doc).unwrap_err();
+            assert!(err.contains(field), "{field}={raw}: {err}");
+        }
+        // NaN cannot be written literally; a non-number type exercises
+        // the same rejection path.
+        let doc = doctored("trials_per_sec", "\"fast\"");
+        assert!(BenchReport::from_json(&doc).is_err());
+    }
+
+    #[test]
+    fn reader_rejects_bad_integers() {
+        for (field, raw) in [
+            ("trials", "-5"),
+            ("trials", "2.5"),
+            ("trials", "1e300"),
+            ("primaries", "-1"),
+            ("grid_points", "0.5"),
+        ] {
+            let doc = doctored(field, raw);
+            let err = BenchReport::from_json(&doc).unwrap_err();
+            assert!(err.contains(field), "{field}={raw}: {err}");
+        }
+    }
+
+    #[test]
+    fn reader_rejects_duplicate_workload_labels() {
+        let mut r = BenchReport::new("dup", 1, true);
+        r.push(sample_entry());
+        r.push(sample_entry());
+        let err = BenchReport::from_json(&r.to_json()).unwrap_err();
+        assert!(err.contains("duplicate workload label"), "{err}");
+        // The same name under a different scheme is a legitimate pairing
+        // (the compare key is (name, scheme)).
+        let mut ok = BenchReport::new("dup", 1, true);
+        ok.push(sample_entry());
+        ok.push(BenchEntry {
+            scheme: "square-dtmb".into(),
+            ..sample_entry()
+        });
+        BenchReport::from_json(&ok.to_json()).unwrap();
+    }
+
+    #[test]
+    fn reader_rejects_oversized_and_overdeep_payloads() {
+        let bomb = format!(
+            "{{\"schema\":\"dmfb-bench/1\",\"pad\":\"{}\"}}",
+            "x".repeat(crate::json::MAX_DOCUMENT_BYTES)
+        );
+        let err = BenchReport::from_json(&bomb).unwrap_err();
+        assert!(err.contains("too large"), "{err}");
+        let deep = format!(
+            "{{\"schema\":\"dmfb-bench/1\",\"pad\":{}{}}}",
+            "[".repeat(256),
+            "]".repeat(256)
+        );
+        let err = BenchReport::from_json(&deep).unwrap_err();
+        assert!(err.contains("too deep"), "{err}");
     }
 
     #[test]

@@ -155,6 +155,10 @@ fn entry(
         engine: None,
         variance: None,
         effective_samples: None,
+        p50_ms: None,
+        p95_ms: None,
+        p99_ms: None,
+        cache_hit_rate: None,
     }
 }
 

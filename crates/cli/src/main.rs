@@ -9,6 +9,7 @@
 //! ```
 
 mod bench_cmd;
+mod serve_cmd;
 
 use dmfb_core::prelude::*;
 use dmfb_core::{grid::render, yield_model::effective};
@@ -59,6 +60,8 @@ fn main() -> ExitCode {
         "assay" => cmd_assay(&opts),
         "profile" => cmd_profile(&opts),
         "bench" => cmd_bench(&opts),
+        "serve" => cmd_serve(&opts),
+        "soak" => cmd_soak(&opts),
         "help" | "--help" | "-h" => {
             outln!("{USAGE}");
             Ok(())
@@ -98,6 +101,19 @@ USAGE:
               (fixed workload suite per scheme; scheme sub-parameters are rejected;
                --compare diffs against a committed dmfb-bench/1 report, lists every
                workload past the >25% normalised regression gate, then exits non-zero)
+  dmfb serve  [--addr A] [--workers N] [--threads K] [--cache-capacity C]
+              (long-lived yield daemon over HTTP/1.1: POST /v1/yield runs any
+               yield/assay request from a JSON body, GET /v1/health reports cache
+               statistics, POST /v1/shutdown stops gracefully; evaluator engines are
+               cached per scheme so repeat requests skip construction, and identical
+               requests get byte-identical replies)
+  dmfb soak   [--addr A] [--requests N] [--concurrency C] [--trials T] [--primaries P]
+              [--require-speedup F] [--quick] [--json] [--out DIR] [--label L]
+              [--compare BASELINE.json] [--shutdown]
+              (load harness for a running dmfb serve: cold/warm/mixed phases, emits
+               p50/p95/p99 latency and cache hit rate as dmfb-bench/1 columns,
+               verifies byte-identity and 4xx handling under load, gates against a
+               committed baseline with the shared compare machinery)
   dmfb help
 
 SCHEMES: hex-dtmb (default) | square-dtmb | spare-rows
@@ -171,7 +187,13 @@ impl Options {
             };
             let is_flag = matches!(
                 key,
-                "effective" | "casestudy" | "all-primaries" | "json" | "quick" | "batched"
+                "effective"
+                    | "casestudy"
+                    | "all-primaries"
+                    | "json"
+                    | "quick"
+                    | "batched"
+                    | "shutdown"
             );
             if is_flag {
                 map.insert(key.to_string(), "true".to_string());
@@ -1067,6 +1089,131 @@ fn cmd_bench(opts: &Options) -> Result<(), String> {
             .map_err(|e| format!("cannot write bench report: {e}"))?;
         outln!("wrote {}", path.display());
     }
+    Ok(())
+}
+
+/// Rejects yield-request parameters on the daemon commands: `serve`
+/// takes them per request in the `POST /v1/yield` body, and `soak` runs
+/// a fixed workload mix. Silently ignoring them would suggest the flag
+/// configured the daemon when it configured nothing.
+fn reject_per_request_params(opts: &Options, command: &str, hint: &str) -> Result<(), String> {
+    for key in [
+        "scheme",
+        "estimator",
+        "defect-model",
+        "block-trials",
+        "assay",
+        "p",
+    ]
+    .iter()
+    .chain(&ESTIMATOR_SUBPARAMS)
+    .chain(&CLUSTER_SUBPARAMS)
+    {
+        if opts.flag(key) {
+            return Err(format!("--{key} is not supported by {command}: {hint}"));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_serve(opts: &Options) -> Result<(), String> {
+    reject_per_request_params(
+        opts,
+        "serve",
+        "it is a per-request parameter; send it as a field in the POST /v1/yield body",
+    )?;
+    for key in SCHEME_SUBPARAMS.iter().chain(&["trials", "seed"]) {
+        if opts.flag(key) {
+            return Err(format!(
+                "--{key} is not supported by serve: it is a per-request parameter; \
+                 send it as a field in the POST /v1/yield body"
+            ));
+        }
+    }
+    let config = dmfb_serve::ServerConfig {
+        addr: opts.get("addr", "127.0.0.1:8750".to_string())?,
+        workers: opts.get("workers", 4)?,
+        threads: opts.get("threads", 1)?,
+        cache_capacity: opts.get("cache-capacity", 32)?,
+    };
+    if config.workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+    let server = dmfb_serve::Server::bind(config.clone())
+        .map_err(|e| format!("cannot bind '{}': {e}", config.addr))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    outln!(
+        "dmfb serve: listening on http://{addr} \
+         ({} workers, {} engine thread(s), cache capacity {})",
+        config.workers,
+        config.threads,
+        config.cache_capacity
+    );
+    outln!("endpoints: POST /v1/yield | GET /v1/health | POST /v1/shutdown");
+    server.run().map_err(|e| format!("server error: {e}"))
+}
+
+fn cmd_soak(opts: &Options) -> Result<(), String> {
+    reject_per_request_params(
+        opts,
+        "soak",
+        "the soak drives a fixed cold/warm/mixed workload mix so latency baselines \
+         stay comparable (--trials and --primaries size the dtmb26 workload)",
+    )?;
+    for key in SCHEME_SUBPARAMS {
+        if key != "primaries" && opts.flag(key) {
+            return Err(format!(
+                "--{key} is not supported by soak: the workload mix is fixed \
+                 (--primaries sizes the dtmb26 workload)"
+            ));
+        }
+    }
+    let quick = opts.flag("quick");
+    let config = dmfb_serve::SoakConfig {
+        addr: opts.get("addr", "127.0.0.1:8750".to_string())?,
+        requests: opts.get("requests", if quick { 48 } else { 160 })?,
+        concurrency: opts.get("concurrency", 4)?,
+        trials: opts.get("trials", 16)?,
+        primaries: opts.get("primaries", 2400)?,
+        require_speedup: opts.get("require-speedup", 0.0)?,
+        probe_errors: true,
+        shutdown: opts.flag("shutdown"),
+        label: opts.get("label", "serve".to_string())?,
+        quick,
+    };
+    if config.requests == 0 || config.concurrency == 0 || config.trials == 0 {
+        return Err("--requests, --concurrency and --trials must be at least 1".into());
+    }
+    if !(config.require_speedup >= 0.0 && config.require_speedup.is_finite()) {
+        return Err("--require-speedup must be non-negative and finite".into());
+    }
+    let baseline = opts.map.get("compare").map(String::as_str);
+    let (soak, rendered, failures) = serve_cmd::run_with_gate(&config, baseline)?;
+    out!("{}", soak.rendered);
+    if opts.flag("json") {
+        let out_dir: String = opts.get("out", ".".to_string())?;
+        let path = soak
+            .report
+            .write_to_dir(std::path::Path::new(&out_dir))
+            .map_err(|e| format!("cannot write soak report: {e}"))?;
+        outln!("wrote {}", path.display());
+    }
+    if let Some(rendered) = rendered {
+        out!("{rendered}");
+    }
+    if !failures.is_empty() {
+        return Err(format!(
+            "soak gate failed: {} issue(s):\n  {}",
+            failures.len(),
+            failures.join("\n  ")
+        ));
+    }
+    outln!(
+        "soak clean: {} requests/phase over {} connections against {}",
+        config.requests,
+        config.concurrency,
+        config.addr
+    );
     Ok(())
 }
 

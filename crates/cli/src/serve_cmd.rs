@@ -1,0 +1,51 @@
+//! `dmfb soak` — the service-latency counterpart of `bench_cmd`.
+//!
+//! The heavy lifting (phases, percentiles, contract probes) lives in
+//! [`dmfb_serve::soak`]; this module owns the CLI-side glue that
+//! `cmd_soak` shares with `cmd_bench`: loading a committed
+//! `dmfb-bench/1` baseline and pushing the soak report through the same
+//! compare machinery, so the latency-percentile gate lists every failed
+//! workload — regressed throughput, regressed percentiles, vanished
+//! workloads, dropped latency profiles — instead of stopping at the
+//! first.
+
+use dmfb_serve::{run_soak, SoakConfig, SoakReport};
+
+/// Runs the soak and, when a baseline path is given, diffs the report
+/// against it. Returns the soak output, the rendered comparison (when
+/// one ran) and the combined failure list: soak contract violations
+/// first, then every workload the gate flagged.
+pub fn run_with_gate(
+    config: &SoakConfig,
+    baseline_path: Option<&str>,
+) -> Result<(SoakReport, Option<String>, Vec<String>), String> {
+    let soak = run_soak(config)?;
+    let mut failures = soak.failures.clone();
+    let mut rendered = None;
+    if let Some(path) = baseline_path {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read baseline '{path}': {e}"))?;
+        let baseline = dmfb_bench::BenchReport::from_json(text.trim_end())
+            .map_err(|e| format!("cannot parse baseline '{path}': {e}"))?;
+        let outcome = dmfb_bench::compare(
+            &baseline,
+            &soak.report,
+            dmfb_bench::DEFAULT_REGRESSION_THRESHOLD,
+        );
+        failures.extend(
+            outcome
+                .regressions()
+                .iter()
+                .map(|d| format!("{}/{}", d.scheme, d.name)),
+        );
+        failures.extend(outcome.missing_in_current.iter().cloned());
+        failures.extend(
+            outcome
+                .missing_latency_in_current
+                .iter()
+                .map(|name| format!("{name} (latency profile dropped)")),
+        );
+        rendered = Some(outcome.render());
+    }
+    Ok((soak, rendered, failures))
+}

@@ -65,6 +65,11 @@ pub fn fault_threshold(p: f64) -> u64 {
 pub struct BlockSampler {
     rngs: LaneRngs,
     lanes: usize,
+    /// Per-lane sparse Fisher–Yates overrides for
+    /// [`BlockSampler::exact_fault_words`] — `(position, value)` pairs of
+    /// permutation slots displaced from the identity. Sized lazily on the
+    /// first exact-count call, cleared (not freed) per block.
+    fy_overrides: Vec<Vec<(u32, u32)>>,
 }
 
 impl BlockSampler {
@@ -78,6 +83,7 @@ impl BlockSampler {
         BlockSampler {
             rngs: LaneRngs::new(seeds),
             lanes: seeds.len(),
+            fy_overrides: Vec::new(),
         }
     }
 
@@ -132,6 +138,75 @@ impl BlockSampler {
     /// the fault test.
     pub fn mantissas(&mut self, out: &mut [u64; LANES]) {
         self.rngs.next_mantissas(out);
+    }
+
+    /// Transposed exact-fault-count sampling: stages, for every live
+    /// lane, exactly `faults` distinct faulty cells out of `n` into
+    /// `out` (bit `L` of `out[cell]` = cell faulty in lane `L`),
+    /// byte-identical to the scalar partial Fisher–Yates
+    /// `for i in 0..faults { j = rng.gen_range(i..n); perm.swap(i, j) }`
+    /// run per lane on `StdRng::seed_from_u64(seeds[L])`.
+    ///
+    /// The scalar path pays an `O(n)` identity-permutation reset per lane
+    /// before drawing; this variant draws the swap indices for all lanes
+    /// lock-step from the lane generators (one [`LaneRngs`] step per
+    /// fault — the vendored `gen_range` consumes exactly one `next_u64`
+    /// via a widening multiply, replayed here verbatim) and tracks only
+    /// the displaced permutation slots per lane, so a `k`-fault block
+    /// costs `O(k² · lanes)` instead of `O(n · lanes)`. For the small
+    /// stratum counts the stratified estimator samples, that removes the
+    /// dominant term.
+    ///
+    /// Lanes advance by exactly `faults` draws, so
+    /// [`BlockSampler::resume_lane`] stays in step with the scalar
+    /// stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `faults > n` or `out` is shorter than `n` words.
+    pub fn exact_fault_words(&mut self, n: usize, faults: usize, out: &mut [u64]) {
+        assert!(faults <= n, "cannot pick {faults} faults out of {n} cells");
+        assert!(out.len() >= n, "fault-word buffer shorter than {n} cells");
+        for word in out[..n].iter_mut() {
+            *word = 0;
+        }
+        if faults == 0 || self.lanes == 0 {
+            return;
+        }
+        if self.fy_overrides.len() < self.lanes {
+            self.fy_overrides.resize_with(LANES, Vec::new);
+        }
+        for overrides in self.fy_overrides[..self.lanes].iter_mut() {
+            overrides.clear();
+        }
+        // perm(x) = identity except where a swap displaced a slot; only
+        // slots >= the current draw index are ever read again, so the
+        // override list stays O(faults) per lane.
+        fn slot(overrides: &[(u32, u32)], x: usize) -> u32 {
+            overrides
+                .iter()
+                .find(|&&(p, _)| p as usize == x)
+                .map_or(x as u32, |&(_, v)| v)
+        }
+        let mut raw = [0u64; LANES];
+        for i in 0..faults {
+            self.rngs.next_raw(&mut raw);
+            let span = (n - i) as u128;
+            for (lane, &raw_word) in raw.iter().enumerate().take(self.lanes) {
+                // Exactly the vendored `gen_range(i..n)` scaling.
+                let j = i + ((u128::from(raw_word) * span) >> 64) as usize;
+                let overrides = &mut self.fy_overrides[lane];
+                let selected = slot(overrides, j);
+                if j != i {
+                    let displaced = slot(overrides, i);
+                    match overrides.iter_mut().find(|(p, _)| *p as usize == j) {
+                        Some(entry) => entry.1 = displaced,
+                        None => overrides.push((j as u32, displaced)),
+                    }
+                }
+                out[selected as usize] |= 1u64 << lane;
+            }
+        }
     }
 
     /// Reconstructs a scalar [`StdRng`] that continues lane `lane`'s
@@ -250,5 +325,101 @@ mod tests {
     fn resume_rejects_idle_lane() {
         let sampler = BlockSampler::new(&[1]);
         let _ = sampler.resume_lane(1);
+    }
+
+    /// The scalar reference: partial Fisher–Yates over a dense identity
+    /// permutation, exactly as the per-trial exact-count path draws it.
+    fn scalar_fault_set(seed: u64, n: usize, faults: usize) -> Vec<usize> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        let mut picked = Vec::new();
+        for i in 0..faults {
+            let j = rng.gen_range(i..n);
+            perm.swap(i, j);
+            picked.push(perm[i] as usize);
+        }
+        picked
+    }
+
+    #[test]
+    fn exact_fault_words_replay_scalar_fisher_yates() {
+        let seeds: Vec<u64> = (0..64).map(|i| 0xE0_57 + i * 977).collect();
+        for &(n, faults) in &[
+            (1usize, 0usize),
+            (1, 1),
+            (7, 3),
+            (40, 1),
+            (40, 40),
+            (313, 11),
+        ] {
+            let mut sampler = BlockSampler::new(&seeds);
+            let mut words = vec![u64::MAX; n];
+            sampler.exact_fault_words(n, faults, &mut words);
+            for (lane, &seed) in seeds.iter().enumerate() {
+                let mut expected = vec![false; n];
+                for cell in scalar_fault_set(seed, n, faults) {
+                    expected[cell] = true;
+                }
+                for (cell, &word) in words.iter().enumerate() {
+                    assert_eq!(
+                        (word >> lane) & 1 == 1,
+                        expected[cell],
+                        "n={n} faults={faults} lane={lane} cell={cell}"
+                    );
+                }
+            }
+            // Every lane holds exactly `faults` distinct faulty cells.
+            let total: u32 = words.iter().map(|w| w.count_ones()).sum();
+            assert_eq!(total as usize, faults * seeds.len());
+        }
+    }
+
+    #[test]
+    fn exact_fault_words_keep_lanes_resumable() {
+        // Each trial consumes exactly `faults` draws, so resume_lane must
+        // continue where the scalar stream would be after its swaps.
+        let seeds = [3u64, 1441, 0xDEAD];
+        let (n, faults) = (29usize, 5usize);
+        let mut sampler = BlockSampler::new(&seeds);
+        let mut words = vec![0u64; n];
+        sampler.exact_fault_words(n, faults, &mut words);
+        for (lane, &seed) in seeds.iter().enumerate() {
+            let mut reference = StdRng::seed_from_u64(seed);
+            for _ in 0..faults {
+                let _ = reference.gen_range(0..n);
+            }
+            let mut resumed = sampler.resume_lane(lane);
+            for _ in 0..4 {
+                let a: f64 = resumed.gen();
+                let b: f64 = reference.gen();
+                assert_eq!(a, b, "lane={lane}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_fault_words_mask_idle_lanes_and_clear_stale_bits() {
+        let mut sampler = BlockSampler::new(&[9, 10]);
+        let mut words = vec![u64::MAX; 12];
+        sampler.exact_fault_words(12, 2, &mut words);
+        for &word in &words {
+            assert_eq!(
+                word & !sampler.live_mask(),
+                0,
+                "idle lanes must stay silent"
+            );
+        }
+        // Zero faults still clears the staging buffer.
+        let mut stale = vec![u64::MAX; 5];
+        sampler.exact_fault_words(5, 0, &mut stale);
+        assert!(stale.iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot pick")]
+    fn exact_fault_words_reject_overfull() {
+        let mut sampler = BlockSampler::new(&[1]);
+        let mut words = vec![0u64; 4];
+        sampler.exact_fault_words(4, 5, &mut words);
     }
 }

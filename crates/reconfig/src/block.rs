@@ -39,6 +39,14 @@ use dmfb_graph::words::{pack_ge, LaneCounter, LANES};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Largest exact fault count routed through the transposed
+/// [`BlockSampler::exact_fault_words`] path. The sparse override list it
+/// keeps per lane costs `O(k²)` per block versus the scalar loop's
+/// `O(n)` identity reset per lane; stratified strata deep enough to
+/// cross this bound are rare enough (probability-weighted) that the
+/// scalar fallback is never the hot path.
+const TRANSPOSED_FAULT_LIMIT: usize = 64;
+
 /// Cumulative tier counters of a [`TrialBlock`] — how much work each
 /// tier retired, for skip-rate reporting.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -217,10 +225,20 @@ impl<C: Copy + Ord> TrialEvaluator<C> {
     }
 
     /// Exact-fault-count block trial: evaluates one trial per seed with
-    /// exactly `faults` faulty cells (drawn per lane by the same partial
-    /// Fisher–Yates as the scalar path) and returns how many were
-    /// tolerable. Byte-identical to running
-    /// [`TrialEvaluator::exact_fault_trial`] per seed.
+    /// exactly `faults` faulty cells and returns how many were tolerable.
+    /// Byte-identical to running [`TrialEvaluator::exact_fault_trial`]
+    /// per seed.
+    ///
+    /// Sampling rides the transposed path
+    /// ([`BlockSampler::exact_fault_words`]): the Fisher–Yates swap
+    /// indices for all lanes are drawn lock-step from the lane
+    /// generators, skipping the scalar path's `O(n)` per-lane
+    /// identity-permutation reset — the cost that used to dominate the
+    /// stratified estimator's sampled strata. Above 64 faults
+    /// (`TRANSPOSED_FAULT_LIMIT`) the sparse override list the
+    /// transposed sampler tracks stops paying for itself, so deep strata
+    /// fall back to the scalar per-lane loop; both branches stage
+    /// identical fault words.
     ///
     /// # Panics
     ///
@@ -234,16 +252,22 @@ impl<C: Copy + Ord> TrialEvaluator<C> {
         let mut successes = 0u32;
         for group in seeds.chunks(LANES) {
             block.sampler.reseed(group); // keeps live_mask in step
-            block.cell_words.iter_mut().for_each(|w| *w = 0);
-            for (lane, &seed) in group.iter().enumerate() {
-                let mut rng = StdRng::seed_from_u64(seed);
-                for (i, slot) in block.scratch.perm.iter_mut().enumerate() {
-                    *slot = i as u32;
-                }
-                for i in 0..faults {
-                    let j = rng.gen_range(i..n);
-                    block.scratch.perm.swap(i, j);
-                    block.cell_words[block.scratch.perm[i] as usize] |= 1u64 << lane;
+            if faults <= TRANSPOSED_FAULT_LIMIT {
+                block
+                    .sampler
+                    .exact_fault_words(n, faults, &mut block.cell_words);
+            } else {
+                block.cell_words.iter_mut().for_each(|w| *w = 0);
+                for (lane, &seed) in group.iter().enumerate() {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    for (i, slot) in block.scratch.perm.iter_mut().enumerate() {
+                        *slot = i as u32;
+                    }
+                    for i in 0..faults {
+                        let j = rng.gen_range(i..n);
+                        block.scratch.perm.swap(i, j);
+                        block.cell_words[block.scratch.perm[i] as usize] |= 1u64 << lane;
+                    }
                 }
             }
             successes += self.decide_group(block).count_ones();

@@ -1,0 +1,225 @@
+//! A deterministic LRU cache for precomputed evaluator engines.
+//!
+//! The expensive part of a yield request is building the
+//! [`TrialEvaluator`](dmfb_core::reconfig::TrialEvaluator) — CSR
+//! neighbour structure, matching scratch, spare bookkeeping — not running
+//! the trials. The daemon therefore caches built engines keyed by the
+//! request's *canonical engine key* (scheme + shape + trial-engine
+//! selection) and shares them across workers behind an [`Arc`]: every
+//! estimate method takes `&self`, so a cache hit is a pointer clone.
+//!
+//! The implementation is a plain move-to-front vector, not a hash map
+//! with an intrusive list: capacities are small (default 32), lookups are
+//! string compares, and — decisive for the proptest contract — the
+//! eviction order is trivially deterministic: exactly the least recently
+//! *used* (hit or inserted) key falls off the back, with no tie-breaking,
+//! hashing or clock dependence.
+
+use std::sync::Arc;
+
+/// How a lookup was satisfied, reported to the client in the
+/// `x-dmfb-cache` response header and tallied in [`CacheStats`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The engine was already cached.
+    Hit,
+    /// The engine was built and inserted.
+    Miss,
+    /// The request asked to bypass the cache (`"cache": "bypass"`); the
+    /// engine was rebuilt and the cache left untouched.
+    Bypass,
+}
+
+impl CacheOutcome {
+    /// The header value (`hit` / `miss` / `bypass`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Miss => "miss",
+            CacheOutcome::Bypass => "bypass",
+        }
+    }
+}
+
+/// Lifetime counters for the `/v1/health` report and the soak harness's
+/// hit-rate column.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that built and inserted a new engine.
+    pub misses: u64,
+    /// Lookups that deliberately bypassed the cache.
+    pub bypasses: u64,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// `hits / (hits + misses)`, ignoring bypasses; `0` when nothing has
+    /// been looked up yet.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The move-to-front LRU described in the module docs. Callers wrap it in
+/// a mutex; building an engine happens under that lock, which serialises
+/// concurrent first requests for the *same* key into a single build
+/// instead of racing N workers through N redundant constructions.
+#[derive(Debug)]
+pub struct LruCache<V> {
+    entries: Vec<(String, Arc<V>)>,
+    capacity: usize,
+    stats: CacheStats,
+}
+
+impl<V> LruCache<V> {
+    /// Creates a cache holding at most `capacity` engines. A capacity of
+    /// zero degenerates to "always rebuild" (every lookup is a miss and
+    /// nothing is retained), which the soak harness uses as a reference.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            entries: Vec::new(),
+            capacity,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Looks up `key`, building and inserting with `build` on a miss.
+    /// On a hit the entry moves to the front (most recently used); on a
+    /// miss the entry is inserted at the front and the back entry is
+    /// evicted if the capacity is exceeded.
+    pub fn get_or_insert_with(
+        &mut self,
+        key: &str,
+        build: impl FnOnce() -> V,
+    ) -> (Arc<V>, CacheOutcome) {
+        if let Some(i) = self.entries.iter().position(|(k, _)| k == key) {
+            let entry = self.entries.remove(i);
+            let value = Arc::clone(&entry.1);
+            self.entries.insert(0, entry);
+            self.stats.hits += 1;
+            return (value, CacheOutcome::Hit);
+        }
+        let value = Arc::new(build());
+        self.stats.misses += 1;
+        if self.capacity == 0 {
+            return (value, CacheOutcome::Miss);
+        }
+        self.entries
+            .insert(0, (key.to_string(), Arc::clone(&value)));
+        while self.entries.len() > self.capacity {
+            self.entries.pop();
+            self.stats.evictions += 1;
+        }
+        (value, CacheOutcome::Miss)
+    }
+
+    /// Tallies a bypassed lookup. The caller builds the engine itself,
+    /// *outside* the cache lock — a bypass touches no entries, so making
+    /// it hold the lock through an expensive build would serialise cold
+    /// requests against every warm one.
+    pub fn note_bypass(&mut self) {
+        self.stats.bypasses += 1;
+    }
+
+    /// Cached keys, most recently used first.
+    #[must_use]
+    pub fn keys(&self) -> Vec<String> {
+        self.entries.iter().map(|(k, _)| k.clone()).collect()
+    }
+
+    /// Number of cached engines.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The capacity bound.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lifetime counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn touch(cache: &mut LruCache<String>, key: &str) -> CacheOutcome {
+        cache.get_or_insert_with(key, || key.to_uppercase()).1
+    }
+
+    #[test]
+    fn hits_misses_and_eviction_order() {
+        let mut c = LruCache::new(2);
+        assert_eq!(touch(&mut c, "a"), CacheOutcome::Miss);
+        assert_eq!(touch(&mut c, "b"), CacheOutcome::Miss);
+        assert_eq!(touch(&mut c, "a"), CacheOutcome::Hit);
+        // "b" is now least recently used, so "c" evicts it.
+        assert_eq!(touch(&mut c, "c"), CacheOutcome::Miss);
+        assert_eq!(c.keys(), vec!["c", "a"]);
+        assert_eq!(touch(&mut c, "b"), CacheOutcome::Miss);
+        assert_eq!(c.keys(), vec!["b", "c"]);
+        assert_eq!(c.stats().evictions, 2);
+    }
+
+    #[test]
+    fn hit_returns_the_cached_value_not_a_rebuild() {
+        let mut c = LruCache::new(4);
+        let (first, _) = c.get_or_insert_with("k", || "built".to_string());
+        let (again, outcome) = c.get_or_insert_with("k", || unreachable!("must not rebuild"));
+        assert_eq!(outcome, CacheOutcome::Hit);
+        assert!(Arc::ptr_eq(&first, &again));
+    }
+
+    #[test]
+    fn bypass_leaves_entries_untouched() {
+        let mut c = LruCache::new(2);
+        touch(&mut c, "a");
+        c.note_bypass();
+        assert_eq!(c.keys(), vec!["a"]);
+        assert_eq!(c.stats().bypasses, 1);
+    }
+
+    #[test]
+    fn zero_capacity_always_rebuilds() {
+        let mut c = LruCache::new(0);
+        assert_eq!(touch(&mut c, "a"), CacheOutcome::Miss);
+        assert_eq!(touch(&mut c, "a"), CacheOutcome::Miss);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn hit_rate_ignores_bypasses() {
+        let mut c = LruCache::new(2);
+        touch(&mut c, "a");
+        touch(&mut c, "a");
+        c.note_bypass();
+        let s = c.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,372 @@
+//! Cached evaluator engines and deterministic reply rendering.
+//!
+//! A [`CachedEngine`] is everything expensive about a request: the
+//! precomputed [`TrialEvaluator`](dmfb_core::reconfig::TrialEvaluator)
+//! behind a [`SchemeYield`], or the full assay stack behind an
+//! [`OperationalYield`]. Engines are keyed by
+//! [`YieldRequest::engine_key`] and shared across workers by `Arc` —
+//! every estimate entry point takes `&self`, so serving a warm request
+//! never clones or rebuilds anything.
+//!
+//! Reply bodies are rendered with the same hand-rolled JSON writers the
+//! bench reports use and carry **no** timing or cache information (that
+//! travels in response headers), so an identical request produces a
+//! byte-identical body no matter which worker served it, how many
+//! threads the engine ran on, or whether the engine came from the cache:
+//! the engines themselves are thread-count invariant and every estimate
+//! is seeded from the request's master seed through a
+//! [`SeedSequence`].
+
+use crate::request::{DefectModelChoice, EstimatorChoice, SchemeChoice, Tier, YieldRequest};
+use dmfb_bench::json::json_number;
+use dmfb_core::prelude::{
+    Bernoulli, BernoulliEstimate, Biochip, InjectionModel, ModuleBand, MonteCarlo,
+    OperationalYield, SchemeYield, SpareRowArray, SquareCoord, SquareRegion, StratifiedEstimate,
+};
+use dmfb_core::sim::SeedSequence;
+
+/// One precomputed engine, ready to serve any request that maps to its
+/// [`YieldRequest::engine_key`].
+pub enum CachedEngine {
+    /// A hexagonal DTMB (or no-redundancy) chip: the chip description for
+    /// the raw tier plus the fast matching engine for the reconfigured
+    /// tier.
+    Hex {
+        /// The chip (array + policy), used by the raw tier and the
+        /// clustered-defect closure.
+        chip: Biochip,
+        /// The precomputed fast engine.
+        engine: SchemeYield,
+    },
+    /// A square-lattice scheme (interstitial DTMB or spare rows).
+    Square {
+        /// The precomputed fast engine.
+        engine: SchemeYield<SquareCoord>,
+        /// The lattice it was compiled over (the defect-sampler hook
+        /// needs the topology).
+        region: SquareRegion,
+    },
+    /// The Section 7 assay stack over the fixed IVD case-study chip.
+    Assay(OperationalYield),
+}
+
+impl CachedEngine {
+    /// Builds the engine a request's key describes. This is the expensive
+    /// path the cache exists to skip: CSR neighbour construction, matching
+    /// scratch sizing and (for assay engines) the full router/scheduler
+    /// stack.
+    #[must_use]
+    pub fn build(request: &YieldRequest, threads: usize) -> Self {
+        if let Some(panel) = request.assay {
+            return CachedEngine::Assay(
+                OperationalYield::ivd(panel)
+                    .with_threads(threads)
+                    .with_block_trials(request.block_trials),
+            );
+        }
+        match request.scheme {
+            SchemeChoice::HexDtmb { .. } => {
+                let chip = request.biochip();
+                let label = chip
+                    .array()
+                    .kind()
+                    .map_or("no-redundancy".to_string(), |k| k.to_string());
+                let evaluator =
+                    dmfb_core::reconfig::TrialEvaluator::new(chip.array(), chip.policy());
+                let engine = SchemeYield::from_evaluator(label, evaluator)
+                    .with_threads(threads)
+                    .with_block_trials(request.block_trials);
+                CachedEngine::Hex { chip, engine }
+            }
+            SchemeChoice::SquareDtmb {
+                pattern,
+                width,
+                height,
+            } => {
+                let region = SquareRegion::rect(width, height);
+                let engine = SchemeYield::from_scheme(&region, &pattern)
+                    .with_threads(threads)
+                    .with_block_trials(request.block_trials);
+                CachedEngine::Square { engine, region }
+            }
+            SchemeChoice::SpareRows {
+                width,
+                module_rows,
+                spare_rows,
+            } => {
+                let array = SpareRowArray::new(
+                    width,
+                    vec![ModuleBand {
+                        name: "Module 1".into(),
+                        rows: module_rows,
+                    }],
+                    spare_rows,
+                );
+                let region = array.region();
+                let engine = SchemeYield::from_scheme(&region, &array)
+                    .with_threads(threads)
+                    .with_block_trials(request.block_trials);
+                CachedEngine::Square { engine, region }
+            }
+        }
+    }
+
+    /// Runs `request` on this engine and renders the reply body. The
+    /// request's master seed never reaches an estimator directly: each
+    /// estimate draws its own seed from a [`SeedSequence`] over it, so
+    /// multi-estimate tiers stay decorrelated and single-estimate tiers
+    /// stay reproducible.
+    #[must_use]
+    pub fn run(&self, request: &YieldRequest, threads: usize) -> String {
+        let estimate_seed = SeedSequence::nth_seed(request.seed, 0);
+        let raw_seed = SeedSequence::nth_seed(request.seed, 1);
+        let results = match (self, request.tier) {
+            (CachedEngine::Hex { chip, .. }, Tier::Raw) => {
+                let raw = raw_yield(chip, request.p, request.trials, raw_seed, threads);
+                format!("\"raw\": {}", bernoulli_json(&raw))
+            }
+            (CachedEngine::Hex { chip, engine }, Tier::Reconfigured) => {
+                let body = reconfigured_json(engine, chip.array().region(), request, estimate_seed);
+                format!("\"reconfigured\": {body}")
+            }
+            (CachedEngine::Square { engine, region }, Tier::Reconfigured) => {
+                let body = reconfigured_json(engine, region, request, estimate_seed);
+                format!("\"reconfigured\": {body}")
+            }
+            (CachedEngine::Assay(engine), Tier::Operational) => match &request.defect_model {
+                DefectModelChoice::Clustered(cluster) => {
+                    let region = engine.chip().array.region().clone();
+                    let e = engine.estimate_with(request.trials, estimate_seed, |rng| {
+                        cluster.inject_in(&region, rng)
+                    });
+                    format!(
+                        "\"raw\": {}, \"reconfigured\": {}, \"operational\": {}",
+                        bernoulli_json(&e.raw),
+                        bernoulli_json(&e.reconfigured),
+                        bernoulli_json(&e.operational)
+                    )
+                }
+                DefectModelChoice::Bernoulli => match &request.estimator {
+                    EstimatorChoice::Stratified(config) => {
+                        let e = engine.estimate_stratified(
+                            request.p,
+                            request.trials,
+                            estimate_seed,
+                            config,
+                        );
+                        format!(
+                            "\"raw\": {}, \"reconfigured\": {}, \"operational\": {}",
+                            stratified_json(&e.raw),
+                            stratified_json(&e.reconfigured),
+                            stratified_json(&e.operational)
+                        )
+                    }
+                    EstimatorChoice::Naive => {
+                        let e = engine.estimate(request.p, request.trials, estimate_seed);
+                        format!(
+                            "\"raw\": {}, \"reconfigured\": {}, \"operational\": {}",
+                            bernoulli_json(&e.raw),
+                            bernoulli_json(&e.reconfigured),
+                            bernoulli_json(&e.operational)
+                        )
+                    }
+                },
+            },
+            // The request validator guarantees tier/engine coherence;
+            // reaching any other combination is a routing bug.
+            _ => unreachable!("request validation admitted a tier its engine cannot serve"),
+        };
+        let p_field = match request.defect_model {
+            // No single p parameterises the clustered sampler.
+            DefectModelChoice::Clustered(_) => String::new(),
+            DefectModelChoice::Bernoulli => format!("\"p\": {}, ", json_number(request.p)),
+        };
+        format!(
+            "{{\"schema\": \"dmfb-serve/1\", \"tier\": \"{}\", \"engine\": \"{}\", \
+             \"estimator\": \"{}\", \"defect_model\": \"{}\", {p_field}\"trials\": {}, \
+             \"seed\": {}, \"results\": {{{results}}}}}\n",
+            request.tier.label(),
+            request.engine_key(),
+            match request.estimator {
+                EstimatorChoice::Naive => "naive",
+                EstimatorChoice::Stratified(_) => "stratified",
+            },
+            match request.defect_model {
+                DefectModelChoice::Bernoulli => "bernoulli",
+                DefectModelChoice::Clustered(_) => "clustered",
+            },
+            request.trials,
+            request.seed,
+        )
+    }
+}
+
+/// The reconfigured-tier estimate on a generic fast engine, as JSON.
+fn reconfigured_json<
+    C: Copy + Ord + Send + Sync,
+    T: dmfb_core::prelude::Topology<Coord = C> + Sync,
+>(
+    engine: &SchemeYield<C>,
+    topo: &T,
+    request: &YieldRequest,
+    seed: u64,
+) -> String {
+    match &request.defect_model {
+        DefectModelChoice::Clustered(cluster) => {
+            let e = engine
+                .estimate_with_defects(request.trials, seed, |rng| cluster.inject_in(topo, rng));
+            bernoulli_json(&e)
+        }
+        DefectModelChoice::Bernoulli => match &request.estimator {
+            EstimatorChoice::Stratified(config) => {
+                let e =
+                    engine.estimate_survival_stratified(request.p, request.trials, seed, config);
+                stratified_json(&e)
+            }
+            EstimatorChoice::Naive => {
+                let e = engine.estimate_survival(request.p, request.trials, seed);
+                bernoulli_json(&e)
+            }
+        },
+    }
+}
+
+/// Raw yield (no reconfiguration): the chip is good only when no
+/// in-scope primary fails — the same per-trial protocol as
+/// [`Biochip::yield_report`], seeded independently of the reconfigured
+/// estimate.
+fn raw_yield(chip: &Biochip, p: f64, trials: u32, seed: u64, threads: usize) -> BernoulliEstimate {
+    let model = Bernoulli::from_survival(p);
+    let region = chip.array().region().clone();
+    let array = chip.array();
+    let policy = chip.policy();
+    MonteCarlo::new(trials, seed).run_parallel(threads, |rng| {
+        let defects = model.inject(&region, rng);
+        let any_relevant = defects
+            .faulty_cells()
+            .any(|c| array.is_primary(c) && policy.requires(c));
+        !any_relevant
+    })
+}
+
+/// A [`BernoulliEstimate`] as a JSON object with its Wilson interval.
+fn bernoulli_json(e: &BernoulliEstimate) -> String {
+    let (lo, hi) = e.wilson95();
+    format!(
+        "{{\"point\": {}, \"ci_lo\": {}, \"ci_hi\": {}, \"trials\": {}}}",
+        json_number(e.point()),
+        json_number(lo),
+        json_number(hi),
+        e.trials()
+    )
+}
+
+/// A [`StratifiedEstimate`] as a JSON object with its rare-event
+/// bookkeeping. A non-finite effective-sample count (an exactly-zero
+/// variance) degrades to JSON `null` via [`json_number`].
+fn stratified_json(e: &StratifiedEstimate) -> String {
+    let (lo, hi) = e.ci95();
+    format!(
+        "{{\"point\": {}, \"ci_lo\": {}, \"ci_hi\": {}, \"std_error\": {}, \
+         \"truncated_mass\": {}, \"trials\": {}, \"strata\": {}, \"effective_samples\": {}}}",
+        json_number(e.point),
+        json_number(lo),
+        json_number(hi),
+        json_number(e.std_error()),
+        json_number(e.truncated_mass),
+        e.trials,
+        e.strata.len(),
+        json_number(e.effective_trials())
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::parse_yield_request;
+
+    fn run(body: &str) -> String {
+        let req = parse_yield_request(body.as_bytes()).unwrap();
+        CachedEngine::build(&req, 1).run(&req, 1)
+    }
+
+    #[test]
+    fn replies_parse_and_echo_the_request() {
+        let body = run(r#"{"design": "dtmb26", "trials": 200, "seed": 9}"#);
+        let value = dmfb_bench::json::JsonValue::parse(&body).unwrap();
+        let obj = value.as_object("reply").unwrap();
+        let field = |k: &str| dmfb_bench::json::get(obj, k).unwrap();
+        assert_eq!(field("schema").as_str("schema").unwrap(), "dmfb-serve/1");
+        assert_eq!(field("tier").as_str("tier").unwrap(), "reconfigured");
+        assert_eq!(field("seed").as_f64("seed").unwrap(), 9.0);
+        let results = field("results").as_object("results").unwrap();
+        let point = dmfb_bench::json::get(
+            dmfb_bench::json::get(results, "reconfigured")
+                .unwrap()
+                .as_object("reconfigured")
+                .unwrap(),
+            "point",
+        )
+        .unwrap()
+        .as_f64("point")
+        .unwrap();
+        assert!((0.0..=1.0).contains(&point));
+    }
+
+    #[test]
+    fn identical_requests_are_byte_identical_across_thread_counts() {
+        let req =
+            parse_yield_request(br#"{"design": "dtmb26", "trials": 300, "seed": 5, "p": 0.97}"#)
+                .unwrap();
+        let one = CachedEngine::build(&req, 1).run(&req, 1);
+        let four = CachedEngine::build(&req, 4).run(&req, 4);
+        assert_eq!(one, four);
+    }
+
+    #[test]
+    fn every_tier_and_estimator_serves() {
+        for body in [
+            r#"{"tier": "raw", "design": "dtmb16", "trials": 100}"#,
+            r#"{"trials": 100, "estimator": "stratified", "pilot": 8}"#,
+            r#"{"trials": 50, "defect_model": "clustered"}"#,
+            r#"{"scheme": "square-dtmb", "width": 8, "height": 8, "trials": 100}"#,
+            r#"{"scheme": "spare-rows", "trials": 100}"#,
+            r#"{"tier": "operational", "assay": "ivd-panel", "trials": 50}"#,
+            r#"{"tier": "operational", "assay": "ivd-panel", "trials": 50,
+                "estimator": "stratified"}"#,
+            r#"{"tier": "operational", "assay": "ivd-panel", "trials": 30,
+                "defect_model": "clustered", "cluster_mean": 0.5}"#,
+        ] {
+            let reply = run(body);
+            assert!(
+                dmfb_bench::json::JsonValue::parse(&reply).is_ok(),
+                "unparseable reply for {body}: {reply}"
+            );
+        }
+    }
+
+    #[test]
+    fn operational_tiers_are_ordered() {
+        let body = run(r#"{"tier": "operational", "assay": "ivd-panel", "trials": 150}"#);
+        let value = dmfb_bench::json::JsonValue::parse(&body).unwrap();
+        let obj = value.as_object("reply").unwrap();
+        let results = dmfb_bench::json::get(obj, "results")
+            .unwrap()
+            .as_object("results")
+            .unwrap();
+        let point = |k: &str| {
+            dmfb_bench::json::get(
+                dmfb_bench::json::get(results, k)
+                    .unwrap()
+                    .as_object(k)
+                    .unwrap(),
+                "point",
+            )
+            .unwrap()
+            .as_f64("point")
+            .unwrap()
+        };
+        assert!(point("operational") <= point("reconfigured"));
+        assert!(point("raw") <= point("reconfigured"));
+    }
+}

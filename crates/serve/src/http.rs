@@ -1,0 +1,320 @@
+//! A deliberately small HTTP/1.1 reader/writer over [`std::net`].
+//!
+//! The workspace is offline (vendored stubs only), so the service speaks
+//! the minimal subset of HTTP/1.1 the `dmfb soak` harness and a plain
+//! `curl` need: request line + headers + `Content-Length` body, keep-alive
+//! by default, no chunked encoding, no TLS. Every limit is explicit and
+//! every violation maps to a clean 4xx instead of a panic — the reader is
+//! the part of the daemon that faces untrusted bytes.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Maximum bytes accepted for the request line plus all headers.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// Maximum request-body bytes (`Content-Length` above this is refused
+/// with `413 Payload Too Large` before any allocation).
+pub const MAX_BODY_BYTES: usize = 64 * 1024;
+
+/// Per-connection read timeout. A client that stalls mid-request gets its
+/// connection dropped instead of pinning a worker forever.
+pub const READ_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// One parsed request.
+#[derive(Clone, Debug)]
+pub struct HttpRequest {
+    /// Request method, upper-case as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target (path only; the service ignores query strings).
+    pub target: String,
+    /// Body bytes (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open afterwards.
+    pub keep_alive: bool,
+}
+
+/// Why a request could not be read. [`HttpError::status`] maps each case
+/// to the response the worker sends before closing or continuing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HttpError {
+    /// The peer closed the connection cleanly before a request line
+    /// (normal end of a keep-alive session — nothing to answer).
+    Closed,
+    /// The socket errored or timed out mid-request; nothing coherent to
+    /// answer, the worker just drops the connection.
+    Io(String),
+    /// The bytes were not parseable HTTP/1.1 (`400`).
+    Malformed(String),
+    /// The head or declared body exceeded a limit (`431`/`413`).
+    TooLarge(String),
+}
+
+impl HttpError {
+    /// The status line to answer with, or `None` when the connection is
+    /// beyond answering (closed or mid-request I/O failure).
+    #[must_use]
+    pub fn status(&self) -> Option<(u16, &'static str)> {
+        match self {
+            HttpError::Closed | HttpError::Io(_) => None,
+            HttpError::Malformed(_) => Some((400, "Bad Request")),
+            HttpError::TooLarge(msg) => {
+                if msg.contains("body") {
+                    Some((413, "Payload Too Large"))
+                } else {
+                    Some((431, "Request Header Fields Too Large"))
+                }
+            }
+        }
+    }
+
+    /// Human-readable detail for the error body.
+    #[must_use]
+    pub fn detail(&self) -> &str {
+        match self {
+            HttpError::Closed => "connection closed",
+            HttpError::Io(m) | HttpError::Malformed(m) | HttpError::TooLarge(m) => m,
+        }
+    }
+}
+
+/// Reads one request from a buffered connection. The reader enforces
+/// [`MAX_HEAD_BYTES`] and [`MAX_BODY_BYTES`] and never allocates more
+/// than the declared (validated) body length.
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<HttpRequest, HttpError> {
+    let mut head_budget = MAX_HEAD_BYTES;
+    let request_line = read_crlf_line(reader, &mut head_budget)?;
+    if request_line.is_empty() {
+        return Err(HttpError::Malformed("empty request line".into()));
+    }
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty() && m.bytes().all(|b| b.is_ascii_uppercase()))
+        .ok_or_else(|| HttpError::Malformed("missing method".into()))?
+        .to_string();
+    let target = parts
+        .next()
+        .filter(|t| t.starts_with('/'))
+        .ok_or_else(|| HttpError::Malformed("missing or relative request target".into()))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing HTTP version".into()))?;
+    if parts.next().is_some() || !matches!(version, "HTTP/1.1" | "HTTP/1.0") {
+        return Err(HttpError::Malformed(format!(
+            "unsupported request line tail '{version}'"
+        )));
+    }
+    let mut content_length = 0usize;
+    let mut keep_alive = version == "HTTP/1.1";
+    loop {
+        let line = read_crlf_line(reader, &mut head_budget)?;
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("header without ':': '{line}'")))?;
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                content_length = value
+                    .parse()
+                    .map_err(|_| HttpError::Malformed(format!("bad content-length '{value}'")))?;
+                if content_length > MAX_BODY_BYTES {
+                    return Err(HttpError::TooLarge(format!(
+                        "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+                    )));
+                }
+            }
+            "connection" => {
+                keep_alive = !value.eq_ignore_ascii_case("close");
+            }
+            "transfer-encoding" => {
+                return Err(HttpError::Malformed(
+                    "transfer-encoding is not supported; send content-length".into(),
+                ));
+            }
+            _ => {}
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| HttpError::Io(format!("reading body: {e}")))?;
+    Ok(HttpRequest {
+        method,
+        target,
+        body,
+        keep_alive,
+    })
+}
+
+/// Reads one CRLF- (or bare-LF-) terminated line, charging the shared
+/// head budget so a drip-fed header section cannot grow unboundedly.
+fn read_crlf_line(
+    reader: &mut BufReader<TcpStream>,
+    budget: &mut usize,
+) -> Result<String, HttpError> {
+    let mut raw = Vec::new();
+    let mut limited = reader.by_ref().take(*budget as u64 + 1);
+    let n = limited
+        .read_until(b'\n', &mut raw)
+        .map_err(|e| HttpError::Io(format!("reading head: {e}")))?;
+    if n == 0 {
+        return Err(HttpError::Closed);
+    }
+    if raw.last() != Some(&b'\n') {
+        return Err(if n > *budget {
+            HttpError::TooLarge(format!(
+                "request head exceeds the {MAX_HEAD_BYTES}-byte limit"
+            ))
+        } else {
+            HttpError::Io("connection ended mid-header".into())
+        });
+    }
+    *budget = budget.saturating_sub(n);
+    raw.pop();
+    if raw.last() == Some(&b'\r') {
+        raw.pop();
+    }
+    String::from_utf8(raw).map_err(|_| HttpError::Malformed("non-UTF-8 header bytes".into()))
+}
+
+/// Writes one response. `extra_headers` are `(name, value)` pairs appended
+/// verbatim after the standard ones; bodies are always sent with an exact
+/// `Content-Length` (no chunking) so replies are byte-stable.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    extra_headers: &[(String, String)],
+    body: &[u8],
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n",
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// One response as seen by the tiny client below.
+#[derive(Clone, Debug)]
+pub struct HttpResponse {
+    /// Numeric status code.
+    pub status: u16,
+    /// Lower-cased `(name, value)` header pairs.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// First value of a (lower-case) header name, if present.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A minimal blocking client connection used by the soak harness and the
+/// integration tests. Keeps its connection open across requests so warm
+/// latencies measure the service, not TCP handshakes.
+pub struct HttpClient {
+    reader: BufReader<TcpStream>,
+}
+
+impl HttpClient {
+    /// Connects to `addr` (e.g. `127.0.0.1:8750`).
+    pub fn connect(addr: &str) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(READ_TIMEOUT))?;
+        stream.set_nodelay(true)?;
+        Ok(HttpClient {
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Sends one request and reads the full response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> std::io::Result<HttpResponse> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: dmfb\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        let stream = self.reader.get_mut();
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body)?;
+        stream.flush()?;
+        self.read_response()
+    }
+
+    /// Sends raw bytes (for malformed-request probes) and reads whatever
+    /// response the server manages to produce.
+    pub fn request_raw(&mut self, raw: &[u8]) -> std::io::Result<HttpResponse> {
+        let stream = self.reader.get_mut();
+        stream.write_all(raw)?;
+        stream.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> std::io::Result<HttpResponse> {
+        let bad =
+            |what: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string());
+        let mut line = String::new();
+        self.reader.read_line(&mut line)?;
+        let status: u16 = line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("bad status line"))?;
+        let mut headers = Vec::new();
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            if self.reader.read_line(&mut header)? == 0 {
+                return Err(bad("connection closed in headers"));
+            }
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                let name = name.trim().to_ascii_lowercase();
+                let value = value.trim().to_string();
+                if name == "content-length" {
+                    content_length = value.parse().map_err(|_| bad("bad content-length"))?;
+                }
+                headers.push((name, value));
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        Ok(HttpResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+}

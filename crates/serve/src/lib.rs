@@ -1,0 +1,428 @@
+//! `dmfb serve`: a long-lived yield-estimation daemon.
+//!
+//! The CLI pays the full cost of every estimate on every invocation:
+//! process start, array construction, CSR/neighbour precomputation, then
+//! the trials. For interactive exploration (sweeping seeds or survival
+//! probabilities against a fixed design) almost all of that work is
+//! identical between calls. This crate keeps it alive instead:
+//!
+//! * an [`LruCache`] of precomputed [`CachedEngine`]s keyed by the
+//!   request's canonical engine key, so repeat requests skip evaluator
+//!   construction entirely and go straight to the trials;
+//! * a fixed pool of worker threads sharing the cache, each reusing the
+//!   `dmfb_sim` parallel engine for the trials themselves;
+//! * hand-rolled HTTP/1.1 + JSON over [`std::net`] (the workspace is
+//!   offline; no web framework, no TLS, loopback use intended).
+//!
+//! **Determinism contract:** identical request bodies produce
+//! byte-identical reply bodies, no matter which worker serves them, how
+//! many threads the engines run with, whether the engine was cached, or
+//! what ran before. Everything request-dependent is seeded from the
+//! request's own master seed through a `SeedSequence`; everything
+//! timing-dependent (cache outcome, service micros) travels in response
+//! headers, never in the body.
+//!
+//! Endpoints:
+//!
+//! * `POST /v1/yield` — run one estimate; see
+//!   [`request::parse_yield_request`] for the body vocabulary.
+//! * `GET /v1/health` — liveness plus cache statistics.
+//! * `POST /v1/shutdown` — graceful stop: in-flight and queued requests
+//!   finish, workers join, the acceptor exits.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod cache;
+pub mod engine;
+pub mod http;
+pub mod request;
+pub mod soak;
+
+pub use cache::{CacheOutcome, CacheStats, LruCache};
+pub use engine::CachedEngine;
+pub use request::{parse_yield_request, RequestError, YieldRequest};
+pub use soak::{run_soak, SoakConfig, SoakReport};
+
+use http::{read_request, write_response, HttpRequest};
+use request::CacheMode;
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Reply-body schema label, bumped with any body-shape change.
+pub const SERVE_SCHEMA: &str = "dmfb-serve/1";
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:8750` (`:0` picks a free port).
+    pub addr: String,
+    /// Worker threads accepting connections off the shared queue.
+    pub workers: usize,
+    /// Threads each *engine* runs its trials with (`0` = one per core).
+    /// The default is 1: with a worker pool in front, request-level
+    /// concurrency is usually the better use of the cores, and replies
+    /// are byte-identical either way.
+    pub threads: usize,
+    /// Engine-cache capacity (entries).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:8750".into(),
+            workers: 4,
+            threads: 1,
+            cache_capacity: 32,
+        }
+    }
+}
+
+/// The outcome of one `/v1/yield` body, before HTTP framing. Exposed so
+/// tests (and the property suite) can drive the full parse → cache →
+/// engine → render pipeline without sockets.
+#[derive(Clone, Debug)]
+pub struct YieldOutcome {
+    /// HTTP status (`200`, or the [`RequestError`] status).
+    pub status: u16,
+    /// Reply body (the estimate, or `{"error": ...}`).
+    pub body: String,
+    /// How the engine lookup went (`None` on validation errors).
+    pub cache: Option<CacheOutcome>,
+}
+
+/// Shared per-daemon state: the engine cache plus the engine thread
+/// setting. One instance serves all workers.
+pub struct ServerState {
+    cache: Mutex<LruCache<CachedEngine>>,
+    threads: usize,
+}
+
+impl ServerState {
+    /// Creates state with the given cache capacity and engine threads.
+    #[must_use]
+    pub fn new(cache_capacity: usize, threads: usize) -> Self {
+        ServerState {
+            cache: Mutex::new(LruCache::new(cache_capacity)),
+            threads,
+        }
+    }
+
+    /// Runs one `/v1/yield` body through parse → cache → engine →
+    /// render.
+    #[must_use]
+    pub fn handle_yield(&self, body: &[u8]) -> YieldOutcome {
+        let request = match parse_yield_request(body) {
+            Ok(request) => request,
+            Err(e) => {
+                return YieldOutcome {
+                    status: e.status,
+                    body: error_body(&e.message),
+                    cache: None,
+                }
+            }
+        };
+        let (engine, outcome) = match request.cache {
+            CacheMode::Bypass => {
+                let engine = Arc::new(CachedEngine::build(&request, self.threads));
+                self.cache.lock().unwrap().note_bypass();
+                (engine, CacheOutcome::Bypass)
+            }
+            CacheMode::Default => self
+                .cache
+                .lock()
+                .unwrap()
+                .get_or_insert_with(&request.engine_key(), || {
+                    CachedEngine::build(&request, self.threads)
+                }),
+        };
+        YieldOutcome {
+            status: 200,
+            body: engine.run(&request, self.threads),
+            cache: Some(outcome),
+        }
+    }
+
+    /// A `/v1/health` body: liveness plus cache statistics. Unlike yield
+    /// replies this body is *not* byte-stable — it reports live counters.
+    #[must_use]
+    pub fn health_body(&self, workers: usize) -> String {
+        let cache = self.cache.lock().unwrap();
+        let stats = cache.stats();
+        format!(
+            "{{\"status\": \"ok\", \"schema\": \"{SERVE_SCHEMA}\", \"workers\": {workers}, \
+             \"threads\": {}, \"cache\": {{\"capacity\": {}, \"entries\": {}, \
+             \"hits\": {}, \"misses\": {}, \"bypasses\": {}, \"evictions\": {}, \
+             \"hit_rate\": {}}}}}\n",
+            self.threads,
+            cache.capacity(),
+            cache.len(),
+            stats.hits,
+            stats.misses,
+            stats.bypasses,
+            stats.evictions,
+            dmfb_bench::json::json_number(stats.hit_rate()),
+        )
+    }
+
+    /// Current cache statistics.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().unwrap().stats()
+    }
+}
+
+fn error_body(message: &str) -> String {
+    format!(
+        "{{\"error\": {}}}\n",
+        dmfb_bench::json::json_string(message)
+    )
+}
+
+/// A bound, not-yet-running daemon.
+pub struct Server {
+    listener: TcpListener,
+    config: ServerConfig,
+    state: Arc<ServerState>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the listen socket. The daemon does not serve until
+    /// [`Server::run`].
+    pub fn bind(config: ServerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let state = Arc::new(ServerState::new(config.cache_capacity, config.threads));
+        Ok(Server {
+            listener,
+            config,
+            state,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (useful with `:0`).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Shared daemon state (primarily for tests).
+    #[must_use]
+    pub fn state(&self) -> Arc<ServerState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Serves until a `POST /v1/shutdown` arrives, then drains queued
+    /// connections, joins all workers and returns.
+    pub fn run(self) -> std::io::Result<()> {
+        let workers = self.config.workers.max(1);
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let local = self.listener.local_addr()?;
+        let mut pool = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let rx = Arc::clone(&rx);
+            let state = Arc::clone(&self.state);
+            let shutdown = Arc::clone(&self.shutdown);
+            let config_workers = workers;
+            pool.push(std::thread::spawn(move || loop {
+                let conn = rx.lock().unwrap().recv();
+                match conn {
+                    Ok(stream) => {
+                        serve_connection(stream, &state, &shutdown, config_workers, local)
+                    }
+                    Err(_) => break, // acceptor dropped the sender: drained and done
+                }
+            }));
+        }
+        for conn in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match conn {
+                Ok(stream) => {
+                    // A send can only fail if every worker panicked;
+                    // dropping the connection is all that's left then.
+                    let _ = tx.send(stream);
+                }
+                Err(_) => continue,
+            }
+        }
+        drop(tx);
+        for worker in pool {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+}
+
+/// Serves one connection until the client closes, asks to close, errors,
+/// or stalls past the read timeout.
+fn serve_connection(
+    stream: TcpStream,
+    state: &ServerState,
+    shutdown: &AtomicBool,
+    workers: usize,
+    local: std::net::SocketAddr,
+) {
+    if stream.set_read_timeout(Some(http::READ_TIMEOUT)).is_err()
+        || stream.set_nodelay(true).is_err()
+    {
+        return;
+    }
+    let peer_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut writer = peer_stream;
+    let mut reader = BufReader::new(stream);
+    loop {
+        let request = match read_request(&mut reader) {
+            Ok(request) => request,
+            Err(e) => {
+                if let Some((status, reason)) = e.status() {
+                    let body = error_body(e.detail());
+                    let _ =
+                        write_response(&mut writer, status, reason, &[], body.as_bytes(), false);
+                }
+                return;
+            }
+        };
+        let keep_alive = request.keep_alive;
+        let stop_after = route(&request, state, workers, &mut writer, shutdown);
+        if stop_after {
+            // Wake the acceptor out of `accept()` so it observes the flag.
+            let _ = TcpStream::connect(local);
+            return;
+        }
+        if !keep_alive {
+            return;
+        }
+    }
+}
+
+/// Routes one parsed request; returns `true` when the daemon should stop
+/// (a shutdown request was served).
+fn route(
+    request: &HttpRequest,
+    state: &ServerState,
+    workers: usize,
+    writer: &mut TcpStream,
+    shutdown: &AtomicBool,
+) -> bool {
+    let keep = request.keep_alive;
+    match (request.method.as_str(), request.target.as_str()) {
+        ("POST", "/v1/yield") => {
+            let started = Instant::now();
+            let outcome = state.handle_yield(&request.body);
+            let micros = started.elapsed().as_micros();
+            let mut headers = vec![("x-dmfb-micros".to_string(), micros.to_string())];
+            if let Some(cache) = outcome.cache {
+                headers.push(("x-dmfb-cache".to_string(), cache.label().to_string()));
+            }
+            let reason = if outcome.status == 200 {
+                "OK"
+            } else {
+                "Bad Request"
+            };
+            let _ = write_response(
+                writer,
+                outcome.status,
+                reason,
+                &headers,
+                outcome.body.as_bytes(),
+                keep,
+            );
+            false
+        }
+        ("GET", "/v1/health") => {
+            let body = state.health_body(workers);
+            let _ = write_response(writer, 200, "OK", &[], body.as_bytes(), keep);
+            false
+        }
+        ("POST", "/v1/shutdown") => {
+            shutdown.store(true, Ordering::SeqCst);
+            let body =
+                format!("{{\"status\": \"shutting-down\", \"schema\": \"{SERVE_SCHEMA}\"}}\n");
+            let _ = write_response(writer, 200, "OK", &[], body.as_bytes(), false);
+            true
+        }
+        (_, "/v1/yield" | "/v1/shutdown") => {
+            let _ = write_response(
+                writer,
+                405,
+                "Method Not Allowed",
+                &[("allow".to_string(), "POST".to_string())],
+                error_body("use POST").as_bytes(),
+                keep,
+            );
+            false
+        }
+        (_, "/v1/health") => {
+            let _ = write_response(
+                writer,
+                405,
+                "Method Not Allowed",
+                &[("allow".to_string(), "GET".to_string())],
+                error_body("use GET").as_bytes(),
+                keep,
+            );
+            false
+        }
+        (_, target) => {
+            let body = error_body(&format!(
+                "no such endpoint '{target}' (try /v1/yield, /v1/health, /v1/shutdown)"
+            ));
+            let _ = write_response(writer, 404, "Not Found", &[], body.as_bytes(), keep);
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_yield_reports_cache_outcomes() {
+        let state = ServerState::new(4, 1);
+        let body = br#"{"design": "dtmb16", "trials": 50, "primaries": 16}"#;
+        let cold = state.handle_yield(body);
+        let warm = state.handle_yield(body);
+        assert_eq!(cold.status, 200);
+        assert_eq!(cold.cache, Some(CacheOutcome::Miss));
+        assert_eq!(warm.cache, Some(CacheOutcome::Hit));
+        assert_eq!(cold.body, warm.body, "cache must not change the reply");
+        let bypass = state.handle_yield(
+            br#"{"design": "dtmb16", "trials": 50, "primaries": 16, "cache": "bypass"}"#,
+        );
+        assert_eq!(bypass.cache, Some(CacheOutcome::Bypass));
+        assert_eq!(bypass.body, warm.body, "bypass must not change the reply");
+    }
+
+    #[test]
+    fn handle_yield_maps_validation_errors_to_400() {
+        let state = ServerState::new(4, 1);
+        let outcome = state.handle_yield(br#"{"tier": "nope"}"#);
+        assert_eq!(outcome.status, 400);
+        assert!(outcome.body.contains("error"));
+        assert_eq!(outcome.cache, None);
+        let outcome = state.handle_yield(b"not json at all");
+        assert_eq!(outcome.status, 400);
+    }
+
+    #[test]
+    fn health_body_counts_lookups() {
+        let state = ServerState::new(4, 1);
+        let _ = state.handle_yield(br#"{"design": "dtmb16", "trials": 20, "primaries": 16}"#);
+        let body = state.health_body(3);
+        assert!(body.contains("\"status\": \"ok\""));
+        assert!(body.contains("\"misses\": 1"));
+        assert!(body.contains("\"workers\": 3"));
+    }
+}

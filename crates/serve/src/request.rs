@@ -1,0 +1,828 @@
+//! Strict parsing and validation of `/v1/yield` request bodies.
+//!
+//! The request vocabulary is the CLI's, field for field: the same scheme
+//! sub-parameters, estimator and defect-model selections, and the same
+//! *foreign-parameter rejection* discipline — a field the selected
+//! scheme/estimator/model/tier would silently ignore is refused with a
+//! `400` naming the conflict, never dropped. A daemon that ignored stray
+//! fields would happily serve numbers under a mislabelled configuration,
+//! which is exactly the failure mode the CLI guards rule out.
+//!
+//! On top of the CLI rules the service adds untrusted-input ceilings
+//! ([`MAX_PRIMARIES`], [`MAX_TRIALS`]): a CLI user who asks for a
+//! billion-cell array only hurts themselves; a network client must not be
+//! able to park a worker (or the allocator) with one request.
+
+use dmfb_bench::json::JsonValue;
+use dmfb_core::prelude::{
+    AssayPanel, Biochip, ClusteredDefects, DtmbKind, SquarePattern, StratifiedConfig,
+};
+
+/// Upper bound on `--block-trials`, shared with the CLI's guard.
+pub const MAX_BLOCK_TRIALS: usize = 65_536;
+
+/// Upper bound on user-supplied square-lattice dimensions (the CLI's
+/// `MAX_DIM`).
+pub const MAX_DIM: u32 = 4096;
+
+/// Upper bound on hex primary-cell counts. Engine build time and memory
+/// are linear in this, so it is the knob a hostile client would turn.
+pub const MAX_PRIMARIES: usize = 65_536;
+
+/// Upper bound on Monte-Carlo trials per request.
+pub const MAX_TRIALS: u32 = 10_000_000;
+
+/// A validation failure, carrying the HTTP status it maps to (always
+/// `400` today, but the type keeps routing and phrasing in one place).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RequestError {
+    /// HTTP status code for the reply.
+    pub status: u16,
+    /// Human-readable reason, sent back as `{"error": ...}`.
+    pub message: String,
+}
+
+impl RequestError {
+    fn bad(message: impl Into<String>) -> Self {
+        RequestError {
+            status: 400,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+/// Which yield tier a request asks for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tier {
+    /// Yield without reconfiguration (all in-scope primaries fault-free).
+    Raw,
+    /// Yield with local reconfiguration — the paper's headline number.
+    Reconfigured,
+    /// The Section 7 assay-aware tier: raw, reconfigured and operational
+    /// yield side by side for a fixed IVD case-study chip.
+    Operational,
+}
+
+impl Tier {
+    /// The wire label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Tier::Raw => "raw",
+            Tier::Reconfigured => "reconfigured",
+            Tier::Operational => "operational",
+        }
+    }
+}
+
+/// Which redundancy scheme the request evaluates (the CLI's
+/// `SchemeChoice`, re-stated here so the service crate does not depend on
+/// the binary).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchemeChoice {
+    /// Hexagonal DTMB patterns, selected via `design`/`primaries`.
+    HexDtmb {
+        /// Which DTMB design (`None` = no redundancy).
+        design: Option<DtmbKind>,
+        /// Primary-cell count.
+        primaries: usize,
+    },
+    /// Square-lattice interstitial patterns.
+    SquareDtmb {
+        /// Which spare pattern.
+        pattern: SquarePattern,
+        /// Array width in cells.
+        width: u32,
+        /// Array height in cells.
+        height: u32,
+    },
+    /// Boundary spare-row baseline (shifted replacement).
+    SpareRows {
+        /// Array width in cells.
+        width: u32,
+        /// Module rows above the spare rows.
+        module_rows: u32,
+        /// Spare rows at the bottom.
+        spare_rows: u32,
+    },
+}
+
+/// Estimator selection.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EstimatorChoice {
+    /// Plain Monte-Carlo (the default).
+    Naive,
+    /// Defect-count-stratified rare-event estimator with its tuning.
+    Stratified(StratifiedConfig),
+}
+
+/// Defect-model selection.
+#[derive(Clone, Debug)]
+pub enum DefectModelChoice {
+    /// The paper's i.i.d. cell-failure assumption (the default).
+    Bernoulli,
+    /// Negative-binomial clustered wafer defects.
+    Clustered(ClusteredDefects),
+}
+
+/// Cache directive for this request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheMode {
+    /// Use the engine cache (the default).
+    Default,
+    /// Rebuild the engine from scratch, leaving the cache untouched. The
+    /// reply body is identical either way; only timing differs. The soak
+    /// harness uses this as its cold reference.
+    Bypass,
+}
+
+/// One fully validated `/v1/yield` request.
+#[derive(Clone, Debug)]
+pub struct YieldRequest {
+    /// Requested tier.
+    pub tier: Tier,
+    /// Requested scheme (ignored shape-wise when `assay` fixes the chip).
+    pub scheme: SchemeChoice,
+    /// Assay panel (`Some` exactly when `tier` is operational).
+    pub assay: Option<AssayPanel>,
+    /// Estimator selection.
+    pub estimator: EstimatorChoice,
+    /// Defect-model selection.
+    pub defect_model: DefectModelChoice,
+    /// Trial-engine selection: `None` = auto block engine, `Some(0)` =
+    /// scalar, `Some(n)` = `n`-trial batches.
+    pub block_trials: Option<usize>,
+    /// Cell-survival probability (unused by the clustered model).
+    pub p: f64,
+    /// Monte-Carlo trials (the total budget under the stratified
+    /// estimator).
+    pub trials: u32,
+    /// Master seed. The engine seeds each estimate through
+    /// [`dmfb_core::sim::SeedSequence`], so replies are byte-identical
+    /// for identical requests regardless of worker or thread count.
+    pub seed: u64,
+    /// Cache directive.
+    pub cache: CacheMode,
+}
+
+/// Every field `/v1/yield` understands; anything else is rejected by
+/// name so typos cannot silently select a default.
+const KNOWN_FIELDS: [&str; 23] = [
+    "tier",
+    "scheme",
+    "design",
+    "primaries",
+    "pattern",
+    "width",
+    "height",
+    "module_rows",
+    "spare_rows",
+    "estimator",
+    "tolerance",
+    "pilot",
+    "defect_model",
+    "cluster_mean",
+    "cluster_dispersion",
+    "cluster_radius",
+    "cluster_peak",
+    "block_trials",
+    "assay",
+    "p",
+    "trials",
+    "seed",
+    "cache",
+];
+
+/// Scheme-shaping fields, mirroring the CLI's `SCHEME_SUBPARAMS`.
+const SCHEME_SUBPARAMS: [&str; 7] = [
+    "design",
+    "primaries",
+    "pattern",
+    "width",
+    "height",
+    "module_rows",
+    "spare_rows",
+];
+
+/// Sub-parameters of `"estimator": "stratified"`.
+const ESTIMATOR_SUBPARAMS: [&str; 2] = ["tolerance", "pilot"];
+
+/// Sub-parameters of `"defect_model": "clustered"`.
+const CLUSTER_SUBPARAMS: [&str; 4] = [
+    "cluster_mean",
+    "cluster_dispersion",
+    "cluster_radius",
+    "cluster_peak",
+];
+
+/// A parsed body with field-presence tracking, so the foreign-parameter
+/// guards can distinguish "absent" from "present at its default value"
+/// exactly like the CLI's `Options::flag`.
+struct Fields<'a> {
+    obj: &'a [(String, JsonValue)],
+}
+
+impl<'a> Fields<'a> {
+    fn has(&self, key: &str) -> bool {
+        self.obj.iter().any(|(k, _)| k == key)
+    }
+
+    fn str_field(&self, key: &str) -> Result<Option<&'a str>, RequestError> {
+        match self.obj.iter().find(|(k, _)| k == key) {
+            None => Ok(None),
+            Some((_, v)) => v.as_str(key).map(Some).map_err(RequestError::bad),
+        }
+    }
+
+    fn f64_field(&self, key: &str) -> Result<Option<f64>, RequestError> {
+        match self.obj.iter().find(|(k, _)| k == key) {
+            None => Ok(None),
+            Some((_, v)) => {
+                let x = v.as_f64(key).map_err(RequestError::bad)?;
+                if x.is_finite() {
+                    Ok(Some(x))
+                } else {
+                    Err(RequestError::bad(format!("'{key}' must be finite")))
+                }
+            }
+        }
+    }
+
+    /// A non-negative integer field. JSON numbers are doubles, so the
+    /// value must be integral and at most 2^53 to be trusted.
+    fn uint_field(&self, key: &str) -> Result<Option<u64>, RequestError> {
+        match self.f64_field(key)? {
+            None => Ok(None),
+            Some(x) => {
+                if x < 0.0 || x.fract() != 0.0 || x > 9_007_199_254_740_992.0 {
+                    return Err(RequestError::bad(format!(
+                        "'{key}' must be a non-negative integer, got {x}"
+                    )));
+                }
+                Ok(Some(x as u64))
+            }
+        }
+    }
+
+    fn dim_field(&self, key: &str, default: u32, min: u32) -> Result<u32, RequestError> {
+        let value = match self.uint_field(key)? {
+            None => return Ok(default),
+            Some(v) => u32::try_from(v)
+                .map_err(|_| RequestError::bad(format!("'{key}' is out of range")))?,
+        };
+        if value < min || value > MAX_DIM {
+            return Err(RequestError::bad(format!(
+                "need {min} <= '{key}' <= {MAX_DIM}, got {value}"
+            )));
+        }
+        Ok(value)
+    }
+}
+
+/// Parses and fully validates one `/v1/yield` body.
+pub fn parse_yield_request(body: &[u8]) -> Result<YieldRequest, RequestError> {
+    let text =
+        std::str::from_utf8(body).map_err(|_| RequestError::bad("request body is not UTF-8"))?;
+    let value = JsonValue::parse(text).map_err(RequestError::bad)?;
+    let obj = value.as_object("request body").map_err(RequestError::bad)?;
+    for (key, _) in obj {
+        if !KNOWN_FIELDS.contains(&key.as_str()) {
+            return Err(RequestError::bad(format!("unknown field '{key}'")));
+        }
+    }
+    if let Some(dup) = obj
+        .iter()
+        .enumerate()
+        .find(|(i, (k, _))| obj[..*i].iter().any(|(prev, _)| prev == k))
+    {
+        return Err(RequestError::bad(format!("duplicate field '{}'", dup.1 .0)));
+    }
+    let fields = Fields { obj };
+
+    let tier = match fields.str_field("tier")? {
+        None | Some("reconfigured") => Tier::Reconfigured,
+        Some("raw") => Tier::Raw,
+        Some("operational") => Tier::Operational,
+        Some(other) => {
+            return Err(RequestError::bad(format!(
+                "unknown tier '{other}' (valid: raw, reconfigured, operational)"
+            )))
+        }
+    };
+
+    let scheme = parse_scheme(&fields)?;
+    reject_foreign_subparams(&fields, &scheme)?;
+
+    let estimator = parse_estimator(&fields)?;
+    let defect_model = parse_defect_model(&fields)?;
+    reject_foreign_estimator_params(&fields, &estimator, &defect_model)?;
+
+    let block_trials = match fields.uint_field("block_trials")? {
+        None => None,
+        Some(n) => {
+            let n = usize::try_from(n)
+                .map_err(|_| RequestError::bad("'block_trials' is out of range"))?;
+            if n > MAX_BLOCK_TRIALS {
+                return Err(RequestError::bad(format!(
+                    "need 'block_trials' <= {MAX_BLOCK_TRIALS}, got {n} \
+                     (wider batches only grow the per-worker scratch state)"
+                )));
+            }
+            Some(n)
+        }
+    };
+
+    if matches!(defect_model, DefectModelChoice::Clustered(_)) {
+        if fields.has("p") {
+            return Err(RequestError::bad(
+                "'p' does not apply with \"defect_model\": \"clustered\" \
+                 (the cluster parameters set the defect intensity)",
+            ));
+        }
+        if fields.has("block_trials") {
+            return Err(RequestError::bad(
+                "'block_trials' does not apply with \"defect_model\": \"clustered\": \
+                 the clustered defect sampler draws a variable-length stream per trial \
+                 that cannot be transposed into lanes; it always runs the scalar engine",
+            ));
+        }
+    }
+
+    let assay = match fields.str_field("assay")? {
+        None => None,
+        Some(label) => Some(label.parse::<AssayPanel>().map_err(RequestError::bad)?),
+    };
+
+    check_tier(
+        &fields,
+        tier,
+        &scheme,
+        assay.is_some(),
+        &estimator,
+        &defect_model,
+    )?;
+
+    let p = fields.f64_field("p")?.unwrap_or(0.95);
+    if !(0.0..=1.0).contains(&p) {
+        return Err(RequestError::bad(format!("need 0 <= 'p' <= 1, got {p}")));
+    }
+    let trials = match fields.uint_field("trials")?.unwrap_or(10_000) {
+        0 => return Err(RequestError::bad("'trials' must be at least 1")),
+        n if n > u64::from(MAX_TRIALS) => {
+            return Err(RequestError::bad(format!(
+                "need 'trials' <= {MAX_TRIALS}, got {n}"
+            )))
+        }
+        n => n as u32,
+    };
+    let seed = fields.uint_field("seed")?.unwrap_or(1);
+
+    let cache = match fields.str_field("cache")? {
+        None | Some("default") => CacheMode::Default,
+        Some("bypass") => CacheMode::Bypass,
+        Some(other) => {
+            return Err(RequestError::bad(format!(
+                "unknown cache mode '{other}' (valid: default, bypass)"
+            )))
+        }
+    };
+
+    Ok(YieldRequest {
+        tier,
+        scheme,
+        assay,
+        estimator,
+        defect_model,
+        block_trials,
+        p,
+        trials,
+        seed,
+        cache,
+    })
+}
+
+fn parse_scheme(fields: &Fields<'_>) -> Result<SchemeChoice, RequestError> {
+    match fields.str_field("scheme")? {
+        None | Some("hex-dtmb") => {
+            let design = match fields.str_field("design")? {
+                None | Some("none") => None,
+                Some("dtmb16") => Some(DtmbKind::Dtmb16),
+                Some("dtmb26") => Some(DtmbKind::Dtmb26A),
+                Some("dtmb26b") => Some(DtmbKind::Dtmb26B),
+                Some("dtmb36") => Some(DtmbKind::Dtmb36),
+                Some("dtmb44") => Some(DtmbKind::Dtmb44),
+                Some(other) => return Err(RequestError::bad(format!("unknown design '{other}'"))),
+            };
+            let primaries = match fields.uint_field("primaries")?.unwrap_or(100) {
+                0 => return Err(RequestError::bad("'primaries' must be at least 1")),
+                n if n > MAX_PRIMARIES as u64 => {
+                    return Err(RequestError::bad(format!(
+                        "need 'primaries' <= {MAX_PRIMARIES}, got {n}"
+                    )))
+                }
+                n => n as usize,
+            };
+            Ok(SchemeChoice::HexDtmb { design, primaries })
+        }
+        Some("square-dtmb") => {
+            let pattern = match fields.str_field("pattern")? {
+                None | Some("perfect-code") => SquarePattern::PerfectCode,
+                Some("stripes") => SquarePattern::Stripes,
+                Some("checkerboard") => SquarePattern::Checkerboard,
+                Some("quarter") => SquarePattern::Quarter,
+                Some(other) => {
+                    return Err(RequestError::bad(format!(
+                        "unknown pattern '{other}' \
+                         (valid: perfect-code, stripes, checkerboard, quarter)"
+                    )))
+                }
+            };
+            Ok(SchemeChoice::SquareDtmb {
+                pattern,
+                width: fields.dim_field("width", 16, 1)?,
+                height: fields.dim_field("height", 16, 1)?,
+            })
+        }
+        Some("spare-rows") => Ok(SchemeChoice::SpareRows {
+            width: fields.dim_field("width", 8, 1)?,
+            module_rows: fields.dim_field("module_rows", 6, 1)?,
+            spare_rows: fields.dim_field("spare_rows", 1, 0)?,
+        }),
+        Some(other) => Err(RequestError::bad(format!(
+            "unknown scheme '{other}' (valid: hex-dtmb, square-dtmb, spare-rows)"
+        ))),
+    }
+}
+
+fn parse_estimator(fields: &Fields<'_>) -> Result<EstimatorChoice, RequestError> {
+    match fields.str_field("estimator")? {
+        None | Some("naive") => Ok(EstimatorChoice::Naive),
+        Some("stratified") => {
+            let tolerance = fields.f64_field("tolerance")?.unwrap_or(1e-6);
+            if !(0.0..1.0).contains(&tolerance) {
+                return Err(RequestError::bad("need 0 <= 'tolerance' < 1"));
+            }
+            let pilot = match fields.uint_field("pilot")?.unwrap_or(64) {
+                0 => return Err(RequestError::bad("'pilot' must be at least 1")),
+                n if n > u64::from(u32::MAX) => {
+                    return Err(RequestError::bad("'pilot' is out of range"))
+                }
+                n => n as u32,
+            };
+            Ok(EstimatorChoice::Stratified(StratifiedConfig {
+                tolerance,
+                pilot,
+                ..StratifiedConfig::default()
+            }))
+        }
+        Some(other) => Err(RequestError::bad(format!(
+            "unknown estimator '{other}' (valid: naive, stratified)"
+        ))),
+    }
+}
+
+fn parse_defect_model(fields: &Fields<'_>) -> Result<DefectModelChoice, RequestError> {
+    match fields.str_field("defect_model")? {
+        None | Some("bernoulli") => Ok(DefectModelChoice::Bernoulli),
+        Some("clustered") => {
+            let mean = fields.f64_field("cluster_mean")?.unwrap_or(1.0);
+            if mean < 0.0 {
+                return Err(RequestError::bad("'cluster_mean' must be non-negative"));
+            }
+            let dispersion = match fields.uint_field("cluster_dispersion")?.unwrap_or(1) {
+                0 => return Err(RequestError::bad("'cluster_dispersion' must be at least 1")),
+                n if n > u64::from(u32::MAX) => {
+                    return Err(RequestError::bad("'cluster_dispersion' is out of range"))
+                }
+                n => n as u32,
+            };
+            let radius = match fields.uint_field("cluster_radius")?.unwrap_or(2) {
+                n if n > 64 => return Err(RequestError::bad("need 'cluster_radius' <= 64")),
+                n => n as u32,
+            };
+            let peak = fields.f64_field("cluster_peak")?.unwrap_or(0.8);
+            if !(0.0..=1.0).contains(&peak) {
+                return Err(RequestError::bad("need 0 <= 'cluster_peak' <= 1"));
+            }
+            Ok(DefectModelChoice::Clustered(ClusteredDefects::new(
+                mean, dispersion, radius, peak,
+            )))
+        }
+        Some(other) => Err(RequestError::bad(format!(
+            "unknown defect model '{other}' (valid: bernoulli, clustered)"
+        ))),
+    }
+}
+
+/// The CLI's `reject_foreign_subparams`, field-presence based.
+fn reject_foreign_subparams(
+    fields: &Fields<'_>,
+    choice: &SchemeChoice,
+) -> Result<(), RequestError> {
+    let (scheme, allowed): (&str, &[&str]) = match choice {
+        SchemeChoice::HexDtmb { .. } => ("hex-dtmb", &["design", "primaries"]),
+        SchemeChoice::SquareDtmb { .. } => ("square-dtmb", &["pattern", "width", "height"]),
+        SchemeChoice::SpareRows { .. } => ("spare-rows", &["width", "module_rows", "spare_rows"]),
+    };
+    for key in SCHEME_SUBPARAMS {
+        if fields.has(key) && !allowed.contains(&key) {
+            return Err(RequestError::bad(format!(
+                "'{key}' does not apply to scheme '{scheme}' (its parameters: {})",
+                allowed.join(", ")
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// The CLI's `reject_foreign_estimator_params`: estimator/model
+/// sub-parameters must match their selection, and the stratified
+/// estimator cannot run under the clustered model (it conditions on the
+/// i.i.d. Bernoulli defect count).
+fn reject_foreign_estimator_params(
+    fields: &Fields<'_>,
+    estimator: &EstimatorChoice,
+    model: &DefectModelChoice,
+) -> Result<(), RequestError> {
+    if matches!(estimator, EstimatorChoice::Naive) {
+        for key in ESTIMATOR_SUBPARAMS {
+            if fields.has(key) {
+                return Err(RequestError::bad(format!(
+                    "'{key}' requires \"estimator\": \"stratified\""
+                )));
+            }
+        }
+    }
+    if matches!(model, DefectModelChoice::Bernoulli) {
+        for key in CLUSTER_SUBPARAMS {
+            if fields.has(key) {
+                return Err(RequestError::bad(format!(
+                    "'{key}' requires \"defect_model\": \"clustered\""
+                )));
+            }
+        }
+    }
+    if matches!(estimator, EstimatorChoice::Stratified(_))
+        && matches!(model, DefectModelChoice::Clustered(_))
+    {
+        return Err(RequestError::bad(
+            "the stratified estimator conditions on the i.i.d. Bernoulli defect count; \
+             it cannot run under the clustered defect model",
+        ));
+    }
+    Ok(())
+}
+
+/// Tier-specific coherence rules.
+fn check_tier(
+    fields: &Fields<'_>,
+    tier: Tier,
+    scheme: &SchemeChoice,
+    has_assay: bool,
+    estimator: &EstimatorChoice,
+    model: &DefectModelChoice,
+) -> Result<(), RequestError> {
+    match tier {
+        Tier::Raw => {
+            if !matches!(scheme, SchemeChoice::HexDtmb { .. }) {
+                return Err(RequestError::bad(
+                    "tier 'raw' models hexagonal arrays only \
+                     (raw yield is defined over the hex chip's primary cells)",
+                ));
+            }
+            if has_assay {
+                return Err(RequestError::bad(
+                    "'assay' implies tier 'operational', not 'raw'",
+                ));
+            }
+            if matches!(estimator, EstimatorChoice::Stratified(_)) {
+                return Err(RequestError::bad(
+                    "tier 'raw' supports the naive estimator only \
+                     (use tier 'operational' for stratified raw yield)",
+                ));
+            }
+            if matches!(model, DefectModelChoice::Clustered(_)) {
+                return Err(RequestError::bad(
+                    "tier 'raw' supports the Bernoulli defect model only \
+                     (use tier 'operational' for clustered raw yield)",
+                ));
+            }
+            if fields.has("block_trials") {
+                return Err(RequestError::bad(
+                    "'block_trials' does not apply to tier 'raw': raw yield runs the \
+                     per-trial defect-injection engine, not the matching block engine",
+                ));
+            }
+        }
+        Tier::Reconfigured => {
+            if has_assay {
+                return Err(RequestError::bad(
+                    "'assay' implies tier 'operational'; \
+                     set \"tier\": \"operational\" to run the assay-aware stack",
+                ));
+            }
+        }
+        Tier::Operational => {
+            if !has_assay {
+                return Err(RequestError::bad(
+                    "tier 'operational' requires 'assay' \
+                     (valid: ivd-panel, metabolic-panel)",
+                ));
+            }
+            if !matches!(scheme, SchemeChoice::HexDtmb { .. }) {
+                return Err(RequestError::bad(
+                    "'assay' requires scheme 'hex-dtmb' \
+                     (the IVD case-study chip is hexagonal)",
+                ));
+            }
+            // The assay workload fixes the chip to the DTMB(2,6) IVD
+            // case-study layout, so every array-shaping field is foreign —
+            // the CLI's `check_assay_subparams`.
+            for key in SCHEME_SUBPARAMS {
+                if fields.has(key) {
+                    return Err(RequestError::bad(format!(
+                        "'{key}' does not apply with 'assay': the assay workload \
+                         fixes the chip to the DTMB(2,6) IVD case-study layout"
+                    )));
+                }
+            }
+            if matches!(estimator, EstimatorChoice::Stratified(_)) && fields.has("block_trials") {
+                return Err(RequestError::bad(
+                    "'block_trials' does not apply to the operational stratified \
+                     estimator: it conditions each stratum on its defect count, already \
+                     skipping the defect-free bulk the block engine short-circuits",
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+impl YieldRequest {
+    /// The canonical engine key this request maps to: exactly the fields
+    /// that shape the cached evaluator (scheme/shape, assay chip,
+    /// trial-engine width) and none of the per-request ones (`p`,
+    /// `trials`, `seed`, estimator, defect model). Two requests with
+    /// equal keys run on the same cached engine.
+    #[must_use]
+    pub fn engine_key(&self) -> String {
+        let block = match self.block_trials {
+            None => "auto".to_string(),
+            Some(0) => "scalar".to_string(),
+            Some(n) => n.to_string(),
+        };
+        if let Some(panel) = self.assay {
+            return format!("assay:{}:block={block}", panel.label());
+        }
+        match self.scheme {
+            SchemeChoice::HexDtmb { design, primaries } => format!(
+                "hex-dtmb:design={}:primaries={primaries}:block={block}",
+                design.map_or("none".to_string(), |k| k.to_string())
+            ),
+            SchemeChoice::SquareDtmb {
+                pattern,
+                width,
+                height,
+            } => format!(
+                "square-dtmb:pattern={pattern:?}:width={width}:height={height}:block={block}"
+            ),
+            SchemeChoice::SpareRows {
+                width,
+                module_rows,
+                spare_rows,
+            } => format!(
+                "spare-rows:width={width}:module-rows={module_rows}:spare-rows={spare_rows}:block={block}"
+            ),
+        }
+    }
+
+    /// Builds the hex biochip this request describes (hex schemes only).
+    #[must_use]
+    pub fn biochip(&self) -> Biochip {
+        match self.scheme {
+            SchemeChoice::HexDtmb { design, primaries } => match design {
+                Some(kind) => Biochip::dtmb(kind, primaries),
+                None => Biochip::without_redundancy(primaries),
+            },
+            _ => unreachable!("biochip() is only called on hex schemes"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(body: &str) -> Result<YieldRequest, RequestError> {
+        parse_yield_request(body.as_bytes())
+    }
+
+    #[test]
+    fn minimal_request_fills_cli_defaults() {
+        let r = parse(r#"{}"#).unwrap();
+        assert_eq!(r.tier, Tier::Reconfigured);
+        assert_eq!(
+            r.scheme,
+            SchemeChoice::HexDtmb {
+                design: None,
+                primaries: 100
+            }
+        );
+        assert!(matches!(r.estimator, EstimatorChoice::Naive));
+        assert!(matches!(r.defect_model, DefectModelChoice::Bernoulli));
+        assert_eq!((r.p, r.trials, r.seed), (0.95, 10_000, 1));
+        assert_eq!(r.cache, CacheMode::Default);
+    }
+
+    #[test]
+    fn foreign_scheme_subparams_are_rejected() {
+        let err = parse(r#"{"scheme": "hex-dtmb", "pattern": "stripes"}"#).unwrap_err();
+        assert!(err.message.contains("does not apply to scheme 'hex-dtmb'"));
+        let err = parse(r#"{"scheme": "square-dtmb", "design": "dtmb26"}"#).unwrap_err();
+        assert!(err.message.contains("square-dtmb"));
+        let err = parse(r#"{"scheme": "spare-rows", "height": 4}"#).unwrap_err();
+        assert!(err.message.contains("spare-rows"));
+    }
+
+    #[test]
+    fn foreign_estimator_and_model_params_are_rejected() {
+        assert!(parse(r#"{"pilot": 8}"#)
+            .unwrap_err()
+            .message
+            .contains("stratified"));
+        assert!(parse(r#"{"cluster_mean": 2.0}"#)
+            .unwrap_err()
+            .message
+            .contains("clustered"));
+        let err = parse(r#"{"estimator": "stratified", "defect_model": "clustered"}"#).unwrap_err();
+        assert!(err.message.contains("Bernoulli defect count"));
+    }
+
+    #[test]
+    fn clustered_rejects_p_and_block_trials() {
+        assert!(parse(r#"{"defect_model": "clustered", "p": 0.9}"#).is_err());
+        assert!(parse(r#"{"defect_model": "clustered", "block_trials": 64}"#).is_err());
+        assert!(parse(r#"{"defect_model": "clustered"}"#).is_ok());
+    }
+
+    #[test]
+    fn tier_rules_hold() {
+        assert!(parse(r#"{"tier": "raw", "scheme": "square-dtmb"}"#).is_err());
+        assert!(parse(r#"{"tier": "raw", "estimator": "stratified"}"#).is_err());
+        assert!(parse(r#"{"tier": "raw", "block_trials": 0}"#).is_err());
+        assert!(parse(r#"{"tier": "raw", "design": "dtmb26"}"#).is_ok());
+        assert!(parse(r#"{"tier": "operational"}"#).is_err());
+        assert!(parse(r#"{"tier": "operational", "assay": "ivd-panel"}"#).is_ok());
+        assert!(parse(r#"{"assay": "ivd-panel"}"#).is_err());
+        let err = parse(r#"{"tier": "operational", "assay": "ivd-panel", "design": "dtmb16"}"#)
+            .unwrap_err();
+        assert!(err.message.contains("case-study layout"));
+        assert!(parse(
+            r#"{"tier": "operational", "assay": "ivd-panel",
+                "estimator": "stratified", "block_trials": 64}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn unknown_and_duplicate_fields_are_rejected() {
+        assert!(parse(r#"{"triaals": 10}"#)
+            .unwrap_err()
+            .message
+            .contains("unknown field"));
+        assert!(parse(r#"{"seed": 1, "seed": 2}"#)
+            .unwrap_err()
+            .message
+            .contains("duplicate field"));
+    }
+
+    #[test]
+    fn service_ceilings_apply() {
+        assert!(parse(r#"{"primaries": 1000000}"#).is_err());
+        assert!(parse(r#"{"trials": 100000000}"#).is_err());
+        assert!(parse(r#"{"block_trials": 100000}"#).is_err());
+        assert!(parse(r#"{"scheme": "square-dtmb", "width": 5000}"#).is_err());
+        assert!(parse(r#"{"trials": 0}"#).is_err());
+        assert!(parse(r#"{"seed": -1}"#).is_err());
+        assert!(parse(r#"{"p": 1.5}"#).is_err());
+    }
+
+    #[test]
+    fn engine_key_separates_engines_not_requests() {
+        let a = parse(r#"{"design": "dtmb26", "p": 0.9, "seed": 7}"#).unwrap();
+        let b = parse(r#"{"design": "dtmb26", "p": 0.99, "trials": 50, "seed": 8}"#).unwrap();
+        assert_eq!(a.engine_key(), b.engine_key());
+        let c = parse(r#"{"design": "dtmb36"}"#).unwrap();
+        assert_ne!(a.engine_key(), c.engine_key());
+        let d = parse(r#"{"design": "dtmb26", "block_trials": 128}"#).unwrap();
+        assert_ne!(a.engine_key(), d.engine_key());
+        let e = parse(r#"{"tier": "operational", "assay": "ivd-panel"}"#).unwrap();
+        assert!(e.engine_key().starts_with("assay:ivd-panel"));
+    }
+}
