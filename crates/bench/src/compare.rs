@@ -52,6 +52,7 @@
 //!     p95_ms: None,
 //!     p99_ms: None,
 //!     cache_hit_rate: None,
+//!     campaign: None,
 //! };
 //! let mut baseline = BenchReport::new("base", 1, true);
 //! baseline.push(entry("a", 1_000.0));
@@ -373,6 +374,7 @@ mod tests {
             p95_ms: None,
             p99_ms: None,
             cache_hit_rate: None,
+            campaign: None,
         }
     }
 

@@ -74,6 +74,14 @@
 //! labels, non-finite or negative throughput/latency numbers, and
 //! out-of-range integer fields are rejected with clean errors instead of
 //! being silently accepted.
+//!
+//! **Schema evolution (PR 9).** One more optional column, same rules:
+//! `campaign` names the adversarial campaign a workload replayed
+//! (`"edge-column-wipeout"`, `"reservoir-cluster"`, …) when the entry
+//! came from the `dmfb bench --assay` campaign workloads; throughput-only
+//! entries and pre-bump reports leave it `null`/`None`. On campaign
+//! entries `yield_estimate`/`operational_yield` carry the *final-step*
+//! reconfigured and operational survival — the after-the-attack numbers.
 
 use crate::json::{get, json_number, json_string, opt_f64, opt_string, JsonValue};
 use std::fmt::Write as _;
@@ -151,6 +159,10 @@ pub struct BenchEntry {
     /// Evaluator-cache hit fraction over the soak window, in `[0, 1]`;
     /// `None` on throughput-only entries and pre-bump reports.
     pub cache_hit_rate: Option<f64>,
+    /// Adversarial campaign the workload replayed (the scenario name,
+    /// e.g. `"edge-column-wipeout"`); `None` on non-campaign entries and
+    /// pre-bump reports.
+    pub campaign: Option<String>,
 }
 
 impl BenchEntry {
@@ -217,6 +229,10 @@ impl BenchEntry {
             Some(v) => write!(out, ",\"cache_hit_rate\":{}", json_number(v)),
             None => write!(out, ",\"cache_hit_rate\":null"),
         };
+        let _ = match &self.campaign {
+            Some(c) => write!(out, ",\"campaign\":{}", json_string(c)),
+            None => write!(out, ",\"campaign\":null"),
+        };
         out.push('}');
     }
 }
@@ -250,6 +266,7 @@ impl BenchEntry {
 ///     p95_ms: None,
 ///     p99_ms: None,
 ///     cache_hit_rate: None,
+///     campaign: None,
 /// });
 /// let json = report.to_json();
 /// assert!(json.contains("\"schema\":\"dmfb-bench/1\""));
@@ -355,7 +372,7 @@ impl BenchReport {
     /// every post-bump optional column (`estimator`, `defect_model`,
     /// `engine`, `variance`, `effective_samples`, `assay`,
     /// `operational_yield`, `p50_ms`, `p95_ms`, `p99_ms`,
-    /// `cache_hit_rate`) defaults to `None` when absent, so pre-bump
+    /// `cache_hit_rate`, `campaign`) defaults to `None` when absent, so pre-bump
     /// artifacts stay readable. Strict where the document could be
     /// hostile (soak baselines can arrive over the wire): payloads over
     /// [`crate::json::MAX_DOCUMENT_BYTES`] or nested deeper than
@@ -404,6 +421,7 @@ impl BenchReport {
                 p95_ms: opt_nonneg(obj, "p95_ms")?,
                 p99_ms: opt_nonneg(obj, "p99_ms")?,
                 cache_hit_rate: opt_unit_fraction(obj, "cache_hit_rate")?,
+                campaign: opt_string(obj, "campaign")?,
             };
             if let Some(prev) = entries
                 .iter()
@@ -616,6 +634,7 @@ mod tests {
             p95_ms: None,
             p99_ms: None,
             cache_hit_rate: None,
+            campaign: None,
         }
     }
 
@@ -710,6 +729,7 @@ mod tests {
             p95_ms: Some(1.25),
             p99_ms: Some(2.0),
             cache_hit_rate: Some(0.75),
+            campaign: Some("edge-column-wipeout".into()),
             ..sample_entry()
         });
         r.push(BenchEntry {
@@ -740,6 +760,7 @@ mod tests {
         assert_eq!(e.p95_ms, None);
         assert_eq!(e.p99_ms, None);
         assert_eq!(e.cache_hit_rate, None);
+        assert_eq!(e.campaign, None);
         assert_eq!(e.trials_per_sec, 160_000.0);
     }
 

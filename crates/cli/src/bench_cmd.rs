@@ -159,6 +159,7 @@ fn entry(
         p95_ms: None,
         p99_ms: None,
         cache_hit_rate: None,
+        campaign: None,
     }
 }
 
@@ -359,6 +360,46 @@ fn run_assay(
     sweep.operational_yield = Some(at_bench_p.operational.point());
     sweep.engine = Some("block".to_string());
     report.push(sweep);
+
+    run_campaigns(report, panel, primaries, trials, threads);
+}
+
+/// The campaign verdict workloads: replay the named adversarial
+/// campaigns through the three-tier pipeline and record the *final-step*
+/// survival — the after-the-attack yields — in the campaign column
+/// family. One estimate runs per campaign step (common random numbers
+/// across steps), so `grid_points` carries the step count and the
+/// throughput number stays an honest point-trials-per-second figure.
+fn run_campaigns(
+    report: &mut BenchReport,
+    panel: AssayPanel,
+    primaries: usize,
+    trials: u32,
+    threads: usize,
+) {
+    let runner = CampaignRunner::ivd(panel).with_threads(threads);
+    let stem = panel.label();
+    for name in ["edge-column-wipeout", "reservoir-cluster"] {
+        let scenario = named_campaign(name).expect("built-in campaign");
+        let t0 = Instant::now();
+        let outcome = runner.run(&scenario, BENCH_P, trials, BENCH_SEED);
+        let last = outcome.steps.last().expect("campaigns have steps");
+        let mut e = entry(
+            format!("{stem}/campaign-{name}"),
+            "hex-dtmb",
+            "DTMB(2,6) IVD".to_string(),
+            primaries,
+            trials,
+            outcome.steps.len(),
+            t0.elapsed().as_secs_f64() * 1_000.0,
+            last.estimate.reconfigured.point(),
+        );
+        e.assay = Some(stem.to_string());
+        e.operational_yield = Some(last.estimate.operational.point());
+        e.engine = Some("scalar".to_string());
+        e.campaign = Some(name.to_string());
+        report.push(e);
+    }
 }
 
 /// Survival probability of the rare-event (stratified-vs-naive) showcase:
@@ -564,6 +605,7 @@ pub fn render_table(report: &BenchReport) -> String {
         "eff-samples".into(),
         "assay".into(),
         "op-yield".into(),
+        "campaign".into(),
     ]);
     for e in &report.entries {
         table.row(vec![
@@ -582,6 +624,7 @@ pub fn render_table(report: &BenchReport) -> String {
             e.assay.clone().unwrap_or_else(|| "-".into()),
             e.operational_yield
                 .map_or_else(|| "-".into(), |y| format!("{y:.4}")),
+            e.campaign.clone().unwrap_or_else(|| "-".into()),
         ]);
     }
     table.render()

@@ -1,0 +1,125 @@
+//! `dmfb campaign` — scripted adversarial fault campaigns through the
+//! three-tier pipeline.
+//!
+//! The command compiles a scenario (built-in via `--name`, or a DSL file
+//! via `--script`) against the DTMB(2,6) IVD case-study chip and prints
+//! the NA-0090 replay marker stream followed by the per-step verdict
+//! table: deterministic reconfigured/operational verdicts on the targeted
+//! damage alone, plus Monte-Carlo survival of all three tiers under the
+//! damage merged with Bernoulli background defects. The entire stdout is
+//! a pure function of `(scenario, assay, p, trials, seed)` — thread count
+//! never changes a byte, which is what CI's `campaign-replay` gate
+//! checks.
+
+use dmfb_core::prelude::*;
+
+/// Validated parameters of one `dmfb campaign` invocation.
+pub struct CampaignConfig {
+    /// Assay panel of the operational tier.
+    pub panel: AssayPanel,
+    /// Background cell-survival probability.
+    pub p: f64,
+    /// Monte-Carlo trials per step.
+    pub trials: u32,
+    /// Master seed (drives both damage trajectory and background draws).
+    pub seed: u64,
+    /// Worker threads (`0` = one per available core).
+    pub threads: usize,
+    /// Dry-run: print markers only, inject nothing.
+    pub rehearse: bool,
+}
+
+/// Renders the `--list` output: one line per built-in campaign.
+#[must_use]
+pub fn list() -> String {
+    let mut out = String::new();
+    for c in NAMED_CAMPAIGNS {
+        out.push_str(&format!("{:<22} {}\n", c.name, c.summary));
+    }
+    out
+}
+
+/// Runs the campaign and renders the full report (header, marker stream,
+/// and — unless rehearsing — the per-step verdict table).
+#[must_use]
+pub fn run(scenario: &Scenario, config: &CampaignConfig) -> String {
+    let runner = CampaignRunner::ivd(config.panel).with_threads(config.threads);
+    let mut out = format!(
+        "campaign {} | chip DTMB(2,6) IVD case study | assay {}\n",
+        scenario.name(),
+        config.panel.label()
+    );
+    if config.rehearse {
+        out.push_str(&format!(
+            "seed {} | rehearsal (no damage injected) | steps {}\n\n",
+            config.seed,
+            scenario.steps().len()
+        ));
+        out.push_str(&runner.rehearse(scenario, config.seed).markers());
+    } else {
+        out.push_str(&format!(
+            "seed {} | p {} | trials {} | steps {}\n\n",
+            config.seed,
+            config.p,
+            config.trials,
+            scenario.steps().len()
+        ));
+        let report = runner.run(scenario, config.p, config.trials, config.seed);
+        out.push_str(&report.markers());
+        out.push('\n');
+        out.push_str(&report.table());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_names_every_built_in_campaign() {
+        let listing = list();
+        for c in NAMED_CAMPAIGNS {
+            assert!(listing.contains(c.name));
+            assert!(listing.contains(c.summary));
+        }
+    }
+
+    #[test]
+    fn rehearsal_output_is_marker_only_and_deterministic() {
+        let scenario = named_campaign("edge-column-wipeout").unwrap();
+        let config = CampaignConfig {
+            panel: AssayPanel::StandardIvd,
+            p: 0.99,
+            trials: 8,
+            seed: 7,
+            threads: 1,
+            rehearse: true,
+        };
+        let a = run(&scenario, &config);
+        let b = run(&scenario, &config);
+        assert_eq!(a, b);
+        assert!(a.contains("rehearsal"));
+        assert!(a.contains("marker step=0 k=7"));
+        assert!(!a.contains("hostile"));
+        assert!(!a.contains("step,action"));
+    }
+
+    #[test]
+    fn live_output_is_thread_invariant() {
+        let scenario = named_campaign("parametric-drift").unwrap();
+        let mk = |threads| CampaignConfig {
+            panel: AssayPanel::StandardIvd,
+            p: 0.99,
+            trials: 16,
+            seed: 3,
+            threads,
+            rehearse: false,
+        };
+        let single = run(&scenario, &mk(1));
+        let auto = run(&scenario, &mk(0));
+        assert_eq!(single, auto);
+        assert!(single.contains("step,action,faults,reconf,op,raw,reconfigured,operational"));
+        assert!(single.contains("hostile"));
+    }
+}

@@ -9,6 +9,7 @@
 //! ```
 
 mod bench_cmd;
+mod campaign_cmd;
 mod serve_cmd;
 
 use dmfb_core::prelude::*;
@@ -60,6 +61,7 @@ fn main() -> ExitCode {
         "assay" => cmd_assay(&opts),
         "profile" => cmd_profile(&opts),
         "bench" => cmd_bench(&opts),
+        "campaign" => cmd_campaign(&opts),
         "serve" => cmd_serve(&opts),
         "soak" => cmd_soak(&opts),
         "help" | "--help" | "-h" => {
@@ -101,6 +103,16 @@ USAGE:
               (fixed workload suite per scheme; scheme sub-parameters are rejected;
                --compare diffs against a committed dmfb-bench/1 report, lists every
                workload past the >25% normalised regression gate, then exits non-zero)
+  dmfb campaign (--name C | --script FILE) [--assay PANEL] [--p P] [--trials T] [--seed S]
+              [--threads K] [--rehearse] [--list]
+              (scripted adversarial fault campaign on the DTMB(2,6) IVD case-study
+               chip: compiles a scenario DSL into a deterministic seeded damage
+               trajectory with NA-0090 replay markers (k = seed + idx), then reports
+               per step the deterministic reconfigured/operational verdict on the
+               targeted damage plus raw/reconfigured/operational survival under that
+               damage merged with Bernoulli background defects; output is
+               byte-identical across reruns and thread counts; --rehearse dry-runs
+               markers only, --list names the built-in campaigns)
   dmfb serve  [--addr A] [--workers N] [--threads K] [--cache-capacity C]
               (long-lived yield daemon over HTTP/1.1: POST /v1/yield runs any
                yield/assay request from a JSON body, GET /v1/health reports cache
@@ -142,6 +154,11 @@ DEFECT MODELS (yield): --defect-model bernoulli (default) | clustered
 ASSAYS (hex-dtmb only; fixes the chip to the DTMB(2,6) IVD case study):
   --assay ivd-panel        four concurrent measurements (paper Figure 11)
   --assay metabolic-panel  eight measurements across all four metabolites
+CAMPAIGNS (campaign): edge-column-wipeout | reservoir-cluster | wear-trajectory
+  | parametric-drift, or --script FILE in the scenario DSL (lines:
+  'scenario <name>', then 'step calm | wipe-column I | wipe-row I |
+  cluster Q R radius N peak P | wear mtbf H stress S hours T |
+  drift sigma S tolerance T | salvo N'); dmfb campaign --list for summaries
 DESIGNS: none | dtmb16 | dtmb26 | dtmb26b | dtmb36 | dtmb44
 THREADS: --threads 0 (default) = one worker per available core";
 
@@ -194,6 +211,8 @@ impl Options {
                     | "quick"
                     | "batched"
                     | "shutdown"
+                    | "rehearse"
+                    | "list"
             );
             if is_flag {
                 map.insert(key.to_string(), "true".to_string());
@@ -1116,6 +1135,93 @@ fn reject_per_request_params(opts: &Options, command: &str, hint: &str) -> Resul
     Ok(())
 }
 
+/// Rejects every parameter `dmfb campaign` would otherwise silently
+/// ignore: the workload fixes the chip to the DTMB(2,6) IVD case-study
+/// layout (so scheme/array parameters do not apply), runs the plain
+/// Monte-Carlo tier only (no estimator/defect-model sub-parameters), and
+/// rides the scalar arbitrary-sampler path (no `--block-trials`).
+fn check_campaign_subparams(opts: &Options) -> Result<(), String> {
+    if !matches!(opts.scheme()?, SchemeChoice::HexDtmb) {
+        return Err(
+            "campaigns replay hex scenario scripts on the IVD case-study chip; \
+             --scheme square-dtmb/spare-rows does not apply"
+                .into(),
+        );
+    }
+    for key in SCHEME_SUBPARAMS {
+        if opts.flag(key) {
+            return Err(format!(
+                "--{key} does not apply to campaign: the campaign workload fixes the \
+                 chip to the DTMB(2,6) IVD case-study layout"
+            ));
+        }
+    }
+    if opts.flag("estimator") || opts.flag("defect-model") {
+        return Err("--estimator/--defect-model are supported by yield and sweep only".into());
+    }
+    for key in ESTIMATOR_SUBPARAMS.iter().chain(&CLUSTER_SUBPARAMS) {
+        if opts.flag(key) {
+            return Err(format!(
+                "--{key} is an estimator/defect-model sub-parameter; \
+                 it is supported by yield and sweep only"
+            ));
+        }
+    }
+    reject_block_trials(
+        opts,
+        "campaign steps ride the scalar arbitrary-sampler path \
+         (targeted damage merges into every trial's defect draw)",
+    )
+}
+
+fn cmd_campaign(opts: &Options) -> Result<(), String> {
+    check_campaign_subparams(opts)?;
+    if opts.flag("list") {
+        out!("{}", campaign_cmd::list());
+        return Ok(());
+    }
+    let scenario = match (opts.map.get("name"), opts.map.get("script")) {
+        (Some(_), Some(_)) => {
+            return Err("--name and --script are mutually exclusive".into());
+        }
+        (None, None) => {
+            return Err("campaign needs --name <campaign> or --script <file> \
+                 (dmfb campaign --list shows the built-ins)"
+                .into());
+        }
+        (Some(name), None) => named_campaign(name).ok_or_else(|| {
+            let names: Vec<&str> = NAMED_CAMPAIGNS.iter().map(|c| c.name).collect();
+            format!(
+                "unknown campaign '{name}' (available: {})",
+                names.join(", ")
+            )
+        })?,
+        (None, Some(path)) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read script '{path}': {e}"))?;
+            Scenario::parse(&text).map_err(|e| e.to_string())?
+        }
+    };
+    let p: f64 = opts.get("p", 0.99)?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err("need 0 <= p <= 1".into());
+    }
+    let trials: u32 = opts.get("trials", 2_000)?;
+    if trials == 0 {
+        return Err("--trials must be at least 1".into());
+    }
+    let config = campaign_cmd::CampaignConfig {
+        panel: opts.assay()?.unwrap_or(AssayPanel::StandardIvd),
+        p,
+        trials,
+        seed: opts.get("seed", 2005)?,
+        threads: opts.get("threads", 0)?,
+        rehearse: opts.flag("rehearse"),
+    };
+    out!("{}", campaign_cmd::run(&scenario, &config));
+    Ok(())
+}
+
 fn cmd_serve(opts: &Options) -> Result<(), String> {
     reject_per_request_params(
         opts,
@@ -1389,6 +1495,23 @@ mod tests {
         assert!(!o.flag("casestudy"));
         // Defaults when absent.
         assert_eq!(o.get::<u64>("seed", 9).unwrap(), 9);
+    }
+
+    #[test]
+    fn campaign_rejects_foreign_parameters() {
+        for (args, needle) in [
+            (&["--scheme", "square-dtmb"][..], "IVD case-study chip"),
+            (&["--design", "dtmb44"][..], "fixes the chip"),
+            (&["--primaries", "100"][..], "fixes the chip"),
+            (&["--estimator", "stratified"][..], "yield and sweep only"),
+            (&["--tolerance", "1e-6"][..], "sub-parameter"),
+            (&["--cluster-mean", "2"][..], "sub-parameter"),
+            (&["--block-trials", "64"][..], "scalar arbitrary-sampler"),
+        ] {
+            let err = check_campaign_subparams(&opts(args)).unwrap_err();
+            assert!(err.contains(needle), "{args:?}: {err}");
+        }
+        assert!(check_campaign_subparams(&opts(&["--p", "0.99", "--rehearse"])).is_ok());
     }
 
     #[test]

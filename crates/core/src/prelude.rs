@@ -13,6 +13,7 @@ pub use crate::{Biochip, PipelineOutcome, YieldReport};
 pub use dmfb_grid::{CellMap, HexCoord, HexDir, Region, SquareCoord, SquareRegion, Topology};
 
 pub use dmfb_defects::injection::{Bernoulli, ClusteredSpot, ExactCount, InjectionModel};
+pub use dmfb_defects::scenario::{Scenario, ScenarioError, StepAction, Trajectory};
 pub use dmfb_defects::testing::{covering_walk, diagnose, MeasurementModel};
 pub use dmfb_defects::ClusteredDefects;
 pub use dmfb_defects::{CatastrophicDefect, DefectCause, DefectMap, FaultClass};
@@ -31,9 +32,10 @@ pub use dmfb_sim::{
 
 pub use dmfb_yield::analytical::{dtmb16_yield, independent_repair_yield, no_redundancy_yield};
 pub use dmfb_yield::{
-    effective_yield, tolerance_profile, AssayPanel, MonteCarloYield, OperationalEstimate,
-    OperationalYield, SchemeYield, StratifiedOperationalEstimate, StratifiedPoint,
-    ToleranceProfile, TrialVerdict, YieldCurve, YieldPoint,
+    effective_yield, named_campaign, tolerance_profile, AssayPanel, CampaignReport, CampaignRunner,
+    MonteCarloYield, NamedCampaign, OperationalEstimate, OperationalYield, SchemeYield,
+    StratifiedOperationalEstimate, StratifiedPoint, ToleranceProfile, TrialVerdict, YieldCurve,
+    YieldPoint, NAMED_CAMPAIGNS,
 };
 
 pub use dmfb_bioassay::layout::{fabricated_ivd_chip, ivd_dtmb26_chip, used_cells_policy};

@@ -26,6 +26,10 @@
 //!   droplet-trace test methodology the paper cites (its refs 10 and 11) — a test
 //!   droplet traverses the cells; catastrophic faults block it; bisection
 //!   over traversal segments localises the faulty cells.
+//! * Scripted campaigns ([`scenario`]): a line-oriented DSL compiling
+//!   named adversarial fault campaigns into deterministic, seeded damage
+//!   trajectories with replayable per-step markers — the targeted-damage
+//!   counterpart to the stochastic injectors, built on the same models.
 //!
 //! # Example
 //!
@@ -50,8 +54,10 @@ pub mod injection;
 pub mod map;
 pub mod operational;
 pub mod parametric;
+pub mod scenario;
 pub mod testing;
 
 pub use clustered::ClusteredDefects;
 pub use fault::{CatastrophicDefect, DefectCause, FaultClass, ParametricDefect};
 pub use map::DefectMap;
+pub use scenario::{Scenario, ScenarioError, StepAction, StepRecord, Trajectory};

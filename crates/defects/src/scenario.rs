@@ -1,0 +1,877 @@
+//! Scripted adversarial fault campaigns: a small scenario DSL and its
+//! deterministic compiler.
+//!
+//! The stochastic models in this crate answer "what fraction of chips
+//! survive random damage?". A fab or deployment also asks the targeted
+//! question: *what happens to this chip after a localized process
+//! excursion, a cluster next to a reservoir, or a season of wear?* This
+//! module scripts such attacks as named **scenarios** — an ordered list
+//! of damage steps in a hand-rolled line-oriented text format — and
+//! compiles them into deterministic, seeded [`DefectMap`] trajectories.
+//!
+//! Replay discipline follows the remote fault-injection plan of the
+//! qsl-protocol test suite (NA-0090): every step `idx` carries the marker
+//! key `k = seed + idx`, per-step randomness comes from
+//! [`SeedSequence::nth_seed`]`(seed, idx)`, and each step emits one
+//! textual marker line. Rehearsal runs ([`Scenario::rehearse`]) inject
+//! nothing and emit `ok` markers only; live runs ([`Scenario::execute`])
+//! inject the scripted damage and flag the affected steps `hostile`.
+//! Identical seeds therefore produce byte-identical marker streams on
+//! every rerun, which is what the campaign replay gates compare.
+//!
+//! # Grammar
+//!
+//! ```text
+//! scenario <name>              # [a-z0-9-], first line
+//! step calm                    # no damage; marker plumbing only
+//! step wipe-column <i>         # i-th occupied axial column (from west)
+//! step wipe-row <i>            # i-th occupied axial row (from north)
+//! step cluster <q> <r> radius <R> peak <P>   # hop-decayed blast at (q,r)
+//! step wear mtbf <H> stress <S> hours <T>    # MtbfModel service faults
+//! step drift sigma <S> tolerance <T>         # ParametricModel excursion
+//! step salvo <n>               # n lanes, k%4==0 open / k%4==1 breakdown
+//! ```
+//!
+//! Blank lines and `#` comments are ignored. [`Scenario`] implements
+//! [`fmt::Display`] with the canonical form of the same grammar, so
+//! `parse → format → parse` round-trips exactly.
+//!
+//! # Example
+//!
+//! ```
+//! use dmfb_defects::scenario::Scenario;
+//! use dmfb_grid::Region;
+//!
+//! let s = Scenario::parse("scenario demo\nstep wipe-column 0\nstep salvo 8\n").unwrap();
+//! let region = Region::parallelogram(6, 6);
+//! let live = s.execute(&region, 41);
+//! let dry = s.rehearse(&region, 41);
+//! assert!(live.hostile_count() > 0);
+//! assert_eq!(dry.hostile_count(), 0);
+//! assert_eq!(live.markers(), s.execute(&region, 41).markers());
+//! ```
+
+use crate::fault::{CatastrophicDefect, DefectCause};
+use crate::map::DefectMap;
+use crate::operational::MtbfModel;
+use crate::parametric::ParametricModel;
+use dmfb_grid::{HexCoord, Region};
+use dmfb_sim::SeedSequence;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::str::FromStr;
+
+/// Maximum number of steps in one scenario.
+pub const MAX_STEPS: usize = 64;
+/// Maximum scenario name length in bytes.
+pub const MAX_NAME_LEN: usize = 64;
+/// Maximum salvo lane count per step.
+pub const MAX_SALVO: u32 = 4_096;
+/// Maximum cluster blast radius in hops.
+pub const MAX_CLUSTER_RADIUS: u32 = 64;
+/// Maximum absolute axial coordinate accepted for cluster centers, and
+/// maximum wipe index — matches the CLI's array-dimension cap.
+pub const MAX_COORD: i32 = 4_096;
+/// Maximum hours accepted for wear horizons and cell MTBF.
+pub const MAX_HOURS: f64 = 1.0e9;
+
+/// One scripted damage step.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum StepAction {
+    /// No damage: the step only exercises marker plumbing, so rehearsal
+    /// and live runs agree on it.
+    Calm,
+    /// Kill every cell in the `i`-th occupied axial column (distinct `q`
+    /// values of the target region, ascending). An index past the last
+    /// column injects nothing.
+    WipeColumn(u32),
+    /// Kill every cell in the `i`-th occupied axial row (distinct `r`
+    /// values, ascending). An index past the last row injects nothing.
+    WipeRow(u32),
+    /// A localized blast centred at axial `(q, r)`: each cell within
+    /// `radius` hops fails with probability `peak * (1 - d/(radius+1))`.
+    Cluster {
+        /// Axial column of the blast center.
+        q: i32,
+        /// Axial row of the blast center.
+        r: i32,
+        /// Blast radius in hops.
+        radius: u32,
+        /// Failure probability at the center, in `(0, 1]`.
+        peak: f64,
+    },
+    /// In-service wear over a horizon: [`MtbfModel::inject_service_faults`]
+    /// with the given cell MTBF, stress multiplier, and horizon hours.
+    Wear {
+        /// Cell mean time between failures at reference stress, hours.
+        mtbf_hours: f64,
+        /// Stress multiplier (≥ 0).
+        stress: f64,
+        /// Operating horizon in hours.
+        hours: f64,
+    },
+    /// A parametric process excursion: [`ParametricModel::inject`] with
+    /// the given deviation sigma and tolerance.
+    Drift {
+        /// Relative standard deviation of the geometry parameters.
+        sigma: f64,
+        /// Relative tolerance beyond which a deviation is a fault.
+        tolerance: f64,
+    },
+    /// `n` targeted lanes over distinct cells drawn from the step RNG;
+    /// lane `j` uses key `k + j` and the NA-0090 mapping: `% 4 == 0`
+    /// injects an open connection, `% 4 == 1` a dielectric breakdown,
+    /// anything else leaves the lane's cell untouched.
+    Salvo(u32),
+}
+
+impl StepAction {
+    /// Space-free marker label, stable across releases (replay gates
+    /// byte-compare it).
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            StepAction::Calm => "calm".to_string(),
+            StepAction::WipeColumn(i) => format!("wipe-column:{i}"),
+            StepAction::WipeRow(i) => format!("wipe-row:{i}"),
+            StepAction::Cluster { q, r, radius, peak } => {
+                format!("cluster:{q},{r}:r{radius}:p{peak}")
+            }
+            StepAction::Wear {
+                mtbf_hours,
+                stress,
+                hours,
+            } => format!("wear:mtbf{mtbf_hours}:s{stress}:h{hours}"),
+            StepAction::Drift { sigma, tolerance } => format!("drift:s{sigma}:t{tolerance}"),
+            StepAction::Salvo(n) => format!("salvo:{n}"),
+        }
+    }
+
+    /// Validates the action's parameters; `Err` carries the reason.
+    fn validate(&self) -> Result<(), String> {
+        match *self {
+            StepAction::Calm => Ok(()),
+            StepAction::WipeColumn(i) | StepAction::WipeRow(i) => {
+                if i > MAX_COORD as u32 {
+                    Err(format!("wipe index {i} exceeds {MAX_COORD}"))
+                } else {
+                    Ok(())
+                }
+            }
+            StepAction::Cluster { q, r, radius, peak } => {
+                if q.abs() > MAX_COORD || r.abs() > MAX_COORD {
+                    Err(format!("cluster center ({q}, {r}) exceeds |{MAX_COORD}|"))
+                } else if radius > MAX_CLUSTER_RADIUS {
+                    Err(format!(
+                        "cluster radius {radius} exceeds {MAX_CLUSTER_RADIUS}"
+                    ))
+                } else if !(peak.is_finite() && 0.0 < peak && peak <= 1.0) {
+                    Err(format!("cluster peak {peak} must be in (0, 1]"))
+                } else {
+                    Ok(())
+                }
+            }
+            StepAction::Wear {
+                mtbf_hours,
+                stress,
+                hours,
+            } => {
+                if !(mtbf_hours.is_finite() && 0.0 < mtbf_hours && mtbf_hours <= MAX_HOURS) {
+                    Err(format!(
+                        "wear mtbf {mtbf_hours} must be in (0, {MAX_HOURS:e}]"
+                    ))
+                } else if !(stress.is_finite() && (0.0..=1_000.0).contains(&stress)) {
+                    Err(format!("wear stress {stress} must be in [0, 1000]"))
+                } else if !(hours.is_finite() && (0.0..=MAX_HOURS).contains(&hours)) {
+                    Err(format!("wear hours {hours} must be in [0, {MAX_HOURS:e}]"))
+                } else {
+                    Ok(())
+                }
+            }
+            StepAction::Drift { sigma, tolerance } => {
+                if !(sigma.is_finite() && 0.0 < sigma && sigma <= 10.0) {
+                    Err(format!("drift sigma {sigma} must be in (0, 10]"))
+                } else if !(tolerance.is_finite() && 0.0 < tolerance && tolerance <= 10.0) {
+                    Err(format!("drift tolerance {tolerance} must be in (0, 10]"))
+                } else {
+                    Ok(())
+                }
+            }
+            StepAction::Salvo(n) => {
+                if n == 0 || n > MAX_SALVO {
+                    Err(format!("salvo count {n} must be in 1..={MAX_SALVO}"))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for StepAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StepAction::Calm => write!(f, "calm"),
+            StepAction::WipeColumn(i) => write!(f, "wipe-column {i}"),
+            StepAction::WipeRow(i) => write!(f, "wipe-row {i}"),
+            StepAction::Cluster { q, r, radius, peak } => {
+                write!(f, "cluster {q} {r} radius {radius} peak {peak}")
+            }
+            StepAction::Wear {
+                mtbf_hours,
+                stress,
+                hours,
+            } => write!(f, "wear mtbf {mtbf_hours} stress {stress} hours {hours}"),
+            StepAction::Drift { sigma, tolerance } => {
+                write!(f, "drift sigma {sigma} tolerance {tolerance}")
+            }
+            StepAction::Salvo(n) => write!(f, "salvo {n}"),
+        }
+    }
+}
+
+/// A parse or validation failure, with the 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScenarioError {
+    /// 1-based line number of the offending input line (0 for whole-file
+    /// problems such as a missing `scenario` header).
+    pub line: usize,
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl ScenarioError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ScenarioError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "scenario: {}", self.message)
+        } else {
+            write!(f, "scenario line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// A named, ordered list of damage steps.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scenario {
+    name: String,
+    steps: Vec<StepAction>,
+}
+
+impl Scenario {
+    /// Builds a scenario from parts, applying the same validation as the
+    /// parser.
+    pub fn new(name: impl Into<String>, steps: Vec<StepAction>) -> Result<Self, ScenarioError> {
+        let name = name.into();
+        validate_name(&name).map_err(|m| ScenarioError::new(0, m))?;
+        if steps.is_empty() {
+            return Err(ScenarioError::new(0, "scenario has no steps"));
+        }
+        if steps.len() > MAX_STEPS {
+            return Err(ScenarioError::new(
+                0,
+                format!("{} steps exceed the {MAX_STEPS}-step cap", steps.len()),
+            ));
+        }
+        for (idx, step) in steps.iter().enumerate() {
+            step.validate()
+                .map_err(|m| ScenarioError::new(0, format!("step {idx}: {m}")))?;
+        }
+        Ok(Scenario { name, steps })
+    }
+
+    /// The scenario name (`[a-z0-9-]`, at most [`MAX_NAME_LEN`] bytes).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The scripted steps in execution order.
+    #[must_use]
+    pub fn steps(&self) -> &[StepAction] {
+        &self.steps
+    }
+
+    /// Parses DSL text. Blank lines and `#` comments are ignored; the
+    /// first significant line must be `scenario <name>`, every following
+    /// line `step <action ...>`. Errors are clean [`ScenarioError`]s —
+    /// the parser never panics, whatever the input.
+    pub fn parse(text: &str) -> Result<Self, ScenarioError> {
+        let mut name: Option<String> = None;
+        let mut steps: Vec<StepAction> = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let lineno = i + 1;
+            let line = match raw.find('#') {
+                Some(pos) => &raw[..pos],
+                None => raw,
+            };
+            let mut tokens = line.split_whitespace();
+            let Some(head) = tokens.next() else { continue };
+            match head {
+                "scenario" => {
+                    if name.is_some() {
+                        return Err(ScenarioError::new(lineno, "duplicate 'scenario' header"));
+                    }
+                    if !steps.is_empty() {
+                        return Err(ScenarioError::new(lineno, "'scenario' must come first"));
+                    }
+                    let n = tokens
+                        .next()
+                        .ok_or_else(|| ScenarioError::new(lineno, "missing scenario name"))?;
+                    validate_name(n).map_err(|m| ScenarioError::new(lineno, m))?;
+                    reject_trailing(lineno, &mut tokens)?;
+                    name = Some(n.to_string());
+                }
+                "step" => {
+                    if name.is_none() {
+                        return Err(ScenarioError::new(
+                            lineno,
+                            "'step' before the 'scenario' header",
+                        ));
+                    }
+                    if steps.len() == MAX_STEPS {
+                        return Err(ScenarioError::new(
+                            lineno,
+                            format!("more than {MAX_STEPS} steps"),
+                        ));
+                    }
+                    let action = parse_action(lineno, &mut tokens)?;
+                    reject_trailing(lineno, &mut tokens)?;
+                    action
+                        .validate()
+                        .map_err(|m| ScenarioError::new(lineno, m))?;
+                    steps.push(action);
+                }
+                other => {
+                    return Err(ScenarioError::new(
+                        lineno,
+                        format!("unknown directive '{other}' (expected 'scenario' or 'step')"),
+                    ));
+                }
+            }
+        }
+        let name = name.ok_or_else(|| ScenarioError::new(0, "missing 'scenario <name>' header"))?;
+        if steps.is_empty() {
+            return Err(ScenarioError::new(0, "scenario has no steps"));
+        }
+        Ok(Scenario { name, steps })
+    }
+
+    /// Compiles the scenario against `region` with live damage: each step
+    /// injects its scripted faults into the cumulative [`DefectMap`] and
+    /// emits a marker (`hostile` when the step newly marked any cell).
+    #[must_use]
+    pub fn execute(&self, region: &Region, seed: u64) -> Trajectory {
+        self.run(region, seed, true)
+    }
+
+    /// Dry-runs the scenario: identical step keys and labels, but no step
+    /// injects anything, so every marker reads `injected=0 … ok`. This is
+    /// the happy path of the NA-0090 triads.
+    #[must_use]
+    pub fn rehearse(&self, region: &Region, seed: u64) -> Trajectory {
+        self.run(region, seed, false)
+    }
+
+    fn run(&self, region: &Region, seed: u64, live: bool) -> Trajectory {
+        let mut cumulative: DefectMap = DefectMap::new();
+        let mut steps = Vec::with_capacity(self.steps.len());
+        for (idx, action) in self.steps.iter().enumerate() {
+            let k = seed.wrapping_add(idx as u64);
+            let mut injected = 0usize;
+            if live {
+                let mut rng = StdRng::seed_from_u64(SeedSequence::nth_seed(seed, idx as u64));
+                let delta = apply_action(action, region, k, &mut rng);
+                for (cell, cause) in delta.iter() {
+                    if !cumulative.is_faulty(cell) {
+                        cumulative.mark(cell, *cause);
+                        injected += 1;
+                    }
+                }
+            }
+            steps.push(StepRecord {
+                idx,
+                k,
+                action: *action,
+                injected,
+                map: cumulative.clone(),
+            });
+        }
+        Trajectory {
+            scenario: self.name.clone(),
+            seed,
+            live,
+            steps,
+        }
+    }
+}
+
+impl fmt::Display for Scenario {
+    /// Canonical DSL text; [`Scenario::parse`] of the output yields an
+    /// equal scenario.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "scenario {}", self.name)?;
+        for step in &self.steps {
+            writeln!(f, "step {step}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Scenario {
+    type Err = ScenarioError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Scenario::parse(s)
+    }
+}
+
+/// One compiled step: marker key, action, and the cumulative damage after
+/// the step ran.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StepRecord {
+    /// 0-based step index.
+    pub idx: usize,
+    /// Marker key `k = seed + idx` (wrapping), the NA-0090 replay handle.
+    pub k: u64,
+    /// The scripted action.
+    pub action: StepAction,
+    /// Cells newly marked faulty by this step (0 on rehearsal).
+    pub injected: usize,
+    /// Cumulative defect map after this step.
+    pub map: DefectMap,
+}
+
+impl StepRecord {
+    /// Whether the step damaged the chip.
+    #[must_use]
+    pub fn hostile(&self) -> bool {
+        self.injected > 0
+    }
+
+    /// The replayable marker line for this step.
+    #[must_use]
+    pub fn marker(&self) -> String {
+        format!(
+            "marker step={} k={} action={} injected={} cumulative={} {}",
+            self.idx,
+            self.k,
+            self.action.label(),
+            self.injected,
+            self.map.fault_count(),
+            if self.hostile() { "hostile" } else { "ok" }
+        )
+    }
+}
+
+/// A compiled scenario: the per-step records of one seeded run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Trajectory {
+    /// Name of the scenario that produced this trajectory.
+    pub scenario: String,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// `true` for [`Scenario::execute`], `false` for [`Scenario::rehearse`].
+    pub live: bool,
+    /// Per-step records in execution order.
+    pub steps: Vec<StepRecord>,
+}
+
+impl Trajectory {
+    /// The newline-terminated marker stream — the byte string the replay
+    /// gates compare across reruns and thread counts.
+    #[must_use]
+    pub fn markers(&self) -> String {
+        let mut out = String::new();
+        for step in &self.steps {
+            out.push_str(&step.marker());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Cumulative damage after the final step (empty for an empty run).
+    #[must_use]
+    pub fn final_map(&self) -> DefectMap {
+        self.steps.last().map(|s| s.map.clone()).unwrap_or_default()
+    }
+
+    /// Number of steps that injected damage.
+    #[must_use]
+    pub fn hostile_count(&self) -> usize {
+        self.steps.iter().filter(|s| s.hostile()).count()
+    }
+}
+
+/// Computes the damage one live step deals, before merging into the
+/// cumulative map. Public within the crate for the oracle proptests.
+pub(crate) fn apply_action(
+    action: &StepAction,
+    region: &Region,
+    k: u64,
+    rng: &mut StdRng,
+) -> DefectMap {
+    let open = DefectCause::Catastrophic(CatastrophicDefect::OpenConnection);
+    let breakdown = DefectCause::Catastrophic(CatastrophicDefect::DielectricBreakdown);
+    match *action {
+        StepAction::Calm => DefectMap::new(),
+        StepAction::WipeColumn(i) => {
+            let mut qs: Vec<i32> = region.iter().map(|c| c.q).collect();
+            qs.dedup(); // region iterates sorted by (q, r)
+            match qs.get(i as usize) {
+                Some(&q) => region
+                    .iter()
+                    .filter(|c| c.q == q)
+                    .map(|c| (c, open))
+                    .collect(),
+                None => DefectMap::new(),
+            }
+        }
+        StepAction::WipeRow(i) => {
+            let mut rs: Vec<i32> = region.iter().map(|c| c.r).collect();
+            rs.sort_unstable();
+            rs.dedup();
+            match rs.get(i as usize) {
+                Some(&r) => region
+                    .iter()
+                    .filter(|c| c.r == r)
+                    .map(|c| (c, open))
+                    .collect(),
+                None => DefectMap::new(),
+            }
+        }
+        StepAction::Cluster { q, r, radius, peak } => {
+            let center = HexCoord::new(q, r);
+            let mut map = DefectMap::new();
+            for cell in region.iter() {
+                let d = cell.distance(center);
+                if d <= radius {
+                    let p = peak * (1.0 - f64::from(d) / f64::from(radius + 1));
+                    if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                        map.mark(cell, breakdown);
+                    }
+                }
+            }
+            map
+        }
+        StepAction::Wear {
+            mtbf_hours,
+            stress,
+            hours,
+        } => MtbfModel::new(mtbf_hours, stress).inject_service_faults(region, hours, rng),
+        StepAction::Drift { sigma, tolerance } => {
+            ParametricModel::new(sigma, tolerance).inject(region, rng)
+        }
+        StepAction::Salvo(n) => {
+            let mut cells: Vec<HexCoord> = region.iter().collect();
+            let lanes = (n as usize).min(cells.len());
+            let mut map = DefectMap::new();
+            for j in 0..lanes {
+                let pick = rng.gen_range(j..cells.len());
+                cells.swap(j, pick);
+                // NA-0090 lane mapping: k%4==0 → open, k%4==1 → breakdown,
+                // 2 and 3 → the lane holds fire.
+                match k.wrapping_add(j as u64) % 4 {
+                    0 => {
+                        map.mark(cells[j], open);
+                    }
+                    1 => {
+                        map.mark(cells[j], breakdown);
+                    }
+                    _ => {}
+                }
+            }
+            map
+        }
+    }
+}
+
+fn validate_name(name: &str) -> Result<(), String> {
+    if name.is_empty() {
+        return Err("empty scenario name".to_string());
+    }
+    if name.len() > MAX_NAME_LEN {
+        return Err(format!("scenario name longer than {MAX_NAME_LEN} bytes"));
+    }
+    if !name
+        .bytes()
+        .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-')
+    {
+        return Err(format!(
+            "invalid scenario name '{name}' (use lowercase letters, digits, '-')"
+        ));
+    }
+    Ok(())
+}
+
+fn reject_trailing<'a>(
+    lineno: usize,
+    tokens: &mut impl Iterator<Item = &'a str>,
+) -> Result<(), ScenarioError> {
+    match tokens.next() {
+        Some(extra) => Err(ScenarioError::new(
+            lineno,
+            format!("unexpected trailing token '{extra}'"),
+        )),
+        None => Ok(()),
+    }
+}
+
+fn parse_action<'a>(
+    lineno: usize,
+    tokens: &mut impl Iterator<Item = &'a str>,
+) -> Result<StepAction, ScenarioError> {
+    let verb = tokens
+        .next()
+        .ok_or_else(|| ScenarioError::new(lineno, "missing step action"))?;
+    match verb {
+        "calm" => Ok(StepAction::Calm),
+        "wipe-column" => Ok(StepAction::WipeColumn(parse_u32(lineno, tokens, "index")?)),
+        "wipe-row" => Ok(StepAction::WipeRow(parse_u32(lineno, tokens, "index")?)),
+        "cluster" => {
+            let q = parse_i32(lineno, tokens, "q")?;
+            let r = parse_i32(lineno, tokens, "r")?;
+            expect_keyword(lineno, tokens, "radius")?;
+            let radius = parse_u32(lineno, tokens, "radius")?;
+            expect_keyword(lineno, tokens, "peak")?;
+            let peak = parse_f64(lineno, tokens, "peak")?;
+            Ok(StepAction::Cluster { q, r, radius, peak })
+        }
+        "wear" => {
+            expect_keyword(lineno, tokens, "mtbf")?;
+            let mtbf_hours = parse_f64(lineno, tokens, "mtbf")?;
+            expect_keyword(lineno, tokens, "stress")?;
+            let stress = parse_f64(lineno, tokens, "stress")?;
+            expect_keyword(lineno, tokens, "hours")?;
+            let hours = parse_f64(lineno, tokens, "hours")?;
+            Ok(StepAction::Wear {
+                mtbf_hours,
+                stress,
+                hours,
+            })
+        }
+        "drift" => {
+            expect_keyword(lineno, tokens, "sigma")?;
+            let sigma = parse_f64(lineno, tokens, "sigma")?;
+            expect_keyword(lineno, tokens, "tolerance")?;
+            let tolerance = parse_f64(lineno, tokens, "tolerance")?;
+            Ok(StepAction::Drift { sigma, tolerance })
+        }
+        "salvo" => Ok(StepAction::Salvo(parse_u32(lineno, tokens, "count")?)),
+        other => Err(ScenarioError::new(
+            lineno,
+            format!(
+                "unknown action '{other}' (expected calm, wipe-column, wipe-row, \
+                 cluster, wear, drift, or salvo)"
+            ),
+        )),
+    }
+}
+
+fn expect_keyword<'a>(
+    lineno: usize,
+    tokens: &mut impl Iterator<Item = &'a str>,
+    kw: &str,
+) -> Result<(), ScenarioError> {
+    match tokens.next() {
+        Some(t) if t == kw => Ok(()),
+        Some(t) => Err(ScenarioError::new(
+            lineno,
+            format!("expected keyword '{kw}', found '{t}'"),
+        )),
+        None => Err(ScenarioError::new(
+            lineno,
+            format!("missing keyword '{kw}'"),
+        )),
+    }
+}
+
+fn parse_u32<'a>(
+    lineno: usize,
+    tokens: &mut impl Iterator<Item = &'a str>,
+    what: &str,
+) -> Result<u32, ScenarioError> {
+    let t = tokens
+        .next()
+        .ok_or_else(|| ScenarioError::new(lineno, format!("missing {what}")))?;
+    t.parse::<u32>()
+        .map_err(|_| ScenarioError::new(lineno, format!("invalid {what} '{t}'")))
+}
+
+fn parse_i32<'a>(
+    lineno: usize,
+    tokens: &mut impl Iterator<Item = &'a str>,
+    what: &str,
+) -> Result<i32, ScenarioError> {
+    let t = tokens
+        .next()
+        .ok_or_else(|| ScenarioError::new(lineno, format!("missing {what}")))?;
+    t.parse::<i32>()
+        .map_err(|_| ScenarioError::new(lineno, format!("invalid {what} '{t}'")))
+}
+
+fn parse_f64<'a>(
+    lineno: usize,
+    tokens: &mut impl Iterator<Item = &'a str>,
+    what: &str,
+) -> Result<f64, ScenarioError> {
+    let t = tokens
+        .next()
+        .ok_or_else(|| ScenarioError::new(lineno, format!("missing {what}")))?;
+    let v = t
+        .parse::<f64>()
+        .map_err(|_| ScenarioError::new(lineno, format!("invalid {what} '{t}'")))?;
+    if v.is_finite() {
+        Ok(v)
+    } else {
+        Err(ScenarioError::new(
+            lineno,
+            format!("non-finite {what} '{t}'"),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DEMO: &str = "\
+# a comment
+scenario demo-1
+
+step calm
+step wipe-column 0   # west edge
+step cluster 2 3 radius 2 peak 0.9
+step wear mtbf 2000 stress 1.5 hours 500
+step drift sigma 0.05 tolerance 0.1
+step salvo 16
+";
+
+    #[test]
+    fn parses_and_round_trips() {
+        let s = Scenario::parse(DEMO).unwrap();
+        assert_eq!(s.name(), "demo-1");
+        assert_eq!(s.steps().len(), 6);
+        let text = s.to_string();
+        let again = Scenario::parse(&text).unwrap();
+        assert_eq!(s, again);
+        assert_eq!(text, again.to_string());
+    }
+
+    #[test]
+    fn parse_errors_are_clean() {
+        for (input, needle) in [
+            ("", "missing 'scenario"),
+            ("scenario", "missing scenario name"),
+            ("scenario UPPER\nstep calm\n", "invalid scenario name"),
+            ("scenario x\n", "no steps"),
+            ("step calm\n", "before the 'scenario'"),
+            ("scenario x\nscenario y\nstep calm\n", "duplicate"),
+            ("scenario x\nstep calm extra\n", "trailing token"),
+            ("scenario x\nstep explode\n", "unknown action"),
+            ("scenario x\nstep salvo 0\n", "salvo count"),
+            ("scenario x\nstep salvo nan\n", "invalid count"),
+            ("scenario x\nstep cluster 0 0 radius 2 peak 1.5\n", "peak"),
+            (
+                "scenario x\nstep cluster 0 0 radius 999 peak 0.5\n",
+                "radius",
+            ),
+            ("scenario x\nstep wear mtbf inf stress 1 hours 1\n", "mtbf"),
+            ("scenario x\nstep drift sigma 0 tolerance 0.1\n", "sigma"),
+            (
+                "scenario x\nstep cluster 0 0 peak 0.5\n",
+                "expected keyword 'radius'",
+            ),
+            ("bogus directive\n", "unknown directive"),
+        ] {
+            let err = Scenario::parse(input).unwrap_err();
+            assert!(
+                err.to_string().contains(needle),
+                "input {input:?}: error {err} should mention {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn wipe_column_kills_exactly_one_column() {
+        let s = Scenario::parse("scenario w\nstep wipe-column 0\n").unwrap();
+        let region = Region::parallelogram(4, 5);
+        let t = s.execute(&region, 9);
+        assert_eq!(t.final_map().fault_count(), 5);
+        assert!(t.final_map().iter().all(|(c, _)| c.q == 0));
+        // Out-of-range index is a no-op, not an error.
+        let s = Scenario::parse("scenario w\nstep wipe-column 99\n").unwrap();
+        assert_eq!(s.execute(&region, 9).final_map().fault_count(), 0);
+    }
+
+    #[test]
+    fn rehearse_is_damage_free_and_live_is_hostile() {
+        let s = Scenario::parse(DEMO).unwrap();
+        let region = Region::parallelogram(8, 8);
+        let dry = s.rehearse(&region, 7);
+        assert_eq!(dry.hostile_count(), 0);
+        assert!(dry.final_map().is_fault_free());
+        assert!(dry.markers().lines().all(|l| l.ends_with(" ok")));
+        let live = s.execute(&region, 7);
+        assert!(live.hostile_count() > 0);
+        assert!(live.markers().lines().any(|l| l.ends_with(" hostile")));
+        // Same keys and labels on both sides of the triad.
+        for (a, b) in dry.steps.iter().zip(live.steps.iter()) {
+            assert_eq!(a.k, b.k);
+            assert_eq!(a.action, b.action);
+        }
+    }
+
+    #[test]
+    fn markers_replay_byte_identically() {
+        let s = Scenario::parse(DEMO).unwrap();
+        let region = Region::parallelogram(8, 8);
+        let a = s.execute(&region, 1234);
+        let b = s.execute(&region, 1234);
+        assert_eq!(a.markers(), b.markers());
+        assert_eq!(a.final_map(), b.final_map());
+        let c = s.execute(&region, 1235);
+        assert_ne!(a.markers(), c.markers(), "seed must matter");
+    }
+
+    #[test]
+    fn salvo_key_mapping_follows_na0090() {
+        // With seed chosen so k = 4m, lanes 0 and 1 fire (k%4==0 open,
+        // k+1%4==1 breakdown), lanes 2 and 3 hold.
+        let s = Scenario::parse("scenario v\nstep salvo 4\n").unwrap();
+        let region = Region::parallelogram(6, 6);
+        let t = s.execute(&region, 8);
+        assert_eq!(t.steps[0].k, 8);
+        assert_eq!(t.steps[0].injected, 2);
+        let classes: Vec<_> = t.final_map().iter().map(|(_, c)| *c).collect();
+        assert!(classes.contains(&DefectCause::Catastrophic(
+            CatastrophicDefect::OpenConnection
+        )));
+        assert!(classes.contains(&DefectCause::Catastrophic(
+            CatastrophicDefect::DielectricBreakdown
+        )));
+    }
+
+    #[test]
+    fn cluster_damage_stays_within_radius() {
+        let s = Scenario::parse("scenario c\nstep cluster 3 3 radius 2 peak 1\n").unwrap();
+        let region = Region::parallelogram(8, 8);
+        let t = s.execute(&region, 5);
+        let center = HexCoord::new(3, 3);
+        assert!(t.final_map().fault_count() > 0);
+        assert!(t.final_map().iter().all(|(c, _)| c.distance(center) <= 2));
+        // Peak 1 at distance 0 always fires.
+        assert!(t.final_map().is_faulty(center));
+    }
+}

@@ -1,0 +1,190 @@
+//! Property-based tests for the scenario DSL and its compiler.
+//!
+//! Two properties from the issue: the DSL round-trips
+//! `parse → format → parse`, and a compiled scenario's injected faults
+//! are equivalent to manually constructed `DefectMap`s — the oracle below
+//! re-implements each step action from the public injection APIs and the
+//! documented seed derivation, independently of the compiler.
+
+use dmfb_defects::operational::MtbfModel;
+use dmfb_defects::parametric::ParametricModel;
+use dmfb_defects::scenario::{Scenario, StepAction};
+use dmfb_defects::{CatastrophicDefect, DefectCause, DefectMap};
+use dmfb_grid::{HexCoord, Region};
+use dmfb_sim::SeedSequence;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn arb_action() -> impl Strategy<Value = StepAction> {
+    (
+        (0u8..7, 0u32..6, 1u32..32),
+        (-3i32..10, -3i32..10, 0u32..5),
+        (0.01f64..=1.0, 0.01f64..=0.5),
+    )
+        .prop_map(|((tag, idx, count), (q, r, radius), (pa, pb))| match tag {
+            0 => StepAction::Calm,
+            1 => StepAction::WipeColumn(idx),
+            2 => StepAction::WipeRow(idx),
+            3 => StepAction::Cluster {
+                q,
+                r,
+                radius,
+                peak: pa,
+            },
+            4 => StepAction::Wear {
+                mtbf_hours: 1_000.0 + 50_000.0 * pa,
+                stress: 4.0 * pb,
+                hours: 2_000.0 * pa,
+            },
+            5 => StepAction::Drift {
+                sigma: 0.2 * pa.max(0.01),
+                tolerance: pb,
+            },
+            _ => StepAction::Salvo(count),
+        })
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    proptest::collection::vec(arb_action(), 1..8)
+        .prop_map(|steps| Scenario::new("prop-campaign", steps).expect("generated steps valid"))
+}
+
+/// Independent re-implementation of one live step's damage, from the
+/// documented semantics and public injection APIs only.
+fn oracle_delta(action: &StepAction, region: &Region, k: u64, rng: &mut StdRng) -> DefectMap {
+    let open = DefectCause::Catastrophic(CatastrophicDefect::OpenConnection);
+    let breakdown = DefectCause::Catastrophic(CatastrophicDefect::DielectricBreakdown);
+    match *action {
+        StepAction::Calm => DefectMap::new(),
+        StepAction::WipeColumn(i) => {
+            let mut qs: Vec<i32> = region.iter().map(|c| c.q).collect();
+            qs.sort_unstable();
+            qs.dedup();
+            qs.get(i as usize).map_or_else(DefectMap::new, |&q| {
+                region
+                    .iter()
+                    .filter(|c| c.q == q)
+                    .map(|c| (c, open))
+                    .collect()
+            })
+        }
+        StepAction::WipeRow(i) => {
+            let mut rs: Vec<i32> = region.iter().map(|c| c.r).collect();
+            rs.sort_unstable();
+            rs.dedup();
+            rs.get(i as usize).map_or_else(DefectMap::new, |&r| {
+                region
+                    .iter()
+                    .filter(|c| c.r == r)
+                    .map(|c| (c, open))
+                    .collect()
+            })
+        }
+        StepAction::Cluster { q, r, radius, peak } => {
+            let center = HexCoord::new(q, r);
+            let mut map = DefectMap::new();
+            for cell in region.iter() {
+                let d = cell.distance(center);
+                if d <= radius {
+                    let p = peak * (1.0 - f64::from(d) / f64::from(radius + 1));
+                    if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                        map.mark(cell, breakdown);
+                    }
+                }
+            }
+            map
+        }
+        StepAction::Wear {
+            mtbf_hours,
+            stress,
+            hours,
+        } => MtbfModel::new(mtbf_hours, stress).inject_service_faults(region, hours, rng),
+        StepAction::Drift { sigma, tolerance } => {
+            ParametricModel::new(sigma, tolerance).inject(region, rng)
+        }
+        StepAction::Salvo(n) => {
+            let mut cells: Vec<HexCoord> = region.iter().collect();
+            let lanes = (n as usize).min(cells.len());
+            let mut map = DefectMap::new();
+            for j in 0..lanes {
+                let pick = rng.gen_range(j..cells.len());
+                cells.swap(j, pick);
+                match k.wrapping_add(j as u64) % 4 {
+                    0 => {
+                        map.mark(cells[j], open);
+                    }
+                    1 => {
+                        map.mark(cells[j], breakdown);
+                    }
+                    _ => {}
+                }
+            }
+            map
+        }
+    }
+}
+
+proptest! {
+    /// `parse(format(s))` reproduces the scenario exactly, and the
+    /// canonical text is a fixed point of `parse → format`.
+    #[test]
+    fn dsl_round_trips(scenario in arb_scenario()) {
+        let text = scenario.to_string();
+        let parsed = Scenario::parse(&text).expect("canonical text parses");
+        prop_assert_eq!(&parsed, &scenario);
+        prop_assert_eq!(parsed.to_string(), text);
+    }
+
+    /// Non-canonical but valid input (comments, blank lines, extra
+    /// spaces) still round-trips through one format cycle.
+    #[test]
+    fn noisy_input_normalises_to_a_fixed_point(scenario in arb_scenario()) {
+        let mut noisy = String::from("# header comment\n\n");
+        for line in scenario.to_string().lines() {
+            noisy.push_str(&format!("  {line}   # trailing comment\n\n"));
+        }
+        let parsed = Scenario::parse(&noisy).expect("noisy text parses");
+        prop_assert_eq!(parsed, scenario);
+    }
+
+    /// Compiler ≡ oracle: the executed trajectory's cumulative maps equal
+    /// a manual first-cause-wins merge of per-step damage built from the
+    /// public injection APIs with the documented per-step seeds
+    /// (`SeedSequence::nth_seed(seed, idx)`).
+    #[test]
+    fn compiled_faults_match_direct_injection_oracle(
+        scenario in arb_scenario(),
+        seed in 0u64..500,
+        w in 4u32..9,
+        h in 4u32..9,
+    ) {
+        let region = Region::parallelogram(w, h);
+        let trajectory = scenario.execute(&region, seed);
+        let mut cum = DefectMap::new();
+        for (idx, action) in scenario.steps().iter().enumerate() {
+            let k = seed.wrapping_add(idx as u64);
+            let mut rng = StdRng::seed_from_u64(SeedSequence::nth_seed(seed, idx as u64));
+            let delta = oracle_delta(action, &region, k, &mut rng);
+            let merged = cum.merged(&delta);
+            let rec = &trajectory.steps[idx];
+            prop_assert_eq!(&rec.map, &merged, "step {} of {}", idx, scenario.name());
+            prop_assert_eq!(
+                rec.injected,
+                merged.fault_count() - cum.fault_count(),
+                "step {} injected count", idx
+            );
+            cum = merged;
+        }
+        prop_assert_eq!(trajectory.final_map(), cum);
+    }
+
+    /// Rehearsal never damages, whatever the scenario.
+    #[test]
+    fn rehearsal_is_always_damage_free(scenario in arb_scenario(), seed in 0u64..500) {
+        let region = Region::parallelogram(6, 6);
+        let dry = scenario.rehearse(&region, seed);
+        prop_assert_eq!(dry.hostile_count(), 0);
+        prop_assert!(dry.final_map().is_fault_free());
+    }
+}

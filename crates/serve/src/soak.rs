@@ -362,6 +362,7 @@ pub fn run_soak(config: &SoakConfig) -> Result<SoakReport, String> {
             p95_ms: Some(p95),
             p99_ms: Some(p99),
             cache_hit_rate: Some(*rate),
+            campaign: None,
         });
         table.row(vec![
             (*name).to_string(),

@@ -46,6 +46,7 @@
 #![deny(missing_docs)]
 
 pub mod analytical;
+pub mod campaign;
 pub mod effective;
 pub mod monte_carlo;
 pub mod operational;
@@ -53,6 +54,9 @@ pub mod profile;
 pub mod scheme_yield;
 pub mod sweep;
 
+pub use campaign::{
+    named_campaign, CampaignReport, CampaignRunner, NamedCampaign, StepVerdict, NAMED_CAMPAIGNS,
+};
 pub use effective::effective_yield;
 pub use monte_carlo::{MonteCarloYield, YieldPoint};
 pub use operational::{
