@@ -53,6 +53,7 @@
 //!     p99_ms: None,
 //!     cache_hit_rate: None,
 //!     campaign: None,
+//!     spec: None,
 //! };
 //! let mut baseline = BenchReport::new("base", 1, true);
 //! baseline.push(entry("a", 1_000.0));
@@ -375,6 +376,7 @@ mod tests {
             p99_ms: None,
             cache_hit_rate: None,
             campaign: None,
+            spec: None,
         }
     }
 

@@ -82,6 +82,18 @@
 //! entries and pre-bump reports leave it `null`/`None`. On campaign
 //! entries `yield_estimate`/`operational_yield` carry the *final-step*
 //! reconfigured and operational survival — the after-the-attack numbers.
+//!
+//! **Schema evolution (PR 10).** One more optional column, same rules:
+//! `spec` carries the canonical [`SchemeSpec`] descriptor string of the
+//! configuration the workload ran (e.g.
+//! `"hex-dtmb:design=DTMB(2,6):primaries=60"`), the exact same string the
+//! serve engine cache and `dmfb search` key on — so BENCH rows join
+//! against search frontiers and serve cache telemetry without re-parsing
+//! the `scheme`/`design`/`primaries` columns. Pre-bump reports and
+//! workloads without a single-scheme identity (soak mixes) leave it
+//! `null`/`None`.
+//!
+//! [`SchemeSpec`]: https://docs.rs/dmfb_core/latest/dmfb_core/spec/enum.SchemeSpec.html
 
 use crate::json::{get, json_number, json_string, opt_f64, opt_string, JsonValue};
 use std::fmt::Write as _;
@@ -163,6 +175,12 @@ pub struct BenchEntry {
     /// e.g. `"edge-column-wipeout"`); `None` on non-campaign entries and
     /// pre-bump reports.
     pub campaign: Option<String>,
+    /// Canonical `SchemeSpec` string of the configuration the workload
+    /// ran (e.g. `"hex-dtmb:design=DTMB(2,6):primaries=60"`) — the same
+    /// descriptor the serve engine cache and `dmfb search` key on; `None`
+    /// on pre-bump reports and workloads without a single-scheme
+    /// identity.
+    pub spec: Option<String>,
 }
 
 impl BenchEntry {
@@ -233,6 +251,10 @@ impl BenchEntry {
             Some(c) => write!(out, ",\"campaign\":{}", json_string(c)),
             None => write!(out, ",\"campaign\":null"),
         };
+        let _ = match &self.spec {
+            Some(s) => write!(out, ",\"spec\":{}", json_string(s)),
+            None => write!(out, ",\"spec\":null"),
+        };
         out.push('}');
     }
 }
@@ -267,6 +289,7 @@ impl BenchEntry {
 ///     p99_ms: None,
 ///     cache_hit_rate: None,
 ///     campaign: None,
+///     spec: Some("hex-dtmb:design=DTMB(2,6):primaries=120".into()),
 /// });
 /// let json = report.to_json();
 /// assert!(json.contains("\"schema\":\"dmfb-bench/1\""));
@@ -372,7 +395,7 @@ impl BenchReport {
     /// every post-bump optional column (`estimator`, `defect_model`,
     /// `engine`, `variance`, `effective_samples`, `assay`,
     /// `operational_yield`, `p50_ms`, `p95_ms`, `p99_ms`,
-    /// `cache_hit_rate`, `campaign`) defaults to `None` when absent, so pre-bump
+    /// `cache_hit_rate`, `campaign`, `spec`) defaults to `None` when absent, so pre-bump
     /// artifacts stay readable. Strict where the document could be
     /// hostile (soak baselines can arrive over the wire): payloads over
     /// [`crate::json::MAX_DOCUMENT_BYTES`] or nested deeper than
@@ -422,6 +445,7 @@ impl BenchReport {
                 p99_ms: opt_nonneg(obj, "p99_ms")?,
                 cache_hit_rate: opt_unit_fraction(obj, "cache_hit_rate")?,
                 campaign: opt_string(obj, "campaign")?,
+                spec: opt_string(obj, "spec")?,
             };
             if let Some(prev) = entries
                 .iter()
@@ -635,6 +659,7 @@ mod tests {
             p99_ms: None,
             cache_hit_rate: None,
             campaign: None,
+            spec: Some("hex-dtmb:design=DTMB(2,6):primaries=120".into()),
         }
     }
 
@@ -761,6 +786,7 @@ mod tests {
         assert_eq!(e.p99_ms, None);
         assert_eq!(e.cache_hit_rate, None);
         assert_eq!(e.campaign, None);
+        assert_eq!(e.spec, None);
         assert_eq!(e.trials_per_sec, 160_000.0);
     }
 

@@ -71,6 +71,9 @@ pub struct BenchConfig {
     /// default). `Some(0)` is rejected upstream: the suite pins the
     /// scalar and block engines per workload.
     pub block_trials: Option<usize>,
+    /// When set, run the design-space-search suite (the `dmfb search`
+    /// scorer on a capped candidate space) instead of a scheme suite.
+    pub search: bool,
 }
 
 /// One benchmarked hex workload: `(design, primaries, trials)`.
@@ -160,7 +163,20 @@ fn entry(
         p99_ms: None,
         cache_hit_rate: None,
         campaign: None,
+        spec: None,
     }
+}
+
+/// Canonical [`SchemeChoice`] descriptor string for a hex workload — the
+/// same string the serve engine cache and `dmfb search` key on.
+fn hex_spec(kind: DtmbKind, primaries: usize) -> Option<String> {
+    Some(
+        SchemeChoice::HexDtmb {
+            design: Some(kind),
+            primaries,
+        }
+        .canonical(),
+    )
 }
 
 /// Runs `incremental` (scalar engine, pinned for baseline continuity),
@@ -170,11 +186,13 @@ fn entry(
 /// count of the array (for the spare-row scheme that is cells, not the
 /// coarser module-row units the matcher works on — `BenchEntry.primaries`
 /// is documented as a cell count).
+#[allow(clippy::too_many_arguments)]
 fn run_generic_engine(
     report: &mut BenchReport,
     est: &SchemeYield<SquareCoord>,
     scheme: &str,
     name_stem: &str,
+    spec: &str,
     primaries: usize,
     trials: u32,
     block_trials: Option<usize>,
@@ -195,6 +213,7 @@ fn run_generic_engine(
         fast.point(),
     );
     e.engine = Some("scalar".to_string());
+    e.spec = Some(spec.to_string());
     report.push(e);
 
     let t0 = Instant::now();
@@ -211,6 +230,7 @@ fn run_generic_engine(
         batch.point(),
     );
     e.engine = Some("block".to_string());
+    e.spec = Some(spec.to_string());
     report.push(e);
 
     let grid = FIG7_9_SURVIVAL_GRID;
@@ -231,6 +251,7 @@ fn run_generic_engine(
         at_bench_p,
     );
     e.engine = Some("block".to_string());
+    e.spec = Some(spec.to_string());
     report.push(e);
 }
 
@@ -243,6 +264,10 @@ pub fn run(config: &BenchConfig) -> BenchReport {
         config.threads
     };
     let mut report = BenchReport::new(config.label.clone(), threads, config.quick);
+    if config.search {
+        run_search_suite(&mut report, config.quick, threads);
+        return report;
+    }
     if let Some(panel) = config.assay {
         run_assay(
             &mut report,
@@ -254,7 +279,7 @@ pub fn run(config: &BenchConfig) -> BenchReport {
         return report;
     }
     match &config.scheme {
-        SchemeChoice::HexDtmb => {
+        SchemeChoice::HexDtmb { .. } => {
             run_hex(&mut report, config.quick, threads, config.block_trials);
             run_rare_event(&mut report, config.quick, threads);
         }
@@ -262,11 +287,18 @@ pub fn run(config: &BenchConfig) -> BenchReport {
             for (pattern, side, trials) in square_cases(config.quick) {
                 let est = SchemeYield::from_scheme(&SquareRegion::rect(side, side), &pattern)
                     .with_threads(threads);
+                let spec = SchemeChoice::SquareDtmb {
+                    pattern,
+                    width: side,
+                    height: side,
+                }
+                .canonical();
                 run_generic_engine(
                     &mut report,
                     &est,
                     "square-dtmb",
                     &format!("square-{}", pattern_tag(pattern)),
+                    &spec,
                     est.evaluator().unit_count(),
                     trials,
                     config.block_trials,
@@ -288,11 +320,18 @@ pub fn run(config: &BenchConfig) -> BenchReport {
                 spares,
             );
             let est = SchemeYield::from_scheme(&array.region(), &array).with_threads(threads);
+            let spec = SchemeChoice::SpareRows {
+                width,
+                module_rows: rows,
+                spare_rows: spares,
+            }
+            .canonical();
             run_generic_engine(
                 &mut report,
                 &est,
                 "spare-rows",
                 &format!("spare-rows-{width}x{rows}+{spares}"),
+                &spec,
                 (width * rows) as usize,
                 trials,
                 config.block_trials,
@@ -337,6 +376,7 @@ fn run_assay(
     point.assay = Some(stem.to_string());
     point.operational_yield = Some(e.operational.point());
     point.engine = Some("block".to_string());
+    point.spec = Some(assay_spec(panel));
     report.push(point);
 
     let grid = [0.90, 0.925, BENCH_P, 0.975, 1.00];
@@ -359,6 +399,7 @@ fn run_assay(
     sweep.assay = Some(stem.to_string());
     sweep.operational_yield = Some(at_bench_p.operational.point());
     sweep.engine = Some("block".to_string());
+    sweep.spec = Some(assay_spec(panel));
     report.push(sweep);
 
     run_campaigns(report, panel, primaries, trials, threads);
@@ -398,8 +439,79 @@ fn run_campaigns(
         e.operational_yield = Some(last.estimate.operational.point());
         e.engine = Some("scalar".to_string());
         e.campaign = Some(name.to_string());
+        e.spec = Some(assay_spec(panel));
         report.push(e);
     }
+}
+
+/// Canonical engine descriptor string for assay workloads.
+fn assay_spec(panel: AssayPanel) -> String {
+    dmfb_core::spec::EngineSpec::Assay(panel).canonical()
+}
+
+/// The design-space-search suite: one full `dmfb search` scoring pass
+/// (exact Hall-bound pruning plus stratified scoring) on a capped
+/// reconfigured-tier space, and one on the operational IVD pair. The
+/// entry's `trials` column records the trials *actually spent* after
+/// pruning, so the committed baseline documents the pruning win, and
+/// `spec` carries the winning frontier row.
+fn run_search_suite(report: &mut BenchReport, quick: bool, threads: usize) {
+    use dmfb_core::search::{run_search, SearchConfig, SearchSpace};
+
+    let mut config = SearchConfig::new(0.99);
+    config.threads = threads;
+    if quick {
+        config.trials = 400;
+        config.space = SearchSpace {
+            max_primaries: 60,
+            max_dim: 12,
+        };
+    }
+    let t0 = Instant::now();
+    let outcome = run_search(&config);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1_000.0;
+    // The cheapest row meeting the target, or the highest-yield frontier
+    // row when nothing reaches it — either way a stable yield anchor.
+    let best = outcome.best().or_else(|| outcome.frontier.last());
+    let mut e = entry(
+        "search/reconfigured".to_string(),
+        "search",
+        format!(
+            "target 0.99 ({} candidates, {} pruned)",
+            outcome.candidates, outcome.pruned
+        ),
+        0,
+        u32::try_from(outcome.trials_used).unwrap_or(u32::MAX),
+        1,
+        wall_ms,
+        best.and_then(|row| row.yield_point).unwrap_or(f64::NAN),
+    );
+    e.trials = outcome.trials_used;
+    e.estimator = Some("stratified".to_string());
+    e.spec = best.map(|row| row.spec.clone());
+    report.push(e);
+
+    config.tier = dmfb_core::Tier::Operational;
+    config.assay = Some(AssayPanel::StandardIvd);
+    let t0 = Instant::now();
+    let outcome = run_search(&config);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1_000.0;
+    let best = outcome.best().or_else(|| outcome.frontier.last());
+    let mut e = entry(
+        "search/assay-ivd".to_string(),
+        "search",
+        "target 0.99 operational".to_string(),
+        0,
+        u32::try_from(outcome.trials_used).unwrap_or(u32::MAX),
+        1,
+        wall_ms,
+        best.and_then(|row| row.yield_point).unwrap_or(f64::NAN),
+    );
+    e.trials = outcome.trials_used;
+    e.estimator = Some("stratified".to_string());
+    e.assay = Some(AssayPanel::StandardIvd.label().to_string());
+    e.spec = best.map(|row| row.spec.clone());
+    report.push(e);
 }
 
 /// Survival probability of the rare-event (stratified-vs-naive) showcase:
@@ -444,6 +556,7 @@ fn run_rare_event(report: &mut BenchReport, quick: bool, threads: usize) {
     naive_entry.variance = Some(s * (1.0 - s) / f64::from(naive_trials));
     naive_entry.effective_samples = Some(f64::from(naive_trials));
     naive_entry.engine = Some("block".to_string());
+    naive_entry.spec = hex_spec(DtmbKind::Dtmb26A, primaries);
     report.push(naive_entry);
 
     let t0 = Instant::now();
@@ -472,6 +585,7 @@ fn run_rare_event(report: &mut BenchReport, quick: bool, threads: usize) {
     // JSON and is reported as the absent column.
     strat_entry.effective_samples = effective.is_finite().then_some(effective);
     strat_entry.engine = Some("block".to_string());
+    strat_entry.spec = hex_spec(DtmbKind::Dtmb26A, primaries);
     report.push(strat_entry);
 }
 
@@ -498,7 +612,7 @@ fn run_hex(report: &mut BenchReport, quick: bool, threads: usize, block_trials: 
 
         let t0 = Instant::now();
         let rebuild = mc.estimate_survival(BENCH_P, trials, BENCH_SEED);
-        report.push(entry(
+        let mut e = entry(
             format!("{}/rebuild", tag(kind)),
             "hex-dtmb",
             kind.to_string(),
@@ -507,7 +621,9 @@ fn run_hex(report: &mut BenchReport, quick: bool, threads: usize, block_trials: 
             1,
             t0.elapsed().as_secs_f64() * 1_000.0,
             rebuild.point(),
-        ));
+        );
+        e.spec = hex_spec(kind, primaries);
+        report.push(e);
 
         let t0 = Instant::now();
         let fast = scalar.estimate_survival_fast(BENCH_P, trials, BENCH_SEED);
@@ -522,6 +638,7 @@ fn run_hex(report: &mut BenchReport, quick: bool, threads: usize, block_trials: 
             fast.point(),
         );
         e.engine = Some("scalar".to_string());
+        e.spec = hex_spec(kind, primaries);
         report.push(e);
 
         let t0 = Instant::now();
@@ -538,6 +655,7 @@ fn run_hex(report: &mut BenchReport, quick: bool, threads: usize, block_trials: 
             batch.point(),
         );
         e.engine = Some("block".to_string());
+        e.spec = hex_spec(kind, primaries);
         report.push(e);
 
         let grid = FIG7_9_SURVIVAL_GRID;
@@ -558,6 +676,7 @@ fn run_hex(report: &mut BenchReport, quick: bool, threads: usize, block_trials: 
             at_bench_p,
         );
         e.engine = Some("block".to_string());
+        e.spec = hex_spec(kind, primaries);
         report.push(e);
     }
 
@@ -584,6 +703,7 @@ fn run_hex(report: &mut BenchReport, quick: bool, threads: usize, block_trials: 
             est.point(),
         );
         e.engine = Some(engine_tag.to_string());
+        e.spec = hex_spec(DtmbKind::Dtmb26A, primaries);
         report.push(e);
     }
 }

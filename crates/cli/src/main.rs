@@ -13,6 +13,7 @@ mod campaign_cmd;
 mod serve_cmd;
 
 use dmfb_core::prelude::*;
+use dmfb_core::spec::{self, DefectModelKind, ParamStyle, SchemeKind};
 use dmfb_core::{grid::render, yield_model::effective};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -56,6 +57,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "yield" => cmd_yield(&opts),
         "sweep" => cmd_sweep(&opts),
+        "search" => cmd_search(&opts),
         "faults" => cmd_faults(&opts),
         "render" => cmd_render(&opts),
         "assay" => cmd_assay(&opts),
@@ -94,12 +96,22 @@ USAGE:
   dmfb sweep  --scheme hex-dtmb --assay PANEL [--from P] [--to P] [--steps K] [--trials T]
               [--seed S] [--threads K] [--estimator E]
               (three-tier CSV on the IVD case-study chip)
+  dmfb search --target-yield <Y> [--tier raw|reconfigured|operational] [--assay PANEL]
+              [--p P] [--trials T] [--seed S] [--threads K] [--max-primaries N]
+              [--max-dim D] [--tolerance T] [--pilot N] [--json | --csv]
+              (Pareto design-space search: enumerates DTMB designs, square
+               patterns and spare-row counts under the caps, prunes hopeless
+               candidates with the exact Hall bound before any sampling, scores
+               survivors with the stratified estimator, and emits the
+               non-dominated (area overhead, yield) frontier; --assay scores
+               the operational tier on the IVD case-study chips; output is
+               byte-identical across reruns and thread counts)
   dmfb faults (--casestudy | --design <D> --primaries <N>) [--max-m M] [--trials T]
   dmfb render --design <D> --primaries <N> [--inject P] [--seed S]
   dmfb assay  [--faults M] [--seed S]
   dmfb profile (--casestudy | --design <D> --primaries <N>) [--trials T]
-  dmfb bench  [--scheme SCHEME] [--assay PANEL] [--quick] [--json] [--out DIR] [--label L]
-              [--threads K] [--block-trials N] [--compare BASELINE.json]
+  dmfb bench  [--scheme SCHEME | --assay PANEL | --search] [--quick] [--json] [--out DIR]
+              [--label L] [--threads K] [--block-trials N] [--compare BASELINE.json]
               (fixed workload suite per scheme; scheme sub-parameters are rejected;
                --compare diffs against a committed dmfb-bench/1 report, lists every
                workload past the >25% normalised regression gate, then exits non-zero)
@@ -162,31 +174,11 @@ CAMPAIGNS (campaign): edge-column-wipeout | reservoir-cluster | wear-trajectory
 DESIGNS: none | dtmb16 | dtmb26 | dtmb26b | dtmb36 | dtmb44
 THREADS: --threads 0 (default) = one worker per available core";
 
-/// Which redundancy scheme a command drives. Hexagonal DTMB keeps the
-/// historic report formats; the other schemes run through the generic
-/// [`SchemeYield`] engine.
-pub(crate) enum SchemeChoice {
-    /// Hexagonal DTMB patterns (the default), selected via `--design`.
-    HexDtmb,
-    /// Square-lattice interstitial patterns.
-    SquareDtmb {
-        /// Which spare pattern.
-        pattern: SquarePattern,
-        /// Array width in cells.
-        width: u32,
-        /// Array height in cells.
-        height: u32,
-    },
-    /// Boundary spare-row baseline (shifted replacement).
-    SpareRows {
-        /// Array width in cells.
-        width: u32,
-        /// Module rows above the spare rows.
-        module_rows: u32,
-        /// Spare rows at the bottom.
-        spare_rows: u32,
-    },
-}
+/// Which redundancy scheme a command drives: the shared descriptor from
+/// [`dmfb_core::spec`], fully resolved (family plus sub-parameters).
+/// Hexagonal DTMB keeps the historic report formats; the other schemes
+/// run through the generic [`SchemeYield`] engine.
+pub(crate) use dmfb_core::spec::SchemeSpec as SchemeChoice;
 
 /// Parsed `--key value` options (flags store "true").
 struct Options {
@@ -208,11 +200,13 @@ impl Options {
                     | "casestudy"
                     | "all-primaries"
                     | "json"
+                    | "csv"
                     | "quick"
                     | "batched"
                     | "shutdown"
                     | "rehearse"
                     | "list"
+                    | "search"
             );
             if is_flag {
                 map.insert(key.to_string(), "true".to_string());
@@ -242,47 +236,25 @@ impl Options {
     }
 
     fn design(&self) -> Result<Option<DtmbKind>, String> {
-        match self.map.get("design").map(String::as_str) {
-            None | Some("none") => Ok(None),
-            Some("dtmb16") => Ok(Some(DtmbKind::Dtmb16)),
-            Some("dtmb26") => Ok(Some(DtmbKind::Dtmb26A)),
-            Some("dtmb26b") => Ok(Some(DtmbKind::Dtmb26B)),
-            Some("dtmb36") => Ok(Some(DtmbKind::Dtmb36)),
-            Some("dtmb44") => Ok(Some(DtmbKind::Dtmb44)),
-            Some(other) => Err(format!("unknown design '{other}'")),
-        }
+        spec::parse_design_token(self.map.get("design").map(String::as_str))
     }
 
     fn scheme(&self) -> Result<SchemeChoice, String> {
-        match self.map.get("scheme").map(String::as_str) {
-            None | Some("hex-dtmb") => Ok(SchemeChoice::HexDtmb),
-            Some("square-dtmb") => {
-                let pattern = match self.map.get("pattern").map(String::as_str) {
-                    None | Some("perfect-code") => SquarePattern::PerfectCode,
-                    Some("stripes") => SquarePattern::Stripes,
-                    Some("checkerboard") => SquarePattern::Checkerboard,
-                    Some("quarter") => SquarePattern::Quarter,
-                    Some(other) => {
-                        return Err(format!(
-                            "unknown pattern '{other}' \
-                             (valid: perfect-code, stripes, checkerboard, quarter)"
-                        ))
-                    }
-                };
-                Ok(SchemeChoice::SquareDtmb {
-                    pattern,
-                    width: self.get("width", 16)?,
-                    height: self.get("height", 16)?,
-                })
-            }
-            Some("spare-rows") => Ok(SchemeChoice::SpareRows {
+        match spec::parse_scheme_token(self.map.get("scheme").map(String::as_str))? {
+            SchemeKind::HexDtmb => Ok(SchemeChoice::HexDtmb {
+                design: self.design()?,
+                primaries: self.get("primaries", 100)?,
+            }),
+            SchemeKind::SquareDtmb => Ok(SchemeChoice::SquareDtmb {
+                pattern: spec::parse_pattern_token(self.map.get("pattern").map(String::as_str))?,
+                width: self.get("width", 16)?,
+                height: self.get("height", 16)?,
+            }),
+            SchemeKind::SpareRows => Ok(SchemeChoice::SpareRows {
                 width: self.get("width", 8)?,
                 module_rows: self.get("module-rows", 6)?,
                 spare_rows: self.get("spare-rows", 1)?,
             }),
-            Some(other) => Err(format!(
-                "unknown scheme '{other}' (valid: hex-dtmb, square-dtmb, spare-rows)"
-            )),
         }
     }
 
@@ -294,13 +266,7 @@ impl Options {
     }
 
     fn estimator(&self) -> Result<EstimatorChoice, String> {
-        match self.map.get("estimator").map(String::as_str) {
-            None | Some("naive") => Ok(EstimatorChoice::Naive),
-            Some("stratified") => Ok(EstimatorChoice::Stratified),
-            Some(other) => Err(format!(
-                "unknown estimator '{other}' (valid: naive, stratified)"
-            )),
-        }
+        spec::parse_estimator_token(self.map.get("estimator").map(String::as_str))
     }
 
     /// Tuning for the stratified estimator (`--tolerance`, `--pilot`).
@@ -321,9 +287,9 @@ impl Options {
     }
 
     fn defect_model(&self) -> Result<DefectModelChoice, String> {
-        match self.map.get("defect-model").map(String::as_str) {
-            None | Some("bernoulli") => Ok(DefectModelChoice::Bernoulli),
-            Some("clustered") => {
+        match spec::parse_defect_model_token(self.map.get("defect-model").map(String::as_str))? {
+            DefectModelKind::Bernoulli => Ok(DefectModelChoice::Bernoulli),
+            DefectModelKind::Clustered => {
                 let mean: f64 = self.get("cluster-mean", 1.0)?;
                 let dispersion: u32 = self.get("cluster-dispersion", 1)?;
                 let radius: u32 = self.get("cluster-radius", 2)?;
@@ -344,9 +310,6 @@ impl Options {
                     mean, dispersion, radius, peak,
                 )))
             }
-            Some(other) => Err(format!(
-                "unknown defect model '{other}' (valid: bernoulli, clustered)"
-            )),
         }
     }
 
@@ -360,36 +323,35 @@ impl Options {
                 let n: usize = v
                     .parse()
                     .map_err(|_| format!("invalid value '{v}' for --block-trials"))?;
-                if n > MAX_BLOCK_TRIALS {
-                    return Err(format!(
-                        "need --block-trials <= {MAX_BLOCK_TRIALS}, got {n} \
-                         (wider batches only grow the per-worker scratch state)"
-                    ));
+                if n > spec::MAX_BLOCK_TRIALS {
+                    return Err(spec::block_trials_cap_error(ParamStyle::Cli, n));
                 }
                 Ok(Some(n))
             }
         }
     }
 
+    /// Presence check keyed by the canonical (underscore) parameter name
+    /// the shared [`dmfb_core::spec`] guards use; CLI flags spell it with
+    /// dashes.
+    fn has_param(&self, key: &str) -> bool {
+        self.flag(&key.replace('_', "-"))
+    }
+
     fn biochip(&self) -> Result<Biochip, String> {
-        let n: usize = self.get("primaries", 100)?;
         // 0 = one worker per available core (the default).
         let threads: usize = self.get("threads", 0)?;
-        let chip = match self.design()? {
-            Some(kind) => Biochip::dtmb(kind, n),
-            None => Biochip::without_redundancy(n),
-        };
+        let chip = self
+            .scheme()?
+            .biochip()
+            .ok_or("hex-dtmb runs through the --design path, not the generic engine")?;
         Ok(chip.with_threads(threads))
     }
 }
 
-/// Which yield estimator a command runs.
-pub(crate) enum EstimatorChoice {
-    /// Plain Monte-Carlo (the default): one Bernoulli chip per trial.
-    Naive,
-    /// Defect-count-stratified rare-event estimator.
-    Stratified,
-}
+/// Which yield estimator a command runs (the shared token from
+/// [`dmfb_core::spec`]).
+pub(crate) use dmfb_core::spec::EstimatorKind as EstimatorChoice;
 
 /// Which defect model drives the random chips.
 pub(crate) enum DefectModelChoice {
@@ -399,107 +361,46 @@ pub(crate) enum DefectModelChoice {
     Clustered(ClusteredDefects),
 }
 
-/// Every scheme-selecting sub-parameter any scheme understands. A new
-/// scheme parameter must be added here so both the per-scheme guard and
-/// bench's blanket rejection keep covering it.
-const SCHEME_SUBPARAMS: [&str; 7] = [
-    "design",
-    "primaries",
-    "pattern",
-    "width",
-    "height",
-    "module-rows",
-    "spare-rows",
-];
-
-/// Sub-parameters of `--estimator stratified`; rejected under the naive
-/// estimator rather than silently ignored.
-const ESTIMATOR_SUBPARAMS: [&str; 2] = ["tolerance", "pilot"];
-
-/// Sub-parameters of `--defect-model clustered`; rejected under the
-/// Bernoulli model rather than silently ignored.
-const CLUSTER_SUBPARAMS: [&str; 4] = [
-    "cluster-mean",
-    "cluster-dispersion",
-    "cluster-radius",
-    "cluster-peak",
-];
+/// Renders a canonical (underscore) parameter name as its CLI flag
+/// spelling for diagnostics that enumerate the shared tables.
+fn dash(key: &str) -> String {
+    key.replace('_', "-")
+}
 
 /// Rejects estimator/defect-model sub-parameters that the selected
 /// estimator or model would silently ignore, and the one combination that
-/// is statistically incoherent: the stratified estimator conditions on the
-/// i.i.d. Bernoulli defect count, so it cannot run under the clustered
-/// model.
+/// is statistically incoherent (stratified + clustered). The rules live
+/// in [`dmfb_core::spec`], shared with the serve validator.
 fn reject_foreign_estimator_params(opts: &Options) -> Result<(), String> {
     let estimator = opts.estimator()?;
-    let model = opts.defect_model()?;
-    if matches!(estimator, EstimatorChoice::Naive) {
-        for key in ESTIMATOR_SUBPARAMS {
-            if opts.flag(key) {
-                return Err(format!("--{key} requires --estimator stratified"));
-            }
-        }
-    }
-    if matches!(model, DefectModelChoice::Bernoulli) {
-        for key in CLUSTER_SUBPARAMS {
-            if opts.flag(key) {
-                return Err(format!("--{key} requires --defect-model clustered"));
-            }
-        }
-    }
-    if matches!(estimator, EstimatorChoice::Stratified)
-        && matches!(model, DefectModelChoice::Clustered(_))
-    {
-        return Err(
-            "--estimator stratified conditions on the i.i.d. Bernoulli defect count; \
-             it cannot run under --defect-model clustered"
-                .into(),
-        );
-    }
-    Ok(())
+    let model = match opts.defect_model()? {
+        DefectModelChoice::Bernoulli => DefectModelKind::Bernoulli,
+        DefectModelChoice::Clustered(_) => DefectModelKind::Clustered,
+    };
+    spec::reject_foreign_estimator_params(ParamStyle::Cli, estimator, model, |key| {
+        opts.has_param(key)
+    })
 }
 
 /// Rejects scheme sub-parameters that the selected scheme would silently
 /// ignore (`yield --pattern checkerboard` without `--scheme square-dtmb`
-/// would otherwise run hex and mislabel what was measured).
+/// would otherwise run hex and mislabel what was measured). The rule
+/// lives in [`dmfb_core::spec`], shared with the serve validator.
 fn reject_foreign_subparams(opts: &Options, choice: &SchemeChoice) -> Result<(), String> {
-    let (scheme, allowed): (&str, &[&str]) = match choice {
-        SchemeChoice::HexDtmb => ("hex-dtmb", &["design", "primaries"]),
-        SchemeChoice::SquareDtmb { .. } => ("square-dtmb", &["pattern", "width", "height"]),
-        SchemeChoice::SpareRows { .. } => ("spare-rows", &["width", "module-rows", "spare-rows"]),
-    };
-    for key in SCHEME_SUBPARAMS {
-        if opts.flag(key) && !allowed.contains(&key) {
-            let params: Vec<String> = allowed.iter().map(|k| format!("--{k}")).collect();
-            return Err(format!(
-                "--{key} does not apply to --scheme {scheme} (its parameters: {})",
-                params.join(", ")
-            ));
-        }
-    }
-    Ok(())
+    spec::reject_foreign_subparams(ParamStyle::Cli, choice, |key| opts.has_param(key))
 }
 
 /// Validates an `--assay` request: hexagonal scheme only (the IVD
 /// case-study chip is a hex DTMB(2,6) array), and since the assay workload
 /// *fixes* the chip, every array-shaping sub-parameter is rejected rather
 /// than silently ignored — the same discipline as
-/// [`reject_foreign_subparams`].
+/// [`reject_foreign_subparams`], shared through [`dmfb_core::spec`].
 fn check_assay_subparams(opts: &Options, choice: &SchemeChoice) -> Result<(), String> {
-    if !matches!(choice, SchemeChoice::HexDtmb) {
-        return Err(
-            "--assay requires --scheme hex-dtmb (the IVD case-study chip is hexagonal)".into(),
-        );
-    }
-    for key in SCHEME_SUBPARAMS {
-        if opts.flag(key) {
-            return Err(format!(
-                "--{key} does not apply with --assay: the assay workload fixes the chip \
-                 to the DTMB(2,6) IVD case-study layout"
-            ));
-        }
-    }
-    Ok(())
+    spec::check_assay_subparams(
+        ParamStyle::Cli,
+        matches!(choice, SchemeChoice::HexDtmb { .. }),
+        |key| opts.has_param(key),
+    )
 }
 
 /// Rejects a non-hex `--scheme` (and stray non-hex sub-parameters) on
@@ -517,28 +418,27 @@ fn require_hex_scheme(opts: &Options) -> Result<(), String> {
     if opts.flag("block-trials") {
         return Err("--block-trials is supported by yield, sweep and bench only".into());
     }
-    for key in ESTIMATOR_SUBPARAMS.iter().chain(&CLUSTER_SUBPARAMS) {
-        if opts.flag(key) {
+    for key in spec::ESTIMATOR_SUBPARAMS
+        .iter()
+        .chain(&spec::CLUSTER_SUBPARAMS)
+    {
+        if opts.has_param(key) {
             return Err(format!(
-                "--{key} is an estimator/defect-model sub-parameter; \
-                 it is supported by yield and sweep only"
+                "--{} is an estimator/defect-model sub-parameter; \
+                 it is supported by yield and sweep only",
+                dash(key)
             ));
         }
     }
-    if matches!(opts.scheme()?, SchemeChoice::HexDtmb) {
-        reject_foreign_subparams(opts, &SchemeChoice::HexDtmb)
+    let choice = opts.scheme()?;
+    if matches!(choice, SchemeChoice::HexDtmb { .. }) {
+        reject_foreign_subparams(opts, &choice)
     } else {
         Err("this command models hexagonal arrays only; \
              --scheme square-dtmb/spare-rows is supported by yield, sweep and bench"
             .into())
     }
 }
-
-/// Upper bound on `--block-trials`. A batch is rounded up to whole
-/// 64-lane words, so widths beyond this only inflate per-worker scratch
-/// buffers without adding parallelism; the cap keeps a typo like
-/// `--block-trials 1000000000` from allocating gigabytes of lane state.
-const MAX_BLOCK_TRIALS: usize = 65_536;
 
 /// Rejects `--block-trials` on a path that can only run one trial at a
 /// time (`why` names the reason and, where one exists, the block-capable
@@ -551,11 +451,6 @@ fn reject_block_trials(opts: &Options, why: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// Upper bound on user-supplied array dimensions. Beyond this the region
-/// constructors would panic on i32 conversion or allocate unboundedly;
-/// the cap turns both into a clean CLI error long before either point.
-const MAX_DIM: u32 = 4096;
-
 /// Builds the generic fast engine for a square-lattice (square-dtmb or
 /// spare-rows) scheme choice, returning the engine together with the
 /// lattice region it was compiled over (the defect-sampler hook needs
@@ -565,14 +460,14 @@ fn generic_engine(
     threads: usize,
 ) -> Result<(SchemeYield<SquareCoord>, SquareRegion), String> {
     let check_dim = |name: &str, value: u32, min: u32| -> Result<(), String> {
-        if value < min || value > MAX_DIM {
-            Err(format!("need {min} <= --{name} <= {MAX_DIM}, got {value}"))
+        if value < min || value > spec::MAX_DIM {
+            Err(spec::dim_range_error(ParamStyle::Cli, name, min, value))
         } else {
             Ok(())
         }
     };
     let (est, region) = match choice {
-        SchemeChoice::HexDtmb => {
+        SchemeChoice::HexDtmb { .. } => {
             return Err("hex-dtmb runs through the --design path, not the generic engine".into())
         }
         SchemeChoice::SquareDtmb {
@@ -748,7 +643,7 @@ fn cmd_yield(opts: &Options) -> Result<(), String> {
         return Ok(());
     }
     reject_foreign_subparams(opts, &choice)?;
-    if !matches!(choice, SchemeChoice::HexDtmb) {
+    if !matches!(choice, SchemeChoice::HexDtmb { .. }) {
         let (est, region) = generic_engine(&choice, opts.get("threads", 0)?)?;
         let est = est.with_block_trials(block_trials);
         outln!(
@@ -955,7 +850,7 @@ fn cmd_sweep(opts: &Options) -> Result<(), String> {
         return Ok(());
     }
     reject_foreign_subparams(opts, &choice)?;
-    if !matches!(choice, SchemeChoice::HexDtmb) {
+    if !matches!(choice, SchemeChoice::HexDtmb { .. }) {
         // Non-hex schemes always ride the generic fast engine; the
         // effective-yield column is a hex-array metric.
         if effective {
@@ -1028,40 +923,303 @@ fn cmd_sweep(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Rejects every parameter that `dmfb search` does not take: the search
+/// enumerates the scheme space itself, always scores with the stratified
+/// estimator under i.i.d. Bernoulli defects (the exact pruning bound
+/// requires it), and lets the scorer pick its own trial engine.
+fn check_search_params(opts: &Options) -> Result<(), String> {
+    if opts.flag("scheme") {
+        return Err("--scheme does not apply to search: the search enumerates \
+             every scheme family itself (cap the space with --max-primaries/--max-dim)"
+            .into());
+    }
+    for key in spec::SCHEME_SUBPARAMS {
+        if opts.has_param(key) {
+            return Err(format!(
+                "--{} does not apply to search: the search enumerates the \
+                 candidate space itself (cap it with --max-primaries/--max-dim)",
+                dash(key)
+            ));
+        }
+    }
+    if opts.flag("estimator") {
+        return Err("--estimator does not apply to search: candidate scoring \
+             always runs the stratified estimator (tune it with --tolerance/--pilot)"
+            .into());
+    }
+    if opts.flag("defect-model") {
+        return Err("--defect-model does not apply to search: the exact \
+             Hall-bound pruning conditions on i.i.d. Bernoulli defects"
+            .into());
+    }
+    for key in spec::CLUSTER_SUBPARAMS {
+        if opts.has_param(key) {
+            return Err(format!(
+                "--{} requires --defect-model clustered, which search does not support",
+                dash(key)
+            ));
+        }
+    }
+    reject_block_trials(
+        opts,
+        "the stratified scorer picks its own engine per candidate",
+    )
+}
+
+/// Writes one frontier row in the `dmfb-search/1` JSON shape.
+fn search_row_json(out: &mut String, row: &dmfb_core::CandidateScore, target: f64) {
+    use std::fmt::Write as _;
+    let _ = write!(
+        out,
+        "{{\"spec\": \"{}\", \"overhead\": {:.6}, \"yield\": {:.6}, \
+         \"ci_lo\": {:.6}, \"ci_hi\": {:.6}, \"primary_cells\": {}, \
+         \"spare_cells\": {}, \"trials\": {}, \"meets_target\": {}}}",
+        row.spec,
+        row.overhead,
+        row.yield_point.unwrap_or(0.0),
+        row.ci_lo,
+        row.ci_hi,
+        row.primary_cells,
+        row.spare_cells,
+        row.trials_used,
+        row.meets(target)
+    );
+}
+
+fn cmd_search(opts: &Options) -> Result<(), String> {
+    use dmfb_core::search::{run_search, SearchConfig, SearchSpace};
+    check_search_params(opts)?;
+    if !opts.flag("target-yield") {
+        return Err(
+            "--target-yield <Y> is required (the yield the cheapest candidate must reach)".into(),
+        );
+    }
+    let target: f64 = opts.get("target-yield", 0.0)?;
+    if !(target > 0.0 && target <= 1.0) {
+        return Err("need 0 < --target-yield <= 1".into());
+    }
+    let assay = opts.assay()?;
+    // `--assay` alone implies the operational tier (the panel is what the
+    // tier scores); an explicit raw/reconfigured tier contradicts it.
+    let tier = match (opts.map.get("tier").map(String::as_str), assay) {
+        (None, Some(_)) => spec::Tier::Operational,
+        (token, _) => spec::Tier::parse(token)?,
+    };
+    match (tier, assay) {
+        (spec::Tier::Operational, None) => {
+            return Err(
+                "--tier operational requires --assay (valid: ivd-panel, metabolic-panel)".into(),
+            )
+        }
+        (spec::Tier::Raw | spec::Tier::Reconfigured, Some(_)) => {
+            return Err(format!(
+                "--assay scores the operational tier; it cannot combine with --tier {}",
+                tier.label()
+            ))
+        }
+        _ => {}
+    }
+    let p: f64 = opts.get("p", 0.95)?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err("need 0 <= p <= 1".into());
+    }
+    let trials: u32 = opts.get("trials", 4_000)?;
+    if trials == 0 {
+        return Err("--trials must be at least 1".into());
+    }
+    let max_primaries: usize = opts.get("max-primaries", 100)?;
+    if max_primaries == 0 || max_primaries > spec::MAX_PRIMARIES {
+        return Err(format!(
+            "need 1 <= --max-primaries <= {}, got {max_primaries}",
+            spec::MAX_PRIMARIES
+        ));
+    }
+    let max_dim: u32 = opts.get("max-dim", 16)?;
+    if max_dim == 0 || max_dim > spec::MAX_DIM {
+        return Err(format!(
+            "need 1 <= --max-dim <= {}, got {max_dim}",
+            spec::MAX_DIM
+        ));
+    }
+    if opts.flag("json") && opts.flag("csv") {
+        return Err("--json and --csv are mutually exclusive".into());
+    }
+    let config = SearchConfig {
+        target_yield: target,
+        tier,
+        assay,
+        p,
+        trials,
+        seed: opts.get("seed", 1)?,
+        threads: opts.get("threads", 0)?,
+        space: SearchSpace {
+            max_primaries,
+            max_dim,
+        },
+        stratified: opts.stratified_config()?,
+    };
+    let report = run_search(&config);
+
+    if opts.flag("csv") {
+        outln!("spec,overhead,yield,ci_lo,ci_hi,primary_cells,spare_cells,trials,meets_target");
+        for row in &report.frontier {
+            outln!(
+                "{},{:.6},{:.6},{:.6},{:.6},{},{},{},{}",
+                row.spec,
+                row.overhead,
+                row.yield_point.unwrap_or(0.0),
+                row.ci_lo,
+                row.ci_hi,
+                row.primary_cells,
+                row.spare_cells,
+                row.trials_used,
+                row.meets(target)
+            );
+        }
+        return Ok(());
+    }
+    if opts.flag("json") {
+        let mut rows = String::new();
+        for (i, row) in report.frontier.iter().enumerate() {
+            if i > 0 {
+                rows.push_str(", ");
+            }
+            search_row_json(&mut rows, row, target);
+        }
+        let assay_json = report
+            .assay
+            .map_or("null".to_string(), |panel| format!("\"{}\"", panel.label()));
+        let best_json = report
+            .best()
+            .map_or("null".to_string(), |row| format!("\"{}\"", row.spec));
+        outln!(
+            "{{\"schema\": \"dmfb-search/1\", \"target_yield\": {:.6}, \
+             \"tier\": \"{}\", \"assay\": {}, \"p\": {:.6}, \"trials\": {}, \
+             \"seed\": {}, \"candidates\": {}, \"pruned\": {}, \"evaluated\": {}, \
+             \"trials_used\": {}, \"naive_trials\": {}, \"frontier\": [{}], \
+             \"best\": {}}}",
+            report.target_yield,
+            report.tier.label(),
+            assay_json,
+            report.p,
+            report.trials,
+            report.seed,
+            report.candidates,
+            report.pruned,
+            report.evaluated,
+            report.trials_used,
+            report.naive_trials,
+            rows,
+            best_json
+        );
+        return Ok(());
+    }
+
+    outln!(
+        "search: target {} yield {:.4} at p {:.4}",
+        report.tier.label(),
+        report.target_yield,
+        report.p
+    );
+    outln!(
+        "space : {} candidates | pruned {} (exact Hall bound, no trials) | evaluated {}",
+        report.candidates,
+        report.pruned,
+        report.evaluated
+    );
+    let saved = report.naive_trials as f64 / report.trials_used.max(1) as f64;
+    outln!(
+        "cost  : {} stratified trials vs {} naive 40k-per-candidate ({saved:.1}x saved)",
+        report.trials_used,
+        report.naive_trials
+    );
+    outln!();
+    outln!("frontier (non-dominated, ascending overhead):");
+    outln!(
+        "  {:<52} {:>9} {:>8}  {:<18} {:>6}",
+        "spec",
+        "overhead",
+        "yield",
+        "95% CI",
+        "meets"
+    );
+    for row in &report.frontier {
+        outln!(
+            "  {:<52} {:>9.4} {:>8.4}  [{:.4}, {:.4}]   {:>6}",
+            row.spec,
+            row.overhead,
+            row.yield_point.unwrap_or(0.0),
+            row.ci_lo,
+            row.ci_hi,
+            if row.meets(target) { "yes" } else { "no" }
+        );
+    }
+    outln!();
+    match report.best() {
+        Some(row) => outln!(
+            "best  : {} (overhead {:.4}, yield {:.4})",
+            row.spec,
+            row.overhead,
+            row.yield_point.unwrap_or(0.0)
+        ),
+        None => outln!(
+            "best  : no enumerated candidate reaches yield {:.4} — widen the space \
+             with --max-primaries/--max-dim or lower the target",
+            report.target_yield
+        ),
+    }
+    Ok(())
+}
+
 fn cmd_bench(opts: &Options) -> Result<(), String> {
     // Bench runs a fixed per-scheme workload suite so BENCH_*.json
     // artifacts stay comparable across runs; silently ignoring scheme
     // sub-parameters would mislabel what was measured.
-    for key in SCHEME_SUBPARAMS {
-        if opts.flag(key) {
+    for key in spec::SCHEME_SUBPARAMS {
+        if opts.has_param(key) {
             return Err(format!(
-                "--{key} is not supported by bench: it runs a fixed workload \
-                 suite per --scheme (use yield/sweep for custom arrays)"
+                "--{} is not supported by bench: it runs a fixed workload \
+                 suite per --scheme (use yield/sweep for custom arrays)",
+                dash(key)
             ));
         }
     }
     // Likewise the estimator/defect-model knobs: the suite pins both per
     // workload (including the naive-vs-stratified rare-event pair) so the
     // perf trajectory stays comparable.
-    for key in ["estimator", "defect-model"]
+    for key in ["estimator", "defect_model"]
         .iter()
-        .chain(&ESTIMATOR_SUBPARAMS)
-        .chain(&CLUSTER_SUBPARAMS)
+        .chain(&spec::ESTIMATOR_SUBPARAMS)
+        .chain(&spec::CLUSTER_SUBPARAMS)
     {
-        if opts.flag(key) {
+        if opts.has_param(key) {
             return Err(format!(
-                "--{key} is not supported by bench: the workload suite pins the \
-                 estimator and defect model per entry (use yield/sweep instead)"
+                "--{} is not supported by bench: the workload suite pins the \
+                 estimator and defect model per entry (use yield/sweep instead)",
+                dash(key)
             ));
         }
     }
     let assay = opts.assay()?;
-    if assay.is_some() && !matches!(opts.scheme()?, SchemeChoice::HexDtmb) {
+    if assay.is_some() && !matches!(opts.scheme()?, SchemeChoice::HexDtmb { .. }) {
         return Err(
             "--assay requires --scheme hex-dtmb (the IVD case-study chip is hexagonal)".into(),
         );
     }
+    let search = opts.flag("search");
+    if search && (assay.is_some() || opts.flag("scheme")) {
+        return Err("--search is its own bench suite; it does not combine with \
+             --scheme or --assay (the search scorer covers both tiers itself)"
+            .into());
+    }
     let block_trials = opts.block_trials()?;
+    if search && block_trials.is_some() {
+        return Err(
+            "--block-trials is not supported by the search suite: the stratified \
+             scorer picks its own engine per candidate"
+                .into(),
+        );
+    }
     if block_trials == Some(0) {
         return Err(
             "--block-trials 0 is not supported by bench: the suite pins the scalar \
@@ -1070,15 +1228,21 @@ fn cmd_bench(opts: &Options) -> Result<(), String> {
         );
     }
     let quick = opts.flag("quick");
+    let default_label = if search {
+        "search".to_string()
+    } else {
+        if quick { "quick" } else { "full" }.to_string()
+    };
     let config = bench_cmd::BenchConfig {
         quick,
         threads: opts.get("threads", 0)?,
         json: opts.flag("json"),
         out_dir: opts.get("out", ".".to_string())?,
-        label: opts.get("label", if quick { "quick" } else { "full" }.to_string())?,
+        label: opts.get("label", default_label)?,
         scheme: opts.scheme()?,
         assay,
         block_trials,
+        search,
     };
     if let Some(baseline) = opts.map.get("compare") {
         let (report, rendered, regressed) = bench_cmd::run_compare(&config, baseline)?;
@@ -1125,11 +1289,14 @@ fn reject_per_request_params(opts: &Options, command: &str, hint: &str) -> Resul
         "p",
     ]
     .iter()
-    .chain(&ESTIMATOR_SUBPARAMS)
-    .chain(&CLUSTER_SUBPARAMS)
+    .chain(&spec::ESTIMATOR_SUBPARAMS)
+    .chain(&spec::CLUSTER_SUBPARAMS)
     {
-        if opts.flag(key) {
-            return Err(format!("--{key} is not supported by {command}: {hint}"));
+        if opts.has_param(key) {
+            return Err(format!(
+                "--{} is not supported by {command}: {hint}",
+                dash(key)
+            ));
         }
     }
     Ok(())
@@ -1141,29 +1308,34 @@ fn reject_per_request_params(opts: &Options, command: &str, hint: &str) -> Resul
 /// Monte-Carlo tier only (no estimator/defect-model sub-parameters), and
 /// rides the scalar arbitrary-sampler path (no `--block-trials`).
 fn check_campaign_subparams(opts: &Options) -> Result<(), String> {
-    if !matches!(opts.scheme()?, SchemeChoice::HexDtmb) {
+    if !matches!(opts.scheme()?, SchemeChoice::HexDtmb { .. }) {
         return Err(
             "campaigns replay hex scenario scripts on the IVD case-study chip; \
              --scheme square-dtmb/spare-rows does not apply"
                 .into(),
         );
     }
-    for key in SCHEME_SUBPARAMS {
-        if opts.flag(key) {
+    for key in spec::SCHEME_SUBPARAMS {
+        if opts.has_param(key) {
             return Err(format!(
-                "--{key} does not apply to campaign: the campaign workload fixes the \
-                 chip to the DTMB(2,6) IVD case-study layout"
+                "--{} does not apply to campaign: the campaign workload fixes the \
+                 chip to the DTMB(2,6) IVD case-study layout",
+                dash(key)
             ));
         }
     }
     if opts.flag("estimator") || opts.flag("defect-model") {
         return Err("--estimator/--defect-model are supported by yield and sweep only".into());
     }
-    for key in ESTIMATOR_SUBPARAMS.iter().chain(&CLUSTER_SUBPARAMS) {
-        if opts.flag(key) {
+    for key in spec::ESTIMATOR_SUBPARAMS
+        .iter()
+        .chain(&spec::CLUSTER_SUBPARAMS)
+    {
+        if opts.has_param(key) {
             return Err(format!(
-                "--{key} is an estimator/defect-model sub-parameter; \
-                 it is supported by yield and sweep only"
+                "--{} is an estimator/defect-model sub-parameter; \
+                 it is supported by yield and sweep only",
+                dash(key)
             ));
         }
     }
@@ -1228,11 +1400,12 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
         "serve",
         "it is a per-request parameter; send it as a field in the POST /v1/yield body",
     )?;
-    for key in SCHEME_SUBPARAMS.iter().chain(&["trials", "seed"]) {
-        if opts.flag(key) {
+    for key in spec::SCHEME_SUBPARAMS.iter().chain(&["trials", "seed"]) {
+        if opts.has_param(key) {
             return Err(format!(
-                "--{key} is not supported by serve: it is a per-request parameter; \
-                 send it as a field in the POST /v1/yield body"
+                "--{} is not supported by serve: it is a per-request parameter; \
+                 send it as a field in the POST /v1/yield body",
+                dash(key)
             ));
         }
     }
@@ -1266,11 +1439,12 @@ fn cmd_soak(opts: &Options) -> Result<(), String> {
         "the soak drives a fixed cold/warm/mixed workload mix so latency baselines \
          stay comparable (--trials and --primaries size the dtmb26 workload)",
     )?;
-    for key in SCHEME_SUBPARAMS {
-        if key != "primaries" && opts.flag(key) {
+    for key in spec::SCHEME_SUBPARAMS {
+        if key != "primaries" && opts.has_param(key) {
             return Err(format!(
-                "--{key} is not supported by soak: the workload mix is fixed \
-                 (--primaries sizes the dtmb26 workload)"
+                "--{} is not supported by soak: the workload mix is fixed \
+                 (--primaries sizes the dtmb26 workload)",
+                dash(key)
             ));
         }
     }
@@ -1541,10 +1715,13 @@ mod tests {
 
     #[test]
     fn scheme_parsing() {
-        assert!(matches!(opts(&[]).scheme().unwrap(), SchemeChoice::HexDtmb));
+        assert!(matches!(
+            opts(&[]).scheme().unwrap(),
+            SchemeChoice::HexDtmb { .. }
+        ));
         assert!(matches!(
             opts(&["--scheme", "hex-dtmb"]).scheme().unwrap(),
-            SchemeChoice::HexDtmb
+            SchemeChoice::HexDtmb { .. }
         ));
         match opts(&[
             "--scheme",
@@ -1630,10 +1807,10 @@ mod tests {
             Some(512)
         );
         assert_eq!(
-            opts(&["--block-trials", &MAX_BLOCK_TRIALS.to_string()])
+            opts(&["--block-trials", &spec::MAX_BLOCK_TRIALS.to_string()])
                 .block_trials()
                 .unwrap(),
-            Some(MAX_BLOCK_TRIALS)
+            Some(spec::MAX_BLOCK_TRIALS)
         );
         assert!(opts(&["--block-trials", "65537"]).block_trials().is_err());
         assert!(opts(&["--block-trials", "-1"]).block_trials().is_err());

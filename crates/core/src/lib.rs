@@ -36,8 +36,12 @@
 
 mod pipeline;
 pub mod prelude;
+pub mod search;
+pub mod spec;
 
 pub use pipeline::{Biochip, PipelineOutcome, YieldReport};
+pub use search::{CandidateScore, SearchConfig, SearchReport, SearchSpace};
+pub use spec::{EngineParams, EngineSpec, SchemeSpec, Tier};
 
 pub use dmfb_bioassay as bioassay;
 pub use dmfb_defects as defects;

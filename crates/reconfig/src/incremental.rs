@@ -627,6 +627,109 @@ impl<C: Copy + Ord> TrialEvaluator<C> {
         self.res_members(j).iter().map(|&c| self.cells[c as usize])
     }
 
+    /// Member-cell count of each unit, in unit order.
+    pub fn unit_cell_counts(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.unit_count()).map(|i| self.unit_members(i).len())
+    }
+
+    /// Member-cell count of each resource, in resource order (zero for
+    /// indestructible resources).
+    pub fn resource_cell_counts(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.resource_count()).map(|j| self.res_members(j).len())
+    }
+
+    /// Whether any lattice cell belongs to two different units. The
+    /// shipped schemes all keep units disjoint (each primary cell or
+    /// module row belongs to exactly one unit), which is what makes the
+    /// exact survival bounds below valid.
+    fn units_overlap(&self) -> bool {
+        let mut seen = vec![false; self.cells.len()];
+        for &c in &self.unit_cells {
+            if seen[c as usize] {
+                return true;
+            }
+            seen[c as usize] = true;
+        }
+        false
+    }
+
+    /// **Exact** upper bound on the survival yield at cell-survival
+    /// probability `p`, computed without sampling.
+    ///
+    /// A trial survives only if every faulty unit is matched to a
+    /// distinct spare resource, so Hall's condition gives the necessary
+    /// count bound `#faulty units ≤ resource_count`. Units have disjoint
+    /// member-cell sets on every shipped scheme, so unit faults are
+    /// independent `Bernoulli(1 − p^|unit|)` variables and the bound is
+    /// the Poisson-binomial tail `P(X ≤ resource_count)`, evaluated by a
+    /// truncated convolution in `O(units × resources)`.
+    ///
+    /// The design-space search uses this to prune candidates whose bound
+    /// already falls below the target yield before spending any trials.
+    /// Degenerate cases: with no units every trial survives (bound 1);
+    /// if units ever shared cells the independence argument would break,
+    /// so the bound degrades to the vacuous 1.
+    #[must_use]
+    pub fn survival_upper_bound(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability");
+        if self.unit_count() == 0 {
+            return 1.0;
+        }
+        if self.units_overlap() {
+            return 1.0;
+        }
+        let cap = self.resource_count();
+        // dist[k] = P(exactly k faulty units among those processed), for
+        // k ≤ cap; mass beyond cap is dropped (it only ever leaves the
+        // survivable region, so the retained sum is exactly P(X ≤ cap)).
+        let mut dist = vec![0.0f64; cap + 1];
+        dist[0] = 1.0;
+        let mut filled = 0usize;
+        for size in self.unit_cell_counts() {
+            let q = 1.0 - p.powi(i32::try_from(size).expect("unit size fits i32"));
+            filled = (filled + 1).min(cap);
+            for k in (0..=filled).rev() {
+                let stay = dist[k] * (1.0 - q);
+                let rise = if k > 0 { dist[k - 1] * q } else { 0.0 };
+                dist[k] = stay + rise;
+            }
+        }
+        dist.iter().sum::<f64>().min(1.0)
+    }
+
+    /// **Exact** lower bound on the survival yield at cell-survival
+    /// probability `p`: any fault set of at most
+    /// [`TrialEvaluator::guaranteed_tolerable_faults`] cells is
+    /// reconfigurable regardless of placement, so the chip survives at
+    /// least whenever the binomial fault count stays under that bound —
+    /// `P(Binomial(cell_count, 1 − p) ≤ g)`, summed in log space for
+    /// numerical stability on large arrays.
+    #[must_use]
+    pub fn survival_lower_bound(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability");
+        let n = self.cell_count();
+        let g = self.guaranteed_tolerable_faults();
+        if g >= n {
+            return 1.0;
+        }
+        if p == 0.0 {
+            return 0.0;
+        }
+        if p == 1.0 {
+            return 1.0;
+        }
+        let (ln_p, ln_q) = (p.ln(), (1.0 - p).ln());
+        let mut ln_choose = 0.0f64; // ln C(n, 0)
+        let mut total = 0.0f64;
+        for k in 0..=g {
+            if k > 0 {
+                ln_choose += ((n - k + 1) as f64).ln() - (k as f64).ln();
+            }
+            total += (ln_choose + k as f64 * ln_q + (n - k) as f64 * ln_p).exp();
+        }
+        total.min(1.0)
+    }
+
     /// Stages per-unit/per-resource fault flags from a per-cell fault
     /// predicate.
     fn stage_cell_faults(&self, scratch: &mut TrialScratch, mut is_faulty: impl FnMut(C) -> bool) {

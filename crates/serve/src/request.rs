@@ -8,29 +8,27 @@
 //! fields would happily serve numbers under a mislabelled configuration,
 //! which is exactly the failure mode the CLI guards rule out.
 //!
-//! On top of the CLI rules the service adds untrusted-input ceilings
-//! ([`MAX_PRIMARIES`], [`MAX_TRIALS`]): a CLI user who asks for a
-//! billion-cell array only hurts themselves; a network client must not be
-//! able to park a worker (or the allocator) with one request.
+//! The vocabulary itself — token tables, sub-parameter ownership, and the
+//! coherence rules — lives in [`dmfb_core::spec`] and is shared with the
+//! CLI and the search enumerator; this module only adds the JSON framing
+//! (field-presence tracking, duplicate/unknown-field rejection) and
+//! untrusted-input ceilings ([`MAX_PRIMARIES`], [`MAX_TRIALS`]): a CLI
+//! user who asks for a billion-cell array only hurts themselves; a
+//! network client must not be able to park a worker (or the allocator)
+//! with one request.
 
 use dmfb_bench::json::JsonValue;
-use dmfb_core::prelude::{
-    AssayPanel, Biochip, ClusteredDefects, DtmbKind, SquarePattern, StratifiedConfig,
+use dmfb_core::prelude::{AssayPanel, Biochip, ClusteredDefects, StratifiedConfig};
+use dmfb_core::spec::{self, DefectModelKind, EstimatorKind, ParamStyle, SchemeKind};
+
+/// The shared scheme descriptor (see [`dmfb_core::spec::SchemeSpec`]),
+/// under the name this crate has always exported.
+pub use dmfb_core::spec::SchemeSpec as SchemeChoice;
+/// The shared tier selection (see [`dmfb_core::spec::Tier`]).
+pub use dmfb_core::spec::Tier;
+pub use dmfb_core::spec::{
+    EngineParams, EngineSpec, MAX_BLOCK_TRIALS, MAX_DIM, MAX_PRIMARIES, MAX_TRIALS,
 };
-
-/// Upper bound on `--block-trials`, shared with the CLI's guard.
-pub const MAX_BLOCK_TRIALS: usize = 65_536;
-
-/// Upper bound on user-supplied square-lattice dimensions (the CLI's
-/// `MAX_DIM`).
-pub const MAX_DIM: u32 = 4096;
-
-/// Upper bound on hex primary-cell counts. Engine build time and memory
-/// are linear in this, so it is the knob a hostile client would turn.
-pub const MAX_PRIMARIES: usize = 65_536;
-
-/// Upper bound on Monte-Carlo trials per request.
-pub const MAX_TRIALS: u32 = 10_000_000;
 
 /// A validation failure, carrying the HTTP status it maps to (always
 /// `400` today, but the type keeps routing and phrasing in one place).
@@ -57,62 +55,6 @@ impl std::fmt::Display for RequestError {
     }
 }
 
-/// Which yield tier a request asks for.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Tier {
-    /// Yield without reconfiguration (all in-scope primaries fault-free).
-    Raw,
-    /// Yield with local reconfiguration — the paper's headline number.
-    Reconfigured,
-    /// The Section 7 assay-aware tier: raw, reconfigured and operational
-    /// yield side by side for a fixed IVD case-study chip.
-    Operational,
-}
-
-impl Tier {
-    /// The wire label.
-    #[must_use]
-    pub fn label(self) -> &'static str {
-        match self {
-            Tier::Raw => "raw",
-            Tier::Reconfigured => "reconfigured",
-            Tier::Operational => "operational",
-        }
-    }
-}
-
-/// Which redundancy scheme the request evaluates (the CLI's
-/// `SchemeChoice`, re-stated here so the service crate does not depend on
-/// the binary).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum SchemeChoice {
-    /// Hexagonal DTMB patterns, selected via `design`/`primaries`.
-    HexDtmb {
-        /// Which DTMB design (`None` = no redundancy).
-        design: Option<DtmbKind>,
-        /// Primary-cell count.
-        primaries: usize,
-    },
-    /// Square-lattice interstitial patterns.
-    SquareDtmb {
-        /// Which spare pattern.
-        pattern: SquarePattern,
-        /// Array width in cells.
-        width: u32,
-        /// Array height in cells.
-        height: u32,
-    },
-    /// Boundary spare-row baseline (shifted replacement).
-    SpareRows {
-        /// Array width in cells.
-        width: u32,
-        /// Module rows above the spare rows.
-        module_rows: u32,
-        /// Spare rows at the bottom.
-        spare_rows: u32,
-    },
-}
-
 /// Estimator selection.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum EstimatorChoice {
@@ -122,6 +64,15 @@ pub enum EstimatorChoice {
     Stratified(StratifiedConfig),
 }
 
+impl EstimatorChoice {
+    fn kind(&self) -> EstimatorKind {
+        match self {
+            EstimatorChoice::Naive => EstimatorKind::Naive,
+            EstimatorChoice::Stratified(_) => EstimatorKind::Stratified,
+        }
+    }
+}
+
 /// Defect-model selection.
 #[derive(Clone, Debug)]
 pub enum DefectModelChoice {
@@ -129,6 +80,15 @@ pub enum DefectModelChoice {
     Bernoulli,
     /// Negative-binomial clustered wafer defects.
     Clustered(ClusteredDefects),
+}
+
+impl DefectModelChoice {
+    fn kind(&self) -> DefectModelKind {
+        match self {
+            DefectModelChoice::Bernoulli => DefectModelKind::Bernoulli,
+            DefectModelChoice::Clustered(_) => DefectModelKind::Clustered,
+        }
+    }
 }
 
 /// Cache directive for this request.
@@ -171,26 +131,13 @@ pub struct YieldRequest {
     pub cache: CacheMode,
 }
 
-/// Every field `/v1/yield` understands; anything else is rejected by
-/// name so typos cannot silently select a default.
-const KNOWN_FIELDS: [&str; 23] = [
+/// The service-level fields `/v1/yield` adds on top of the shared
+/// scheme/estimator/model sub-parameter tables.
+const TOP_FIELDS: [&str; 10] = [
     "tier",
     "scheme",
-    "design",
-    "primaries",
-    "pattern",
-    "width",
-    "height",
-    "module_rows",
-    "spare_rows",
     "estimator",
-    "tolerance",
-    "pilot",
     "defect_model",
-    "cluster_mean",
-    "cluster_dispersion",
-    "cluster_radius",
-    "cluster_peak",
     "block_trials",
     "assay",
     "p",
@@ -199,27 +146,16 @@ const KNOWN_FIELDS: [&str; 23] = [
     "cache",
 ];
 
-/// Scheme-shaping fields, mirroring the CLI's `SCHEME_SUBPARAMS`.
-const SCHEME_SUBPARAMS: [&str; 7] = [
-    "design",
-    "primaries",
-    "pattern",
-    "width",
-    "height",
-    "module_rows",
-    "spare_rows",
-];
-
-/// Sub-parameters of `"estimator": "stratified"`.
-const ESTIMATOR_SUBPARAMS: [&str; 2] = ["tolerance", "pilot"];
-
-/// Sub-parameters of `"defect_model": "clustered"`.
-const CLUSTER_SUBPARAMS: [&str; 4] = [
-    "cluster_mean",
-    "cluster_dispersion",
-    "cluster_radius",
-    "cluster_peak",
-];
+/// Whether `/v1/yield` understands a field; anything else is rejected by
+/// name so typos cannot silently select a default. The sub-parameter
+/// vocabulary comes straight from [`dmfb_core::spec`], so a scheme
+/// parameter added there is automatically known here.
+fn is_known_field(key: &str) -> bool {
+    TOP_FIELDS.contains(&key)
+        || spec::SCHEME_SUBPARAMS.contains(&key)
+        || spec::ESTIMATOR_SUBPARAMS.contains(&key)
+        || spec::CLUSTER_SUBPARAMS.contains(&key)
+}
 
 /// A parsed body with field-presence tracking, so the foreign-parameter
 /// guards can distinguish "absent" from "present at its default value"
@@ -277,8 +213,11 @@ impl<'a> Fields<'a> {
                 .map_err(|_| RequestError::bad(format!("'{key}' is out of range")))?,
         };
         if value < min || value > MAX_DIM {
-            return Err(RequestError::bad(format!(
-                "need {min} <= '{key}' <= {MAX_DIM}, got {value}"
+            return Err(RequestError::bad(spec::dim_range_error(
+                ParamStyle::Json,
+                key,
+                min,
+                value,
             )));
         }
         Ok(value)
@@ -292,7 +231,7 @@ pub fn parse_yield_request(body: &[u8]) -> Result<YieldRequest, RequestError> {
     let value = JsonValue::parse(text).map_err(RequestError::bad)?;
     let obj = value.as_object("request body").map_err(RequestError::bad)?;
     for (key, _) in obj {
-        if !KNOWN_FIELDS.contains(&key.as_str()) {
+        if !is_known_field(key.as_str()) {
             return Err(RequestError::bad(format!("unknown field '{key}'")));
         }
     }
@@ -305,23 +244,21 @@ pub fn parse_yield_request(body: &[u8]) -> Result<YieldRequest, RequestError> {
     }
     let fields = Fields { obj };
 
-    let tier = match fields.str_field("tier")? {
-        None | Some("reconfigured") => Tier::Reconfigured,
-        Some("raw") => Tier::Raw,
-        Some("operational") => Tier::Operational,
-        Some(other) => {
-            return Err(RequestError::bad(format!(
-                "unknown tier '{other}' (valid: raw, reconfigured, operational)"
-            )))
-        }
-    };
+    let tier = Tier::parse(fields.str_field("tier")?).map_err(RequestError::bad)?;
 
     let scheme = parse_scheme(&fields)?;
-    reject_foreign_subparams(&fields, &scheme)?;
+    spec::reject_foreign_subparams(ParamStyle::Json, &scheme, |key| fields.has(key))
+        .map_err(RequestError::bad)?;
 
     let estimator = parse_estimator(&fields)?;
     let defect_model = parse_defect_model(&fields)?;
-    reject_foreign_estimator_params(&fields, &estimator, &defect_model)?;
+    spec::reject_foreign_estimator_params(
+        ParamStyle::Json,
+        estimator.kind(),
+        defect_model.kind(),
+        |key| fields.has(key),
+    )
+    .map_err(RequestError::bad)?;
 
     let block_trials = match fields.uint_field("block_trials")? {
         None => None,
@@ -329,9 +266,9 @@ pub fn parse_yield_request(body: &[u8]) -> Result<YieldRequest, RequestError> {
             let n = usize::try_from(n)
                 .map_err(|_| RequestError::bad("'block_trials' is out of range"))?;
             if n > MAX_BLOCK_TRIALS {
-                return Err(RequestError::bad(format!(
-                    "need 'block_trials' <= {MAX_BLOCK_TRIALS}, got {n} \
-                     (wider batches only grow the per-worker scratch state)"
+                return Err(RequestError::bad(spec::block_trials_cap_error(
+                    ParamStyle::Json,
+                    n,
                 )));
             }
             Some(n)
@@ -340,17 +277,13 @@ pub fn parse_yield_request(body: &[u8]) -> Result<YieldRequest, RequestError> {
 
     if matches!(defect_model, DefectModelChoice::Clustered(_)) {
         if fields.has("p") {
-            return Err(RequestError::bad(
-                "'p' does not apply with \"defect_model\": \"clustered\" \
-                 (the cluster parameters set the defect intensity)",
-            ));
+            return Err(RequestError::bad(spec::clustered_p_error(ParamStyle::Json)));
         }
         if fields.has("block_trials") {
-            return Err(RequestError::bad(
-                "'block_trials' does not apply with \"defect_model\": \"clustered\": \
-                 the clustered defect sampler draws a variable-length stream per trial \
-                 that cannot be transposed into lanes; it always runs the scalar engine",
-            ));
+            return Err(RequestError::bad(format!(
+                "'block_trials' does not apply with \"defect_model\": \"clustered\": {}",
+                spec::CLUSTERED_BLOCK_REASON
+            )));
         }
     }
 
@@ -408,17 +341,11 @@ pub fn parse_yield_request(body: &[u8]) -> Result<YieldRequest, RequestError> {
 }
 
 fn parse_scheme(fields: &Fields<'_>) -> Result<SchemeChoice, RequestError> {
-    match fields.str_field("scheme")? {
-        None | Some("hex-dtmb") => {
-            let design = match fields.str_field("design")? {
-                None | Some("none") => None,
-                Some("dtmb16") => Some(DtmbKind::Dtmb16),
-                Some("dtmb26") => Some(DtmbKind::Dtmb26A),
-                Some("dtmb26b") => Some(DtmbKind::Dtmb26B),
-                Some("dtmb36") => Some(DtmbKind::Dtmb36),
-                Some("dtmb44") => Some(DtmbKind::Dtmb44),
-                Some(other) => return Err(RequestError::bad(format!("unknown design '{other}'"))),
-            };
+    let kind = spec::parse_scheme_token(fields.str_field("scheme")?).map_err(RequestError::bad)?;
+    match kind {
+        SchemeKind::HexDtmb => {
+            let design =
+                spec::parse_design_token(fields.str_field("design")?).map_err(RequestError::bad)?;
             let primaries = match fields.uint_field("primaries")?.unwrap_or(100) {
                 0 => return Err(RequestError::bad("'primaries' must be at least 1")),
                 n if n > MAX_PRIMARIES as u64 => {
@@ -430,40 +357,27 @@ fn parse_scheme(fields: &Fields<'_>) -> Result<SchemeChoice, RequestError> {
             };
             Ok(SchemeChoice::HexDtmb { design, primaries })
         }
-        Some("square-dtmb") => {
-            let pattern = match fields.str_field("pattern")? {
-                None | Some("perfect-code") => SquarePattern::PerfectCode,
-                Some("stripes") => SquarePattern::Stripes,
-                Some("checkerboard") => SquarePattern::Checkerboard,
-                Some("quarter") => SquarePattern::Quarter,
-                Some(other) => {
-                    return Err(RequestError::bad(format!(
-                        "unknown pattern '{other}' \
-                         (valid: perfect-code, stripes, checkerboard, quarter)"
-                    )))
-                }
-            };
+        SchemeKind::SquareDtmb => {
+            let pattern = spec::parse_pattern_token(fields.str_field("pattern")?)
+                .map_err(RequestError::bad)?;
             Ok(SchemeChoice::SquareDtmb {
                 pattern,
                 width: fields.dim_field("width", 16, 1)?,
                 height: fields.dim_field("height", 16, 1)?,
             })
         }
-        Some("spare-rows") => Ok(SchemeChoice::SpareRows {
+        SchemeKind::SpareRows => Ok(SchemeChoice::SpareRows {
             width: fields.dim_field("width", 8, 1)?,
             module_rows: fields.dim_field("module_rows", 6, 1)?,
             spare_rows: fields.dim_field("spare_rows", 1, 0)?,
         }),
-        Some(other) => Err(RequestError::bad(format!(
-            "unknown scheme '{other}' (valid: hex-dtmb, square-dtmb, spare-rows)"
-        ))),
     }
 }
 
 fn parse_estimator(fields: &Fields<'_>) -> Result<EstimatorChoice, RequestError> {
-    match fields.str_field("estimator")? {
-        None | Some("naive") => Ok(EstimatorChoice::Naive),
-        Some("stratified") => {
+    match spec::parse_estimator_token(fields.str_field("estimator")?).map_err(RequestError::bad)? {
+        EstimatorKind::Naive => Ok(EstimatorChoice::Naive),
+        EstimatorKind::Stratified => {
             let tolerance = fields.f64_field("tolerance")?.unwrap_or(1e-6);
             if !(0.0..1.0).contains(&tolerance) {
                 return Err(RequestError::bad("need 0 <= 'tolerance' < 1"));
@@ -481,16 +395,15 @@ fn parse_estimator(fields: &Fields<'_>) -> Result<EstimatorChoice, RequestError>
                 ..StratifiedConfig::default()
             }))
         }
-        Some(other) => Err(RequestError::bad(format!(
-            "unknown estimator '{other}' (valid: naive, stratified)"
-        ))),
     }
 }
 
 fn parse_defect_model(fields: &Fields<'_>) -> Result<DefectModelChoice, RequestError> {
-    match fields.str_field("defect_model")? {
-        None | Some("bernoulli") => Ok(DefectModelChoice::Bernoulli),
-        Some("clustered") => {
+    match spec::parse_defect_model_token(fields.str_field("defect_model")?)
+        .map_err(RequestError::bad)?
+    {
+        DefectModelKind::Bernoulli => Ok(DefectModelChoice::Bernoulli),
+        DefectModelKind::Clustered => {
             let mean = fields.f64_field("cluster_mean")?.unwrap_or(1.0);
             if mean < 0.0 {
                 return Err(RequestError::bad("'cluster_mean' must be non-negative"));
@@ -514,69 +427,7 @@ fn parse_defect_model(fields: &Fields<'_>) -> Result<DefectModelChoice, RequestE
                 mean, dispersion, radius, peak,
             )))
         }
-        Some(other) => Err(RequestError::bad(format!(
-            "unknown defect model '{other}' (valid: bernoulli, clustered)"
-        ))),
     }
-}
-
-/// The CLI's `reject_foreign_subparams`, field-presence based.
-fn reject_foreign_subparams(
-    fields: &Fields<'_>,
-    choice: &SchemeChoice,
-) -> Result<(), RequestError> {
-    let (scheme, allowed): (&str, &[&str]) = match choice {
-        SchemeChoice::HexDtmb { .. } => ("hex-dtmb", &["design", "primaries"]),
-        SchemeChoice::SquareDtmb { .. } => ("square-dtmb", &["pattern", "width", "height"]),
-        SchemeChoice::SpareRows { .. } => ("spare-rows", &["width", "module_rows", "spare_rows"]),
-    };
-    for key in SCHEME_SUBPARAMS {
-        if fields.has(key) && !allowed.contains(&key) {
-            return Err(RequestError::bad(format!(
-                "'{key}' does not apply to scheme '{scheme}' (its parameters: {})",
-                allowed.join(", ")
-            )));
-        }
-    }
-    Ok(())
-}
-
-/// The CLI's `reject_foreign_estimator_params`: estimator/model
-/// sub-parameters must match their selection, and the stratified
-/// estimator cannot run under the clustered model (it conditions on the
-/// i.i.d. Bernoulli defect count).
-fn reject_foreign_estimator_params(
-    fields: &Fields<'_>,
-    estimator: &EstimatorChoice,
-    model: &DefectModelChoice,
-) -> Result<(), RequestError> {
-    if matches!(estimator, EstimatorChoice::Naive) {
-        for key in ESTIMATOR_SUBPARAMS {
-            if fields.has(key) {
-                return Err(RequestError::bad(format!(
-                    "'{key}' requires \"estimator\": \"stratified\""
-                )));
-            }
-        }
-    }
-    if matches!(model, DefectModelChoice::Bernoulli) {
-        for key in CLUSTER_SUBPARAMS {
-            if fields.has(key) {
-                return Err(RequestError::bad(format!(
-                    "'{key}' requires \"defect_model\": \"clustered\""
-                )));
-            }
-        }
-    }
-    if matches!(estimator, EstimatorChoice::Stratified(_))
-        && matches!(model, DefectModelChoice::Clustered(_))
-    {
-        return Err(RequestError::bad(
-            "the stratified estimator conditions on the i.i.d. Bernoulli defect count; \
-             it cannot run under the clustered defect model",
-        ));
-    }
-    Ok(())
 }
 
 /// Tier-specific coherence rules.
@@ -635,23 +486,15 @@ fn check_tier(
                      (valid: ivd-panel, metabolic-panel)",
                 ));
             }
-            if !matches!(scheme, SchemeChoice::HexDtmb { .. }) {
-                return Err(RequestError::bad(
-                    "'assay' requires scheme 'hex-dtmb' \
-                     (the IVD case-study chip is hexagonal)",
-                ));
-            }
             // The assay workload fixes the chip to the DTMB(2,6) IVD
-            // case-study layout, so every array-shaping field is foreign —
-            // the CLI's `check_assay_subparams`.
-            for key in SCHEME_SUBPARAMS {
-                if fields.has(key) {
-                    return Err(RequestError::bad(format!(
-                        "'{key}' does not apply with 'assay': the assay workload \
-                         fixes the chip to the DTMB(2,6) IVD case-study layout"
-                    )));
-                }
-            }
+            // case-study layout, so the scheme must be hexagonal and every
+            // array-shaping field is foreign — the shared assay guard.
+            spec::check_assay_subparams(
+                ParamStyle::Json,
+                matches!(scheme, SchemeChoice::HexDtmb { .. }),
+                |key| fields.has(key),
+            )
+            .map_err(RequestError::bad)?;
             if matches!(estimator, EstimatorChoice::Stratified(_)) && fields.has("block_trials") {
                 return Err(RequestError::bad(
                     "'block_trials' does not apply to the operational stratified \
@@ -665,53 +508,38 @@ fn check_tier(
 }
 
 impl YieldRequest {
-    /// The canonical engine key this request maps to: exactly the fields
+    /// The engine descriptor this request maps to: exactly the fields
     /// that shape the cached evaluator (scheme/shape, assay chip,
     /// trial-engine width) and none of the per-request ones (`p`,
     /// `trials`, `seed`, estimator, defect model). Two requests with
-    /// equal keys run on the same cached engine.
+    /// equal descriptors run on the same cached engine.
+    #[must_use]
+    pub fn engine_params(&self) -> EngineParams {
+        let spec = match self.assay {
+            Some(panel) => EngineSpec::Assay(panel),
+            None => EngineSpec::Scheme(self.scheme),
+        };
+        EngineParams {
+            spec,
+            block_trials: self.block_trials,
+        }
+    }
+
+    /// The canonical engine-cache key: the [`SchemeSpec`] canonical form
+    /// plus the trial-engine width (see [`EngineParams::engine_key`]).
+    ///
+    /// [`SchemeSpec`]: dmfb_core::spec::SchemeSpec
     #[must_use]
     pub fn engine_key(&self) -> String {
-        let block = match self.block_trials {
-            None => "auto".to_string(),
-            Some(0) => "scalar".to_string(),
-            Some(n) => n.to_string(),
-        };
-        if let Some(panel) = self.assay {
-            return format!("assay:{}:block={block}", panel.label());
-        }
-        match self.scheme {
-            SchemeChoice::HexDtmb { design, primaries } => format!(
-                "hex-dtmb:design={}:primaries={primaries}:block={block}",
-                design.map_or("none".to_string(), |k| k.to_string())
-            ),
-            SchemeChoice::SquareDtmb {
-                pattern,
-                width,
-                height,
-            } => format!(
-                "square-dtmb:pattern={pattern:?}:width={width}:height={height}:block={block}"
-            ),
-            SchemeChoice::SpareRows {
-                width,
-                module_rows,
-                spare_rows,
-            } => format!(
-                "spare-rows:width={width}:module-rows={module_rows}:spare-rows={spare_rows}:block={block}"
-            ),
-        }
+        self.engine_params().engine_key()
     }
 
     /// Builds the hex biochip this request describes (hex schemes only).
     #[must_use]
     pub fn biochip(&self) -> Biochip {
-        match self.scheme {
-            SchemeChoice::HexDtmb { design, primaries } => match design {
-                Some(kind) => Biochip::dtmb(kind, primaries),
-                None => Biochip::without_redundancy(primaries),
-            },
-            _ => unreachable!("biochip() is only called on hex schemes"),
-        }
+        self.scheme
+            .biochip()
+            .expect("biochip() is only called on hex schemes")
     }
 }
 
@@ -743,7 +571,11 @@ mod tests {
     #[test]
     fn foreign_scheme_subparams_are_rejected() {
         let err = parse(r#"{"scheme": "hex-dtmb", "pattern": "stripes"}"#).unwrap_err();
-        assert!(err.message.contains("does not apply to scheme 'hex-dtmb'"));
+        assert_eq!(
+            err.message,
+            "'pattern' does not apply to scheme 'hex-dtmb' \
+             (its parameters: design, primaries)"
+        );
         let err = parse(r#"{"scheme": "square-dtmb", "design": "dtmb26"}"#).unwrap_err();
         assert!(err.message.contains("square-dtmb"));
         let err = parse(r#"{"scheme": "spare-rows", "height": 4}"#).unwrap_err();
@@ -752,14 +584,14 @@ mod tests {
 
     #[test]
     fn foreign_estimator_and_model_params_are_rejected() {
-        assert!(parse(r#"{"pilot": 8}"#)
-            .unwrap_err()
-            .message
-            .contains("stratified"));
-        assert!(parse(r#"{"cluster_mean": 2.0}"#)
-            .unwrap_err()
-            .message
-            .contains("clustered"));
+        assert_eq!(
+            parse(r#"{"pilot": 8}"#).unwrap_err().message,
+            "'pilot' requires \"estimator\": \"stratified\""
+        );
+        assert_eq!(
+            parse(r#"{"cluster_mean": 2.0}"#).unwrap_err().message,
+            "'cluster_mean' requires \"defect_model\": \"clustered\""
+        );
         let err = parse(r#"{"estimator": "stratified", "defect_model": "clustered"}"#).unwrap_err();
         assert!(err.message.contains("Bernoulli defect count"));
     }
@@ -782,7 +614,11 @@ mod tests {
         assert!(parse(r#"{"assay": "ivd-panel"}"#).is_err());
         let err = parse(r#"{"tier": "operational", "assay": "ivd-panel", "design": "dtmb16"}"#)
             .unwrap_err();
-        assert!(err.message.contains("case-study layout"));
+        assert_eq!(
+            err.message,
+            "'design' does not apply with 'assay': the assay workload \
+             fixes the chip to the DTMB(2,6) IVD case-study layout"
+        );
         assert!(parse(
             r#"{"tier": "operational", "assay": "ivd-panel",
                 "estimator": "stratified", "block_trials": 64}"#
@@ -824,5 +660,23 @@ mod tests {
         assert_ne!(a.engine_key(), d.engine_key());
         let e = parse(r#"{"tier": "operational", "assay": "ivd-panel"}"#).unwrap();
         assert!(e.engine_key().starts_with("assay:ivd-panel"));
+    }
+
+    #[test]
+    fn engine_key_is_the_legacy_wire_format() {
+        let r = parse(r#"{"design": "dtmb26", "primaries": 60}"#).unwrap();
+        assert_eq!(
+            r.engine_key(),
+            "hex-dtmb:design=DTMB(2,6):primaries=60:block=auto"
+        );
+        let r = parse(
+            r#"{"scheme": "spare-rows", "width": 8, "module_rows": 6,
+                "spare_rows": 2, "block_trials": 0}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            r.engine_key(),
+            "spare-rows:width=8:module-rows=6:spare-rows=2:block=scalar"
+        );
     }
 }

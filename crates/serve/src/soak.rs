@@ -363,6 +363,9 @@ pub fn run_soak(config: &SoakConfig) -> Result<SoakReport, String> {
             p99_ms: Some(p99),
             cache_hit_rate: Some(*rate),
             campaign: None,
+            // Soak phases mix hex and spare-row requests; no single
+            // scheme describes the workload.
+            spec: None,
         });
         table.row(vec![
             (*name).to_string(),

@@ -13,6 +13,7 @@
 //!    same hit/miss outcomes, the same MRU ordering, and never more
 //!    than `capacity` live entries.
 
+use dmfb_serve::request::parse_yield_request;
 use dmfb_serve::{CacheOutcome, LruCache, ServerState};
 use proptest::prelude::*;
 
@@ -139,6 +140,48 @@ proptest! {
         prop_assert_eq!(bypassed.status, 200);
         prop_assert_eq!(bypassed.cache, Some(CacheOutcome::Bypass));
         prop_assert_eq!(&bypassed.body, &cold.body, "bypass reply diverged");
+    }
+
+    /// The engine cache is keyed by the shared `SchemeSpec`-derived
+    /// descriptor and nothing else: two valid requests parse to equal
+    /// `EngineParams` iff the second is served from the first one's
+    /// cached engine.
+    #[test]
+    fn equal_engine_params_iff_shared_cache_entry(
+        a_scheme in 0usize..3,
+        a_tier in 0usize..3,
+        a_primaries in 16usize..96,
+        a_dim in 4usize..10,
+        b_scheme in 0usize..3,
+        b_tier in 0usize..3,
+        b_primaries in 16usize..96,
+        b_dim in 4usize..10,
+        trials in 8u64..24,
+        seed in 0u64..(1 << 53),
+    ) {
+        let body_a = request_body(
+            a_scheme, a_tier, false, false, a_primaries, a_dim, 0, trials, seed, false,
+        );
+        // The second request varies the per-request knobs too (p via
+        // p_mil, seed), which must not affect engine identity.
+        let body_b = request_body(
+            b_scheme, b_tier, false, false, b_primaries, b_dim, 7, trials, seed ^ 1, false,
+        );
+        let spec_a = parse_yield_request(body_a.as_bytes()).unwrap().engine_params();
+        let spec_b = parse_yield_request(body_b.as_bytes()).unwrap().engine_params();
+
+        let state = ServerState::new(4, 1);
+        let first = state.handle_yield(body_a.as_bytes());
+        prop_assert_eq!(first.status, 200, "reply: {}", first.body);
+        prop_assert_eq!(first.cache, Some(CacheOutcome::Miss));
+        let second = state.handle_yield(body_b.as_bytes());
+        prop_assert_eq!(second.status, 200, "reply: {}", second.body);
+        let expected = if spec_a == spec_b {
+            CacheOutcome::Hit
+        } else {
+            CacheOutcome::Miss
+        };
+        prop_assert_eq!(second.cache, Some(expected), "specs: {:?} vs {:?}", spec_a, spec_b);
     }
 
     /// The engine-thread count is a throughput knob, not a result knob:
